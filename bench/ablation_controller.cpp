@@ -1,0 +1,93 @@
+// Ablation bench (DESIGN.md Section 6): which pieces of the controller
+// matter? Toggles Algorithm 1's adaptive learning rate, the downward
+// rebalancer, and the Eq. 7 partition maintenance, and reports runtime,
+// parallelism tracking error, and rebalance work for each variant.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/self_tuning.hpp"
+
+using namespace sssp;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool adaptive;
+  bool rebalance_down;
+  bool partition_boundaries;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  bench::BenchConfig config;
+  if (bench::parse_common_flags(flags, "Controller ablation study", config))
+    return 0;
+
+  bench::print_banner(
+      "Ablation — controller components",
+      "full = the paper's controller. Variants disable Algorithm 1's\n"
+      "adaptive learning rate (fixed-rate SGD), the downward rebalancer\n"
+      "(delta can only grow), or Eq. 7 partition maintenance (whole-queue\n"
+      "scans). Expect the full controller to track the set-point best and\n"
+      "no-partitioning to pay heavily in rebalance work.");
+
+  const auto device = sim::DeviceSpec::jetson_tk1();
+  const sim::DefaultGovernor governor;
+  auto csv = bench::open_csv(config);
+  if (csv)
+    csv->write_header({"graph", "variant", "sim_seconds", "avg_power_w",
+                       "tracking_rmse", "rebalance_items", "iterations"});
+
+  for (const auto dataset : {graph::Dataset::kCal, graph::Dataset::kWiki}) {
+  const auto bundle = bench::load_dataset(dataset, config);
+  const double p = bench::default_set_points(dataset, bundle.scale)[1];
+
+  const Variant variants[] = {
+      {"full", true, true, true},
+      {"no-adaptive-lr", false, true, true},
+      {"no-rebalance-down", true, false, true},
+      {"no-partitioning", true, true, false},
+  };
+
+  util::TextTable table;
+  table.set_header({"variant", "sim_seconds", "avg_power_w",
+                    "tracking_rmse/P", "rebalance_items", "iterations"});
+  for (const Variant& variant : variants) {
+    core::SelfTuningOptions options;
+    options.set_point = p;
+    options.adaptive_learning_rate = variant.adaptive;
+    options.rebalance_down = variant.rebalance_down;
+    options.partition_boundaries = variant.partition_boundaries;
+    const auto run =
+        core::self_tuning_sssp(bundle.graph, bundle.source, options);
+    const auto report = bench::simulate(run, bundle.name, device, governor);
+
+    // Set-point tracking error over the steady phase, relative to P.
+    double sum_sq = 0.0;
+    std::size_t count = 0;
+    std::uint64_t rebalance = 0;
+    for (std::size_t i = 0; i < run.num_iterations(); ++i) {
+      rebalance += run.iterations[i].rebalance_items;
+      if (i < run.num_iterations() / 4) continue;
+      const double err = (static_cast<double>(run.iterations[i].x2) - p) / p;
+      sum_sq += err * err;
+      ++count;
+    }
+    const double rmse = count ? std::sqrt(sum_sq / count) : 0.0;
+
+    table.add(variant.name, report.total_seconds, report.average_power_w,
+              rmse, rebalance, run.num_iterations());
+    if (csv)
+      csv->write(bundle.name, variant.name, report.total_seconds,
+                 report.average_power_w, rmse, rebalance,
+                 run.num_iterations());
+  }
+  std::printf("dataset %s, P=%.0f\n\n%s\n", bundle.name.c_str(), p,
+              table.to_string().c_str());
+  }
+  return 0;
+}

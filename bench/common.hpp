@@ -1,0 +1,73 @@
+// Shared plumbing for the per-figure benchmark binaries: dataset
+// construction at a benchmark scale, the time-minimizing baseline delta,
+// default set-point menus, and consistent terminal/CSV output.
+//
+// Scaling note: bench defaults run the synthetic datasets well below
+// paper size so the whole harness finishes in minutes on a laptop
+// (Cal at 1/16, Wiki at 1/64 — about 300 k edges each). Parallelism
+// set-points are rescaled with the graphs: a road network's sustainable
+// frontier grows like the wavefront perimeter (~sqrt(n)), a scale-free
+// network's like n. Pass --cal-scale/--wiki-scale 1.0 to reproduce at
+// full paper size.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "sim/device.hpp"
+#include "sim/dvfs.hpp"
+#include "sim/run.hpp"
+#include "sssp/result.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+
+namespace sssp::bench {
+
+struct BenchConfig {
+  double cal_scale = 1.0 / 16.0;
+  double wiki_scale = 1.0 / 64.0;
+  std::uint64_t seed = 42;
+  std::string csv_path;  // empty = terminal only
+};
+
+// Registers the common flags on `flags` and parses them. Exits the
+// program (returning true) if --help was requested.
+bool parse_common_flags(util::Flags& flags, const std::string& description,
+                        BenchConfig& config);
+
+struct DatasetBundle {
+  std::string name;
+  graph::Dataset id;
+  graph::CsrGraph graph;
+  graph::VertexId source;
+  double scale;
+};
+
+DatasetBundle load_dataset(graph::Dataset dataset, const BenchConfig& config);
+
+// The paper's set-points rescaled to the benchmark graph size.
+std::vector<double> default_set_points(graph::Dataset dataset, double scale);
+
+// Time-minimizing static delta for the baseline (paper Section 5:
+// "the baseline uses a delta that minimizes execution time").
+graph::Distance best_baseline_delta(const DatasetBundle& data,
+                                    const sim::DeviceSpec& device,
+                                    const sim::DvfsPolicy& policy);
+
+// Runs the recorded workload through the simulator.
+sim::RunReport simulate(const algo::SsspResult& result,
+                        const std::string& dataset,
+                        const sim::DeviceSpec& device,
+                        const sim::DvfsPolicy& policy);
+
+// Prints the figure banner: what the paper shows, what to expect here.
+void print_banner(const std::string& title, const std::string& expectation);
+
+// Opens the CSV sink if --csv was given.
+std::unique_ptr<util::CsvWriter> open_csv(const BenchConfig& config);
+
+}  // namespace sssp::bench

@@ -1,0 +1,121 @@
+// Figure 5 — efficacy of parallelism control: distributions of available
+// parallelism for the self-tuning algorithm at three set-points versus
+// the time-minimizing baseline, on the Cal road network.
+// Expectation: at each set-point the controller holds the median of the
+// steady phase near P with modest spread; the baseline's median is lower
+// and its variance higher.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/self_tuning.hpp"
+#include "sssp/multi_source.hpp"
+#include "sssp/near_far.hpp"
+#include "util/stats.hpp"
+
+using namespace sssp;
+
+namespace {
+
+struct Row {
+  std::string label;
+  double set_point;
+  util::QuantileSummary all;
+  util::QuantileSummary steady;  // after the initial convergence quarter
+};
+
+Row summarize(const std::string& label, double set_point,
+              const algo::MultiSourceSummary& summary) {
+  Row row{label, set_point, {}, {}};
+  // Per-source traces are concatenated; treat the first quarter of the
+  // combined trace of each source as its convergence phase. With the
+  // traces appended in order, approximate by skipping the first quarter
+  // of each run using the per-source iteration counts.
+  std::size_t offset = 0;
+  for (const std::size_t count : summary.iteration_counts) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto x2 =
+          static_cast<double>(summary.all_iterations[offset + i].x2);
+      row.all.add(x2);
+      if (i >= count / 4) row.steady.add(x2);
+    }
+    offset += count;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  flags.define("dataset", "cal", "cal | wiki (paper shows Cal)");
+  flags.define("sources", "3", "number of SSSP sources to aggregate over");
+  bench::BenchConfig config;
+  if (bench::parse_common_flags(
+          flags, "Figure 5: parallelism distributions vs set-point", config))
+    return 0;
+
+  bench::print_banner(
+      "Figure 5 — efficacy of parallelism control",
+      "Paper: for P in {10k, 20k, 40k} (rescaled to the bench graph), the\n"
+      "controller keeps median parallelism near P with most mass nearby;\n"
+      "the baseline's median is much lower and its variance much higher.");
+
+  const auto dataset = graph::parse_dataset(flags.get_string("dataset"));
+  const auto bundle = bench::load_dataset(dataset, config);
+  const auto device = sim::DeviceSpec::jetson_tk1();
+  const sim::DefaultGovernor governor;
+
+  std::vector<Row> rows;
+  algo::MultiSourceOptions sources;
+  sources.num_sources = static_cast<std::size_t>(flags.get_int("sources"));
+
+  const graph::Distance best_delta =
+      bench::best_baseline_delta(bundle, device, governor);
+  rows.push_back(summarize(
+      "near-far (delta=" + std::to_string(best_delta) + ")", 0.0,
+      algo::run_multi_source(
+          bundle.graph,
+          [best_delta](const graph::CsrGraph& g, graph::VertexId src) {
+            return algo::near_far(g, src, {.delta = best_delta});
+          },
+          sources)));
+
+  for (const double p : bench::default_set_points(dataset, bundle.scale)) {
+    rows.push_back(summarize(
+        "self-tuning", p,
+        algo::run_multi_source(
+            bundle.graph,
+            [p](const graph::CsrGraph& g, graph::VertexId src) {
+              core::SelfTuningOptions options;
+              options.set_point = p;
+              options.measure_controller_time = false;
+              return core::self_tuning_sssp(g, src, options);
+            },
+            sources)));
+  }
+
+  auto csv = bench::open_csv(config);
+  if (csv)
+    csv->write_header({"series", "set_point", "phase", "min", "q1", "median",
+                       "q3", "max", "mean"});
+
+  util::TextTable table;
+  table.set_header({"series", "P", "phase", "min", "q1", "median", "q3",
+                    "max", "mean"});
+  for (const Row& row : rows) {
+    for (const auto* phase : {"all", "steady"}) {
+      const util::QuantileSummary& q =
+          std::string(phase) == "all" ? row.all : row.steady;
+      table.add(row.label, row.set_point, phase, q.min(), q.quantile(0.25),
+                q.median(), q.quantile(0.75), q.max(), q.mean());
+      if (csv)
+        csv->write(row.label, row.set_point, phase, q.min(),
+                   q.quantile(0.25), q.median(), q.quantile(0.75), q.max(),
+                   q.mean());
+    }
+  }
+  std::printf("dataset %s (n=%zu, m=%zu)\n\n%s\n", bundle.name.c_str(),
+              bundle.graph.num_vertices(), bundle.graph.num_edges(),
+              table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 6 — performance versus power on the Jetson TK1: baseline vs
+// self-tuning at three set-points, with and without explicit DVFS.
+// Expectation (Cal): most self-tuning points are faster AND cheaper than
+// the baseline (above the x = y diagonal), with peak speedup at a middle
+// set-point. Expectation (Wiki): a smooth speedup/power tradeoff;
+// speedups may cost slightly more power than the baseline.
+#include "bench/common.hpp"
+#include "bench/perf_power.hpp"
+
+using namespace sssp;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  bench::BenchConfig config;
+  if (bench::parse_common_flags(
+          flags, "Figure 6: performance versus power (TK1)", config))
+    return 0;
+
+  bench::print_banner(
+      "Figure 6 — performance versus power (Jetson TK1)",
+      "Paper: on Cal, self-tuning achieves up to ~40% speedup with ~10%\n"
+      "power savings over the baseline; reducing frequency alone trades\n"
+      "speed for power. On Wiki, tuning exposes a smooth tradeoff and\n"
+      "combined with DVFS reaches savings DVFS alone cannot.");
+
+  const auto device = sim::DeviceSpec::jetson_tk1();
+  // The paper's explicit c/m settings on TK1 (852/924 shown in the text),
+  // plus mid and low pairs from the board menus.
+  const std::vector<sim::FrequencyPair> pairs{
+      {852, 924}, {612, 792}, {324, 396}};
+  auto csv = bench::open_csv(config);
+  bench::run_perf_power_figure("Figure 6 (TK1)", device, pairs, config,
+                               csv.get());
+  return 0;
+}

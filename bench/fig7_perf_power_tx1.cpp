@@ -1,0 +1,31 @@
+// Figure 7 — performance versus power on the Jetson TX1 (same grid as
+// Figure 6 on the newer board).
+// Expectation: similar speedups/power reductions as TK1 on Cal; on Wiki
+// the points cluster more tightly as P varies (better DVFS and lower GPU
+// utilization on the newer board), tracking the paper's observation.
+#include "bench/common.hpp"
+#include "bench/perf_power.hpp"
+
+using namespace sssp;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  bench::BenchConfig config;
+  if (bench::parse_common_flags(
+          flags, "Figure 7: performance versus power (TX1)", config))
+    return 0;
+
+  bench::print_banner(
+      "Figure 7 — performance versus power (Jetson TX1)",
+      "Paper: self-tuning provides similar speedups and power reductions\n"
+      "as on TK1 for Cal but more closely follows DVFS for Wiki; points\n"
+      "cluster more as P varies due to the TX1's improved DVFS set-points.");
+
+  const auto device = sim::DeviceSpec::jetson_tx1();
+  const std::vector<sim::FrequencyPair> pairs{
+      {998, 1600}, {614, 1065}, {307, 665}};
+  auto csv = bench::open_csv(config);
+  bench::run_perf_power_figure("Figure 7 (TX1)", device, pairs, config,
+                               csv.get());
+  return 0;
+}

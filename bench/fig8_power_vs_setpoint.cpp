@@ -1,0 +1,64 @@
+// Figure 8 — variation in average power as the parallelism set-point P
+// varies, under the board's default DVFS mode.
+// Expectation: average board power rises with P (more cores busy, higher
+// governor frequencies), demonstrating that P is a usable power knob.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/self_tuning.hpp"
+
+using namespace sssp;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  flags.define("points", "8", "number of set-points in the sweep");
+  bench::BenchConfig config;
+  if (bench::parse_common_flags(
+          flags, "Figure 8: average power versus set-point", config))
+    return 0;
+
+  bench::print_banner(
+      "Figure 8 — average power versus parallelism set-point",
+      "Paper: with the hardware in its default DVFS mode, average power\n"
+      "correlates with P — evidence that the algorithmic knob could drive\n"
+      "a power-cap feedback loop (see also the power_capping example).");
+
+  const auto device = sim::DeviceSpec::jetson_tk1();
+  const sim::DefaultGovernor governor;
+  const auto points = static_cast<std::size_t>(flags.get_int("points"));
+
+  auto csv = bench::open_csv(config);
+  if (csv)
+    csv->write_header(
+        {"graph", "set_point", "avg_power_w", "sim_seconds", "avg_par"});
+
+  for (const auto dataset : {graph::Dataset::kCal, graph::Dataset::kWiki}) {
+    const auto bundle = bench::load_dataset(dataset, config);
+    // Geometric sweep around the dataset's default set-point range.
+    const auto defaults = bench::default_set_points(dataset, bundle.scale);
+    const double lo = defaults.front() / 2.0;
+    const double hi = defaults.back() * 2.0;
+    const double ratio =
+        std::pow(hi / lo, 1.0 / static_cast<double>(points - 1));
+
+    std::printf("-- %s\n", bundle.name.c_str());
+    util::TextTable table;
+    table.set_header({"P", "avg_power_w", "sim_seconds", "avg_parallelism"});
+    double p = lo;
+    for (std::size_t i = 0; i < points; ++i, p *= ratio) {
+      core::SelfTuningOptions options;
+      options.set_point = p;
+      const auto run =
+          core::self_tuning_sssp(bundle.graph, bundle.source, options);
+      const auto report = bench::simulate(run, bundle.name, device, governor);
+      table.add(p, report.average_power_w, report.total_seconds,
+                run.average_parallelism());
+      if (csv)
+        csv->write(bundle.name, p, report.average_power_w,
+                   report.total_seconds, run.average_parallelism());
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Beyond the paper (its Section 6 future work): the same algorithmic-
+// knob idea applied to two other frontier computations — BFS with a
+// capped level width, and residual PageRank with a tuned activation
+// threshold. For each, compares the uncontrolled burst profile with the
+// controlled one at a set-point.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/tunable_bfs.hpp"
+#include "core/tunable_pagerank.hpp"
+
+using namespace sssp;
+
+namespace {
+
+struct Profile {
+  std::size_t iterations = 0;
+  std::uint64_t peak_x2 = 0;
+  double avg_x2 = 0.0;
+};
+
+Profile profile_of(const std::vector<frontier::IterationStats>& iterations) {
+  Profile p;
+  p.iterations = iterations.size();
+  double sum = 0.0;
+  for (const auto& it : iterations) {
+    p.peak_x2 = std::max(p.peak_x2, it.x2);
+    sum += static_cast<double>(it.x2);
+  }
+  p.avg_x2 = iterations.empty() ? 0.0 : sum / static_cast<double>(p.iterations);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  bench::BenchConfig config;
+  if (bench::parse_common_flags(
+          flags, "Generalization: the knob on BFS and PageRank", config))
+    return 0;
+
+  bench::print_banner(
+      "Generalization — algorithmic knobs beyond SSSP",
+      "The paper's conclusion proposes adapting the controller to other\n"
+      "frontier computations. BFS: a set-point caps level-width bursts by\n"
+      "postponing level slices. PageRank: a tuned residual threshold caps\n"
+      "per-iteration push work. Both stay exact.");
+
+  const auto bundle = bench::load_dataset(graph::Dataset::kWiki, config);
+  auto csv = bench::open_csv(config);
+  if (csv)
+    csv->write_header(
+        {"primitive", "mode", "set_point", "iterations", "peak_x2", "avg_x2"});
+
+  util::TextTable table;
+  table.set_header(
+      {"primitive", "mode", "set_point", "iterations", "peak_x2", "avg_x2"});
+
+  // --- BFS ---
+  const double bfs_p = bench::default_set_points(graph::Dataset::kWiki,
+                                                 bundle.scale)[0] / 4.0;
+  core::TunableBfsOptions uncapped_bfs;
+  uncapped_bfs.set_point = 1e12;
+  const auto bfs_wild = core::tunable_bfs(bundle.graph, bundle.source,
+                                          uncapped_bfs);
+  core::TunableBfsOptions capped_bfs;
+  capped_bfs.set_point = bfs_p;
+  const auto bfs_tuned =
+      core::tunable_bfs(bundle.graph, bundle.source, capped_bfs);
+  for (const auto& [mode, run, p] :
+       {std::tuple{"level-sync", &bfs_wild, 0.0},
+        std::tuple{"tuned", &bfs_tuned, bfs_p}}) {
+    const Profile prof = profile_of(run->iterations);
+    table.add("bfs", mode, p, prof.iterations, prof.peak_x2, prof.avg_x2);
+    if (csv)
+      csv->write("bfs", mode, p, prof.iterations, prof.peak_x2, prof.avg_x2);
+  }
+
+  // --- PageRank ---
+  core::TunablePageRankOptions wild_pr;
+  wild_pr.tolerance = 1e-7;
+  const auto pr_wild = core::tunable_pagerank(bundle.graph, wild_pr);
+  core::TunablePageRankOptions tuned_pr = wild_pr;
+  tuned_pr.set_point = bfs_p;
+  const auto pr_tuned = core::tunable_pagerank(bundle.graph, tuned_pr);
+  for (const auto& [mode, run, p] :
+       {std::tuple{"unconstrained", &pr_wild, 0.0},
+        std::tuple{"tuned", &pr_tuned, bfs_p}}) {
+    const Profile prof = profile_of(run->iterations);
+    table.add("pagerank", mode, p, prof.iterations, prof.peak_x2,
+              prof.avg_x2);
+    if (csv)
+      csv->write("pagerank", mode, p, prof.iterations, prof.peak_x2,
+                 prof.avg_x2);
+  }
+
+  std::printf("dataset %s (n=%zu, m=%zu)\n\n%s\n", bundle.name.c_str(),
+              bundle.graph.num_vertices(), bundle.graph.num_edges(),
+              table.to_string().c_str());
+  std::printf("Expectation: the tuned rows cut peak_x2 by a large factor at\n"
+              "the cost of more iterations; exactness is covered by tests.\n");
+  return 0;
+}

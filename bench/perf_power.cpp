@@ -1,0 +1,98 @@
+#include "bench/perf_power.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "core/self_tuning.hpp"
+#include "sssp/near_far.hpp"
+
+namespace sssp::bench {
+namespace {
+
+struct GridPoint {
+  std::string algorithm;  // "near-far" or "self-tuning"
+  double set_point;       // 0 for the baseline
+  std::string dvfs;       // "default" or "c/m"
+  double seconds;
+  double power_w;
+  double energy_j;
+};
+
+}  // namespace
+
+void run_perf_power_figure(const std::string& figure_name,
+                           const sim::DeviceSpec& device,
+                           const std::vector<sim::FrequencyPair>& pinned_pairs,
+                           const BenchConfig& config, util::CsvWriter* csv) {
+  if (csv)
+    csv->write_header({"graph", "algorithm", "set_point", "dvfs", "seconds",
+                       "power_w", "energy_j", "speedup", "relative_power"});
+
+  for (const auto dataset : {graph::Dataset::kCal, graph::Dataset::kWiki}) {
+    const auto bundle = load_dataset(dataset, config);
+
+    // Policies: the board's own governor plus the explicit pairs.
+    std::vector<std::unique_ptr<sim::DvfsPolicy>> policies;
+    policies.push_back(std::make_unique<sim::DefaultGovernor>());
+    for (const auto& pair : pinned_pairs)
+      policies.push_back(std::make_unique<sim::PinnedDvfs>(pair));
+
+    // Baseline algorithm: time-minimizing static delta (chosen under the
+    // default governor, as a user without explicit DVFS control would).
+    const graph::Distance best_delta =
+        best_baseline_delta(bundle, device, *policies.front());
+    const auto baseline_run =
+        algo::near_far(bundle.graph, bundle.source, {.delta = best_delta});
+
+    // Self-tuning runs at the three set-points.
+    const auto set_points = default_set_points(dataset, bundle.scale);
+    std::vector<algo::SsspResult> tuned_runs;
+    for (const double p : set_points) {
+      core::SelfTuningOptions options;
+      options.set_point = p;
+      tuned_runs.push_back(
+          core::self_tuning_sssp(bundle.graph, bundle.source, options));
+    }
+
+    std::vector<GridPoint> grid;
+    for (const auto& policy : policies) {
+      const auto base_report =
+          simulate(baseline_run, bundle.name, device, *policy);
+      grid.push_back({"near-far", 0.0, policy->label(),
+                      base_report.total_seconds, base_report.average_power_w,
+                      base_report.energy_joules});
+      for (std::size_t i = 0; i < tuned_runs.size(); ++i) {
+        const auto report =
+            simulate(tuned_runs[i], bundle.name, device, *policy);
+        grid.push_back({"self-tuning", set_points[i], policy->label(),
+                        report.total_seconds, report.average_power_w,
+                        report.energy_joules});
+      }
+    }
+
+    // Reference: baseline at default DVFS is the (1, 1) point.
+    const GridPoint& reference = grid.front();
+
+    std::printf("-- %s on %s (baseline delta=%llu, reference %.4fs @ %.2fW)\n",
+                figure_name.c_str(), bundle.name.c_str(),
+                static_cast<unsigned long long>(best_delta),
+                reference.seconds, reference.power_w);
+    util::TextTable table;
+    table.set_header({"algorithm", "P", "dvfs", "seconds", "power_w",
+                      "speedup", "rel_power", "rel_energy"});
+    for (const GridPoint& point : grid) {
+      const double speedup = reference.seconds / point.seconds;
+      const double rel_power = point.power_w / reference.power_w;
+      const double rel_energy = point.energy_j / reference.energy_j;
+      table.add(point.algorithm, point.set_point, point.dvfs, point.seconds,
+                point.power_w, speedup, rel_power, rel_energy);
+      if (csv)
+        csv->write(bundle.name, point.algorithm, point.set_point, point.dvfs,
+                   point.seconds, point.power_w, point.energy_j, speedup,
+                   rel_power);
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+}
+
+}  // namespace sssp::bench

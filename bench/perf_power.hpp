@@ -1,0 +1,21 @@
+// Shared driver for Figures 6 and 7 (performance versus power on a
+// device): runs the baseline near-far at its time-minimizing delta and
+// the self-tuning algorithm at three set-points, each under the default
+// DVFS governor and under explicit pinned frequency pairs, and reports
+// speedup and relative power against the baseline-at-default-DVFS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+
+namespace sssp::bench {
+
+// Runs both datasets through the grid and prints/CSVs the figure.
+void run_perf_power_figure(const std::string& figure_name,
+                           const sim::DeviceSpec& device,
+                           const std::vector<sim::FrequencyPair>& pinned_pairs,
+                           const BenchConfig& config, util::CsvWriter* csv);
+
+}  // namespace sssp::bench

@@ -1,0 +1,142 @@
+// DVFS + set-point design-space explorer: sweeps every (core, mem)
+// frequency pair crossed with a set-point grid, prints the Pareto front
+// of (relative power -> speedup), and reports energy-delay metrics for
+// the front — the full Figure 6/7 plane instead of the paper's sampled
+// points, plus the race-to-halt view of each frontier configuration.
+//
+//   ./dvfs_explorer --dataset cal --scale 0.03 --device tx1
+//   ./dvfs_explorer --device-file myboard.cfg
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/self_tuning.hpp"
+#include "graph/datasets.hpp"
+#include "sim/device_config.hpp"
+#include "sim/energy_metrics.hpp"
+#include "sim/power_model.hpp"
+#include "sim/run.hpp"
+#include "sssp/delta_sweep.hpp"
+#include "sssp/near_far.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/pareto.hpp"
+
+using namespace sssp;
+
+namespace {
+
+struct Candidate {
+  std::string label;
+  double seconds = 0.0;
+  double power_w = 0.0;
+  double energy_j = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  flags.define("dataset", "cal", "cal | wiki");
+  flags.define("scale", "0.03", "dataset scale (1.0 = paper size)");
+  flags.define("device", "tk1", "tk1 | tx1 (ignored with --device-file)");
+  flags.define("device-file", "", "custom device config (see sim/device_config.hpp)");
+  flags.define("freq-stride", "4", "take every k-th entry of each frequency menu");
+  if (flags.handle_help("explore the DVFS x set-point design space")) return 0;
+  flags.check_unknown();
+
+  const auto dataset = graph::parse_dataset(flags.get_string("dataset"));
+  const auto g =
+      graph::make_dataset(dataset, {.scale = flags.get_double("scale")});
+  const auto source = graph::default_source(dataset, g);
+
+  sim::DeviceSpec device;
+  if (const auto path = flags.get_string("device-file"); !path.empty()) {
+    device = sim::load_device_config_file(path);
+  } else {
+    device = flags.get_string("device") == "tx1"
+                 ? sim::DeviceSpec::jetson_tx1()
+                 : sim::DeviceSpec::jetson_tk1();
+  }
+  std::printf("device %s, %s dataset (n=%zu, m=%zu)\n", device.name.c_str(),
+              graph::dataset_name(dataset).c_str(), g.num_vertices(),
+              g.num_edges());
+
+  // Algorithms: baseline at its time-minimizing delta + three set-points.
+  const sim::DefaultGovernor governor;
+  algo::DeltaSweepOptions sweep_options;
+  sweep_options.min_delta = 16;
+  sweep_options.max_delta = 1u << 20;
+  const auto best_delta =
+      algo::sweep_delta(g, source, device, governor, sweep_options).best_delta;
+  std::vector<std::pair<std::string, algo::SsspResult>> runs;
+  runs.emplace_back("near-far",
+                    algo::near_far(g, source, {.delta = best_delta}));
+  const double base_p = static_cast<double>(g.num_edges()) / 16.0;
+  for (const double p : {base_p / 4.0, base_p, base_p * 4.0}) {
+    core::SelfTuningOptions options;
+    options.set_point = p;
+    runs.emplace_back("tuned-P" + std::to_string(static_cast<long>(p)),
+                      core::self_tuning_sssp(g, source, options));
+  }
+
+  // Frequency grid (strided menus) x algorithms.
+  const auto stride = static_cast<std::size_t>(flags.get_int("freq-stride"));
+  std::vector<Candidate> candidates;
+  auto add_candidate = [&](const std::string& label,
+                           const sim::DvfsPolicy& policy,
+                           const algo::SsspResult& run) {
+    const auto report = sim::simulate_run(device, policy, run.to_workload(""),
+                                          {.keep_iteration_reports = false});
+    candidates.push_back({label, report.total_seconds,
+                          report.average_power_w, report.energy_joules});
+  };
+  for (const auto& [name, run] : runs)
+    add_candidate(name + " @default", governor, run);
+  for (std::size_t ci = 0; ci < device.core_freq_menu_mhz.size();
+       ci += stride) {
+    for (std::size_t mi = 0; mi < device.mem_freq_menu_mhz.size();
+         mi += stride) {
+      const sim::FrequencyPair pair{device.core_freq_menu_mhz[ci],
+                                    device.mem_freq_menu_mhz[mi]};
+      const sim::PinnedDvfs policy(pair);
+      for (const auto& [name, run] : runs)
+        add_candidate(name + " @" + pair.label(), policy, run);
+    }
+  }
+
+  // Reference = baseline at default DVFS (first candidate).
+  const Candidate& reference = candidates.front();
+  std::vector<util::ParetoPoint> points;
+  points.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    points.push_back({candidates[i].power_w / reference.power_w,
+                      reference.seconds / candidates[i].seconds, i});
+  }
+  const auto front = pareto_front(points);
+
+  std::printf("\n%zu configurations; Pareto front (rel power -> speedup):\n\n",
+              candidates.size());
+  util::TextTable table;
+  table.set_header({"configuration", "speedup", "rel_power", "energy_J",
+                    "EDP", "race_to_halt@2x"});
+  for (const util::ParetoPoint& p : front) {
+    const Candidate& c = candidates[p.tag];
+    sim::RunReport report;
+    report.total_seconds = c.seconds;
+    report.average_power_w = c.power_w;
+    report.energy_joules = c.energy_j;
+    const auto metrics = sim::compute_energy_metrics(report);
+    const auto race = sim::race_to_halt(
+        report, sim::idle_power(device, device.min_frequencies()),
+        2.0 * reference.seconds);
+    table.add(c.label, p.value, p.cost, c.energy_j, metrics.edp,
+              race.race_wins ? "race" : "stretch");
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("%zu of %zu configurations are Pareto-optimal; every other\n"
+              "point is dominated by one of the rows above.\n",
+              front.size(), candidates.size());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Road navigation: the paper's Cal scenario. Computes travel times from
+// a depot over a synthetic road network with four algorithms (Dijkstra,
+// Bellman-Ford, classic delta-stepping, static near-far, self-tuning)
+// and compares work efficiency plus simulated time/energy on the TK1.
+//
+// Demonstrates why SSSP on road networks is the hard case for GPU
+// parallelism: the wavefront is narrow for thousands of iterations.
+#include <cstdio>
+
+#include "core/self_tuning.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/road.hpp"
+#include "sim/run.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/near_far.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+
+using namespace sssp;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  flags.define("side", "320", "road grid side length (side^2 intersections)");
+  flags.define("set-point", "6000", "parallelism target for self-tuning");
+  flags.define("delta", "0", "static near-far delta (0 = mean edge weight)");
+  if (flags.handle_help("road network navigation comparison")) return 0;
+  flags.check_unknown();
+
+  graph::RoadOptions road;
+  road.rows = static_cast<std::uint32_t>(flags.get_int("side"));
+  road.cols = road.rows;
+  const graph::CsrGraph g = graph::generate_road(road);
+  const auto depot = static_cast<graph::VertexId>(g.num_vertices() / 2);
+  std::printf("road network: %s\n",
+              to_string(graph::compute_degree_stats(g)).c_str());
+
+  const auto device = sim::DeviceSpec::jetson_tk1();
+  const sim::DefaultGovernor governor;
+
+  const auto reference = algo::dijkstra(g, depot);
+
+  util::TextTable table;
+  table.set_header({"algorithm", "exact", "iterations", "avg_par",
+                    "improving_relax", "sim_seconds", "energy_J"});
+
+  auto report_row = [&](const algo::SsspResult& result) {
+    const bool exact = algo::count_distance_mismatches(
+                           result.distances, reference.distances) == 0;
+    if (result.iterations.empty()) {
+      table.add(result.algorithm, exact ? "yes" : "NO", "-", "-",
+                result.improving_relaxations, "-", "-");
+      return;
+    }
+    const auto sim_report = sim::simulate_run(
+        device, governor, result.to_workload("road"), {.keep_iteration_reports = false});
+    table.add(result.algorithm, exact ? "yes" : "NO",
+              result.num_iterations(), result.average_parallelism(),
+              result.improving_relaxations, sim_report.total_seconds,
+              sim_report.energy_joules);
+  };
+
+  report_row(reference);
+  report_row(algo::bellman_ford(g, depot));
+  report_row(algo::delta_stepping(g, depot));
+  report_row(algo::near_far(
+      g, depot,
+      {.delta = static_cast<graph::Distance>(flags.get_int("delta"))}));
+
+  core::SelfTuningOptions tuning;
+  tuning.set_point = flags.get_double("set-point");
+  report_row(core::self_tuning_sssp(g, depot, tuning));
+
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf("note: Dijkstra/Bellman-Ford rows have no device timing —\n"
+              "Dijkstra is inherently serial, and Bellman-Ford's frontier\n"
+              "rounds map to the device model only loosely.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Social/hyperlink network analysis: the paper's Wiki scenario. Runs
+// weighted shortest paths from a hub on a scale-free R-MAT graph, shows
+// the bursty parallelism profile of the baseline, and how the
+// self-tuning controller reshapes it at different set-points — the
+// Figure 1 experience as a library user sees it.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/self_tuning.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/rmat.hpp"
+#include "sssp/near_far.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+
+using namespace sssp;
+
+namespace {
+
+// Crude terminal sparkline of the per-iteration X2 series.
+void sparkline(const algo::SsspResult& result, double scale_max) {
+  static const char* levels[] = {" ", ".", ":", "-", "=", "+", "*", "#", "@"};
+  std::string line;
+  const std::size_t stride =
+      std::max<std::size_t>(1, result.num_iterations() / 60);
+  for (std::size_t i = 0; i < result.num_iterations(); i += stride) {
+    const double x = static_cast<double>(result.iterations[i].x2);
+    const auto level = static_cast<std::size_t>(
+        std::min(8.0, 8.0 * x / scale_max));
+    line += levels[level];
+  }
+  std::printf("   [%s]\n", line.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  flags.define("scale", "15", "R-MAT scale (2^scale vertices)");
+  flags.define("edges-per-vertex", "12", "average out-degree");
+  if (flags.handle_help("scale-free network parallelism profiles")) return 0;
+  flags.check_unknown();
+
+  graph::RmatOptions rmat;
+  rmat.scale = static_cast<unsigned>(flags.get_int("scale"));
+  rmat.num_edges = (std::uint64_t{1} << rmat.scale) *
+                   static_cast<std::uint64_t>(flags.get_int("edges-per-vertex"));
+  const graph::CsrGraph g = graph::generate_rmat(rmat);
+  const graph::VertexId hub = graph::max_degree_vertex(g);
+  std::printf("network: %s\n", to_string(graph::compute_degree_stats(g)).c_str());
+  std::printf("source: hub vertex %u (degree %zu)\n\n", hub,
+              g.out_degree(hub));
+
+  // Baseline at a handful of static deltas: the burst problem.
+  double global_max = 1.0;
+  std::vector<std::pair<std::string, algo::SsspResult>> runs;
+  for (const graph::Distance delta : {8u, 128u, 4096u}) {
+    runs.emplace_back("near-far delta=" + std::to_string(delta),
+                      algo::near_far(g, hub, {.delta = delta}));
+  }
+  for (const double p : {5000.0, 20000.0, 80000.0}) {
+    core::SelfTuningOptions options;
+    options.set_point = p;
+    runs.emplace_back("self-tuning P=" + std::to_string(static_cast<int>(p)),
+                      core::self_tuning_sssp(g, hub, options));
+  }
+  for (const auto& [label, result] : runs) {
+    for (const auto& it : result.iterations)
+      global_max = std::max(global_max, static_cast<double>(it.x2));
+  }
+
+  for (const auto& [label, result] : runs) {
+    util::QuantileSummary q;
+    for (const auto& it : result.iterations)
+      q.add(static_cast<double>(it.x2));
+    std::printf("%-28s iters=%4zu  med=%8.0f  p95=%8.0f  max=%8.0f\n",
+                label.c_str(), result.num_iterations(), q.median(),
+                q.quantile(0.95), q.max());
+    sparkline(result, global_max);
+  }
+  std::printf("\nEach bar charts available parallelism (X2) over iterations\n"
+              "on a shared scale; self-tuning trades the baseline's bursts\n"
+              "for a steady band at the chosen set-point.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "core/adaptive_sgd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sssp::core {
+
+AdaptiveSgd::AdaptiveSgd(const AdaptiveSgdOptions& options)
+    : options_(options),
+      theta_(options.initial_parameter),
+      v_bar_(options.epsilon),
+      tau_((1.0 + options.epsilon) * 2.0) {
+  if (options.epsilon <= 0.0)
+    throw std::invalid_argument("AdaptiveSgd: epsilon must be positive");
+  if (options.min_parameter > options.max_parameter)
+    throw std::invalid_argument("AdaptiveSgd: min_parameter > max_parameter");
+  if (!options.adaptive && options.fixed_learning_rate <= 0.0)
+    throw std::invalid_argument(
+        "AdaptiveSgd: fixed_learning_rate must be positive");
+  set_parameter(theta_);
+}
+
+void AdaptiveSgd::set_parameter(double theta) noexcept {
+  theta_ = std::clamp(theta, options_.min_parameter, options_.max_parameter);
+}
+
+double AdaptiveSgd::update(double x, double y) {
+  if (x == 0.0) return theta_;  // no gradient information
+  ++updates_;
+
+  const double residual = y - theta_ * x;
+  const double grad = -2.0 * residual * x;   // line 1
+  const double grad2 = 2.0 * x * x;          // line 2
+
+  if (!options_.adaptive) {
+    // Normalize by curvature so the fixed rate is scale-free in x.
+    set_parameter(theta_ - options_.fixed_learning_rate * grad / grad2);
+    return theta_;
+  }
+
+  const double w = 1.0 / tau_;
+  g_bar_ = (1.0 - w) * g_bar_ + w * grad;           // line 3
+  v_bar_ = (1.0 - w) * v_bar_ + w * grad * grad;    // line 4
+  h_bar_ = (1.0 - w) * h_bar_ + w * grad2;          // line 5
+
+  const double g_sq = g_bar_ * g_bar_;
+  const double denom = h_bar_ * v_bar_;
+  // Guard: before the EMAs warm up, denom can underflow to ~0; skip the
+  // parameter move but keep the EMA state.
+  if (denom > 0.0 && std::isfinite(denom)) {
+    mu_ = g_sq / denom;                             // line 6
+  } else {
+    mu_ = 0.0;
+  }
+
+  // line 7 — adapt memory: a consistent gradient direction (g^2 ~ v)
+  // shortens memory, noise lengthens it. Clamped to >= 1.
+  const double ratio = v_bar_ > 0.0 ? std::clamp(g_sq / v_bar_, 0.0, 1.0) : 0.0;
+  tau_ = std::max(1.0, (1.0 - ratio) * tau_ + 1.0);
+
+  set_parameter(theta_ - mu_ * grad);               // line 8
+  return theta_;
+}
+
+}  // namespace sssp::core

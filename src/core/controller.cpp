@@ -1,0 +1,88 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sssp::core {
+
+DeltaController::DeltaController(const ControllerConfig& config)
+    : config_(config),
+      advance_(AdvanceModel::Options{
+          .initial_degree = config.initial_degree > 0 ? config.initial_degree : 1.0,
+          .adaptive = config.adaptive_learning_rate}),
+      bisect_(BisectModel::Options{
+          .initial_alpha = 1.0,
+          .adaptive = config.adaptive_learning_rate,
+          .bootstrap_observations = config.bootstrap_observations}),
+      delta_(config.initial_delta) {
+  if (config.set_point <= 0.0)
+    throw std::invalid_argument("DeltaController: set_point must be > 0");
+  if (config.min_delta <= 0.0 || config.min_delta > config.max_delta)
+    throw std::invalid_argument("DeltaController: bad delta bounds");
+  if (config.max_step_ratio <= 0.0)
+    throw std::invalid_argument("DeltaController: max_step_ratio must be > 0");
+  if (delta_ <= 0.0) delta_ = config.min_delta;
+  delta_ = clamp_delta(delta_);
+}
+
+double DeltaController::clamp_delta(double delta) const {
+  return std::clamp(delta, config_.min_delta, config_.max_delta);
+}
+
+void DeltaController::observe_advance(double x1, double x2) {
+  if (has_pending_) {
+    bisect_.observe(pending_delta_change_, pending_x4_, x1);
+    has_pending_ = false;
+  }
+  if (x1 > 0.0) advance_.observe(x1, x2);
+}
+
+double DeltaController::plan_delta(double x4, double far_total_size,
+                                   double far_partition_size,
+                                   double far_partition_bound) {
+  BisectModel::BootstrapState state;
+  state.x4 = x4;
+  state.x1_target = target_frontier_size();
+  state.delta = delta_;
+  state.partition_size = far_partition_size;
+  state.partition_bound = far_partition_bound;
+  last_alpha_ = bisect_.alpha(state);
+
+  // Eq. 6, with a deadband around the target.
+  double step = (state.x1_target - x4) / last_alpha_;
+  if (std::abs(x4 - state.x1_target) <=
+      config_.deadband_ratio * state.x1_target)
+    step = 0.0;
+  if (far_total_size <= 0.0 && step > 0.0) step = 0.0;
+  const double max_step = config_.max_step_ratio * std::max(delta_, 1.0);
+  step = std::clamp(step, -max_step, max_step);
+
+  const double new_delta = clamp_delta(delta_ + step);
+  pending_delta_change_ = new_delta - delta_;
+  pending_x4_ = x4;
+  has_pending_ = pending_delta_change_ != 0.0;
+  delta_ = new_delta;
+  return delta_;
+}
+
+void DeltaController::set_set_point(double set_point) {
+  if (set_point <= 0.0)
+    throw std::invalid_argument("DeltaController: set_point must be > 0");
+  config_.set_point = set_point;
+}
+
+void DeltaController::force_delta(double new_delta, double x4,
+                                  bool inform_model) {
+  new_delta = clamp_delta(new_delta);
+  if (inform_model) {
+    pending_delta_change_ = new_delta - delta_;
+    pending_x4_ = x4;
+    has_pending_ = pending_delta_change_ != 0.0;
+  } else {
+    has_pending_ = false;
+  }
+  delta_ = new_delta;
+}
+
+}  // namespace sssp::core

@@ -1,0 +1,100 @@
+// DeltaController — the paper's feedback loop (Figure 4, Sections
+// 4.1-4.5). Each iteration it:
+//   1. observes (X1, X2) after advance and trains the ADVANCE-MODEL;
+//      if the previous iteration changed delta, it also trains the
+//      BISECT-MODEL with the realized frontier change;
+//   2. after bisect, computes delta_{k+1} via Eq. 6:
+//        delta_{k+1} = delta_k + (P/d - X4_k) / alpha
+//      using the learned alpha once converged, the Eq. 8 bootstrap
+//      before that.
+// The caller (SelfTuningSssp) applies the returned delta through the
+// rebalancer and reports forced progress jumps back via force_delta().
+#pragma once
+
+#include <cstdint>
+
+#include "core/advance_model.hpp"
+#include "core/bisect_model.hpp"
+
+namespace sssp::core {
+
+struct ControllerConfig {
+  // The parallelism set-point P (required, > 0).
+  double set_point = 0.0;
+  // Initial delta; 0 lets the caller seed it (mean edge weight).
+  double initial_delta = 0.0;
+  double min_delta = 1.0;
+  double max_delta = 1e15;
+  // Stability clamp: |delta step| <= max_step_ratio * max(delta, 1).
+  // Overshoot before the models converge is the failure mode the paper
+  // mitigates with Eq. 8; the clamp bounds the worst case.
+  double max_step_ratio = 4.0;
+  // Deadband: no delta change while X4 is within this relative band of
+  // the target frontier size. Without it the rebalancer ping-pongs a
+  // slice of vertices between the frontier and the far queue every
+  // iteration, paying stage-4 work for no tracking benefit.
+  double deadband_ratio = 0.25;
+  // Ablation: disable Algorithm 1's adaptive learning rate.
+  bool adaptive_learning_rate = true;
+  // SGD observations before trusting the learned alpha (paper: ~5).
+  std::uint64_t bootstrap_observations = 5;
+  // Seed for the ADVANCE-MODEL's degree estimate (graph mean degree).
+  double initial_degree = 1.0;
+};
+
+class DeltaController {
+ public:
+  explicit DeltaController(const ControllerConfig& config);
+
+  // Phase A — after advance_and_filter of iteration k.
+  void observe_advance(double x1, double x2);
+
+  // Phase B — after bisect of iteration k. far_total_size is the whole
+  // far queue's population; far_partition_{size,bound} describe its
+  // current partition (Eq. 8 inputs). Returns delta_{k+1}.
+  //
+  // When the far queue is empty, positive delta steps are suppressed:
+  // raising the threshold cannot release any postponed work, and letting
+  // delta run away from the distance range in play would poison the
+  // Eq. 8 bootstrap (alpha = X4/delta) for the rest of the run.
+  double plan_delta(double x4, double far_total_size,
+                    double far_partition_size, double far_partition_bound);
+
+  // The run loop overrode delta. inform_model controls whether the jump
+  // is fed to the BISECT-MODEL: true for rebalancer pulls (the realized
+  // frontier change carries alpha information), false for bookkeeping
+  // snaps (e.g. re-anchoring delta to the wavefront after the far queue
+  // drained — no vertices moved, so there is nothing to learn).
+  void force_delta(double new_delta, double x4, bool inform_model = true);
+
+  double delta() const noexcept { return delta_; }
+  double set_point() const noexcept { return config_.set_point; }
+  // Retargets the controller (power-feedback mode adjusts P from watts;
+  // paper Section 5.2 / Figure 8 discussion). Must be positive.
+  void set_set_point(double set_point);
+  // P / d (Eq. 3).
+  double target_frontier_size() const {
+    return advance_.target_frontier_size(config_.set_point);
+  }
+  // alpha used by the last plan_delta() (diagnostics + Eq. 7 input).
+  double last_alpha() const noexcept { return last_alpha_; }
+  double deadband_ratio() const noexcept { return config_.deadband_ratio; }
+
+  const AdvanceModel& advance_model() const noexcept { return advance_; }
+  const BisectModel& bisect_model() const noexcept { return bisect_; }
+
+ private:
+  double clamp_delta(double delta) const;
+
+  ControllerConfig config_;
+  AdvanceModel advance_;
+  BisectModel bisect_;
+  double delta_;
+  double last_alpha_ = 1.0;
+  // Pending (delta change, x4) awaiting the next iteration's X1.
+  double pending_delta_change_ = 0.0;
+  double pending_x4_ = 0.0;
+  bool has_pending_ = false;
+};
+
+}  // namespace sssp::core

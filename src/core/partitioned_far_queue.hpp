@@ -1,0 +1,120 @@
+// Recursively partitioned far queue (paper Section 4.6).
+//
+// The far queue is kept as a sequence of partitions ordered by vertex
+// distance, partition i holding entries with B_{i-1} < d <= B_i. The
+// first boundary is seeded with the average edge weight and the last is
+// always MAX (kInfiniteDistance). The controller periodically tightens
+// the current partition's upper bound to B_{i-1} + P/alpha (Eq. 7) so
+// that no single rebalance pull exceeds the parallelism set-point; to
+// preserve correctness the boundary updates are monotone (they only
+// decrease). Pulling below a threshold then touches only the partitions
+// that intersect the range instead of scanning the whole queue — the
+// efficiency claim of the paper's rebalancer.
+//
+// Entries store their distance at insertion; stale entries (distance
+// improved since) are dropped lazily during scans, exactly as in the
+// flat frontier::FarQueue.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "frontier/far_queue.hpp"
+#include "graph/types.hpp"
+
+namespace sssp::core {
+
+class PartitionedFarQueue {
+ public:
+  // Seeds the boundary layout {first_bound, MAX} (Section 4.6: "two
+  // partitions with their upper bounds initialized to average edge
+  // weight and MAX_INT"). first_bound must be positive.
+  explicit PartitionedFarQueue(graph::Distance first_bound);
+
+  void push(graph::VertexId v, graph::Distance d);
+
+  // Moves live entries with distance < threshold into `frontier`,
+  // dropping stale entries met along the way. Only partitions whose
+  // range intersects [0, threshold) are scanned; returns the number of
+  // entries scanned (the stage-4 work the simulator charges).
+  std::uint64_t pull_below(graph::Distance threshold,
+                           std::span<const graph::Distance> current_distances,
+                           std::vector<graph::VertexId>& frontier);
+
+  // Drains the current (first) partition: live entries are appended to
+  // `frontier` (up to max_live of them), stale ones dropped. When the
+  // partition is fully consumed it is removed and the next becomes
+  // current; a count-limited pull that stops early leaves the remainder
+  // in place (exhausted == false). The limit matters when distance ties
+  // make a partition indivisible by boundaries — e.g. a whole BFS level
+  // on the hop metric — and the set-point calls for only part of it.
+  // This is the self-tuning bisect-far-queue: "instead of searching all
+  // vertices ... only the partitions with the desired boundaries are
+  // searched".
+  struct PullResult {
+    graph::Distance bound = 0;
+    std::uint64_t scanned = 0;
+    std::uint64_t pulled = 0;
+    bool exhausted = false;  // partition fully consumed and removed
+  };
+  PullResult pull_front_partition(
+      std::span<const graph::Distance> current_distances,
+      std::vector<graph::VertexId>& frontier,
+      std::uint64_t max_live = std::numeric_limits<std::uint64_t>::max());
+
+  // Eq. 7: tighten the current (first) partition's upper bound toward
+  // lower_bound + set_point / alpha. Monotone: the bound never grows.
+  // Entries displaced above the new bound move to the next partition
+  // (appending a fresh MAX partition when the current one is the last).
+  // Returns the number of entries that moved partitions.
+  std::uint64_t update_boundary(double set_point, double alpha);
+
+  std::size_t size() const noexcept { return total_entries_; }
+  bool empty() const noexcept { return total_entries_ == 0; }
+  std::size_t num_partitions() const noexcept { return partitions_.size(); }
+
+  // Current (first) partition state, for the Eq. 8 bootstrap.
+  std::size_t current_partition_size() const;
+  graph::Distance current_partition_bound() const;
+  graph::Distance current_lower_bound() const noexcept { return lower_bound_; }
+
+  // Smallest live distance across all partitions (INF if none): the
+  // progress guarantee when the frontier runs dry.
+  graph::Distance min_live_distance(
+      std::span<const graph::Distance> current_distances) const;
+
+  // Lowers the structure's floor (the implicit lower bound of the first
+  // partition). Called when the rebalancer demotes frontier vertices
+  // whose distances lie below previously consumed boundaries — the
+  // "released" region shrinks back, and Eq. 7 must be able to subdivide
+  // it again. Monotone in the safe direction: never raises the floor.
+  void lower_floor(graph::Distance new_floor) noexcept {
+    lower_bound_ = std::min(lower_bound_, new_floor);
+  }
+
+  // Drops all entries (used when every remaining entry is stale).
+  void clear();
+
+  // Invariant check for tests: boundaries strictly increasing, last is
+  // MAX, every entry within its partition's range. Throws otherwise.
+  void check_invariants() const;
+
+ private:
+  struct Partition {
+    graph::Distance upper_bound;
+    std::vector<frontier::FarEntry> entries;
+  };
+
+  // Removes consumed (empty, non-final) partitions from the front.
+  void drop_empty_front();
+  std::size_t partition_index_for(graph::Distance d) const;
+
+  std::vector<Partition> partitions_;
+  graph::Distance lower_bound_ = 0;  // B_{i-1} of the current partition
+  std::size_t total_entries_ = 0;
+};
+
+}  // namespace sssp::core

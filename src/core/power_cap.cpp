@@ -1,0 +1,62 @@
+#include "core/power_cap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/self_tuning.hpp"
+#include "sim/run.hpp"
+
+namespace sssp::core {
+
+PowerCapResult choose_set_point_for_power_cap(const graph::CsrGraph& graph,
+                                              graph::VertexId source,
+                                              const sim::DeviceSpec& device,
+                                              const sim::DvfsPolicy& policy,
+                                              const PowerCapOptions& options) {
+  if (options.power_budget_w <= 0.0)
+    throw std::invalid_argument("power cap: budget must be positive");
+
+  std::vector<double> candidates = options.candidate_set_points;
+  if (candidates.empty()) {
+    // Geometric grid from tiny to edge-count-scale parallelism.
+    const double top = std::max(1024.0, static_cast<double>(graph.num_edges()));
+    for (double p = 256.0; p <= top; p *= 4.0) candidates.push_back(p);
+  }
+
+  PowerCapResult result;
+  double best_time = 0.0;
+  double lowest_power = 0.0;
+
+  for (const double p : candidates) {
+    SelfTuningOptions st;
+    st.set_point = p;
+    st.measure_controller_time = false;  // deterministic sweep
+    const algo::SsspResult run = self_tuning_sssp(graph, source, st);
+    sim::SimulateOptions sim_opts;
+    sim_opts.keep_iteration_reports = false;
+    const sim::RunReport report =
+        sim::simulate_run(device, policy, run.to_workload(""), sim_opts);
+
+    PowerCapPoint point;
+    point.set_point = p;
+    point.average_power_w = report.average_power_w;
+    point.simulated_seconds = report.total_seconds;
+    point.within_budget = report.average_power_w <= options.power_budget_w;
+    result.sweep.push_back(point);
+
+    if (point.within_budget &&
+        (result.chosen_set_point == 0.0 ||
+         point.simulated_seconds < best_time)) {
+      best_time = point.simulated_seconds;
+      result.chosen_set_point = p;
+    }
+    if (result.best_effort_set_point == 0.0 ||
+        point.average_power_w < lowest_power) {
+      lowest_power = point.average_power_w;
+      result.best_effort_set_point = p;
+    }
+  }
+  return result;
+}
+
+}  // namespace sssp::core

@@ -1,0 +1,45 @@
+// Power-cap mode — the paper's proposed future extension (Section 5.2,
+// Figure 8 discussion): instead of a parallelism set-point P, the user
+// supplies a board power budget in watts; the controller inverts the
+// (simulated) power response by sweeping candidate set-points and picks
+// the fastest one that stays under the cap.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "sim/device.hpp"
+#include "sim/dvfs.hpp"
+#include "sssp/result.hpp"
+
+namespace sssp::core {
+
+struct PowerCapOptions {
+  double power_budget_w = 0.0;  // required, > 0
+  // Candidate P values; empty selects a geometric default grid scaled
+  // to the graph size.
+  std::vector<double> candidate_set_points;
+};
+
+struct PowerCapPoint {
+  double set_point = 0.0;
+  double average_power_w = 0.0;
+  double simulated_seconds = 0.0;
+  bool within_budget = false;
+};
+
+struct PowerCapResult {
+  // 0 when no candidate met the budget (best_effort then holds the
+  // lowest-power candidate).
+  double chosen_set_point = 0.0;
+  double best_effort_set_point = 0.0;
+  std::vector<PowerCapPoint> sweep;
+};
+
+PowerCapResult choose_set_point_for_power_cap(const graph::CsrGraph& graph,
+                                              graph::VertexId source,
+                                              const sim::DeviceSpec& device,
+                                              const sim::DvfsPolicy& policy,
+                                              const PowerCapOptions& options);
+
+}  // namespace sssp::core

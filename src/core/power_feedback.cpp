@@ -1,0 +1,105 @@
+#include "core/power_feedback.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/cost_model.hpp"
+#include "sim/power_model.hpp"
+#include "util/stats.hpp"
+
+namespace sssp::core {
+namespace {
+
+// Times one recorded iteration at the given frequencies — the same
+// stage composition simulate_run uses.
+sim::IterationTiming time_iteration(const sim::DeviceSpec& device,
+                                    const sim::FrequencyPair& freqs,
+                                    const frontier::IterationStats& it) {
+  sim::IterationTiming timing;
+  const sim::IterationWork work = it.to_work();
+  timing.accumulate(sim::time_stage(
+      device, freqs, work.edges_relaxed,
+      static_cast<double>(work.edges_relaxed) * device.bytes_per_edge));
+  timing.accumulate(sim::time_stage(
+      device, freqs, work.x2,
+      static_cast<double>(work.x2) * device.bytes_per_vertex));
+  timing.accumulate(sim::time_stage(
+      device, freqs, work.x3,
+      static_cast<double>(work.x3) * device.bytes_per_vertex));
+  const std::uint64_t stage4 = work.x4 + work.rebalance_items;
+  timing.accumulate(sim::time_stage(
+      device, freqs, stage4,
+      static_cast<double>(stage4) * device.bytes_per_vertex));
+  timing.finalize();
+  return timing;
+}
+
+}  // namespace
+
+PowerFeedbackResult power_feedback_sssp(const graph::CsrGraph& graph,
+                                        graph::VertexId source,
+                                        const sim::DeviceSpec& device,
+                                        const sim::DvfsPolicy& policy,
+                                        const PowerFeedbackOptions& options) {
+  if (options.power_budget_w <= 0.0)
+    throw std::invalid_argument("power_feedback_sssp: budget must be > 0");
+  if (options.gain <= 0.0)
+    throw std::invalid_argument("power_feedback_sssp: gain must be > 0");
+  if (options.min_set_point <= 0.0 ||
+      options.min_set_point > options.max_set_point)
+    throw std::invalid_argument("power_feedback_sssp: bad set-point bounds");
+
+  SelfTuningOptions tuning = options.tuning;
+  tuning.set_point = std::clamp(options.initial_set_point,
+                                options.min_set_point, options.max_set_point);
+  tuning.max_iterations = options.max_iterations;
+  SelfTuningRun run(graph, source, tuning);
+
+  auto live_policy = policy.clone();
+  sim::FrequencyPair freqs = live_policy->initial(device);
+
+  PowerFeedbackResult result;
+  util::Ema power_ema(options.power_budget_w, options.power_ema_tau);
+  double set_point = tuning.set_point;
+  std::size_t compliant = 0;
+
+  while (run.step()) {
+    const frontier::IterationStats& it = run.last_iteration();
+    const sim::IterationTiming timing = time_iteration(device, freqs, it);
+    const double watts = sim::board_power(
+        device, freqs, timing.core_utilization, timing.mem_utilization);
+
+    // The "PowerMon reading" for this iteration, smoothed.
+    const double smoothed = power_ema.update(watts);
+    if (smoothed <= options.power_budget_w) ++compliant;
+    result.power_trace_w.push_back(watts);
+    result.set_point_trace.push_back(set_point);
+
+    // Multiplicative-increase / multiplicative-decrease on the knob.
+    const double error =
+        (options.power_budget_w - smoothed) / options.power_budget_w;
+    set_point = std::clamp(set_point * std::exp(options.gain * error),
+                           options.min_set_point, options.max_set_point);
+    run.set_set_point(set_point);
+
+    // The governor reacts to the same utilizations the simulator sees.
+    freqs = live_policy->next(device, timing);
+  }
+
+  result.sssp = run.take_result();
+  result.compliant_fraction =
+      result.power_trace_w.empty()
+          ? 1.0
+          : static_cast<double>(compliant) /
+                static_cast<double>(result.power_trace_w.size());
+
+  // Full replay for the headline time/energy numbers (fresh policy so
+  // the governor starts from its initial state, as simulate_run does).
+  result.report = sim::simulate_run(device, policy,
+                                    result.sssp.to_workload("power-feedback"),
+                                    {.keep_iteration_reports = false});
+  return result;
+}
+
+}  // namespace sssp::core

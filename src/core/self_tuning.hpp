@@ -1,0 +1,97 @@
+// SelfTuningSssp — the paper's contribution end-to-end (Section 4): the
+// near-far pipeline driven by the DeltaController, with the baseline
+// bisect-far-queue stage replaced by the rebalancer over a partitioned
+// far queue.
+//
+// Per iteration k:
+//   1. advance + filter            (engine)        -> X1, X2, X3
+//   2. controller.observe_advance  (train models)
+//   3. bisect at delta_k           (engine)        -> X4, spill -> far
+//   4. delta_{k+1} = plan_delta    (Eq. 6)
+//      rebalance:
+//        delta up   -> pull far partitions below delta_{k+1} into frontier
+//        delta down -> demote frontier vertices >= delta_{k+1} to far
+//      boundary maintenance        (Eq. 7)
+//   5. forced progress: if the frontier is empty but live far work
+//      remains, jump delta past the nearest live distance (the
+//      controller is told via force_delta so the models stay honest).
+//
+// Controller compute is wall-clock timed and charged to the run (the
+// paper reports 50-200 us per second of runtime; EXPERIMENTS.md
+// compares).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/controller.hpp"
+#include "graph/csr.hpp"
+#include "sssp/result.hpp"
+
+namespace sssp::core {
+
+struct SelfTuningOptions {
+  // The parallelism set-point P (required, > 0).
+  double set_point = 0.0;
+  // 0 seeds delta with the graph's mean edge weight.
+  double initial_delta = 0.0;
+  // Safety valve (0 = unlimited).
+  std::size_t max_iterations = 0;
+  // Measure controller wall-clock and charge it to the workload. Off
+  // gives bit-deterministic workloads for golden tests.
+  bool measure_controller_time = true;
+  // Relax large frontiers on the host thread pool (distances stay
+  // exact; see frontier::NearFarEngine::Options::parallel).
+  bool parallel_advance = false;
+  // --- ablation knobs (DESIGN.md Section 6) ---
+  bool adaptive_learning_rate = true;  // Algorithm 1 vs fixed-rate SGD
+  bool rebalance_down = true;          // allow demoting when delta shrinks
+  bool partition_boundaries = true;    // Eq. 7 maintenance on/off
+  std::uint64_t bootstrap_observations = 5;
+};
+
+// Runs self-tuning SSSP; distances are exact (verified by property
+// tests against Dijkstra for arbitrary set-points).
+algo::SsspResult self_tuning_sssp(const graph::CsrGraph& graph,
+                                  graph::VertexId source,
+                                  const SelfTuningOptions& options);
+
+// Stepper form of the same algorithm, for callers that interleave their
+// own control between iterations (e.g. the power-feedback loop in
+// power_feedback.hpp adjusts the set-point from observed watts). The
+// free function above is `while (run.step()) {}` over this class.
+class SelfTuningRun {
+ public:
+  // graph must outlive the run. Throws std::invalid_argument on a bad
+  // source or non-positive set-point.
+  SelfTuningRun(const graph::CsrGraph& graph, graph::VertexId source,
+                const SelfTuningOptions& options);
+  ~SelfTuningRun();
+
+  SelfTuningRun(const SelfTuningRun&) = delete;
+  SelfTuningRun& operator=(const SelfTuningRun&) = delete;
+
+  // Executes one pipeline iteration; returns false when the run is done
+  // (nothing was executed). Iteration stats accumulate in result().
+  bool step();
+  bool done() const;
+
+  // Retargets the controller mid-run (the power-feedback knob). The new
+  // set-point takes effect from the next iteration.
+  void set_set_point(double set_point);
+  double set_point() const;
+
+  // Live controller/engine state (diagnostics and feedback inputs).
+  const DeltaController& controller() const;
+  const frontier::IterationStats& last_iteration() const;
+
+  // Finalizes and returns the result (distances + iteration trace).
+  // The run must not be stepped afterwards.
+  algo::SsspResult take_result();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sssp::core

@@ -1,0 +1,188 @@
+#include "frontier/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace sssp::frontier {
+
+NearFarEngine::NearFarEngine(const graph::CsrGraph& graph,
+                             graph::VertexId source)
+    : NearFarEngine(graph, source, Options{}) {}
+
+NearFarEngine::NearFarEngine(const graph::CsrGraph& graph,
+                             graph::VertexId source, const Options& options)
+    : graph_(&graph),
+      source_(source),
+      options_(options),
+      dist_(graph.num_vertices(), graph::kInfiniteDistance),
+      parent_(graph.num_vertices(), graph::kInvalidVertex),
+      mark_(graph.num_vertices(), 0) {
+  if (source >= graph.num_vertices())
+    throw std::invalid_argument("NearFarEngine: source out of range");
+  dist_[source] = 0;
+  parent_[source] = source;
+  frontier_.push_back(source);
+}
+
+NearFarEngine::AdvanceResult NearFarEngine::advance_and_filter() {
+  updated_frontier_.clear();
+  ++epoch_;
+  if (epoch_ == 0) {  // wrapped: reset marks once every 2^32 iterations
+    std::fill(mark_.begin(), mark_.end(), 0);
+    epoch_ = 1;
+  }
+  AdvanceResult result =
+      options_.parallel && frontier_.size() >= options_.parallel_threshold
+          ? advance_parallel()
+          : advance_serial();
+  total_improving_ += result.improving_relaxations;
+  frontier_.clear();
+  return result;
+}
+
+NearFarEngine::AdvanceResult NearFarEngine::advance_serial() {
+  AdvanceResult result;
+  result.x1 = frontier_.size();
+
+  for (const graph::VertexId u : frontier_) {
+    const auto neighbors = graph_->neighbors(u);
+    const auto weights = graph_->weights_of(u);
+    result.x2 += neighbors.size();
+    const graph::Distance du = dist_[u];
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const graph::VertexId v = neighbors[i];
+      const graph::Distance nd = du + weights[i];
+      if (nd < dist_[v]) {
+        dist_[v] = nd;
+        parent_[v] = u;
+        ++result.improving_relaxations;
+        if (mark_[v] != epoch_) {
+          mark_[v] = epoch_;
+          updated_frontier_.push_back(v);
+        }
+      }
+    }
+  }
+  result.x3 = updated_frontier_.size();
+  return result;
+}
+
+NearFarEngine::AdvanceResult NearFarEngine::advance_parallel() {
+  used_parallel_advance_ = true;
+  AdvanceResult result;
+  result.x1 = frontier_.size();
+
+  std::atomic<std::uint64_t> edges{0};
+  std::atomic<std::uint64_t> improving{0};
+  std::mutex merge_mu;
+
+  util::parallel_for(frontier_.size(), [&](std::size_t begin,
+                                           std::size_t end) {
+    std::vector<graph::VertexId> local_frontier;
+    std::uint64_t local_edges = 0;
+    std::uint64_t local_improving = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const graph::VertexId u = frontier_[i];
+      const auto neighbors = graph_->neighbors(u);
+      const auto weights = graph_->weights_of(u);
+      local_edges += neighbors.size();
+      const graph::Distance du =
+          std::atomic_ref<graph::Distance>(dist_[u]).load(
+              std::memory_order_relaxed);
+      for (std::size_t e = 0; e < neighbors.size(); ++e) {
+        const graph::VertexId v = neighbors[e];
+        const graph::Distance nd = du + weights[e];
+        std::atomic_ref<graph::Distance> dv(dist_[v]);
+        graph::Distance current = dv.load(std::memory_order_relaxed);
+        bool improved = false;
+        while (nd < current) {
+          if (dv.compare_exchange_weak(current, nd,
+                                       std::memory_order_relaxed)) {
+            improved = true;
+            break;
+          }
+        }
+        if (!improved) continue;
+        ++local_improving;
+        // Deduplicate with an epoch CAS: exactly one thread appends v.
+        std::atomic_ref<std::uint32_t> mark(mark_[v]);
+        std::uint32_t seen = mark.load(std::memory_order_relaxed);
+        while (seen != epoch_) {
+          if (mark.compare_exchange_weak(seen, epoch_,
+                                         std::memory_order_relaxed)) {
+            local_frontier.push_back(v);
+            break;
+          }
+        }
+      }
+    }
+    edges.fetch_add(local_edges, std::memory_order_relaxed);
+    improving.fetch_add(local_improving, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(merge_mu);
+    updated_frontier_.insert(updated_frontier_.end(), local_frontier.begin(),
+                             local_frontier.end());
+  });
+
+  result.x2 = edges.load();
+  result.improving_relaxations = improving.load();
+  result.x3 = updated_frontier_.size();
+  return result;
+}
+
+std::uint64_t NearFarEngine::bisect(graph::Distance threshold) {
+  // advance_and_filter() left the frontier empty; refill the near side.
+  frontier_max_distance_ = 0;
+  for (const graph::VertexId v : updated_frontier_) {
+    const graph::Distance d = dist_[v];
+    if (d < threshold) {
+      frontier_.push_back(v);
+      frontier_max_distance_ = std::max(frontier_max_distance_, d);
+    } else {
+      spill_.push_back(v);
+    }
+  }
+  updated_frontier_.clear();
+  return frontier_.size();
+}
+
+std::uint64_t NearFarEngine::demote(graph::Distance threshold) {
+  const std::uint64_t scanned = frontier_.size();
+  std::size_t keep = 0;
+  frontier_max_distance_ = 0;
+  for (const graph::VertexId v : frontier_) {
+    const graph::Distance d = dist_[v];
+    if (d < threshold) {
+      frontier_[keep++] = v;
+      frontier_max_distance_ = std::max(frontier_max_distance_, d);
+    } else {
+      spill_.push_back(v);
+    }
+  }
+  frontier_.resize(keep);
+  return scanned;
+}
+
+std::uint64_t NearFarEngine::demote_excess(std::size_t keep) {
+  if (frontier_.size() <= keep) return 0;
+  const std::uint64_t spilled = frontier_.size() - keep;
+  spill_.insert(spill_.end(), frontier_.begin() + static_cast<std::ptrdiff_t>(keep),
+                frontier_.end());
+  frontier_.resize(keep);
+  frontier_max_distance_ = 0;
+  for (const graph::VertexId v : frontier_)
+    frontier_max_distance_ = std::max(frontier_max_distance_, dist_[v]);
+  return spilled;
+}
+
+void NearFarEngine::inject(std::span<const graph::VertexId> vertices) {
+  for (const graph::VertexId v : vertices) {
+    frontier_.push_back(v);
+    frontier_max_distance_ = std::max(frontier_max_distance_, dist_[v]);
+  }
+}
+
+}  // namespace sssp::frontier

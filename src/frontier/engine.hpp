@@ -1,0 +1,149 @@
+// The near-far operator pipeline (Gunrock-style), re-implemented on the
+// host with explicit stages so a controller can observe and steer it.
+//
+// The engine owns the tentative-distance array and the frontier, and
+// exposes the paper's four stages as methods:
+//
+//   advance_and_filter()  — stages 1+2: relax all out-edges of the
+//                           frontier (atomic-min semantics), then
+//                           deduplicate the updated frontier with an
+//                           epoch-stamped mark array (Gunrock's bitmap).
+//   bisect(threshold)     — stage 3: keep vertices with distance below
+//                           the threshold as the next frontier; spill
+//                           the rest for the caller's far queue.
+//   demote(threshold)     — rebalancer helper: move frontier vertices at
+//                           or above a *lowered* threshold to the spill
+//                           (used when the controller shrinks delta).
+//   inject(vertices)      — stage 4 completion: append vertices pulled
+//                           from a far queue into the frontier.
+//
+// Correctness invariant: a vertex re-enters the updated frontier
+// whenever its tentative distance improves, so *any* threshold policy
+// yields exact shortest distances on termination (at worst extra work).
+// This is what makes the dynamic-delta controller safe.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace sssp::frontier {
+
+class NearFarEngine {
+ public:
+  struct Options {
+    // Relax frontiers on the host thread pool with atomic-min distance
+    // updates (std::atomic_ref) once the frontier exceeds the threshold.
+    // Final distances are exact regardless of schedule. Per-iteration
+    // statistics, however, are only deterministic at one thread: when
+    // the frontier contains an edge u->v with v also in the frontier,
+    // whether v observes u's same-iteration improvement depends on
+    // scheduling (serial execution fixes it by frontier order), so X3
+    // and the subsequent trajectory may differ run-to-run. X2 of a
+    // given frontier (its neighbor-list cardinality) is always a set
+    // property. Parent recording is skipped — derive the tree from
+    // distances with algo::derive_parents instead.
+    bool parallel = false;
+    std::size_t parallel_threshold = 4096;
+  };
+
+  // The graph must outlive the engine. source must be a valid vertex.
+  NearFarEngine(const graph::CsrGraph& graph, graph::VertexId source);
+  NearFarEngine(const graph::CsrGraph& graph, graph::VertexId source,
+                const Options& options);
+
+  struct AdvanceResult {
+    std::uint64_t x1 = 0;  // input frontier size
+    std::uint64_t x2 = 0;  // edge work items (neighbor-list cardinality)
+    std::uint64_t improving_relaxations = 0;
+    std::uint64_t x3 = 0;  // deduplicated updated frontier size
+  };
+
+  // Runs stages 1+2 over the current frontier. Afterwards the frontier
+  // is *consumed*; the deduplicated updated frontier awaits bisect().
+  AdvanceResult advance_and_filter();
+
+  // Stage 3: moves updated-frontier vertices with distance < threshold
+  // into the (now empty) frontier; the rest are appended to the spill
+  // buffer. Returns the new frontier size (the paper's X4).
+  std::uint64_t bisect(graph::Distance threshold);
+
+  // Rebalance-down: removes frontier vertices with distance >= threshold
+  // into the spill buffer. Returns the number of vertices scanned.
+  std::uint64_t demote(graph::Distance threshold);
+
+  // Count-limited rebalance-down for distance ties: keeps the first
+  // `keep` frontier vertices and spills the rest regardless of distance
+  // (they re-enter via the far queue later — correctness is unaffected,
+  // only scheduling). Returns the number of vertices spilled.
+  std::uint64_t demote_excess(std::size_t keep);
+
+  // Appends far-queue vertices into the frontier. The caller must pass
+  // only live (non-stale) vertices below the current threshold.
+  void inject(std::span<const graph::VertexId> vertices);
+
+  // Vertices spilled by the last bisect()/demote() calls, with their
+  // distances current at spill time. Cleared by take_spill().
+  std::span<const graph::VertexId> spill() const noexcept { return spill_; }
+  void clear_spill() noexcept { spill_.clear(); }
+
+  bool frontier_empty() const noexcept { return frontier_.empty(); }
+  std::size_t frontier_size() const noexcept { return frontier_.size(); }
+  std::span<const graph::VertexId> frontier() const noexcept {
+    return frontier_;
+  }
+
+  const std::vector<graph::Distance>& distances() const noexcept {
+    return dist_;
+  }
+  // Shortest-path-tree parents: parent_[v] is the predecessor on the
+  // best known path to v (kInvalidVertex if unreached; source for the
+  // source). Maintained by every improving relaxation in serial mode;
+  // NOT maintained by parallel advances (see Options::parallel).
+  const std::vector<graph::VertexId>& parents() const noexcept {
+    return parent_;
+  }
+  bool parents_valid() const noexcept { return !used_parallel_advance_; }
+  graph::Distance distance(graph::VertexId v) const { return dist_[v]; }
+  const graph::CsrGraph& graph() const noexcept { return *graph_; }
+  graph::VertexId source() const noexcept { return source_; }
+
+  // Maximum tentative distance across the current frontier, maintained
+  // for free inside bisect/demote/inject (each already touches every
+  // vertex involved). Used by the controller to re-anchor delta without
+  // an extra device pass. 0 for an empty frontier.
+  graph::Distance frontier_max_distance() const noexcept {
+    return frontier_max_distance_;
+  }
+
+  // Total successful relaxations across the whole run (work-efficiency
+  // metric: equals n-1 for Dijkstra-like behaviour, grows with redundant
+  // re-relaxation when thresholds are too aggressive).
+  std::uint64_t total_improving_relaxations() const noexcept {
+    return total_improving_;
+  }
+
+ private:
+  AdvanceResult advance_serial();
+  AdvanceResult advance_parallel();
+
+  const graph::CsrGraph* graph_;
+  graph::VertexId source_;
+  Options options_;
+  bool used_parallel_advance_ = false;
+  std::vector<graph::Distance> dist_;
+  std::vector<graph::VertexId> parent_;
+  std::vector<graph::VertexId> frontier_;
+  std::vector<graph::VertexId> updated_frontier_;
+  std::vector<graph::VertexId> spill_;
+  // Epoch-stamped dedup marks (Gunrock's filter bitmap, reset-free).
+  std::vector<std::uint32_t> mark_;
+  std::uint32_t epoch_ = 0;
+  std::uint64_t total_improving_ = 0;
+  graph::Distance frontier_max_distance_ = 0;
+};
+
+}  // namespace sssp::frontier

@@ -1,0 +1,35 @@
+#include "frontier/far_queue.hpp"
+
+#include <algorithm>
+
+namespace sssp::frontier {
+
+std::uint64_t FarQueue::drain_below(
+    graph::Distance threshold,
+    std::span<const graph::Distance> current_distances,
+    std::vector<graph::VertexId>& frontier) {
+  const std::uint64_t scanned = entries_.size();
+  std::size_t keep = 0;
+  for (const FarEntry& entry : entries_) {
+    if (current_distances[entry.vertex] != entry.distance) continue;  // stale
+    if (entry.distance < threshold) {
+      frontier.push_back(entry.vertex);
+    } else {
+      entries_[keep++] = entry;
+    }
+  }
+  entries_.resize(keep);
+  return scanned;
+}
+
+graph::Distance FarQueue::min_live_distance(
+    std::span<const graph::Distance> current_distances) const {
+  graph::Distance best = graph::kInfiniteDistance;
+  for (const FarEntry& entry : entries_) {
+    if (current_distances[entry.vertex] != entry.distance) continue;
+    best = std::min(best, entry.distance);
+  }
+  return best;
+}
+
+}  // namespace sssp::frontier

@@ -1,0 +1,52 @@
+// The baseline far queue: vertices whose tentative distance exceeds the
+// current threshold, postponed for later phases (Davidson et al.).
+//
+// Entries are (vertex, distance-at-insertion) pairs. When a vertex's
+// distance later improves, the improved copy re-enters the pipeline via
+// the frontier, so any older copy is *stale*; staleness is detected at
+// scan time by comparing the stored distance with the current one. The
+// partitioned variant used by the self-tuning algorithm lives in
+// core/partitioned_far_queue.hpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace sssp::frontier {
+
+struct FarEntry {
+  graph::VertexId vertex;
+  graph::Distance distance;  // tentative distance when enqueued
+};
+
+class FarQueue {
+ public:
+  void push(graph::VertexId v, graph::Distance d) { entries_.push_back({v, d}); }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  void clear() noexcept { entries_.clear(); }
+
+  // Scans every entry once: entries whose stored distance no longer
+  // matches `current_distances` are dropped (stale); live entries below
+  // `threshold` are appended to `frontier`; the rest are retained.
+  // Returns the number of entries scanned (stage-4 work).
+  std::uint64_t drain_below(graph::Distance threshold,
+                            std::span<const graph::Distance> current_distances,
+                            std::vector<graph::VertexId>& frontier);
+
+  // Smallest live distance in the queue, or kInfiniteDistance if none.
+  // Used by the baseline to skip empty phases in O(queue) time.
+  graph::Distance min_live_distance(
+      std::span<const graph::Distance> current_distances) const;
+
+  std::span<const FarEntry> entries() const noexcept { return entries_; }
+
+ private:
+  std::vector<FarEntry> entries_;
+};
+
+}  // namespace sssp::frontier

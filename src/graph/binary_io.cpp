@@ -1,0 +1,79 @@
+#include "graph/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sssp::graph {
+namespace {
+
+constexpr char kMagic[8] = {'T', 'S', 'S', 'S', 'P', 'G', 'R', '1'};
+
+template <typename T>
+void write_raw(std::ostream& out, const T* data, std::size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <typename T>
+void read_raw(std::istream& in, T* data, std::size_t count,
+              const char* what) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (static_cast<std::size_t>(in.gcount()) != count * sizeof(T))
+    throw std::runtime_error(std::string("binary graph: truncated ") + what);
+}
+
+}  // namespace
+
+void save_binary(const CsrGraph& graph, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t n = graph.num_vertices();
+  const std::uint64_t m = graph.num_edges();
+  write_raw(out, &n, 1);
+  write_raw(out, &m, 1);
+  write_raw(out, graph.offsets().data(), graph.offsets().size());
+  write_raw(out, graph.targets().data(), graph.targets().size());
+  write_raw(out, graph.weights().data(), graph.weights().size());
+  if (!out) throw std::runtime_error("binary graph: write failed");
+}
+
+void save_binary_file(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  save_binary(graph, out);
+}
+
+CsrGraph load_binary(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  read_raw(in, magic, sizeof(kMagic), "magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("binary graph: bad magic");
+
+  std::uint64_t n = 0, m = 0;
+  read_raw(in, &n, 1, "header");
+  read_raw(in, &m, 1, "header");
+  // Sanity bound: refuse absurd sizes before allocating.
+  if (n > (std::uint64_t{1} << 33) || m > (std::uint64_t{1} << 36))
+    throw std::runtime_error("binary graph: implausible header sizes");
+
+  std::vector<EdgeIndex> offsets(n + 1);
+  std::vector<VertexId> targets(m);
+  std::vector<Weight> weights(m);
+  read_raw(in, offsets.data(), offsets.size(), "offsets");
+  read_raw(in, targets.data(), targets.size(), "targets");
+  read_raw(in, weights.data(), weights.size(), "weights");
+
+  CsrGraph graph(std::move(offsets), std::move(targets), std::move(weights));
+  graph.validate();
+  return graph;
+}
+
+CsrGraph load_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open binary graph: " + path);
+  return load_binary(in);
+}
+
+}  // namespace sssp::graph

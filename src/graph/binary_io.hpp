@@ -1,0 +1,27 @@
+// Fast binary graph cache. Parsing multi-gigabyte DIMACS/MatrixMarket
+// text dominates experiment startup; this format memcpy's the three CSR
+// arrays with a small validated header instead.
+//
+// Layout (little-endian, 64-bit sizes):
+//   magic "TSSSPGR1" | num_vertices u64 | num_edges u64
+//   offsets  (num_vertices + 1) x u64
+//   targets  num_edges x u32
+//   weights  num_edges x u32
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace sssp::graph {
+
+void save_binary(const CsrGraph& graph, std::ostream& out);
+void save_binary_file(const CsrGraph& graph, const std::string& path);
+
+// Throws std::runtime_error on bad magic, truncation, or inconsistent
+// sizes; the loaded graph is validated structurally.
+CsrGraph load_binary(std::istream& in);
+CsrGraph load_binary_file(const std::string& path);
+
+}  // namespace sssp::graph

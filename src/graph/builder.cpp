@@ -1,0 +1,89 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace sssp::graph {
+
+CsrGraph build_csr(std::size_t num_vertices, std::vector<Edge> edges,
+                   const BuildOptions& options) {
+  for (const Edge& e : edges) {
+    if (e.src >= num_vertices || e.dst >= num_vertices)
+      throw std::invalid_argument(
+          "build_csr: edge (" + std::to_string(e.src) + "," +
+          std::to_string(e.dst) + ") out of range for n=" +
+          std::to_string(num_vertices));
+  }
+
+  if (options.make_undirected) {
+    const std::size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+      const Edge& e = edges[i];
+      if (e.src != e.dst) edges.push_back({e.dst, e.src, e.weight});
+    }
+  }
+
+  if (options.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+
+  if (options.sort_neighbors || options.dedupe_parallel_edges) {
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+      if (a.src != b.src) return a.src < b.src;
+      if (a.dst != b.dst) return a.dst < b.dst;
+      return a.weight < b.weight;
+    });
+  }
+
+  if (options.dedupe_parallel_edges) {
+    // After sorting, the lightest parallel edge comes first; keep it.
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+  }
+
+  std::vector<EdgeIndex> offsets(num_vertices + 1, 0);
+  for (const Edge& e : edges) ++offsets[e.src + 1];
+  for (std::size_t v = 0; v < num_vertices; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<VertexId> targets(edges.size());
+  std::vector<Weight> weights(edges.size());
+  if (options.sort_neighbors || options.dedupe_parallel_edges) {
+    // Edges already sorted by (src, dst): place sequentially.
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      targets[i] = edges[i].dst;
+      weights[i] = edges[i].weight;
+    }
+  } else {
+    std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge& e : edges) {
+      const EdgeIndex slot = cursor[e.src]++;
+      targets[slot] = e.dst;
+      weights[slot] = e.weight;
+    }
+  }
+
+  return CsrGraph(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+CsrGraph reverse(const CsrGraph& graph) {
+  std::vector<Edge> edges;
+  edges.reserve(graph.num_edges());
+  const std::size_t n = graph.num_vertices();
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nbrs = graph.neighbors(u);
+    const auto ws = graph.weights_of(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      edges.push_back({nbrs[i], u, ws[i]});
+    }
+  }
+  BuildOptions opts;
+  opts.remove_self_loops = false;
+  return build_csr(n, std::move(edges), opts);
+}
+
+}  // namespace sssp::graph

@@ -1,0 +1,33 @@
+// COO edge list → CSR conversion with optional cleaning passes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace sssp::graph {
+
+struct BuildOptions {
+  // Add the reverse of every edge (same weight) before building.
+  bool make_undirected = false;
+  // Drop u->u edges (they never improve a shortest path).
+  bool remove_self_loops = true;
+  // Collapse parallel (u,v) edges, keeping the minimum weight.
+  bool dedupe_parallel_edges = false;
+  // Sort each adjacency list by target id (deterministic iteration and
+  // slightly better locality in advance).
+  bool sort_neighbors = true;
+};
+
+// Builds a CSR graph over vertices [0, num_vertices) from a COO edge
+// list. Edges referencing vertices >= num_vertices throw
+// std::invalid_argument. The input vector is consumed (sorted in place).
+CsrGraph build_csr(std::size_t num_vertices, std::vector<Edge> edges,
+                   const BuildOptions& options = {});
+
+// Returns the reversed graph (every edge u->v becomes v->u).
+CsrGraph reverse(const CsrGraph& graph);
+
+}  // namespace sssp::graph

@@ -1,0 +1,92 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace sssp::graph {
+
+std::uint32_t ComponentLabeling::largest_component() const {
+  if (sizes.empty())
+    throw std::logic_error("ComponentLabeling: no components");
+  return static_cast<std::uint32_t>(std::distance(
+      sizes.begin(), std::max_element(sizes.begin(), sizes.end())));
+}
+
+ComponentLabeling weakly_connected_components(const CsrGraph& graph) {
+  const std::size_t n = graph.num_vertices();
+  ComponentLabeling result;
+  result.label.assign(n, 0xFFFFFFFFu);
+  if (n == 0) return result;
+
+  const CsrGraph reversed = reverse(graph);
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < n; ++start) {
+    if (result.label[start] != 0xFFFFFFFFu) continue;
+    const auto component = static_cast<std::uint32_t>(result.sizes.size());
+    result.sizes.push_back(0);
+    stack.push_back(start);
+    result.label[start] = component;
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      ++result.sizes[component];
+      for (const VertexId v : graph.neighbors(u)) {
+        if (result.label[v] == 0xFFFFFFFFu) {
+          result.label[v] = component;
+          stack.push_back(v);
+        }
+      }
+      for (const VertexId v : reversed.neighbors(u)) {
+        if (result.label[v] == 0xFFFFFFFFu) {
+          result.label[v] = component;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+ExtractedComponent extract_component(const CsrGraph& graph,
+                                     const ComponentLabeling& labeling,
+                                     std::uint32_t component) {
+  if (labeling.label.size() != graph.num_vertices())
+    throw std::invalid_argument("extract_component: labeling size mismatch");
+  if (component >= labeling.num_components())
+    throw std::invalid_argument("extract_component: no such component");
+
+  ExtractedComponent result;
+  result.old_to_new.assign(graph.num_vertices(), kInvalidVertex);
+  result.new_to_old.reserve(labeling.sizes[component]);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (labeling.label[v] == component) {
+      result.old_to_new[v] = static_cast<VertexId>(result.new_to_old.size());
+      result.new_to_old.push_back(v);
+    }
+  }
+
+  std::vector<Edge> edges;
+  for (const VertexId old_u : result.new_to_old) {
+    const VertexId new_u = result.old_to_new[old_u];
+    const auto neighbors = graph.neighbors(old_u);
+    const auto weights = graph.weights_of(old_u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      // Every neighbor of a component vertex is in the same weak
+      // component by construction.
+      edges.push_back({new_u, result.old_to_new[neighbors[i]], weights[i]});
+    }
+  }
+  BuildOptions build;
+  build.remove_self_loops = false;  // preserve the original structure
+  result.graph = build_csr(result.new_to_old.size(), std::move(edges), build);
+  return result;
+}
+
+ExtractedComponent largest_component(const CsrGraph& graph) {
+  const ComponentLabeling labeling = weakly_connected_components(graph);
+  return extract_component(graph, labeling, labeling.largest_component());
+}
+
+}  // namespace sssp::graph

@@ -1,0 +1,45 @@
+// Connectivity utilities. SSSP experiments need sources inside a large
+// component (an unlucky source on a fragmented R-MAT graph reaches a
+// handful of vertices and measures nothing); these helpers label weak
+// components and extract the largest one.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sssp::graph {
+
+struct ComponentLabeling {
+  // Component id per vertex (ids are dense, 0-based, in discovery order).
+  std::vector<std::uint32_t> label;
+  // Vertex count per component id.
+  std::vector<std::size_t> sizes;
+
+  std::size_t num_components() const noexcept { return sizes.size(); }
+  std::uint32_t largest_component() const;
+};
+
+// Weakly connected components (edge direction ignored). O(V + E) time,
+// O(V + E) extra memory for the reversed adjacency.
+ComponentLabeling weakly_connected_components(const CsrGraph& graph);
+
+// Induced subgraph of the labeled component: vertices are renumbered
+// densely (0..k-1, preserving relative order); returns the subgraph and
+// the old->new vertex map (entries for other components are
+// kInvalidVertex, from graph/types.hpp).
+struct ExtractedComponent {
+  CsrGraph graph;
+  std::vector<VertexId> old_to_new;  // kInvalidVertex if not in component
+  std::vector<VertexId> new_to_old;
+};
+
+ExtractedComponent extract_component(const CsrGraph& graph,
+                                     const ComponentLabeling& labeling,
+                                     std::uint32_t component);
+
+// Convenience: extract the largest weak component.
+ExtractedComponent largest_component(const CsrGraph& graph);
+
+}  // namespace sssp::graph

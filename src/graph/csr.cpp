@@ -1,0 +1,52 @@
+#include "graph/csr.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace sssp::graph {
+
+CsrGraph::CsrGraph(std::vector<EdgeIndex> offsets, std::vector<VertexId> targets,
+                   std::vector<Weight> weights)
+    : offsets_(std::move(offsets)),
+      targets_(std::move(targets)),
+      weights_(std::move(weights)) {
+  if (offsets_.empty())
+    throw std::invalid_argument("CsrGraph: offsets must have >= 1 entry");
+  if (offsets_.back() != targets_.size())
+    throw std::invalid_argument(
+        "CsrGraph: offsets.back() != targets.size() (" +
+        std::to_string(offsets_.back()) + " vs " +
+        std::to_string(targets_.size()) + ")");
+  if (targets_.size() != weights_.size())
+    throw std::invalid_argument("CsrGraph: targets/weights size mismatch");
+}
+
+double CsrGraph::mean_edge_weight() const noexcept {
+  if (weights_.empty()) return 0.0;
+  const double total = std::accumulate(weights_.begin(), weights_.end(), 0.0);
+  return total / static_cast<double>(weights_.size());
+}
+
+void CsrGraph::validate() const {
+  const std::size_t n = num_vertices();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (offsets_[v] > offsets_[v + 1])
+      throw std::invalid_argument("CsrGraph: offsets not monotone at vertex " +
+                                  std::to_string(v));
+  }
+  for (std::size_t e = 0; e < targets_.size(); ++e) {
+    if (targets_[e] >= n)
+      throw std::invalid_argument("CsrGraph: edge " + std::to_string(e) +
+                                  " targets out-of-range vertex " +
+                                  std::to_string(targets_[e]));
+  }
+}
+
+std::size_t CsrGraph::memory_bytes() const noexcept {
+  return offsets_.capacity() * sizeof(EdgeIndex) +
+         targets_.capacity() * sizeof(VertexId) +
+         weights_.capacity() * sizeof(Weight);
+}
+
+}  // namespace sssp::graph

@@ -1,0 +1,72 @@
+// Compressed sparse row (CSR) graph — the storage format consumed by
+// every SSSP algorithm and by the frontier pipeline.
+//
+// Layout mirrors Gunrock's: row offsets indexed by source vertex, and
+// parallel target/weight arrays. Immutable after construction, so it is
+// safe to share across threads without synchronization.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace sssp::graph {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  // Takes ownership of pre-built arrays. offsets.size() must equal
+  // num_vertices + 1, offsets.back() must equal targets.size(), and
+  // targets.size() must equal weights.size(). Throws std::invalid_argument
+  // otherwise.
+  CsrGraph(std::vector<EdgeIndex> offsets, std::vector<VertexId> targets,
+           std::vector<Weight> weights);
+
+  std::size_t num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::size_t num_edges() const noexcept { return targets_.size(); }
+
+  std::size_t out_degree(VertexId v) const {
+    return static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  // Neighbor/weight views for vertex v; spans remain valid for the
+  // lifetime of the graph.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {targets_.data() + offsets_[v], out_degree(v)};
+  }
+  std::span<const Weight> weights_of(VertexId v) const {
+    return {weights_.data() + offsets_[v], out_degree(v)};
+  }
+
+  EdgeIndex edge_begin(VertexId v) const { return offsets_[v]; }
+  EdgeIndex edge_end(VertexId v) const { return offsets_[v + 1]; }
+  VertexId edge_target(EdgeIndex e) const { return targets_[e]; }
+  Weight edge_weight(EdgeIndex e) const { return weights_[e]; }
+
+  std::span<const EdgeIndex> offsets() const noexcept { return offsets_; }
+  std::span<const VertexId> targets() const noexcept { return targets_; }
+  std::span<const Weight> weights() const noexcept { return weights_; }
+
+  // Mean weight over all edges (the far-queue partitioner seeds its first
+  // boundary with this, per the paper Section 4.6). 0 for edgeless graphs.
+  double mean_edge_weight() const noexcept;
+
+  // Structural validation: offsets monotone, targets in range. Throws
+  // std::invalid_argument describing the first violation.
+  void validate() const;
+
+  // Approximate heap footprint in bytes.
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  std::vector<EdgeIndex> offsets_;
+  std::vector<VertexId> targets_;
+  std::vector<Weight> weights_;
+};
+
+}  // namespace sssp::graph

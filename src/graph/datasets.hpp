@@ -1,0 +1,53 @@
+// The paper's two evaluation inputs (Table 1), reconstructed:
+//
+//   Cal  — DIMACS California road network: 1 890 815 nodes, 4 630 444
+//          edges, high diameter, low degree. Substituted with the
+//          road-network generator at matching node/edge counts.
+//   Wiki — wikipedia-20051105 hyperlink graph: 1 634 989 nodes,
+//          19 735 890 edges, max degree 4 970, weights U[1, 99].
+//          Substituted with an R-MAT generator at matching counts.
+//
+// `scale` shrinks both dimensions proportionally (scale = 1.0 is the
+// paper-sized graph; tests and quick benches use smaller scales). If a
+// real DIMACS/.mtx file is available, callers can instead use the
+// loaders in dimacs.hpp / matrix_market.hpp directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace sssp::graph {
+
+enum class Dataset { kCal, kWiki };
+
+struct DatasetOptions {
+  // Linear scale on vertex count (edges scale along). 1.0 = paper size.
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+};
+
+// Human-readable name ("Cal", "Wiki").
+std::string dataset_name(Dataset dataset);
+
+// Parses "cal"/"wiki" (case-insensitive); throws std::invalid_argument.
+Dataset parse_dataset(const std::string& name);
+
+// Builds the synthetic stand-in graph.
+CsrGraph make_dataset(Dataset dataset, const DatasetOptions& options = {});
+
+// A good SSSP source for the dataset: max-degree vertex for Wiki (well
+// connected), center-of-grid vertex for Cal.
+VertexId default_source(Dataset dataset, const CsrGraph& graph);
+
+// Paper-reported Table 1 row (for EXPERIMENTS.md comparison).
+struct PaperDatasetRow {
+  std::string name;
+  std::uint64_t nodes;
+  std::uint64_t edges;
+  std::uint64_t max_degree;  // 0 = not reported in the paper
+};
+PaperDatasetRow paper_table1_row(Dataset dataset);
+
+}  // namespace sssp::graph

@@ -1,0 +1,98 @@
+#include "graph/degree_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace sssp::graph {
+
+DegreeStats compute_degree_stats(const CsrGraph& graph) {
+  DegreeStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.num_edges = graph.num_edges();
+  if (stats.num_vertices == 0) return stats;
+
+  std::vector<std::size_t> degrees(stats.num_vertices);
+  double sum = 0.0, sum_sq = 0.0;
+  stats.max_degree = 0;
+  stats.min_degree = graph.out_degree(0);
+  for (std::size_t v = 0; v < stats.num_vertices; ++v) {
+    const std::size_t d = graph.out_degree(static_cast<VertexId>(v));
+    degrees[v] = d;
+    sum += static_cast<double>(d);
+    sum_sq += static_cast<double>(d) * static_cast<double>(d);
+    stats.max_degree = std::max(stats.max_degree, d);
+    stats.min_degree = std::min(stats.min_degree, d);
+    if (d == 0) ++stats.isolated_vertices;
+  }
+  const double n = static_cast<double>(stats.num_vertices);
+  stats.mean_degree = sum / n;
+  stats.degree_stddev =
+      std::sqrt(std::max(0.0, sum_sq / n - stats.mean_degree * stats.mean_degree));
+
+  std::sort(degrees.begin(), degrees.end());
+  auto at_quantile = [&degrees](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(degrees.size() - 1));
+    return degrees[idx];
+  };
+  stats.median_degree = at_quantile(0.5);
+  stats.p90_degree = at_quantile(0.9);
+  stats.p99_degree = at_quantile(0.99);
+  stats.p999_degree = at_quantile(0.999);
+  return stats;
+}
+
+std::string to_string(const DegreeStats& s) {
+  std::ostringstream os;
+  os << "n=" << s.num_vertices << " m=" << s.num_edges
+     << " deg[min/mean/median/max]=" << s.min_degree << "/" << s.mean_degree
+     << "/" << s.median_degree << "/" << s.max_degree
+     << " p99=" << s.p99_degree << " isolated=" << s.isolated_vertices;
+  return os.str();
+}
+
+bool looks_scale_free(const DegreeStats& stats) {
+  if (stats.mean_degree <= 0.0) return false;
+  // Heavy tail: the 99.9th-percentile degree dwarfs the mean, and the
+  // median sits at or below the mean.
+  return static_cast<double>(stats.p999_degree) > 8.0 * stats.mean_degree &&
+         static_cast<double>(stats.median_degree) <= stats.mean_degree + 1.0;
+}
+
+std::size_t count_reachable(const CsrGraph& graph, VertexId source) {
+  const std::size_t n = graph.num_vertices();
+  if (source >= n) return 0;
+  std::vector<bool> seen(n, false);
+  std::vector<VertexId> stack{source};
+  seen[source] = true;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const VertexId u = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const VertexId v : graph.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return count;
+}
+
+VertexId max_degree_vertex(const CsrGraph& graph) {
+  VertexId best = 0;
+  std::size_t best_degree = 0;
+  for (std::size_t v = 0; v < graph.num_vertices(); ++v) {
+    const std::size_t d = graph.out_degree(static_cast<VertexId>(v));
+    if (d > best_degree) {
+      best_degree = d;
+      best = static_cast<VertexId>(v);
+    }
+  }
+  return best;
+}
+
+}  // namespace sssp::graph

@@ -1,0 +1,44 @@
+// Degree statistics for dataset characterization (Table 1) and for the
+// generators' self-checks (scale-free vs road-network shape).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sssp::graph {
+
+struct DegreeStats {
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  std::size_t max_degree = 0;
+  std::size_t min_degree = 0;
+  double mean_degree = 0.0;
+  double degree_stddev = 0.0;
+  std::size_t isolated_vertices = 0;  // out-degree 0
+  // Degrees at selected quantiles {0.5, 0.9, 0.99, 0.999}.
+  std::size_t median_degree = 0;
+  std::size_t p90_degree = 0;
+  std::size_t p99_degree = 0;
+  std::size_t p999_degree = 0;
+};
+
+DegreeStats compute_degree_stats(const CsrGraph& graph);
+
+// Human-readable one-line summary, e.g. for Table 1 rows.
+std::string to_string(const DegreeStats& stats);
+
+// Heuristic classification used by generator self-tests: a heavy degree
+// tail (p999 >> mean) indicates a scale-free-like graph.
+bool looks_scale_free(const DegreeStats& stats);
+
+// Number of vertices reachable from `source` (BFS, ignores weights).
+std::size_t count_reachable(const CsrGraph& graph, VertexId source);
+
+// Picks the vertex of maximum out-degree — a robust "interesting" SSSP
+// source for scale-free inputs where random vertices may be isolated.
+VertexId max_degree_vertex(const CsrGraph& graph);
+
+}  // namespace sssp::graph

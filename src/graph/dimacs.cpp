@@ -1,0 +1,99 @@
+#include "graph/dimacs.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/types.hpp"
+
+namespace sssp::graph {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("DIMACS parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+CsrGraph load_dimacs(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t declared_vertices = 0;
+  std::size_t declared_edges = 0;
+  bool saw_problem = false;
+  std::vector<Edge> edges;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    switch (line[0]) {
+      case 'c':
+        break;  // comment
+      case 'p': {
+        std::istringstream ls(line);
+        char tag;
+        std::string kind;
+        if (!(ls >> tag >> kind >> declared_vertices >> declared_edges))
+          fail(line_no, "malformed problem line");
+        if (kind != "sp") fail(line_no, "expected problem kind 'sp'");
+        saw_problem = true;
+        edges.reserve(declared_edges);
+        break;
+      }
+      case 'a': {
+        if (!saw_problem) fail(line_no, "arc before problem line");
+        std::istringstream ls(line);
+        char tag;
+        std::uint64_t src, dst, weight;
+        if (!(ls >> tag >> src >> dst >> weight))
+          fail(line_no, "malformed arc line");
+        if (src == 0 || dst == 0 || src > declared_vertices ||
+            dst > declared_vertices)
+          fail(line_no, "vertex id out of range");
+        edges.push_back({static_cast<VertexId>(src - 1),
+                         static_cast<VertexId>(dst - 1),
+                         static_cast<Weight>(weight)});
+        break;
+      }
+      default:
+        fail(line_no, std::string("unknown record type '") + line[0] + "'");
+    }
+  }
+  if (!saw_problem) throw std::runtime_error("DIMACS: missing problem line");
+
+  BuildOptions build;
+  build.remove_self_loops = true;
+  build.sort_neighbors = true;
+  return build_csr(declared_vertices, std::move(edges), build);
+}
+
+CsrGraph load_dimacs_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open DIMACS file: " + path);
+  return load_dimacs(in);
+}
+
+void save_dimacs(const CsrGraph& graph, std::ostream& out,
+                 const std::string& comment) {
+  if (!comment.empty()) out << "c " << comment << "\n";
+  out << "p sp " << graph.num_vertices() << " " << graph.num_edges() << "\n";
+  for (std::size_t u = 0; u < graph.num_vertices(); ++u) {
+    const auto nbrs = graph.neighbors(static_cast<VertexId>(u));
+    const auto ws = graph.weights_of(static_cast<VertexId>(u));
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      out << "a " << (u + 1) << " " << (nbrs[i] + 1) << " " << ws[i] << "\n";
+    }
+  }
+}
+
+void save_dimacs_file(const CsrGraph& graph, const std::string& path,
+                      const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  save_dimacs(graph, out, comment);
+}
+
+}  // namespace sssp::graph

@@ -1,0 +1,28 @@
+// DIMACS shortest-path challenge ".gr" format reader/writer.
+//
+// This is the format of the paper's Cal input (9th DIMACS Implementation
+// Challenge). Grammar (1-indexed vertices):
+//   c <comment>
+//   p sp <num_vertices> <num_edges>
+//   a <src> <dst> <weight>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace sssp::graph {
+
+// Parses a .gr stream/file into CSR. Throws std::runtime_error with a
+// line number on malformed input.
+CsrGraph load_dimacs(std::istream& in);
+CsrGraph load_dimacs_file(const std::string& path);
+
+// Writes `graph` in .gr format (each directed CSR edge as one 'a' line).
+void save_dimacs(const CsrGraph& graph, std::ostream& out,
+                 const std::string& comment = "");
+void save_dimacs_file(const CsrGraph& graph, const std::string& path,
+                      const std::string& comment = "");
+
+}  // namespace sssp::graph

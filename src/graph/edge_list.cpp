@@ -1,0 +1,63 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace sssp::graph {
+
+CsrGraph load_edge_list(std::istream& in, const EdgeListOptions& options) {
+  if (options.default_min_weight > options.default_max_weight)
+    throw std::invalid_argument("EdgeListOptions: min_weight > max_weight");
+
+  util::Xoshiro256 rng(options.weight_seed);
+  std::vector<Edge> edges;
+  std::uint64_t max_vertex = 0;
+  bool saw_vertex = false;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t src, dst;
+    if (!(ls >> src >> dst))
+      throw std::runtime_error("edge list: malformed line " +
+                               std::to_string(line_no));
+    if (src > 0xFFFFFFFEull || dst > 0xFFFFFFFEull)
+      throw std::runtime_error("edge list: vertex id exceeds 32 bits at line " +
+                               std::to_string(line_no));
+    std::uint64_t weight;
+    if (!(ls >> weight)) {
+      weight = rng.next_range(options.default_min_weight,
+                              options.default_max_weight);
+    }
+    edges.push_back({static_cast<VertexId>(src), static_cast<VertexId>(dst),
+                     static_cast<Weight>(std::min<std::uint64_t>(
+                         weight, 0xFFFFFFFFull))});
+    max_vertex = std::max({max_vertex, src, dst});
+    saw_vertex = true;
+  }
+
+  BuildOptions build;
+  build.make_undirected = options.make_undirected;
+  build.remove_self_loops = true;
+  build.sort_neighbors = true;
+  const std::size_t n = saw_vertex ? static_cast<std::size_t>(max_vertex) + 1 : 0;
+  return build_csr(n, std::move(edges), build);
+}
+
+CsrGraph load_edge_list_file(const std::string& path,
+                             const EdgeListOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  return load_edge_list(in, options);
+}
+
+}  // namespace sssp::graph

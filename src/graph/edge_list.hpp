@@ -1,0 +1,27 @@
+// Plain text edge-list loader: one edge per line as
+//   <src> <dst> [weight]
+// with '#' or '%' comment lines — the least-common-denominator format of
+// SNAP and countless ad-hoc datasets. Vertices are 0-based; missing
+// weights draw uniformly from [default_min_weight, default_max_weight].
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace sssp::graph {
+
+struct EdgeListOptions {
+  Weight default_min_weight = 1;
+  Weight default_max_weight = 99;
+  std::uint64_t weight_seed = 1;
+  bool make_undirected = false;
+};
+
+CsrGraph load_edge_list(std::istream& in, const EdgeListOptions& options = {});
+CsrGraph load_edge_list_file(const std::string& path,
+                             const EdgeListOptions& options = {});
+
+}  // namespace sssp::graph

@@ -1,0 +1,117 @@
+#include "graph/matrix_market.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/weights.hpp"
+#include "util/rng.hpp"
+
+namespace sssp::graph {
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+CsrGraph load_matrix_market(std::istream& in,
+                            const MatrixMarketOptions& options) {
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error("MatrixMarket: empty input");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket")
+    throw std::runtime_error("MatrixMarket: missing %%MatrixMarket banner");
+  object = to_lower(object);
+  format = to_lower(format);
+  field = to_lower(field);
+  symmetry = to_lower(symmetry);
+  if (object != "matrix" || format != "coordinate")
+    throw std::runtime_error(
+        "MatrixMarket: only 'matrix coordinate' supported");
+  const bool pattern = field == "pattern";
+  if (!pattern && field != "integer" && field != "real")
+    throw std::runtime_error("MatrixMarket: unsupported field '" + field + "'");
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general")
+    throw std::runtime_error("MatrixMarket: unsupported symmetry '" +
+                             symmetry + "'");
+
+  // Skip comments.
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  std::uint64_t rows = 0, cols = 0, entries = 0;
+  if (!(size_line >> rows >> cols >> entries))
+    throw std::runtime_error("MatrixMarket: malformed size line " +
+                             std::to_string(line_no));
+  const std::uint64_t n = std::max(rows, cols);
+
+  std::vector<Edge> edges;
+  edges.reserve(symmetric ? entries * 2 : entries);
+  util::Xoshiro256 rng(options.weight_seed);
+
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    if (!std::getline(in, line))
+      throw std::runtime_error("MatrixMarket: truncated at entry " +
+                               std::to_string(i));
+    ++line_no;
+    if (line.empty() || line[0] == '%') {
+      --i;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::uint64_t r, c;
+    if (!(ls >> r >> c))
+      throw std::runtime_error("MatrixMarket: malformed entry at line " +
+                               std::to_string(line_no));
+    if (r == 0 || c == 0 || r > n || c > n)
+      throw std::runtime_error("MatrixMarket: index out of range at line " +
+                               std::to_string(line_no));
+    Weight w;
+    if (pattern) {
+      w = static_cast<Weight>(rng.next_range(options.pattern_min_weight,
+                                             options.pattern_max_weight));
+    } else {
+      double value = 0.0;
+      if (!(ls >> value))
+        throw std::runtime_error("MatrixMarket: missing value at line " +
+                                 std::to_string(line_no));
+      double rounded = std::round(std::abs(value));
+      if (rounded < 1.0 && options.clamp_nonpositive_to_one) rounded = 1.0;
+      w = static_cast<Weight>(std::min(
+          rounded, static_cast<double>(std::numeric_limits<Weight>::max())));
+    }
+    const auto src = static_cast<VertexId>(r - 1);
+    const auto dst = static_cast<VertexId>(c - 1);
+    edges.push_back({src, dst, w});
+    if (symmetric && src != dst) edges.push_back({dst, src, w});
+  }
+
+  BuildOptions build;
+  build.remove_self_loops = true;
+  build.sort_neighbors = true;
+  return build_csr(static_cast<std::size_t>(n), std::move(edges), build);
+}
+
+CsrGraph load_matrix_market_file(const std::string& path,
+                                 const MatrixMarketOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open MatrixMarket file: " + path);
+  return load_matrix_market(in, options);
+}
+
+}  // namespace sssp::graph

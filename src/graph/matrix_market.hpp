@@ -1,0 +1,31 @@
+// MatrixMarket coordinate format reader — the format of the paper's Wiki
+// input (wikipedia-20051105 from the UF/SuiteSparse collection).
+//
+// Supports: "matrix coordinate {pattern|integer|real} {general|symmetric}".
+// Pattern matrices get weights from a supplied policy (the paper uses
+// uniform integers in [1, 99] for Wiki).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace sssp::graph {
+
+struct MatrixMarketOptions {
+  // Weights for pattern (unweighted) matrices, drawn uniformly.
+  Weight pattern_min_weight = 1;
+  Weight pattern_max_weight = 99;
+  std::uint64_t weight_seed = 1;
+  // Real-valued entries are rounded and clamped to [1, max(1, value)].
+  bool clamp_nonpositive_to_one = true;
+};
+
+CsrGraph load_matrix_market(std::istream& in,
+                            const MatrixMarketOptions& options = {});
+CsrGraph load_matrix_market_file(const std::string& path,
+                                 const MatrixMarketOptions& options = {});
+
+}  // namespace sssp::graph

@@ -1,0 +1,59 @@
+#include "graph/rmat.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace sssp::graph {
+
+std::vector<Edge> generate_rmat_edges(const RmatOptions& options) {
+  if (options.scale == 0 || options.scale > 31)
+    throw std::invalid_argument("RmatOptions: scale must be in [1, 31]");
+  const double sum = options.a + options.b + options.c + options.d;
+  if (options.a <= 0 || options.b <= 0 || options.c <= 0 || options.d <= 0 ||
+      std::abs(sum - 1.0) > 1e-6)
+    throw std::invalid_argument(
+        "RmatOptions: quadrant probabilities must be positive and sum to 1");
+  if (options.min_weight > options.max_weight)
+    throw std::invalid_argument("RmatOptions: min_weight > max_weight");
+
+  util::Xoshiro256 rng(options.seed);
+  std::vector<Edge> edges;
+  edges.reserve(options.num_edges);
+
+  const double ab = options.a + options.b;
+  const double a_frac = options.a / ab;              // P(left | top)
+  const double c_frac = options.c / (options.c + options.d);  // P(left | bottom)
+
+  for (std::uint64_t i = 0; i < options.num_edges; ++i) {
+    VertexId src = 0, dst = 0;
+    for (unsigned bit = 0; bit < options.scale; ++bit) {
+      // Jitter quadrant probabilities per level (standard R-MAT noise to
+      // avoid exactly self-similar artifacts).
+      const double noise = 0.9 + 0.2 * rng.next_double();
+      const double top = ab * noise > 1.0 ? 1.0 : ab * noise;
+      const bool go_bottom = rng.next_double() >= top;
+      const double left_p = go_bottom ? c_frac : a_frac;
+      const bool go_right = rng.next_double() >= left_p;
+      src = static_cast<VertexId>((src << 1) | (go_bottom ? 1u : 0u));
+      dst = static_cast<VertexId>((dst << 1) | (go_right ? 1u : 0u));
+    }
+    if (options.scramble && (rng.next() & 1u)) std::swap(src, dst);
+    const Weight w = static_cast<Weight>(
+        rng.next_range(options.min_weight, options.max_weight));
+    edges.push_back({src, dst, w});
+  }
+  return edges;
+}
+
+CsrGraph generate_rmat(const RmatOptions& options) {
+  auto edges = generate_rmat_edges(options);
+  BuildOptions build;
+  build.remove_self_loops = true;
+  build.sort_neighbors = true;
+  return build_csr(std::size_t{1} << options.scale, std::move(edges), build);
+}
+
+}  // namespace sssp::graph

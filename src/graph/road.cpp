@@ -1,0 +1,105 @@
+#include "graph/road.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace sssp::graph {
+namespace {
+
+constexpr double kGridUnitLength = 100.0;
+
+Weight travel_time_weight(double dx, double dy, double spread,
+                          util::Xoshiro256& rng) {
+  const double length = std::sqrt(dx * dx + dy * dy) * kGridUnitLength;
+  const double speed_factor = 1.0 + (spread - 1.0) * rng.next_double();
+  const double w = std::max(1.0, std::round(length * speed_factor));
+  return static_cast<Weight>(w);
+}
+
+}  // namespace
+
+std::vector<Edge> generate_road_edges(const RoadOptions& options) {
+  if (options.rows == 0 || options.cols == 0)
+    throw std::invalid_argument("RoadOptions: rows/cols must be positive");
+  if (options.street_density < 0.0 || options.street_density > 1.0)
+    throw std::invalid_argument("RoadOptions: street_density out of [0,1]");
+  if (options.weight_spread < 1.0)
+    throw std::invalid_argument("RoadOptions: weight_spread must be >= 1");
+  const std::uint64_t n =
+      static_cast<std::uint64_t>(options.rows) * options.cols;
+  if (n > (std::uint64_t{1} << 32))
+    throw std::invalid_argument("RoadOptions: grid too large for 32-bit ids");
+
+  util::Xoshiro256 rng(options.seed);
+  std::vector<Edge> edges;
+  // ~2 undirected grid segments per vertex at density 1 -> 4 directed.
+  edges.reserve(static_cast<std::size_t>(static_cast<double>(n) *
+                                         (4.0 * options.street_density + 0.1)));
+
+  auto id = [&options](std::uint32_t r, std::uint32_t c) {
+    return static_cast<VertexId>(r * options.cols + c);
+  };
+  auto add_bidirectional = [&edges](VertexId u, VertexId v, Weight w) {
+    edges.push_back({u, v, w});
+    edges.push_back({v, u, w});
+  };
+
+  // Street grid.
+  for (std::uint32_t r = 0; r < options.rows; ++r) {
+    for (std::uint32_t c = 0; c < options.cols; ++c) {
+      if (c + 1 < options.cols && rng.next_double() < options.street_density) {
+        add_bidirectional(id(r, c), id(r, c + 1),
+                          travel_time_weight(1.0, 0.0, options.weight_spread, rng));
+      }
+      if (r + 1 < options.rows && rng.next_double() < options.street_density) {
+        add_bidirectional(id(r, c), id(r + 1, c),
+                          travel_time_weight(0.0, 1.0, options.weight_spread, rng));
+      }
+    }
+  }
+
+  // Highway ramps: longer-span shortcuts between nearby grid points.
+  const auto num_ramps = static_cast<std::uint64_t>(
+      options.ramps_per_1000_vertices * static_cast<double>(n) / 1000.0);
+  for (std::uint64_t i = 0; i < num_ramps; ++i) {
+    const auto r0 = static_cast<std::uint32_t>(rng.next_below(options.rows));
+    const auto c0 = static_cast<std::uint32_t>(rng.next_below(options.cols));
+    const std::uint32_t span = options.max_ramp_span ? options.max_ramp_span : 1;
+    const auto dr = static_cast<std::int64_t>(rng.next_range(0, 2 * span)) -
+                    static_cast<std::int64_t>(span);
+    const auto dc = static_cast<std::int64_t>(rng.next_range(0, 2 * span)) -
+                    static_cast<std::int64_t>(span);
+    const std::int64_t r1 = static_cast<std::int64_t>(r0) + dr;
+    const std::int64_t c1 = static_cast<std::int64_t>(c0) + dc;
+    if (r1 < 0 || c1 < 0 || r1 >= static_cast<std::int64_t>(options.rows) ||
+        c1 >= static_cast<std::int64_t>(options.cols))
+      continue;
+    if (dr == 0 && dc == 0) continue;
+    // Ramps are fast roads: weight from length with minimal perturbation.
+    util::Xoshiro256 ramp_rng(rng.next());
+    const Weight w = travel_time_weight(static_cast<double>(dr),
+                                        static_cast<double>(dc), 1.2, ramp_rng);
+    add_bidirectional(id(r0, c0),
+                      id(static_cast<std::uint32_t>(r1),
+                         static_cast<std::uint32_t>(c1)),
+                      w);
+  }
+  return edges;
+}
+
+CsrGraph generate_road(const RoadOptions& options) {
+  auto edges = generate_road_edges(options);
+  const std::size_t n =
+      static_cast<std::size_t>(options.rows) * options.cols;
+  BuildOptions build;
+  build.remove_self_loops = true;
+  build.sort_neighbors = true;
+  build.dedupe_parallel_edges = true;
+  return build_csr(n, std::move(edges), build);
+}
+
+}  // namespace sssp::graph

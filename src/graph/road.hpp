@@ -1,0 +1,45 @@
+// Synthetic road-network generator — a "Cal-like" substitute for the
+// DIMACS California graph (1.89M nodes, 4.63M edges: high diameter, low
+// degree, near-planar).
+//
+// Construction: an rows x cols street grid where each intersection
+// connects to its right/down neighbors with probability street_density
+// (streets occasionally dead-end, like real road data), plus a sparse
+// set of random "highway ramps" connecting nearby grid points with
+// longer span. Weights model travel time: Euclidean length of the
+// segment scaled by a per-edge speed perturbation. All edges are
+// bidirectional. The result reproduces Cal's salient SSSP behaviour —
+// a frontier that grows like a wavefront over thousands of iterations
+// with low available parallelism per iteration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace sssp::graph {
+
+struct RoadOptions {
+  std::uint32_t rows = 512;
+  std::uint32_t cols = 512;
+  // Probability that a grid segment exists (1.0 = full lattice).
+  double street_density = 0.92;
+  // Expected number of long-span ramp edges per 1000 vertices.
+  double ramps_per_1000_vertices = 8.0;
+  // Max Chebyshev span of a ramp, in grid cells.
+  std::uint32_t max_ramp_span = 24;
+  // Weight = round(length * speed_factor), speed_factor uniform in
+  // [1, weight_spread]; grid unit length is 100.
+  double weight_spread = 3.0;
+  std::uint64_t seed = 7;
+};
+
+// Generates the COO edge list (undirected; both directions emitted).
+std::vector<Edge> generate_road_edges(const RoadOptions& options);
+
+// Generate and build CSR.
+CsrGraph generate_road(const RoadOptions& options);
+
+}  // namespace sssp::graph

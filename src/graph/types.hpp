@@ -1,0 +1,34 @@
+// Fundamental graph value types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sssp::graph {
+
+// Vertex identifiers and edge weights are 32-bit: the paper's largest
+// input (Wiki, 19.7M edges) fits comfortably, and halving the memory
+// traffic matters for the cache behaviour of the frontier pipeline.
+using VertexId = std::uint32_t;
+using Weight = std::uint32_t;
+using Distance = std::uint64_t;  // sums of 32-bit weights can exceed 2^32
+using EdgeIndex = std::uint64_t;
+
+inline constexpr Distance kInfiniteDistance =
+    std::numeric_limits<Distance>::max();
+
+// Sentinel vertex id ("no vertex"): used for absent parents in shortest
+// path trees and for unmapped vertices in subgraph extraction.
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+// One directed, weighted edge in COO form (generator/loader output).
+struct Edge {
+  VertexId src;
+  VertexId dst;
+  Weight weight;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace sssp::graph

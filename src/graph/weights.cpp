@@ -1,0 +1,25 @@
+#include "graph/weights.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace sssp::graph {
+
+void assign_uniform_weights(std::span<Edge> edges, Weight lo, Weight hi,
+                            std::uint64_t seed) {
+  if (lo > hi) throw std::invalid_argument("assign_uniform_weights: lo > hi");
+  util::Xoshiro256 rng(seed);
+  for (Edge& e : edges)
+    e.weight = static_cast<Weight>(rng.next_range(lo, hi));
+}
+
+void assign_uniform_weights(std::span<Weight> weights, Weight lo, Weight hi,
+                            std::uint64_t seed) {
+  if (lo > hi) throw std::invalid_argument("assign_uniform_weights: lo > hi");
+  util::Xoshiro256 rng(seed);
+  for (Weight& w : weights)
+    w = static_cast<Weight>(rng.next_range(lo, hi));
+}
+
+}  // namespace sssp::graph

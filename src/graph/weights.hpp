@@ -1,0 +1,26 @@
+// Edge-weight assignment policies.
+//
+// The paper assigns Wiki uniform random integer weights in [1, 99]; road
+// networks carry distance-derived weights. Generators call these after
+// producing topology so weight policy is orthogonal to structure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace sssp::graph {
+
+// Overwrites every weight with a uniform integer in [lo, hi] drawn from
+// a deterministic stream seeded by `seed`.
+void assign_uniform_weights(std::span<Edge> edges, Weight lo, Weight hi,
+                            std::uint64_t seed);
+
+// Same, operating on a bare weight array (e.g. from a pattern-only
+// MatrixMarket file).
+void assign_uniform_weights(std::span<Weight> weights, Weight lo, Weight hi,
+                            std::uint64_t seed);
+
+}  // namespace sssp::graph

@@ -1,0 +1,94 @@
+#include "sim/device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sssp::sim {
+
+std::string FrequencyPair::label() const {
+  return std::to_string(core_mhz) + "/" + std::to_string(mem_mhz);
+}
+
+void DeviceSpec::validate() const {
+  auto check_menu = [](const std::vector<std::uint32_t>& menu,
+                       const char* which) {
+    if (menu.empty())
+      throw std::invalid_argument(std::string("DeviceSpec: empty ") + which +
+                                  " frequency menu");
+    if (!std::is_sorted(menu.begin(), menu.end()))
+      throw std::invalid_argument(std::string("DeviceSpec: unsorted ") + which +
+                                  " frequency menu");
+    if (menu.front() == 0)
+      throw std::invalid_argument(std::string("DeviceSpec: zero ") + which +
+                                  " frequency");
+  };
+  check_menu(core_freq_menu_mhz, "core");
+  check_menu(mem_freq_menu_mhz, "memory");
+  if (cuda_cores == 0)
+    throw std::invalid_argument("DeviceSpec: cuda_cores must be positive");
+  if (items_per_core_cycle <= 0.0)
+    throw std::invalid_argument("DeviceSpec: items_per_core_cycle must be > 0");
+  if (kernel_launch_seconds < 0.0)
+    throw std::invalid_argument("DeviceSpec: negative kernel_launch_seconds");
+  if (peak_mem_bandwidth_bytes <= 0.0)
+    throw std::invalid_argument("DeviceSpec: bandwidth must be > 0");
+  if (static_power_w < 0.0 || gpu_dynamic_power_w < 0.0 ||
+      mem_dynamic_power_w < 0.0)
+    throw std::invalid_argument("DeviceSpec: negative power parameter");
+  if (idle_core_fraction < 0.0 || idle_core_fraction > 1.0)
+    throw std::invalid_argument("DeviceSpec: idle_core_fraction out of [0,1]");
+  if (core_v_min <= 0.0 || core_v_max < core_v_min)
+    throw std::invalid_argument("DeviceSpec: bad voltage endpoints");
+}
+
+bool DeviceSpec::supports(const FrequencyPair& pair) const {
+  return std::find(core_freq_menu_mhz.begin(), core_freq_menu_mhz.end(),
+                   pair.core_mhz) != core_freq_menu_mhz.end() &&
+         std::find(mem_freq_menu_mhz.begin(), mem_freq_menu_mhz.end(),
+                   pair.mem_mhz) != mem_freq_menu_mhz.end();
+}
+
+DeviceSpec DeviceSpec::jetson_tk1() {
+  DeviceSpec spec;
+  spec.name = "Jetson TK1";
+  spec.cuda_cores = 192;
+  spec.items_per_core_cycle = 1.0 / 256.0;
+  spec.kernel_launch_seconds = 9e-6;  // Kepler-era dispatch latency
+  spec.peak_mem_bandwidth_bytes = 14.9e9;  // DDR3L-1866 on 64-bit bus
+  spec.core_freq_menu_mhz = {72, 108, 180, 252, 324, 396, 468, 540,
+                             612, 648, 684, 708, 756, 804, 852};
+  spec.mem_freq_menu_mhz = {204, 300, 396, 528, 600, 792, 924};
+  spec.static_power_w = 3.2;
+  spec.gpu_dynamic_power_w = 7.2;
+  spec.mem_dynamic_power_w = 2.8;
+  spec.idle_core_fraction = 0.25;
+  spec.core_v_min = 0.80;
+  spec.core_v_max = 1.10;
+  spec.validate();
+  return spec;
+}
+
+DeviceSpec DeviceSpec::jetson_tx1() {
+  DeviceSpec spec;
+  spec.name = "Jetson TX1";
+  spec.cuda_cores = 256;
+  // Maxwell retires graph work a bit more efficiently per clock.
+  spec.items_per_core_cycle = 1.0 / 224.0;
+  spec.kernel_launch_seconds = 6e-6;
+  spec.peak_mem_bandwidth_bytes = 25.6e9;  // LPDDR4 on 64-bit bus
+  spec.core_freq_menu_mhz = {76, 153, 230, 307, 384, 460, 537, 614,
+                             691, 768, 844, 921, 998};
+  spec.mem_freq_menu_mhz = {408, 665, 800, 1065, 1331, 1600};
+  spec.static_power_w = 2.8;
+  spec.gpu_dynamic_power_w = 6.4;
+  spec.mem_dynamic_power_w = 2.4;
+  // TX1's finer power gating wastes less idle power — the paper notes
+  // "continued improvements in DVFS set points on the TX1 versus TK1".
+  spec.idle_core_fraction = 0.12;
+  spec.core_v_min = 0.82;
+  spec.core_v_max = 1.08;
+  spec.validate();
+  return spec;
+}
+
+}  // namespace sssp::sim

@@ -1,0 +1,93 @@
+// Analytic device model of an embedded CPU+GPU board.
+//
+// Replaces the paper's physical Jetson TK1/TX1 testbeds. Parameters are
+// taken from the boards' public specifications (core counts, frequency
+// menus) and from typical embedded-GPU power envelopes; see DESIGN.md
+// for the substitution argument. The model is deliberately simple — a
+// roofline-style throughput model with per-kernel launch overhead and a
+// static+dynamic power split — because those are exactly the mechanisms
+// that produce the paper's observed delta/parallelism/power behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sssp::sim {
+
+struct FrequencyPair {
+  // MHz, matching the paper's "c/m" labels (e.g. 852/924).
+  std::uint32_t core_mhz;
+  std::uint32_t mem_mhz;
+
+  friend bool operator==(const FrequencyPair&, const FrequencyPair&) = default;
+  std::string label() const;  // "852/924"
+};
+
+struct DeviceSpec {
+  std::string name;
+
+  // --- compute ---
+  std::uint32_t cuda_cores = 192;
+  // Edge/vertex work items retired per core per cycle at full occupancy.
+  // Graph kernels are far from peak FLOP throughput: an irregular
+  // gather-scatter with an atomic-min costs a few hundred cycles per
+  // edge. 1/256 per core-cycle puts TK1 peak advance throughput at
+  // ~640 M edges/s, balanced against its memory roofline, so both DVFS
+  // knobs matter (as they do in the paper's Figures 6-7).
+  double items_per_core_cycle = 1.0 / 256.0;
+  // Fixed host->device kernel dispatch latency per stage launch (s).
+  // This is the term that makes tiny frontiers inefficient.
+  double kernel_launch_seconds = 8e-6;
+
+  // --- memory ---
+  // Bytes/s at the maximum memory frequency; scales linearly with mem_mhz.
+  double peak_mem_bandwidth_bytes = 14.0e9;
+  // Average bytes moved per edge relaxation / per frontier vertex.
+  double bytes_per_edge = 24.0;
+  double bytes_per_vertex = 12.0;
+
+  // --- frequency menus (sorted ascending) ---
+  std::vector<std::uint32_t> core_freq_menu_mhz;
+  std::vector<std::uint32_t> mem_freq_menu_mhz;
+  std::uint32_t max_core_mhz() const { return core_freq_menu_mhz.back(); }
+  std::uint32_t max_mem_mhz() const { return mem_freq_menu_mhz.back(); }
+  std::uint32_t min_core_mhz() const { return core_freq_menu_mhz.front(); }
+  std::uint32_t min_mem_mhz() const { return mem_freq_menu_mhz.front(); }
+
+  // --- power (watts) ---
+  // Board-level static power: CPU idle + rails + DRAM refresh. PowerMon
+  // measures the whole board, so this is included in every report.
+  double static_power_w = 3.2;
+  // GPU dynamic power at 100% utilization, max core frequency/voltage.
+  double gpu_dynamic_power_w = 7.0;
+  // Memory-system dynamic power at 100% bandwidth utilization, max freq.
+  double mem_dynamic_power_w = 2.6;
+  // Idle leakage of powered-on-but-unused cores as a fraction of
+  // gpu_dynamic_power_w (the "wasted idle power" of the paper's intro).
+  double idle_core_fraction = 0.25;
+  // Voltage scaling endpoints for the f·V^2 dynamic-power model: voltage
+  // interpolates linearly from v_min (at the lowest menu frequency) to
+  // v_max (at the highest).
+  double core_v_min = 0.82, core_v_max = 1.05;
+
+  // Validates menus (non-empty, sorted, positive) and physical
+  // parameters; throws std::invalid_argument on violation.
+  void validate() const;
+
+  // True if the pair picks entries from both menus.
+  bool supports(const FrequencyPair& pair) const;
+
+  FrequencyPair max_frequencies() const { return {max_core_mhz(), max_mem_mhz()}; }
+  FrequencyPair min_frequencies() const { return {min_core_mhz(), min_mem_mhz()}; }
+
+  // --- factory presets ---
+  // NVIDIA Jetson TK1: Kepler GK20A, 192 CUDA cores. Core menu from the
+  // board's gbus DVFS table; memory EMC menu abbreviated to the levels
+  // the paper sweeps.
+  static DeviceSpec jetson_tk1();
+  // NVIDIA Jetson TX1: Maxwell GM20B, 256 CUDA cores, faster LPDDR4.
+  static DeviceSpec jetson_tx1();
+};
+
+}  // namespace sssp::sim

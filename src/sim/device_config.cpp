@@ -1,0 +1,148 @@
+#include "sim/device_config.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sssp::sim {
+namespace {
+
+std::vector<std::uint32_t> parse_menu(const std::string& text,
+                                      std::size_t line_no) {
+  std::vector<std::uint32_t> menu;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      std::size_t pos = 0;
+      const unsigned long v = std::stoul(item, &pos);
+      if (pos != item.size()) throw std::invalid_argument(item);
+      menu.push_back(static_cast<std::uint32_t>(v));
+    } catch (const std::exception&) {
+      throw std::runtime_error("device config line " +
+                               std::to_string(line_no) +
+                               ": bad frequency '" + item + "'");
+    }
+  }
+  if (menu.empty())
+    throw std::runtime_error("device config line " + std::to_string(line_no) +
+                             ": empty frequency menu");
+  return menu;
+}
+
+double parse_number(const std::string& text, std::size_t line_no) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("device config line " + std::to_string(line_no) +
+                             ": bad number '" + text + "'");
+  }
+}
+
+}  // namespace
+
+DeviceSpec load_device_config(std::istream& in) {
+  DeviceSpec spec;  // defaults; config overrides
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.resize(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;
+    std::string value;
+    std::getline(ls, value);
+    // Trim leading whitespace of the value.
+    const auto first = value.find_first_not_of(" \t");
+    value = first == std::string::npos ? "" : value.substr(first);
+    const auto last = value.find_last_not_of(" \t\r");
+    if (last != std::string::npos) value.resize(last + 1);
+    if (value.empty())
+      throw std::runtime_error("device config line " +
+                               std::to_string(line_no) + ": missing value");
+
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "cuda_cores") {
+      spec.cuda_cores =
+          static_cast<std::uint32_t>(parse_number(value, line_no));
+    } else if (key == "items_per_core_cycle") {
+      spec.items_per_core_cycle = parse_number(value, line_no);
+    } else if (key == "kernel_launch_seconds") {
+      spec.kernel_launch_seconds = parse_number(value, line_no);
+    } else if (key == "peak_mem_bandwidth_bytes") {
+      spec.peak_mem_bandwidth_bytes = parse_number(value, line_no);
+    } else if (key == "bytes_per_edge") {
+      spec.bytes_per_edge = parse_number(value, line_no);
+    } else if (key == "bytes_per_vertex") {
+      spec.bytes_per_vertex = parse_number(value, line_no);
+    } else if (key == "core_freq_menu_mhz") {
+      spec.core_freq_menu_mhz = parse_menu(value, line_no);
+    } else if (key == "mem_freq_menu_mhz") {
+      spec.mem_freq_menu_mhz = parse_menu(value, line_no);
+    } else if (key == "static_power_w") {
+      spec.static_power_w = parse_number(value, line_no);
+    } else if (key == "gpu_dynamic_power_w") {
+      spec.gpu_dynamic_power_w = parse_number(value, line_no);
+    } else if (key == "mem_dynamic_power_w") {
+      spec.mem_dynamic_power_w = parse_number(value, line_no);
+    } else if (key == "idle_core_fraction") {
+      spec.idle_core_fraction = parse_number(value, line_no);
+    } else if (key == "core_v_min") {
+      spec.core_v_min = parse_number(value, line_no);
+    } else if (key == "core_v_max") {
+      spec.core_v_max = parse_number(value, line_no);
+    } else {
+      throw std::runtime_error("device config line " +
+                               std::to_string(line_no) + ": unknown key '" +
+                               key + "'");
+    }
+  }
+  if (spec.core_freq_menu_mhz.empty() || spec.mem_freq_menu_mhz.empty())
+    throw std::runtime_error(
+        "device config: core_freq_menu_mhz and mem_freq_menu_mhz are "
+        "required");
+  spec.validate();
+  return spec;
+}
+
+DeviceSpec load_device_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open device config: " + path);
+  return load_device_config(in);
+}
+
+void save_device_config(const DeviceSpec& spec, std::ostream& out) {
+  out << "name " << spec.name << "\n";
+  out << "cuda_cores " << spec.cuda_cores << "\n";
+  out << "items_per_core_cycle " << spec.items_per_core_cycle << "\n";
+  out << "kernel_launch_seconds " << spec.kernel_launch_seconds << "\n";
+  out << "peak_mem_bandwidth_bytes " << spec.peak_mem_bandwidth_bytes << "\n";
+  out << "bytes_per_edge " << spec.bytes_per_edge << "\n";
+  out << "bytes_per_vertex " << spec.bytes_per_vertex << "\n";
+  auto emit_menu = [&out](const char* key,
+                          const std::vector<std::uint32_t>& menu) {
+    out << key << " ";
+    for (std::size_t i = 0; i < menu.size(); ++i) {
+      if (i) out << ',';
+      out << menu[i];
+    }
+    out << "\n";
+  };
+  emit_menu("core_freq_menu_mhz", spec.core_freq_menu_mhz);
+  emit_menu("mem_freq_menu_mhz", spec.mem_freq_menu_mhz);
+  out << "static_power_w " << spec.static_power_w << "\n";
+  out << "gpu_dynamic_power_w " << spec.gpu_dynamic_power_w << "\n";
+  out << "mem_dynamic_power_w " << spec.mem_dynamic_power_w << "\n";
+  out << "idle_core_fraction " << spec.idle_core_fraction << "\n";
+  out << "core_v_min " << spec.core_v_min << "\n";
+  out << "core_v_max " << spec.core_v_max << "\n";
+}
+
+}  // namespace sssp::sim

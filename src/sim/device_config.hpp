@@ -1,0 +1,42 @@
+// Text-format device descriptions, so users can model boards beyond the
+// built-in TK1/TX1 presets (the paper's "power-portable code is hard
+// without self-tuning" point cuts both ways: evaluating portability
+// needs more devices than two).
+//
+// Format: one "key value" pair per line, '#' comments. Frequency menus
+// are comma-separated MHz lists. Unknown keys are errors (typo safety).
+//
+//   name            Jetson Nano (hypothetical)
+//   cuda_cores      128
+//   items_per_core_cycle  0.00390625
+//   kernel_launch_seconds 7e-6
+//   peak_mem_bandwidth_bytes 25.6e9
+//   bytes_per_edge  24
+//   bytes_per_vertex 12
+//   core_freq_menu_mhz 76,153,230,307,384,460,537,614,691,768,845,921
+//   mem_freq_menu_mhz  408,800,1600
+//   static_power_w  2.0
+//   gpu_dynamic_power_w 4.5
+//   mem_dynamic_power_w 1.8
+//   idle_core_fraction 0.10
+//   core_v_min 0.80
+//   core_v_max 1.05
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/device.hpp"
+
+namespace sssp::sim {
+
+// Parses a device description; starts from DeviceSpec defaults, so a
+// config may specify only what differs. The result is validate()d.
+// Throws std::runtime_error with a line number on malformed input.
+DeviceSpec load_device_config(std::istream& in);
+DeviceSpec load_device_config_file(const std::string& path);
+
+// Writes a complete config that round-trips through load_device_config.
+void save_device_config(const DeviceSpec& spec, std::ostream& out);
+
+}  // namespace sssp::sim

@@ -1,0 +1,60 @@
+#include "sim/dvfs.hpp"
+
+#include <stdexcept>
+
+namespace sssp::sim {
+
+FrequencyPair PinnedDvfs::initial(const DeviceSpec& device) {
+  if (!device.supports(freqs_))
+    throw std::invalid_argument("PinnedDvfs: " + freqs_.label() +
+                                " not in " + device.name + " menus");
+  return freqs_;
+}
+
+FrequencyPair PinnedDvfs::next(const DeviceSpec& /*device*/,
+                               const IterationTiming& /*last_iteration*/) {
+  return freqs_;
+}
+
+FrequencyPair DefaultGovernor::initial(const DeviceSpec& device) {
+  if (!initialized_) {
+    initialized_ = true;
+    core_index_ = tuning_.start_mid_menu ? device.core_freq_menu_mhz.size() / 2
+                                         : device.core_freq_menu_mhz.size() - 1;
+    mem_index_ = tuning_.start_mid_menu ? device.mem_freq_menu_mhz.size() / 2
+                                        : device.mem_freq_menu_mhz.size() - 1;
+  }
+  return {device.core_freq_menu_mhz[core_index_],
+          device.mem_freq_menu_mhz[mem_index_]};
+}
+
+FrequencyPair DefaultGovernor::next(const DeviceSpec& device,
+                                    const IterationTiming& last_iteration) {
+  if (!initialized_) return initial(device);
+
+  const double w = 1.0 / tuning_.ema_tau;
+  core_util_ema_ =
+      (1.0 - w) * core_util_ema_ + w * last_iteration.core_utilization;
+  mem_util_ema_ =
+      (1.0 - w) * mem_util_ema_ + w * last_iteration.mem_utilization;
+
+  auto step = [](std::size_t index, std::size_t menu_size, double util_ema,
+                 double raw_util, const Tuning& tuning) -> std::size_t {
+    // Jump up immediately on a saturated iteration (ondemand's burst
+    // response), step up on sustained load, drift down when idle.
+    if (raw_util > 0.95) return menu_size - 1;
+    if (util_ema > tuning.up_threshold && index + 1 < menu_size)
+      return index + 1;
+    if (util_ema < tuning.down_threshold && index > 0) return index - 1;
+    return index;
+  };
+
+  core_index_ = step(core_index_, device.core_freq_menu_mhz.size(),
+                     core_util_ema_, last_iteration.core_utilization, tuning_);
+  mem_index_ = step(mem_index_, device.mem_freq_menu_mhz.size(), mem_util_ema_,
+                    last_iteration.mem_utilization, tuning_);
+  return {device.core_freq_menu_mhz[core_index_],
+          device.mem_freq_menu_mhz[mem_index_]};
+}
+
+}  // namespace sssp::sim

@@ -1,0 +1,82 @@
+// DVFS policies: a pinned core/memory pair (the paper's explicit "c/m"
+// settings) and a utilization-driven default governor emulating the
+// board's own automatic policy (Linux ondemand-style).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/cost_model.hpp"
+#include "sim/device.hpp"
+
+namespace sssp::sim {
+
+class DvfsPolicy {
+ public:
+  virtual ~DvfsPolicy() = default;
+
+  // Operating point before the first iteration.
+  virtual FrequencyPair initial(const DeviceSpec& device) = 0;
+  // Operating point for the next iteration, given what the governor
+  // observed during the last one.
+  virtual FrequencyPair next(const DeviceSpec& device,
+                             const IterationTiming& last_iteration) = 0;
+  // Display label: "852/924" for pinned, "default" for the governor.
+  virtual std::string label() const = 0;
+  // Fresh policy with the same configuration (governors carry state, so
+  // each simulated run needs its own instance).
+  virtual std::unique_ptr<DvfsPolicy> clone() const = 0;
+};
+
+// Fixed frequencies for the whole run. Throws std::invalid_argument at
+// initial() if the device does not support the pair.
+class PinnedDvfs final : public DvfsPolicy {
+ public:
+  explicit PinnedDvfs(FrequencyPair freqs) : freqs_(freqs) {}
+
+  FrequencyPair initial(const DeviceSpec& device) override;
+  FrequencyPair next(const DeviceSpec& device,
+                     const IterationTiming& last_iteration) override;
+  std::string label() const override { return freqs_.label(); }
+  std::unique_ptr<DvfsPolicy> clone() const override {
+    return std::make_unique<PinnedDvfs>(freqs_);
+  }
+
+ private:
+  FrequencyPair freqs_;
+};
+
+// Ondemand-style governor: tracks an EMA of utilization and walks the
+// frequency menus one step at a time. Steps up eagerly (low up-delay,
+// like real governors that jump on load) and down conservatively.
+class DefaultGovernor final : public DvfsPolicy {
+ public:
+  struct Tuning {
+    double up_threshold = 0.75;    // raise freq when EMA util above this
+    double down_threshold = 0.30;  // lower freq when EMA util below this
+    double ema_tau = 3.0;          // smoothing of the utilization signal
+    // Start at the middle of the menu (boards boot mid-range and adapt).
+    bool start_mid_menu = true;
+  };
+
+  DefaultGovernor() : DefaultGovernor(Tuning{}) {}
+  explicit DefaultGovernor(Tuning tuning) : tuning_(tuning) {}
+
+  FrequencyPair initial(const DeviceSpec& device) override;
+  FrequencyPair next(const DeviceSpec& device,
+                     const IterationTiming& last_iteration) override;
+  std::string label() const override { return "default"; }
+  std::unique_ptr<DvfsPolicy> clone() const override {
+    return std::make_unique<DefaultGovernor>(tuning_);
+  }
+
+ private:
+  Tuning tuning_;
+  std::size_t core_index_ = 0;
+  std::size_t mem_index_ = 0;
+  double core_util_ema_ = 0.5;
+  double mem_util_ema_ = 0.5;
+  bool initialized_ = false;
+};
+
+}  // namespace sssp::sim

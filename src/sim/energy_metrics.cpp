@@ -1,0 +1,48 @@
+#include "sim/energy_metrics.hpp"
+
+#include <stdexcept>
+
+namespace sssp::sim {
+
+EnergyMetrics compute_energy_metrics(const RunReport& report) {
+  EnergyMetrics metrics;
+  metrics.energy_joules = report.energy_joules;
+  metrics.seconds = report.total_seconds;
+  metrics.average_power_w = report.average_power_w;
+  metrics.edp = report.energy_joules * report.total_seconds;
+  metrics.ed2p = metrics.edp * report.total_seconds;
+  return metrics;
+}
+
+RaceToHalt race_to_halt(const RunReport& report, double idle_power_w,
+                        double deadline_seconds) {
+  if (idle_power_w < 0.0)
+    throw std::invalid_argument("race_to_halt: negative idle power");
+  if (deadline_seconds < report.total_seconds)
+    throw std::invalid_argument(
+        "race_to_halt: deadline before the run finishes");
+  if (report.total_seconds <= 0.0)
+    throw std::invalid_argument("race_to_halt: empty run");
+
+  RaceToHalt result;
+  // Finish fast, then idle to the deadline.
+  result.run_energy_j = report.energy_joules +
+                        idle_power_w * (deadline_seconds - report.total_seconds);
+
+  // Stretch the work to exactly the deadline: slowdown s >= 1 reduces
+  // dynamic power by ~s^-3 (f*V^2 with voltage tracking frequency), but
+  // static/idle power burns for the full deadline.
+  const double s = deadline_seconds / report.total_seconds;
+  const double dynamic_power =
+      report.average_power_w > idle_power_w
+          ? report.average_power_w - idle_power_w
+          : 0.0;
+  result.stretched_energy_j =
+      idle_power_w * deadline_seconds +
+      (dynamic_power / (s * s * s)) * deadline_seconds;
+
+  result.race_wins = result.run_energy_j < result.stretched_energy_j;
+  return result;
+}
+
+}  // namespace sssp::sim

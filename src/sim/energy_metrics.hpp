@@ -1,0 +1,41 @@
+// Derived energy-efficiency metrics over run reports: energy-delay
+// products and the race-to-halt comparison ([3]'s framing of "how much
+// time and energy does my algorithm cost?").
+#pragma once
+
+#include "sim/device.hpp"
+#include "sim/run.hpp"
+
+namespace sssp::sim {
+
+struct EnergyMetrics {
+  double energy_joules = 0.0;
+  double seconds = 0.0;
+  double edp = 0.0;    // energy * delay (J*s)
+  double ed2p = 0.0;   // energy * delay^2 (J*s^2)
+  double average_power_w = 0.0;
+};
+
+EnergyMetrics compute_energy_metrics(const RunReport& report);
+
+// Race-to-halt analysis: energy of the measured run versus an idealized
+// alternative that does the same busy work at the same power but then
+// idles at `idle_power_w` until `deadline_seconds`. A run "wins the
+// race" when finishing fast and idling is cheaper than stretching the
+// work out — the rationale for the paper's performance-first points.
+struct RaceToHalt {
+  double run_energy_j = 0.0;        // energy to the deadline, run + idle
+  double stretched_energy_j = 0.0;  // hypothetical: work stretched to the
+                                    // deadline at proportionally lower
+                                    // dynamic power (frequency-scaled)
+  bool race_wins = false;
+};
+
+// deadline_seconds must be >= report.total_seconds. The stretched
+// alternative scales the dynamic (above-idle) power by the cube of the
+// slowdown's inverse (f*V^2 with V linear in f), the standard DVFS
+// energy model.
+RaceToHalt race_to_halt(const RunReport& report, double idle_power_w,
+                        double deadline_seconds);
+
+}  // namespace sssp::sim

@@ -1,0 +1,47 @@
+#include "sim/power_model.hpp"
+
+#include <algorithm>
+
+namespace sssp::sim {
+
+double core_voltage(const DeviceSpec& device, std::uint32_t core_mhz) {
+  const double f_min = static_cast<double>(device.min_core_mhz());
+  const double f_max = static_cast<double>(device.max_core_mhz());
+  const double f = std::clamp(static_cast<double>(core_mhz), f_min, f_max);
+  if (f_max == f_min) return device.core_v_max;
+  const double t = (f - f_min) / (f_max - f_min);
+  return device.core_v_min + t * (device.core_v_max - device.core_v_min);
+}
+
+double board_power(const DeviceSpec& device, const FrequencyPair& freqs,
+                   double core_utilization, double mem_utilization) {
+  const double u = std::clamp(core_utilization, 0.0, 1.0);
+  const double m = std::clamp(mem_utilization, 0.0, 1.0);
+
+  const double v = core_voltage(device, freqs.core_mhz);
+  const double v_ratio = v / device.core_v_max;
+  const double f_ratio = static_cast<double>(freqs.core_mhz) /
+                         static_cast<double>(device.max_core_mhz());
+
+  // Active cores: dynamic switching power ~ u * f * V^2.
+  const double active = u * f_ratio * v_ratio * v_ratio;
+  // Idle cores: leakage ~ V^2 only (no switching), scaled by the
+  // configured idle fraction.
+  const double idle = device.idle_core_fraction * (1.0 - u) * v_ratio * v_ratio;
+  const double gpu_power = device.gpu_dynamic_power_w * (active + idle);
+
+  // Memory: I/O power scales with achieved bandwidth; a small
+  // frequency-dependent floor models clocking the interface itself.
+  const double mem_f_ratio = static_cast<double>(freqs.mem_mhz) /
+                             static_cast<double>(device.max_mem_mhz());
+  const double mem_power =
+      device.mem_dynamic_power_w * mem_f_ratio * (0.15 + 0.85 * m);
+
+  return device.static_power_w + gpu_power + mem_power;
+}
+
+double idle_power(const DeviceSpec& device, const FrequencyPair& freqs) {
+  return board_power(device, freqs, 0.0, 0.0);
+}
+
+}  // namespace sssp::sim

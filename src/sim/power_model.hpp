@@ -1,0 +1,26 @@
+// Board-level power model: static + GPU dynamic + memory dynamic.
+//
+// Dynamic GPU power follows the classical f·V² CMOS model, with voltage
+// interpolated across the DVFS menu; idle-but-powered cores leak a
+// configurable fraction (the "idle cores consume their base power"
+// effect cited in the paper's introduction [1]). PowerMon measured the
+// whole board, so the model reports total board watts.
+#pragma once
+
+#include "sim/device.hpp"
+
+namespace sssp::sim {
+
+// Operating voltage at a core frequency (linear interpolation across the
+// device's menu range; clamped outside it).
+double core_voltage(const DeviceSpec& device, std::uint32_t core_mhz);
+
+// Instantaneous board power (watts) at the given operating point.
+//   core_utilization, mem_utilization in [0, 1] (clamped).
+double board_power(const DeviceSpec& device, const FrequencyPair& freqs,
+                   double core_utilization, double mem_utilization);
+
+// Power when the GPU is idle at the given frequencies (utilization 0).
+double idle_power(const DeviceSpec& device, const FrequencyPair& freqs);
+
+}  // namespace sssp::sim

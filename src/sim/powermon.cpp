@@ -1,0 +1,62 @@
+#include "sim/powermon.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sssp::sim {
+
+void PowerTrace::add_segment(double seconds, double watts) {
+  if (seconds < 0.0)
+    throw std::invalid_argument("PowerTrace: negative segment duration");
+  if (seconds == 0.0) return;
+  // Merge with the previous segment when power is unchanged, keeping the
+  // trace compact over long runs.
+  if (!segments_.empty() && segments_.back().watts == watts) {
+    segments_.back().seconds += seconds;
+  } else {
+    segments_.push_back({seconds, watts});
+  }
+  total_seconds_ += seconds;
+  total_joules_ += seconds * watts;
+  peak_watts_ = std::max(peak_watts_, watts);
+}
+
+double PowerTrace::average_power_w() const noexcept {
+  return total_seconds_ > 0.0 ? total_joules_ / total_seconds_ : 0.0;
+}
+
+double PowerTrace::peak_power_w() const noexcept { return peak_watts_; }
+
+double PowerTrace::power_at(double t) const {
+  if (t < 0.0) return 0.0;
+  double elapsed = 0.0;
+  for (const PowerSegment& seg : segments_) {
+    if (t < elapsed + seg.seconds) return seg.watts;
+    elapsed += seg.seconds;
+  }
+  return 0.0;
+}
+
+std::vector<double> PowerTrace::sample(double rate_hz) const {
+  if (rate_hz <= 0.0)
+    throw std::invalid_argument("PowerTrace: sample rate must be positive");
+  std::vector<double> samples;
+  const double period = 1.0 / rate_hz;
+  const auto count = static_cast<std::size_t>(total_seconds_ / period);
+  samples.reserve(count);
+  // Walk segments and sample ticks in one pass (O(n + samples)).
+  std::size_t seg = 0;
+  double seg_start = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = (static_cast<double>(i) + 0.5) * period;
+    while (seg < segments_.size() &&
+           t >= seg_start + segments_[seg].seconds) {
+      seg_start += segments_[seg].seconds;
+      ++seg;
+    }
+    samples.push_back(seg < segments_.size() ? segments_[seg].watts : 0.0);
+  }
+  return samples;
+}
+
+}  // namespace sssp::sim

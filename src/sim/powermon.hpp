@@ -1,0 +1,53 @@
+// PowerMon emulation: a piecewise-constant board-power trace with
+// sampling and integration.
+//
+// The physical PowerMon device [29] samples DC current at up to 1 kHz
+// and streams it to a host. The simulator produces exact piecewise-
+// constant power over time; sample() reproduces what the 1 kHz stream
+// would have reported, and energy()/average_power() integrate the exact
+// trace (no sampling error).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sssp::sim {
+
+struct PowerSegment {
+  double seconds;  // duration of the segment (>= 0)
+  double watts;    // constant power during the segment
+};
+
+class PowerTrace {
+ public:
+  // Appends a segment; zero-duration segments are dropped. Negative
+  // durations throw std::invalid_argument.
+  void add_segment(double seconds, double watts);
+
+  double duration_seconds() const noexcept { return total_seconds_; }
+  double energy_joules() const noexcept { return total_joules_; }
+  // Time-weighted mean power; 0 for an empty trace.
+  double average_power_w() const noexcept;
+  double peak_power_w() const noexcept;
+
+  // Instantaneous power at time t (seconds from trace start). Returns 0
+  // outside [0, duration).
+  double power_at(double t) const;
+
+  // Emulates a fixed-rate sampler (e.g. PowerMon's 1 kHz): returns one
+  // sample per 1/rate_hz seconds, sampling at the midpoint of each tick.
+  std::vector<double> sample(double rate_hz) const;
+
+  std::size_t num_segments() const noexcept { return segments_.size(); }
+  const std::vector<PowerSegment>& segments() const noexcept {
+    return segments_;
+  }
+
+ private:
+  std::vector<PowerSegment> segments_;
+  double total_seconds_ = 0.0;
+  double total_joules_ = 0.0;
+  double peak_watts_ = 0.0;
+};
+
+}  // namespace sssp::sim

@@ -1,0 +1,89 @@
+#include "sim/run.hpp"
+
+#include <stdexcept>
+
+#include "sim/power_model.hpp"
+
+namespace sssp::sim {
+
+RunReport simulate_run(const DeviceSpec& device, const DvfsPolicy& policy,
+                       const RunWorkload& workload,
+                       const SimulateOptions& options) {
+  device.validate();
+  RunReport report;
+  auto live_policy = policy.clone();
+  FrequencyPair freqs = live_policy->initial(device);
+
+  for (const IterationWork& work : workload.iterations) {
+    IterationTiming iteration;
+
+    // Stage 1 — advance: edge-mapped over the frontier's neighbor lists.
+    const StageTiming advance =
+        time_stage(device, freqs, work.edges_relaxed,
+                   static_cast<double>(work.edges_relaxed) * device.bytes_per_edge);
+    iteration.accumulate(advance);
+
+    // Stage 2 — filter: vertex-mapped over the updated frontier.
+    const StageTiming filter =
+        time_stage(device, freqs, work.x2,
+                   static_cast<double>(work.x2) * device.bytes_per_vertex);
+    iteration.accumulate(filter);
+
+    // Stage 3 — bisect-frontier over the filtered frontier.
+    const StageTiming bisect =
+        time_stage(device, freqs, work.x3,
+                   static_cast<double>(work.x3) * device.bytes_per_vertex);
+    iteration.accumulate(bisect);
+
+    // Stage 4 — bisect-far-queue / rebalancer: scans the frontier plus
+    // whatever far-queue partitions the rebalance touched.
+    const std::uint64_t stage4_items = work.x4 + work.rebalance_items;
+    const StageTiming rebalance =
+        time_stage(device, freqs, stage4_items,
+                   static_cast<double>(stage4_items) * device.bytes_per_vertex);
+    iteration.accumulate(rebalance);
+
+    iteration.finalize();
+
+    // GPU-busy portion of the iteration.
+    const double gpu_power = board_power(device, freqs,
+                                         iteration.core_utilization,
+                                         iteration.mem_utilization);
+    report.trace.add_segment(iteration.seconds, gpu_power);
+
+    // Host-side controller time: GPU idle, board at idle power.
+    if (work.controller_seconds > 0.0) {
+      report.trace.add_segment(work.controller_seconds,
+                               idle_power(device, freqs));
+      report.controller_seconds += work.controller_seconds;
+    }
+
+    if (options.keep_iteration_reports) {
+      report.iterations.push_back({iteration.seconds, gpu_power,
+                                   iteration.core_utilization,
+                                   iteration.mem_utilization, freqs});
+    }
+
+    freqs = live_policy->next(device, iteration);
+  }
+
+  report.total_seconds = report.trace.duration_seconds();
+  report.energy_joules = report.trace.energy_joules();
+  report.average_power_w = report.trace.average_power_w();
+  report.peak_power_w = report.trace.peak_power_w();
+  return report;
+}
+
+RelativeMetrics relative_to(const RunReport& run, const RunReport& baseline) {
+  if (run.total_seconds <= 0.0 || baseline.total_seconds <= 0.0)
+    throw std::invalid_argument("relative_to: runs must have positive time");
+  if (run.average_power_w <= 0.0 || baseline.average_power_w <= 0.0)
+    throw std::invalid_argument("relative_to: runs must have positive power");
+  RelativeMetrics m;
+  m.speedup = baseline.total_seconds / run.total_seconds;
+  m.relative_power = run.average_power_w / baseline.average_power_w;
+  m.relative_energy = run.energy_joules / baseline.energy_joules;
+  return m;
+}
+
+}  // namespace sssp::sim

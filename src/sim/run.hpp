@@ -1,0 +1,55 @@
+// Replays a recorded SSSP workload through the device model under a
+// DVFS policy, producing the quantities the paper reports: execution
+// time, average/peak power, and energy.
+#pragma once
+
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/device.hpp"
+#include "sim/dvfs.hpp"
+#include "sim/powermon.hpp"
+#include "sim/workload.hpp"
+
+namespace sssp::sim {
+
+struct IterationReport {
+  double seconds = 0.0;
+  double average_power_w = 0.0;
+  double core_utilization = 0.0;
+  double mem_utilization = 0.0;
+  FrequencyPair frequencies{0, 0};
+};
+
+struct RunReport {
+  double total_seconds = 0.0;
+  double energy_joules = 0.0;
+  double average_power_w = 0.0;
+  double peak_power_w = 0.0;
+  // Host-side controller time included in total_seconds.
+  double controller_seconds = 0.0;
+  PowerTrace trace;
+  std::vector<IterationReport> iterations;
+};
+
+struct SimulateOptions {
+  // Record per-iteration reports (large runs may disable to save memory).
+  bool keep_iteration_reports = true;
+};
+
+// The policy is cloned internally, so the same policy object can be
+// reused across runs.
+RunReport simulate_run(const DeviceSpec& device, const DvfsPolicy& policy,
+                       const RunWorkload& workload,
+                       const SimulateOptions& options = {});
+
+// Relative metrics against a baseline run (the paper's Figures 6/7 axes:
+// speedup = baseline_time / time, relative power = power / baseline_power).
+struct RelativeMetrics {
+  double speedup = 1.0;
+  double relative_power = 1.0;
+  double relative_energy = 1.0;
+};
+RelativeMetrics relative_to(const RunReport& run, const RunReport& baseline);
+
+}  // namespace sssp::sim

@@ -1,0 +1,53 @@
+#include "sim/trace_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace sssp::sim {
+
+void write_power_samples_csv(const PowerTrace& trace, double rate_hz,
+                             std::ostream& out) {
+  out << "time_s,watts\n";
+  const auto samples = trace.sample(rate_hz);
+  const double period = 1.0 / rate_hz;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out << (static_cast<double>(i) + 0.5) * period << ',' << samples[i]
+        << '\n';
+  }
+}
+
+void write_power_segments_csv(const PowerTrace& trace, std::ostream& out) {
+  out << "start_s,duration_s,watts\n";
+  double start = 0.0;
+  for (const PowerSegment& segment : trace.segments()) {
+    out << start << ',' << segment.seconds << ',' << segment.watts << '\n';
+    start += segment.seconds;
+  }
+}
+
+void write_run_report_csv(const RunReport& report, std::ostream& out) {
+  out << "iteration,seconds,avg_power_w,core_util,mem_util,core_mhz,mem_mhz\n";
+  for (std::size_t i = 0; i < report.iterations.size(); ++i) {
+    const IterationReport& it = report.iterations[i];
+    out << i << ',' << it.seconds << ',' << it.average_power_w << ','
+        << it.core_utilization << ',' << it.mem_utilization << ','
+        << it.frequencies.core_mhz << ',' << it.frequencies.mem_mhz << '\n';
+  }
+}
+
+void write_power_samples_csv_file(const PowerTrace& trace, double rate_hz,
+                                  const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_power_samples_csv(trace, rate_hz, out);
+}
+
+void write_run_report_csv_file(const RunReport& report,
+                               const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_run_report_csv(report, out);
+}
+
+}  // namespace sssp::sim

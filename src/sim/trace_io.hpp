@@ -1,0 +1,32 @@
+// CSV export of simulator outputs, for offline plotting: the PowerMon
+// power trace (as the 1 kHz sample stream or as exact segments) and the
+// per-iteration run report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/powermon.hpp"
+#include "sim/run.hpp"
+
+namespace sssp::sim {
+
+// "time_s,watts" rows; one row per sample at `rate_hz` (PowerMon-style).
+void write_power_samples_csv(const PowerTrace& trace, double rate_hz,
+                             std::ostream& out);
+
+// "start_s,duration_s,watts" rows; exact piecewise-constant segments.
+void write_power_segments_csv(const PowerTrace& trace, std::ostream& out);
+
+// "iteration,seconds,avg_power_w,core_util,mem_util,core_mhz,mem_mhz"
+// rows from a RunReport recorded with keep_iteration_reports.
+void write_run_report_csv(const RunReport& report, std::ostream& out);
+
+// File variants; throw std::runtime_error when the file cannot be
+// opened.
+void write_power_samples_csv_file(const PowerTrace& trace, double rate_hz,
+                                  const std::string& path);
+void write_run_report_csv_file(const RunReport& report,
+                               const std::string& path);
+
+}  // namespace sssp::sim

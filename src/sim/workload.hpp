@@ -1,0 +1,56 @@
+// The interface between the SSSP algorithms and the device simulator.
+//
+// The paper's experimental apparatus runs Gunrock kernels on a physical
+// Jetson board and measures wall-clock time and PowerMon power. Our
+// substitution (see DESIGN.md) executes the same algorithm on the host
+// and *records per-iteration work descriptors*; the simulator then
+// replays them through an analytic device model to produce time, power,
+// and energy. This file defines those descriptors. They are plain data
+// so the algorithm layer does not depend on any device-model details.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sssp::sim {
+
+// Work performed by one iteration of the near-far pipeline. Sizes use
+// the paper's notation (Section 3.1):
+//   x1 — input frontier size (vertices entering advance)
+//   x2 — updated frontier size after advance (== the paper's measure of
+//        "available parallelism"; equals the frontier's neighbor-list
+//        cardinality)
+//   x3 — frontier size after filter (duplicates removed)
+//   x4 — frontier size after bisect-frontier (near side)
+struct IterationWork {
+  std::uint64_t x1 = 0;
+  std::uint64_t x2 = 0;
+  std::uint64_t x3 = 0;
+  std::uint64_t x4 = 0;
+  // Edges relaxed by advance (total out-degree of the input frontier).
+  std::uint64_t edges_relaxed = 0;
+  // Vertices scanned while rebalancing frontier <-> far queue this
+  // iteration (0 when delta did not change and the near set was nonempty).
+  std::uint64_t rebalance_items = 0;
+  // Far-queue size after the iteration (drives bisect-far-queue cost).
+  std::uint64_t far_queue_size = 0;
+  // Host-side controller compute for this iteration, in seconds
+  // (measured wall-clock; 0 for the baseline algorithm).
+  double controller_seconds = 0.0;
+};
+
+// A whole run: the per-iteration trace plus identifying metadata.
+struct RunWorkload {
+  std::string algorithm;   // e.g. "near-far", "self-tuning"
+  std::string dataset;     // e.g. "Cal", "Wiki"
+  std::vector<IterationWork> iterations;
+
+  std::uint64_t total_edges_relaxed() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& it : iterations) total += it.edges_relaxed;
+    return total;
+  }
+};
+
+}  // namespace sssp::sim

@@ -1,0 +1,91 @@
+#include "sim/workload_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sssp::sim {
+namespace {
+
+constexpr const char* kHeader =
+    "algorithm,dataset,x1,x2,x3,x4,edges_relaxed,rebalance_items,"
+    "far_queue_size,controller_seconds";
+
+}  // namespace
+
+void save_workload_csv(const RunWorkload& workload, std::ostream& out) {
+  out << kHeader << '\n';
+  for (const IterationWork& it : workload.iterations) {
+    out << workload.algorithm << ',' << workload.dataset << ',' << it.x1
+        << ',' << it.x2 << ',' << it.x3 << ',' << it.x4 << ','
+        << it.edges_relaxed << ',' << it.rebalance_items << ','
+        << it.far_queue_size << ',' << it.controller_seconds << '\n';
+  }
+}
+
+void save_workload_csv_file(const RunWorkload& workload,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  save_workload_csv(workload, out);
+}
+
+RunWorkload load_workload_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader)
+    throw std::runtime_error("workload csv: missing or wrong header");
+
+  RunWorkload workload;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream ls(line);
+    std::string algorithm, dataset, cell;
+    if (!std::getline(ls, algorithm, ',') || !std::getline(ls, dataset, ','))
+      throw std::runtime_error("workload csv: malformed line " +
+                               std::to_string(line_no));
+    if (workload.iterations.empty()) {
+      workload.algorithm = algorithm;
+      workload.dataset = dataset;
+    }
+    IterationWork it;
+    auto next_u64 = [&](std::uint64_t& slot) {
+      if (!std::getline(ls, cell, ','))
+        throw std::runtime_error("workload csv: short line " +
+                                 std::to_string(line_no));
+      try {
+        slot = std::stoull(cell);
+      } catch (const std::exception&) {
+        throw std::runtime_error("workload csv: bad integer at line " +
+                                 std::to_string(line_no));
+      }
+    };
+    next_u64(it.x1);
+    next_u64(it.x2);
+    next_u64(it.x3);
+    next_u64(it.x4);
+    next_u64(it.edges_relaxed);
+    next_u64(it.rebalance_items);
+    next_u64(it.far_queue_size);
+    if (!std::getline(ls, cell, ','))
+      throw std::runtime_error("workload csv: short line " +
+                               std::to_string(line_no));
+    try {
+      it.controller_seconds = std::stod(cell);
+    } catch (const std::exception&) {
+      throw std::runtime_error("workload csv: bad number at line " +
+                               std::to_string(line_no));
+    }
+    workload.iterations.push_back(it);
+  }
+  return workload;
+}
+
+RunWorkload load_workload_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open workload csv: " + path);
+  return load_workload_csv(in);
+}
+
+}  // namespace sssp::sim

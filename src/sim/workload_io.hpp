@@ -1,0 +1,22 @@
+// Workload (de)serialization: record an algorithm's per-iteration trace
+// once, replay it through any device/DVFS combination later (or on
+// another machine) without re-running the algorithm. CSV format, one
+// iteration per row, self-describing header.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/workload.hpp"
+
+namespace sssp::sim {
+
+void save_workload_csv(const RunWorkload& workload, std::ostream& out);
+void save_workload_csv_file(const RunWorkload& workload,
+                            const std::string& path);
+
+// Throws std::runtime_error on a malformed header or row.
+RunWorkload load_workload_csv(std::istream& in);
+RunWorkload load_workload_csv_file(const std::string& path);
+
+}  // namespace sssp::sim

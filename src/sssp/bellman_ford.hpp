@@ -1,0 +1,21 @@
+// Frontier-based Bellman-Ford — the "maximum parallelism, maximum
+// redundant work" end of the SSSP design space, used as a comparison
+// point and as a stress test for the relaxation machinery. Optionally
+// runs rounds in parallel on the host thread pool with atomic-min
+// relaxations (the final distances are interleaving-independent).
+#pragma once
+
+#include "graph/csr.hpp"
+#include "sssp/result.hpp"
+
+namespace sssp::algo {
+
+struct BellmanFordOptions {
+  // Use the global host thread pool for each relaxation round.
+  bool parallel = false;
+};
+
+SsspResult bellman_ford(const graph::CsrGraph& graph, graph::VertexId source,
+                        const BellmanFordOptions& options = {});
+
+}  // namespace sssp::algo

@@ -1,0 +1,21 @@
+// Classic delta-stepping (Meyer & Sanders, 2003) with light/heavy edge
+// splitting — the algorithm the near-far method derives from, included
+// as a second baseline and for cross-validation.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "sssp/result.hpp"
+
+namespace sssp::algo {
+
+struct DeltaSteppingOptions {
+  // Bucket width. 0 selects the Meyer-Sanders heuristic
+  // delta = max(1, max_weight / max_degree).
+  graph::Distance delta = 0;
+};
+
+SsspResult delta_stepping(const graph::CsrGraph& graph,
+                          graph::VertexId source,
+                          const DeltaSteppingOptions& options = {});
+
+}  // namespace sssp::algo

@@ -1,0 +1,61 @@
+#include "sssp/delta_sweep.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/run.hpp"
+#include "sssp/near_far.hpp"
+
+namespace sssp::algo {
+
+DeltaSweepResult sweep_delta(const graph::CsrGraph& graph,
+                             graph::VertexId source,
+                             const sim::DeviceSpec& device,
+                             const sim::DvfsPolicy& policy,
+                             const DeltaSweepOptions& options) {
+  if (options.min_delta == 0 || options.min_delta > options.max_delta)
+    throw std::invalid_argument("sweep_delta: bad delta range");
+  if (options.ratio <= 1.0)
+    throw std::invalid_argument("sweep_delta: ratio must be > 1");
+
+  DeltaSweepResult result;
+  double best_seconds = 0.0;
+
+  double delta_f = static_cast<double>(options.min_delta);
+  graph::Distance previous = 0;
+  while (true) {
+    const auto delta = static_cast<graph::Distance>(delta_f);
+    if (delta > options.max_delta) break;
+    if (delta != previous) {  // geometric grid may repeat after rounding
+      previous = delta;
+
+      NearFarOptions nf;
+      nf.delta = delta;
+      const SsspResult run = near_far(graph, source, nf);
+      sim::SimulateOptions sim_opts;
+      sim_opts.keep_iteration_reports = false;
+      const sim::RunReport report =
+          sim::simulate_run(device, policy, run.to_workload(""), sim_opts);
+
+      DeltaSweepPoint point;
+      point.delta = delta;
+      point.simulated_seconds = report.total_seconds;
+      point.average_parallelism = run.average_parallelism();
+      point.average_power_w = report.average_power_w;
+      point.iterations = run.num_iterations();
+      point.improving_relaxations = run.improving_relaxations;
+      for (const auto& it : run.iterations)
+        point.max_x2 = std::max(point.max_x2, it.x2);
+      result.points.push_back(point);
+
+      if (result.best_delta == 0 || point.simulated_seconds < best_seconds) {
+        best_seconds = point.simulated_seconds;
+        result.best_delta = delta;
+      }
+    }
+    delta_f *= options.ratio;
+  }
+  return result;
+}
+
+}  // namespace sssp::algo

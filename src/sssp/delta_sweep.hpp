@@ -1,0 +1,46 @@
+// Delta autotuner for the baseline: sweeps a geometric grid of static
+// delta values, simulates each run on the target device, and reports
+// the time-minimizing delta. This is how the harness realizes the
+// paper's "baseline uses a delta that minimizes execution time".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "sim/device.hpp"
+#include "sim/dvfs.hpp"
+#include "sssp/result.hpp"
+
+namespace sssp::algo {
+
+struct DeltaSweepPoint {
+  graph::Distance delta = 0;
+  double simulated_seconds = 0.0;
+  double average_parallelism = 0.0;
+  double average_power_w = 0.0;
+  std::size_t iterations = 0;
+  std::uint64_t improving_relaxations = 0;
+  std::uint64_t max_x2 = 0;  // peak frontier load (Fig. 3's peak parallelism)
+};
+
+struct DeltaSweepResult {
+  std::vector<DeltaSweepPoint> points;
+  graph::Distance best_delta = 0;  // time-minimizing
+};
+
+struct DeltaSweepOptions {
+  // Geometric grid: delta = base * ratio^i while delta <= max_delta.
+  graph::Distance min_delta = 1;
+  graph::Distance max_delta = 1u << 20;
+  double ratio = 2.0;
+};
+
+// Runs near-far at each delta, timing on (device, policy).
+DeltaSweepResult sweep_delta(const graph::CsrGraph& graph,
+                             graph::VertexId source,
+                             const sim::DeviceSpec& device,
+                             const sim::DvfsPolicy& policy,
+                             const DeltaSweepOptions& options = {});
+
+}  // namespace sssp::algo

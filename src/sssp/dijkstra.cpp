@@ -1,0 +1,75 @@
+#include "sssp/dijkstra.hpp"
+
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace sssp::algo {
+
+std::vector<graph::Distance> dijkstra_distances(const graph::CsrGraph& graph,
+                                                graph::VertexId source) {
+  if (source >= graph.num_vertices())
+    throw std::invalid_argument("dijkstra: source out of range");
+
+  std::vector<graph::Distance> dist(graph.num_vertices(),
+                                    graph::kInfiniteDistance);
+  using Item = std::pair<graph::Distance, graph::VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.emplace(0, source);
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) continue;  // lazy-deleted stale entry
+    const auto neighbors = graph.neighbors(u);
+    const auto weights = graph.weights_of(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const graph::VertexId v = neighbors[i];
+      const graph::Distance nd = d + weights[i];
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  return dist;
+}
+
+SsspResult dijkstra(const graph::CsrGraph& graph, graph::VertexId source) {
+  if (source >= graph.num_vertices())
+    throw std::invalid_argument("dijkstra: source out of range");
+
+  SsspResult result;
+  result.algorithm = "dijkstra";
+  result.source = source;
+  result.distances.assign(graph.num_vertices(), graph::kInfiniteDistance);
+  result.parents.assign(graph.num_vertices(), graph::kInvalidVertex);
+
+  using Item = std::pair<graph::Distance, graph::VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  result.distances[source] = 0;
+  result.parents[source] = source;
+  heap.emplace(0, source);
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != result.distances[u]) continue;
+    const auto neighbors = graph.neighbors(u);
+    const auto weights = graph.weights_of(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const graph::VertexId v = neighbors[i];
+      const graph::Distance nd = d + weights[i];
+      if (nd < result.distances[v]) {
+        result.distances[v] = nd;
+        result.parents[v] = u;
+        ++result.improving_relaxations;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sssp::algo

@@ -1,0 +1,20 @@
+// Serial Dijkstra — the gold-standard reference every other algorithm
+// is property-tested against.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "sssp/result.hpp"
+
+namespace sssp::algo {
+
+// Binary-heap Dijkstra with lazy deletion. O((V + E) log V).
+// Throws std::invalid_argument for an out-of-range source.
+SsspResult dijkstra(const graph::CsrGraph& graph, graph::VertexId source);
+
+// Distance-only variant (no result bookkeeping) for tight loops.
+std::vector<graph::Distance> dijkstra_distances(const graph::CsrGraph& graph,
+                                                graph::VertexId source);
+
+}  // namespace sssp::algo

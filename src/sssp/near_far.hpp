@@ -1,0 +1,25 @@
+// The baseline near-far SSSP of Davidson et al. as implemented in
+// Gunrock (paper Section 3): a static user-chosen delta partitions the
+// frontier into a near queue (processed now) and a far queue (postponed).
+#pragma once
+
+#include "graph/csr.hpp"
+#include "sssp/result.hpp"
+
+namespace sssp::algo {
+
+struct NearFarOptions {
+  // Phase width. 0 selects mean edge weight (a common rule of thumb).
+  graph::Distance delta = 0;
+  // Safety valve for pathological inputs (0 = unlimited).
+  std::size_t max_iterations = 0;
+  // Relax large frontiers on the host thread pool (see
+  // frontier::NearFarEngine::Options). Distances remain exact; parents
+  // are derived from distances after the run.
+  bool parallel = false;
+};
+
+SsspResult near_far(const graph::CsrGraph& graph, graph::VertexId source,
+                    const NearFarOptions& options = {});
+
+}  // namespace sssp::algo

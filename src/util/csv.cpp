@@ -1,0 +1,89 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sssp::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::write_header(std::initializer_list<std::string_view> columns) {
+  std::vector<std::string> cells;
+  cells.reserve(columns.size());
+  for (auto c : columns) cells.emplace_back(c);
+  write_cells(cells);
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> cells_in) {
+  std::vector<std::string> cells;
+  cells.reserve(cells_in.size());
+  for (auto c : cells_in) cells.emplace_back(c);
+  write_cells(cells);
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(cell);
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) absorb(header_);
+  for (const auto& r : rows_) absorb(r);
+
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out += row[i];
+      if (i + 1 < row.size())
+        out.append(widths[i] - row[i].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i)
+      total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+}  // namespace sssp::util

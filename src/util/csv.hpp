@@ -1,0 +1,84 @@
+// Minimal CSV emission for experiment outputs.
+//
+// The benchmark harness prints every table/figure both as an aligned
+// human-readable table (stdout) and, optionally, as CSV (file) so plots
+// can be regenerated offline.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sssp::util {
+
+// Streams rows of comma-separated values with proper quoting.
+class CsvWriter {
+ public:
+  // Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_header(std::initializer_list<std::string_view> columns);
+  void write_row(std::initializer_list<std::string_view> cells);
+
+  // Typed row: formats each value with operator<<.
+  template <typename... Ts>
+  void write(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(format(values)), ...);
+    write_cells(cells);
+  }
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  template <typename T>
+  static std::string format(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  void write_cells(const std::vector<std::string>& cells);
+  static std::string escape(std::string_view cell);
+
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+// Aligned plain-text table for terminal output of experiment results.
+class TextTable {
+ public:
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  template <typename... Ts>
+  void add(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(CsvFormat(values)), ...);
+    add_row(std::move(cells));
+  }
+
+  std::string to_string() const;
+
+ private:
+  template <typename T>
+  static std::string CsvFormat(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sssp::util

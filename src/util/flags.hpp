@@ -1,0 +1,56 @@
+// A tiny command-line flag parser shared by the examples and the
+// benchmark harness. Supports "--name=value", "--name value", and
+// boolean "--name" / "--no-name". Unknown flags are reported as errors
+// so experiment scripts fail loudly rather than silently ignoring typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sssp::util {
+
+class Flags {
+ public:
+  // Parses argv; throws std::invalid_argument on malformed input.
+  // Positional (non --) arguments are collected in positional().
+  Flags(int argc, const char* const* argv);
+
+  // Register flags with defaults and help text; call before get_* so
+  // --help output is complete and unknown-flag detection works.
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  // Returns true if --help was passed; prints usage to stdout.
+  bool handle_help(const std::string& program_description) const;
+
+  // Throws std::invalid_argument if any parsed flag was never defined.
+  void check_unknown() const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+  };
+
+  std::string lookup(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sssp::util

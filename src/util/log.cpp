@@ -1,0 +1,64 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace sssp::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::once_flag g_env_once;
+
+void init_from_env() {
+  if (const char* env = std::getenv("SSSP_LOG")) {
+    g_level.store(parse_log_level(env), std::memory_order_relaxed);
+  }
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  std::call_once(g_env_once, init_from_env);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void set_log_level(LogLevel level) noexcept {
+  std::call_once(g_env_once, init_from_env);
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower += static_cast<char>(std::tolower(c));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+
+void emit(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace sssp::util

@@ -1,0 +1,43 @@
+// Tiny leveled logger. Experiments run in batch mode, so the default
+// level is kInfo; set SSSP_LOG=debug in the environment or call
+// set_level() to see controller traces.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sssp::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parse_log_level(const std::string& name) noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+// Stream-style logging: LOG(kInfo) << "x = " << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) noexcept : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::emit(level_, os_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= log_level()) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace sssp::util
+
+#define SSSP_LOG(level) ::sssp::util::LogLine(::sssp::util::LogLevel::level)

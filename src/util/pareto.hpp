@@ -1,0 +1,54 @@
+// Pareto-front extraction for cost/value tradeoff studies (the paper's
+// Figures 6-7 are exactly such planes: relative power = cost, speedup =
+// value).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sssp::util {
+
+struct ParetoPoint {
+  double cost = 0.0;   // minimize (e.g. relative power)
+  double value = 0.0;  // maximize (e.g. speedup)
+  std::size_t tag = 0; // caller's identifier for the configuration
+};
+
+// Returns the non-dominated subset, sorted by ascending cost. A point
+// dominates another when it has <= cost and >= value with at least one
+// strict inequality. Ties on both axes keep the first occurrence.
+inline std::vector<ParetoPoint> pareto_front(
+    std::span<const ParetoPoint> points) {
+  std::vector<ParetoPoint> sorted(points.begin(), points.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ParetoPoint& a, const ParetoPoint& b) {
+                     if (a.cost != b.cost) return a.cost < b.cost;
+                     return a.value > b.value;
+                   });
+  std::vector<ParetoPoint> front;
+  double best_value = -1e300;
+  for (const ParetoPoint& p : sorted) {
+    if (p.value > best_value) {
+      front.push_back(p);
+      best_value = p.value;
+    }
+  }
+  return front;
+}
+
+// True when `candidate` is dominated by any point in `points`.
+inline bool is_dominated(const ParetoPoint& candidate,
+                         std::span<const ParetoPoint> points) {
+  for (const ParetoPoint& p : points) {
+    const bool no_worse =
+        p.cost <= candidate.cost && p.value >= candidate.value;
+    const bool strictly_better =
+        p.cost < candidate.cost || p.value > candidate.value;
+    if (no_worse && strictly_better) return true;
+  }
+  return false;
+}
+
+}  // namespace sssp::util

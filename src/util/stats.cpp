@@ -1,0 +1,141 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace sssp::util {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void QuantileSummary::add(double x) {
+  data_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void QuantileSummary::add_all(std::span<const double> xs) {
+  data_.insert(data_.end(), xs.begin(), xs.end());
+  sorted_valid_ = false;
+}
+
+void QuantileSummary::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = data_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double QuantileSummary::quantile(double q) const {
+  if (data_.empty()) throw std::domain_error("quantile of empty sample");
+  if (q < 0.0 || q > 1.0) throw std::domain_error("quantile q out of [0,1]");
+  ensure_sorted();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double QuantileSummary::mean() const {
+  if (data_.empty()) return 0.0;
+  return std::accumulate(data_.begin(), data_.end(), 0.0) /
+         static_cast<double>(data_.size());
+}
+
+std::string QuantileSummary::five_number_summary() const {
+  std::ostringstream os;
+  os << quantile(0.0) << "/" << quantile(0.25) << "/" << quantile(0.5) << "/"
+     << quantile(0.75) << "/" << quantile(1.0);
+  return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins, Scale scale)
+    : lo_(lo), hi_(hi), scale_(scale), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram needs >= 1 bin");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram needs hi > lo");
+  if (scale_ == Scale::kLog && lo <= 0.0)
+    throw std::invalid_argument("log Histogram needs lo > 0");
+}
+
+std::size_t Histogram::bin_of(double x) const noexcept {
+  double t;
+  if (scale_ == Scale::kLinear) {
+    t = (x - lo_) / (hi_ - lo_);
+  } else {
+    const double lx = std::log(std::max(x, lo_));
+    t = (lx - std::log(lo_)) / (std::log(hi_) - std::log(lo_));
+  }
+  const double scaled = t * static_cast<double>(counts_.size());
+  if (scaled <= 0.0) return 0;
+  const auto b = static_cast<std::size_t>(scaled);
+  return std::min(b, counts_.size() - 1);
+}
+
+void Histogram::add(double x) noexcept {
+  ++counts_[bin_of(x)];
+  ++total_;
+}
+
+double Histogram::lower_edge(std::size_t bin) const {
+  const double t = static_cast<double>(bin) / static_cast<double>(counts_.size());
+  if (scale_ == Scale::kLinear) return lo_ + t * (hi_ - lo_);
+  return std::exp(std::log(lo_) + t * (std::log(hi_) - std::log(lo_)));
+}
+
+double Histogram::upper_edge(std::size_t bin) const { return lower_edge(bin + 1); }
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t b = 0; b < bins(); ++b) {
+    const double density =
+        total_ ? static_cast<double>(counts_[b]) / static_cast<double>(total_) : 0.0;
+    os << lower_edge(b) << " " << upper_edge(b) << " " << counts_[b] << " "
+       << density << "\n";
+  }
+  return os.str();
+}
+
+double relative_difference(double a, double b, double eps) noexcept {
+  const double denom = std::max({std::abs(a), std::abs(b), eps});
+  return std::abs(a - b) / denom;
+}
+
+}  // namespace sssp::util

@@ -1,0 +1,133 @@
+// Online and batch summary statistics used throughout the controller,
+// the benchmark harness, and the experiment reports.
+//
+// * OnlineStats   — Welford-style streaming mean/variance/min/max.
+// * Ema           — exponential moving average with a tunable time constant
+//                   (the building block of Algorithm 1's g/v/h estimates).
+// * QuantileSummary — batch quantiles over a stored sample (used to print
+//                   the distribution "insets" of Fig. 1 and the box plots
+//                   of Fig. 5).
+// * Histogram     — fixed-width or log-spaced counting histogram (Fig. 1
+//                   density panels).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sssp::util {
+
+// Streaming mean/variance via Welford's algorithm. O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+  void reset() noexcept { *this = OnlineStats{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  // Population variance; 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Exponential moving average with time constant tau (>= 1):
+//   y <- (1 - 1/tau) * y + (1/tau) * x.
+// tau may be changed between updates (Algorithm 1 adapts it every step).
+class Ema {
+ public:
+  explicit Ema(double initial = 0.0, double tau = 2.0) noexcept
+      : value_(initial), tau_(tau < 1.0 ? 1.0 : tau) {}
+
+  void set_tau(double tau) noexcept { tau_ = tau < 1.0 ? 1.0 : tau; }
+  double tau() const noexcept { return tau_; }
+
+  double update(double x) noexcept {
+    const double w = 1.0 / tau_;
+    value_ = (1.0 - w) * value_ + w * x;
+    return value_;
+  }
+
+  double value() const noexcept { return value_; }
+  void set_value(double v) noexcept { value_ = v; }
+
+ private:
+  double value_;
+  double tau_;
+};
+
+// Batch quantiles over a retained sample. Adding is O(1) amortized;
+// quantile() sorts lazily and caches until the next add.
+class QuantileSummary {
+ public:
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t count() const noexcept { return data_.size(); }
+  // q in [0, 1]; linear interpolation between order statistics.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double iqr() const { return quantile(0.75) - quantile(0.25); }
+  double min() const { return quantile(0.0); }
+  double max() const { return quantile(1.0); }
+  double mean() const;
+
+  // Five-number summary formatted as "min/q1/med/q3/max".
+  std::string five_number_summary() const;
+
+  std::span<const double> data() const noexcept { return data_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> data_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Counting histogram. Supports linear or logarithmic binning; values
+// outside [lo, hi) are clamped into the first/last bin so mass is never
+// silently dropped.
+class Histogram {
+ public:
+  enum class Scale { kLinear, kLog };
+
+  Histogram(double lo, double hi, std::size_t bins, Scale scale = Scale::kLinear);
+
+  void add(double x) noexcept;
+  std::size_t bin_of(double x) const noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const noexcept { return total_; }
+  // [lower, upper) edges of a bin.
+  double lower_edge(std::size_t bin) const;
+  double upper_edge(std::size_t bin) const;
+
+  // Render as rows "lo upper count density" for CSV/terminal output.
+  std::string to_string() const;
+
+ private:
+  double lo_, hi_;
+  Scale scale_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Convenience: relative difference |a-b| / max(|a|,|b|,eps).
+double relative_difference(double a, double b, double eps = 1e-12) noexcept;
+
+}  // namespace sssp::util

@@ -1,0 +1,125 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace sssp::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in parallel_for, so spawn one fewer.
+  for (std::size_t i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+    if (stop_) return;
+    seen_generation = generation_;
+    // Pull chunks until the batch is exhausted.
+    while (next_chunk_ < chunks_) {
+      const std::size_t chunk = next_chunk_++;
+      lock.unlock();
+      const std::size_t per = (n_ + chunks_ - 1) / chunks_;
+      const std::size_t begin = chunk * per;
+      const std::size_t end = std::min(n_, begin + per);
+      try {
+        if (begin < end) (*body_)(begin, end);
+      } catch (...) {
+        lock.lock();
+        if (!error_) error_ = std::current_exception();
+        ++done_chunks_;
+        done_cv_.notify_all();
+        continue;
+      }
+      lock.lock();
+      ++done_chunks_;
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    body(0, n);
+    return;
+  }
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  const std::size_t chunks = std::min(n, size() * 4);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    n_ = n;
+    chunks_ = chunks;
+    next_chunk_ = 0;
+    done_chunks_ = 0;
+    error_ = nullptr;
+    ++generation_;
+  }
+  cv_.notify_all();
+  // The caller helps drain chunks.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (next_chunk_ < chunks_) {
+      const std::size_t chunk = next_chunk_++;
+      lock.unlock();
+      const std::size_t per = (n_ + chunks_ - 1) / chunks_;
+      const std::size_t begin = chunk * per;
+      const std::size_t end = std::min(n_, begin + per);
+      try {
+        if (begin < end) body(begin, end);
+      } catch (...) {
+        lock.lock();
+        if (!error_) error_ = std::current_exception();
+        ++done_chunks_;
+        continue;
+      }
+      lock.lock();
+      ++done_chunks_;
+    }
+    done_cv_.wait(lock, [&] { return done_chunks_ == chunks_; });
+    if (error_) {
+      auto err = error_;
+      error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("SSSP_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  ThreadPool::global().parallel_for(n, body);
+}
+
+}  // namespace sssp::util

@@ -1,0 +1,70 @@
+// A small, dependency-free thread pool with a blocking parallel_for.
+//
+// The frontier pipeline can execute its per-vertex/per-edge loops on
+// multiple host threads. The *performance model* of the reproduction is
+// the analytic GPU simulator (sim/), so host parallelism here is about
+// wall-clock throughput of the experiments, not about the reported
+// numbers. Final distances are schedule-independent (atomic-min
+// relaxation); per-iteration statistics in parallel mode are not — see
+// frontier::NearFarEngine::Options — which is why the benchmark
+// harness records workloads with the deterministic serial pipeline.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sssp::util {
+
+class ThreadPool {
+ public:
+  // threads == 0 selects hardware_concurrency() (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  // Runs body(begin, end) over [0, n) split into roughly equal chunks,
+  // one per pool thread (the calling thread executes one chunk too).
+  // Blocks until every chunk finishes. Exceptions from body propagate
+  // to the caller (first one wins).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  // Global pool shared by the library (sized from SSSP_THREADS env var,
+  // default hardware_concurrency).
+  static ThreadPool& global();
+
+ private:
+  struct Task;
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+
+  // Single in-flight batch; parallel_for is serialized per pool.
+  std::mutex batch_mu_;
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t chunks_ = 0;
+  std::size_t next_chunk_ = 0;
+  std::size_t done_chunks_ = 0;
+  std::exception_ptr error_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+};
+
+// Convenience free function over the global pool. Falls back to a plain
+// serial loop when the pool has one thread (avoids synchronization cost).
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace sssp::util

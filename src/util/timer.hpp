@@ -1,0 +1,48 @@
+// Wall-clock timing helpers (steady clock).
+#pragma once
+
+#include <chrono>
+
+namespace sssp::util {
+
+// Simple steady-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_micros() const noexcept { return elapsed_seconds() * 1e6; }
+  double elapsed_millis() const noexcept { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across multiple start/stop intervals, e.g. to measure
+// the total controller overhead across all iterations of a run.
+class AccumulatingTimer {
+ public:
+  void start() noexcept { timer_.reset(); }
+  void stop() noexcept {
+    total_ += timer_.elapsed_seconds();
+    ++intervals_;
+  }
+
+  double total_seconds() const noexcept { return total_; }
+  std::size_t intervals() const noexcept { return intervals_; }
+  double mean_seconds() const noexcept {
+    return intervals_ ? total_ / static_cast<double>(intervals_) : 0.0;
+  }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+  std::size_t intervals_ = 0;
+};
+
+}  // namespace sssp::util

@@ -1,0 +1,136 @@
+#include "core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sssp::core {
+namespace {
+
+ControllerConfig basic_config(double set_point = 10000.0) {
+  ControllerConfig config;
+  config.set_point = set_point;
+  config.initial_delta = 100.0;
+  return config;
+}
+
+TEST(DeltaController, RejectsBadConfig) {
+  ControllerConfig config;  // set_point = 0
+  EXPECT_THROW(DeltaController{config}, std::invalid_argument);
+  config = basic_config();
+  config.min_delta = 0.0;
+  EXPECT_THROW(DeltaController{config}, std::invalid_argument);
+  config = basic_config();
+  config.min_delta = 10.0;
+  config.max_delta = 1.0;
+  EXPECT_THROW(DeltaController{config}, std::invalid_argument);
+  config = basic_config();
+  config.max_step_ratio = 0.0;
+  EXPECT_THROW(DeltaController{config}, std::invalid_argument);
+}
+
+TEST(DeltaController, StartsAtInitialDelta) {
+  DeltaController controller(basic_config());
+  EXPECT_DOUBLE_EQ(controller.delta(), 100.0);
+  EXPECT_DOUBLE_EQ(controller.set_point(), 10000.0);
+}
+
+TEST(DeltaController, ZeroInitialDeltaClampsToMin) {
+  ControllerConfig config = basic_config();
+  config.initial_delta = 0.0;
+  config.min_delta = 2.0;
+  DeltaController controller(config);
+  EXPECT_DOUBLE_EQ(controller.delta(), 2.0);
+}
+
+TEST(DeltaController, GrowsDeltaWhenFrontierTooSmall) {
+  DeltaController controller(basic_config(10000.0));
+  // Teach the advance model: degree ~ 4 (so target X1 = 2500).
+  for (int k = 0; k < 20; ++k) controller.observe_advance(100.0, 400.0);
+  // X4 = 100 << 2500: delta must grow.
+  const double before = controller.delta();
+  const double after = controller.plan_delta(100.0, 1000.0, 500.0, 400.0);
+  EXPECT_GT(after, before);
+}
+
+TEST(DeltaController, ShrinksDeltaWhenFrontierTooLarge) {
+  DeltaController controller(basic_config(1000.0));
+  for (int k = 0; k < 20; ++k) controller.observe_advance(100.0, 400.0);
+  // target X1 = 250, X4 = 50000: delta must shrink (bounded by min).
+  const double before = controller.delta();
+  const double after = controller.plan_delta(50000.0, 10.0, 10.0, 400.0);
+  EXPECT_LT(after, before);
+  EXPECT_GE(after, 1.0);  // min_delta
+}
+
+TEST(DeltaController, StepClampPreventsWildSwings) {
+  ControllerConfig config = basic_config(1e9);
+  config.max_step_ratio = 2.0;
+  DeltaController controller(config);
+  for (int k = 0; k < 20; ++k) controller.observe_advance(10.0, 20.0);
+  // Eq. 6 wants an enormous step; clamp holds it to 2x current delta.
+  const double before = controller.delta();
+  const double after = controller.plan_delta(1.0, 100.0, 1.0, 1000.0);
+  EXPECT_LE(after - before, 2.0 * before + 1e-9);
+}
+
+TEST(DeltaController, AlphaComesFromBootstrapBeforeConvergence) {
+  DeltaController controller(basic_config(10000.0));
+  for (int k = 0; k < 5; ++k) controller.observe_advance(1000.0, 4000.0);
+  // X4 = 5000 >= target 2500 -> Eq. 8 first branch: alpha = X4 / delta.
+  controller.plan_delta(5000.0, 100.0, 100.0, 1e6);
+  EXPECT_NEAR(controller.last_alpha(), 5000.0 / 100.0, 1.0);
+}
+
+TEST(DeltaController, BisectModelLearnsFromRealizedChanges) {
+  DeltaController controller(basic_config(10000.0));
+  // Simulated loop: every unit of delta adds ~20 vertices.
+  double x4 = 100.0;
+  for (int k = 0; k < 30; ++k) {
+    controller.observe_advance(x4, 4.0 * x4);
+    const double before = controller.delta();
+    const double after = controller.plan_delta(x4, 500.0, 200.0, before + 50.0);
+    const double dd = after - before;
+    x4 = std::max(1.0, x4 + 20.0 * dd);  // environment responds
+  }
+  EXPECT_GE(controller.bisect_model().observations(), 5u);
+  EXPECT_TRUE(controller.bisect_model().converged());
+  // Learned alpha should be in the right ballpark (vertices per distance).
+  EXPECT_GT(controller.bisect_model().learned_alpha(), 1.0);
+  EXPECT_LT(controller.bisect_model().learned_alpha(), 500.0);
+}
+
+TEST(DeltaController, ForceDeltaFeedsBisectModel) {
+  DeltaController controller(basic_config());
+  const std::uint64_t before = controller.bisect_model().observations();
+  controller.force_delta(500.0, 40.0);
+  EXPECT_DOUBLE_EQ(controller.delta(), 500.0);
+  controller.observe_advance(120.0, 480.0);  // realized X1 after the jump
+  EXPECT_EQ(controller.bisect_model().observations(), before + 1);
+}
+
+TEST(DeltaController, DeltaStaysWithinBounds) {
+  ControllerConfig config = basic_config(1e12);
+  config.min_delta = 10.0;
+  config.max_delta = 1000.0;
+  DeltaController controller(config);
+  for (int k = 0; k < 50; ++k) {
+    controller.observe_advance(10.0, 40.0);
+    const double delta = controller.plan_delta(1.0, 50.0, 1.0, 100.0);
+    ASSERT_GE(delta, 10.0);
+    ASSERT_LE(delta, 1000.0);
+  }
+  EXPECT_DOUBLE_EQ(controller.delta(), 1000.0);  // saturated at max
+}
+
+TEST(DeltaController, NoPendingObservationWhenDeltaUnchanged) {
+  ControllerConfig config = basic_config();
+  config.min_delta = 100.0;
+  config.max_delta = 100.0;  // delta frozen
+  DeltaController controller(config);
+  controller.observe_advance(10.0, 40.0);
+  controller.plan_delta(10.0, 20.0, 5.0, 1000.0);
+  controller.observe_advance(12.0, 48.0);
+  EXPECT_EQ(controller.bisect_model().observations(), 0u);
+}
+
+}  // namespace
+}  // namespace sssp::core

@@ -1,0 +1,75 @@
+#include "core/power_cap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/sssp/test_graphs.hpp"
+
+namespace sssp::core {
+namespace {
+
+class PowerCapTest : public ::testing::Test {
+ protected:
+  graph::CsrGraph graph_ = algo::testing::random_graph(4000, 6.0, 99, 55);
+  sim::DeviceSpec device_ = sim::DeviceSpec::jetson_tk1();
+  sim::DefaultGovernor policy_;
+};
+
+TEST_F(PowerCapTest, RejectsNonPositiveBudget) {
+  PowerCapOptions options;
+  EXPECT_THROW(
+      choose_set_point_for_power_cap(graph_, 0, device_, policy_, options),
+      std::invalid_argument);
+}
+
+TEST_F(PowerCapTest, GenerousBudgetAdmitsEveryCandidate) {
+  PowerCapOptions options;
+  options.power_budget_w = 1000.0;  // way above any board power
+  options.candidate_set_points = {500.0, 5000.0, 50000.0};
+  const PowerCapResult r = choose_set_point_for_power_cap(
+      graph_, 0, device_, policy_, options);
+  ASSERT_EQ(r.sweep.size(), 3u);
+  for (const auto& point : r.sweep) EXPECT_TRUE(point.within_budget);
+  EXPECT_GT(r.chosen_set_point, 0.0);
+  // Chosen point must be the fastest among within-budget points.
+  double best_time = 1e300;
+  double best_p = 0.0;
+  for (const auto& point : r.sweep) {
+    if (point.within_budget && point.simulated_seconds < best_time) {
+      best_time = point.simulated_seconds;
+      best_p = point.set_point;
+    }
+  }
+  EXPECT_DOUBLE_EQ(r.chosen_set_point, best_p);
+}
+
+TEST_F(PowerCapTest, ImpossibleBudgetYieldsBestEffortOnly) {
+  PowerCapOptions options;
+  options.power_budget_w = 0.5;  // below board static power
+  options.candidate_set_points = {500.0, 50000.0};
+  const PowerCapResult r = choose_set_point_for_power_cap(
+      graph_, 0, device_, policy_, options);
+  EXPECT_DOUBLE_EQ(r.chosen_set_point, 0.0);
+  EXPECT_GT(r.best_effort_set_point, 0.0);
+  for (const auto& point : r.sweep) EXPECT_FALSE(point.within_budget);
+  // Best-effort is the lowest-power candidate.
+  double lowest = 1e300;
+  double lowest_p = 0.0;
+  for (const auto& point : r.sweep) {
+    if (point.average_power_w < lowest) {
+      lowest = point.average_power_w;
+      lowest_p = point.set_point;
+    }
+  }
+  EXPECT_DOUBLE_EQ(r.best_effort_set_point, lowest_p);
+}
+
+TEST_F(PowerCapTest, DefaultGridIsGenerated) {
+  PowerCapOptions options;
+  options.power_budget_w = 100.0;
+  const PowerCapResult r = choose_set_point_for_power_cap(
+      graph_, 0, device_, policy_, options);
+  EXPECT_GE(r.sweep.size(), 3u);
+}
+
+}  // namespace
+}  // namespace sssp::core

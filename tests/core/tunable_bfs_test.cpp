@@ -1,0 +1,101 @@
+#include "core/tunable_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.hpp"
+#include "tests/sssp/test_graphs.hpp"
+
+namespace sssp::core {
+namespace {
+
+using algo::testing::diamond;
+using algo::testing::random_graph;
+using algo::testing::ring;
+
+TEST(BfsLevels, ReferenceOnKnownGraphs) {
+  const auto g = diamond();
+  const auto levels = bfs_levels(g, 0);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], 1u);
+  EXPECT_EQ(levels[3], 2u);
+
+  const auto r = ring(10);
+  const auto ring_levels = bfs_levels(r, 3);
+  EXPECT_EQ(ring_levels[3], 0u);
+  EXPECT_EQ(ring_levels[4], 1u);
+  EXPECT_EQ(ring_levels[2], 9u);
+}
+
+TEST(BfsLevels, UnreachableIsInfinite) {
+  const auto g = graph::build_csr(3, {{0, 1, 7}});
+  EXPECT_EQ(bfs_levels(g, 0)[2], graph::kInfiniteDistance);
+}
+
+TEST(BfsLevels, OutOfRangeSourceThrows) {
+  EXPECT_THROW(bfs_levels(ring(3), 5), std::invalid_argument);
+}
+
+TEST(TunableBfs, RejectsMissingSetPoint) {
+  EXPECT_THROW(tunable_bfs(ring(4), 0, TunableBfsOptions{}),
+               std::invalid_argument);
+}
+
+TEST(TunableBfs, LevelsExactRegardlessOfWeights) {
+  // The graph has non-unit weights; BFS must ignore them.
+  const auto g = random_graph(1500, 5.0, 99, 61);
+  TunableBfsOptions options;
+  options.set_point = 2000.0;
+  const auto result = tunable_bfs(g, 0, options);
+  EXPECT_EQ(result.levels, bfs_levels(g, 0));
+}
+
+TEST(TunableBfs, LevelsExactAcrossSetPoints) {
+  const auto g = random_graph(1000, 4.0, 50, 62);
+  const auto expected = bfs_levels(g, 7);
+  for (const double p : {10.0, 500.0, 50000.0}) {
+    TunableBfsOptions options;
+    options.set_point = p;
+    EXPECT_EQ(tunable_bfs(g, 7, options).levels, expected) << "P=" << p;
+  }
+}
+
+TEST(TunableBfs, SmallSetPointCapsLevelBursts) {
+  // On a scale-free graph the middle BFS levels are enormous; a small
+  // set-point must cap per-iteration work by postponing level slices.
+  const auto g =
+      graph::make_dataset(graph::Dataset::kWiki, {.scale = 1.0 / 256.0});
+  const auto src = graph::default_source(graph::Dataset::kWiki, g);
+
+  TunableBfsOptions capped;
+  capped.set_point = 2000.0;
+  TunableBfsOptions uncapped;
+  uncapped.set_point = 1e9;  // effectively no cap
+  const auto capped_run = tunable_bfs(g, src, capped);
+  const auto uncapped_run = tunable_bfs(g, src, uncapped);
+
+  auto peak_x2 = [](const TunableBfsResult& r) {
+    std::uint64_t peak = 0;
+    for (const auto& it : r.iterations) peak = std::max(peak, it.x2);
+    return peak;
+  };
+  EXPECT_LT(peak_x2(capped_run), peak_x2(uncapped_run) / 2);
+  // Capping trades burst size for more iterations.
+  EXPECT_GT(capped_run.iterations.size(), uncapped_run.iterations.size());
+  // Levels stay exact either way.
+  EXPECT_EQ(capped_run.levels, bfs_levels(g, src));
+}
+
+TEST(TunableBfs, GridWavefrontTracksSetPoint) {
+  const auto g = graph::make_dataset(graph::Dataset::kCal,
+                                     {.scale = 1.0 / 64.0});
+  const auto src = graph::default_source(graph::Dataset::kCal, g);
+  TunableBfsOptions options;
+  options.set_point = 2000.0;
+  const auto run = tunable_bfs(g, src, options);
+  EXPECT_EQ(run.levels, bfs_levels(g, src));
+  EXPECT_GT(run.average_parallelism, 200.0);
+}
+
+}  // namespace
+}  // namespace sssp::core

@@ -1,0 +1,100 @@
+#include "frontier/far_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sssp::frontier {
+namespace {
+
+using graph::Distance;
+using graph::kInfiniteDistance;
+using graph::VertexId;
+
+TEST(FarQueue, StartsEmpty) {
+  FarQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(FarQueue, DrainMovesEntriesBelowThreshold) {
+  FarQueue q;
+  std::vector<Distance> dist{5, 10, 20};
+  q.push(0, 5);
+  q.push(1, 10);
+  q.push(2, 20);
+  std::vector<VertexId> frontier;
+  const std::uint64_t scanned = q.drain_below(15, dist, frontier);
+  EXPECT_EQ(scanned, 3u);
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_EQ(frontier[0], 0u);
+  EXPECT_EQ(frontier[1], 1u);
+  EXPECT_EQ(q.size(), 1u);  // vertex 2 retained
+}
+
+TEST(FarQueue, DropsStaleEntries) {
+  FarQueue q;
+  std::vector<Distance> dist{3};  // improved since insertion
+  q.push(0, 7);
+  std::vector<VertexId> frontier;
+  q.drain_below(100, dist, frontier);
+  EXPECT_TRUE(frontier.empty());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FarQueue, RetainedEntriesSurviveMultipleDrains) {
+  FarQueue q;
+  std::vector<Distance> dist{50};
+  q.push(0, 50);
+  std::vector<VertexId> frontier;
+  q.drain_below(10, dist, frontier);
+  EXPECT_TRUE(frontier.empty());
+  EXPECT_EQ(q.size(), 1u);
+  q.drain_below(60, dist, frontier);
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier[0], 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FarQueue, MinLiveDistanceSkipsStale) {
+  FarQueue q;
+  std::vector<Distance> dist{3, 10, 20};
+  q.push(0, 7);   // stale (dist is 3)
+  q.push(1, 10);  // live
+  q.push(2, 20);  // live
+  EXPECT_EQ(q.min_live_distance(dist), 10u);
+}
+
+TEST(FarQueue, MinLiveDistanceAllStaleIsInfinite) {
+  FarQueue q;
+  std::vector<Distance> dist{1};
+  q.push(0, 9);
+  EXPECT_EQ(q.min_live_distance(dist), kInfiniteDistance);
+}
+
+TEST(FarQueue, MinLiveDistanceEmptyIsInfinite) {
+  FarQueue q;
+  std::vector<Distance> dist;
+  EXPECT_EQ(q.min_live_distance(dist), kInfiniteDistance);
+}
+
+TEST(FarQueue, DuplicateCopiesOnlyNewestIsLive) {
+  FarQueue q;
+  std::vector<Distance> dist{8};
+  q.push(0, 12);  // older copy, now stale
+  q.push(0, 8);   // current copy
+  std::vector<VertexId> frontier;
+  q.drain_below(100, dist, frontier);
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier[0], 0u);
+}
+
+TEST(FarQueue, ClearEmptiesQueue) {
+  FarQueue q;
+  q.push(0, 1);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace sssp::frontier

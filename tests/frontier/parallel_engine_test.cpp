@@ -1,0 +1,104 @@
+// Parallel-advance correctness: the thread-pool execution must produce
+// exact final distances at any thread count and any parallel threshold.
+// Per-iteration statistics are NOT asserted equal to serial — when the
+// frontier contains intra-frontier edges, same-iteration improvement
+// visibility is schedule-dependent (see NearFarEngine::Options) — so
+// the assertions here are the schedule-independent ones: distances,
+// X2-as-set-property, and frontier dedup.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "frontier/engine.hpp"
+#include "graph/types.hpp"
+#include "tests/sssp/test_graphs.hpp"
+
+namespace sssp::frontier {
+namespace {
+
+using graph::kInfiniteDistance;
+
+// Runs a Bellman-Ford-style sweep (bisect keeps everything) and returns
+// per-iteration (x1, x2, x3) plus the distances.
+struct SweepTrace {
+  std::vector<std::array<std::uint64_t, 3>> iterations;
+  std::vector<graph::Distance> distances;
+};
+
+SweepTrace run_sweep(const graph::CsrGraph& g, graph::VertexId source,
+                     const NearFarEngine::Options& options) {
+  NearFarEngine engine(g, source, options);
+  SweepTrace trace;
+  while (!engine.frontier_empty()) {
+    const auto advance = engine.advance_and_filter();
+    trace.iterations.push_back({advance.x1, advance.x2, advance.x3});
+    engine.bisect(kInfiniteDistance);
+  }
+  trace.distances = engine.distances();
+  return trace;
+}
+
+class ParallelEngineTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelEngineTest, ParallelSweepDistancesExact) {
+  const std::uint64_t seed = GetParam();
+  const auto g = algo::testing::random_graph(3000, 6.0, 99, seed);
+
+  const SweepTrace serial = run_sweep(g, 0, {.parallel = false});
+  // Threshold 1: every advance takes the parallel path.
+  const SweepTrace parallel =
+      run_sweep(g, 0, {.parallel = true, .parallel_threshold = 1});
+
+  EXPECT_EQ(parallel.distances, serial.distances);
+  // The first iteration starts from an identical frontier ({source}), so
+  // its X1/X2 are schedule-independent set properties.
+  ASSERT_FALSE(parallel.iterations.empty());
+  EXPECT_EQ(parallel.iterations.front()[0], serial.iterations.front()[0]);
+  EXPECT_EQ(parallel.iterations.front()[1], serial.iterations.front()[1]);
+  // Filter dedup bounds hold in every iteration.
+  for (const auto& it : parallel.iterations) {
+    EXPECT_LE(it[2], it[1]);  // x3 <= x2
+  }
+}
+
+TEST_P(ParallelEngineTest, MixedModeDistancesExact) {
+  const std::uint64_t seed = GetParam();
+  const auto g = algo::testing::random_graph(3000, 6.0, 99, seed ^ 0xF00);
+  const SweepTrace serial = run_sweep(g, 5, {.parallel = false});
+  // Mid threshold: small frontiers run serial, large ones parallel.
+  const SweepTrace mixed =
+      run_sweep(g, 5, {.parallel = true, .parallel_threshold = 512});
+  EXPECT_EQ(mixed.distances, serial.distances);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEngineTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ParallelEngine, ParentsInvalidOnlyAfterParallelAdvance) {
+  const auto g = algo::testing::random_graph(6000, 5.0, 99, 8);
+  NearFarEngine serial_engine(g, 0, {.parallel = false});
+  EXPECT_TRUE(serial_engine.parents_valid());
+
+  NearFarEngine parallel_engine(g, 0,
+                                {.parallel = true, .parallel_threshold = 1});
+  EXPECT_TRUE(parallel_engine.parents_valid());  // nothing ran yet
+  parallel_engine.advance_and_filter();
+  EXPECT_FALSE(parallel_engine.parents_valid());
+}
+
+TEST(ParallelEngine, UpdatedFrontierIsDuplicateFree) {
+  const auto g = algo::testing::random_graph(4000, 8.0, 9, 3);
+  NearFarEngine engine(g, 0, {.parallel = true, .parallel_threshold = 1});
+  while (!engine.frontier_empty()) {
+    engine.advance_and_filter();
+    engine.bisect(kInfiniteDistance);
+    std::vector<graph::VertexId> frontier(engine.frontier().begin(),
+                                          engine.frontier().end());
+    std::sort(frontier.begin(), frontier.end());
+    EXPECT_EQ(std::adjacent_find(frontier.begin(), frontier.end()),
+              frontier.end());
+  }
+}
+
+}  // namespace
+}  // namespace sssp::frontier

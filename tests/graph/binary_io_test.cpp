@@ -1,0 +1,87 @@
+#include "graph/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/rmat.hpp"
+
+namespace sssp::graph {
+namespace {
+
+TEST(BinaryIo, RoundTripSmallGraph) {
+  const CsrGraph g({0, 2, 3, 3}, {1, 2, 2}, {5, 3, 1});
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  const CsrGraph loaded = load_binary(buffer);
+  EXPECT_EQ(loaded.num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    EXPECT_EQ(loaded.targets()[i], g.targets()[i]);
+    EXPECT_EQ(loaded.weights()[i], g.weights()[i]);
+  }
+}
+
+TEST(BinaryIo, RoundTripGeneratedGraph) {
+  RmatOptions options;
+  options.scale = 11;
+  options.num_edges = 1 << 13;
+  const CsrGraph g = generate_rmat(options);
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  const CsrGraph loaded = load_binary(buffer);
+  ASSERT_EQ(loaded.num_edges(), g.num_edges());
+  EXPECT_EQ(loaded.offsets().back(), g.offsets().back());
+  for (std::size_t i = 0; i < g.num_edges(); i += 97)
+    EXPECT_EQ(loaded.targets()[i], g.targets()[i]);
+}
+
+TEST(BinaryIo, RoundTripEmptyGraph) {
+  const CsrGraph g(std::vector<EdgeIndex>{0}, {}, {});
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  const CsrGraph loaded = load_binary(buffer);
+  EXPECT_EQ(loaded.num_vertices(), 0u);
+  EXPECT_EQ(loaded.num_edges(), 0u);
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "NOTAGRAPHFILE................";
+  EXPECT_THROW(load_binary(buffer), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsTruncatedPayload) {
+  const CsrGraph g({0, 2, 3, 3}, {1, 2, 2}, {5, 3, 1});
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() - 4));
+  EXPECT_THROW(load_binary(truncated), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsImplausibleHeader) {
+  std::stringstream buffer;
+  buffer.write("TSSSPGR1", 8);
+  const std::uint64_t absurd = ~0ull;
+  buffer.write(reinterpret_cast<const char*>(&absurd), 8);
+  buffer.write(reinterpret_cast<const char*>(&absurd), 8);
+  EXPECT_THROW(load_binary(buffer), std::runtime_error);
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "graph_cache.bin";
+  const CsrGraph g({0, 1, 1}, {1}, {7});
+  save_binary_file(g, path);
+  const CsrGraph loaded = load_binary_file(path);
+  EXPECT_EQ(loaded.num_edges(), 1u);
+  EXPECT_EQ(loaded.weights()[0], 7u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, MissingFileThrows) {
+  EXPECT_THROW(load_binary_file("/nonexistent/g.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sssp::graph

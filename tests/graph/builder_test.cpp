@@ -1,0 +1,110 @@
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace sssp::graph {
+namespace {
+
+TEST(BuildCsr, BasicDirected) {
+  std::vector<Edge> edges{{0, 1, 10}, {1, 2, 20}, {0, 2, 30}};
+  const CsrGraph g = build_csr(3, edges);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  g.validate();
+}
+
+TEST(BuildCsr, RejectsOutOfRangeVertices) {
+  std::vector<Edge> edges{{0, 7, 1}};
+  EXPECT_THROW(build_csr(3, std::move(edges)), std::invalid_argument);
+}
+
+TEST(BuildCsr, RemovesSelfLoopsByDefault) {
+  std::vector<Edge> edges{{0, 0, 1}, {0, 1, 2}};
+  const CsrGraph g = build_csr(2, std::move(edges));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+}
+
+TEST(BuildCsr, KeepsSelfLoopsWhenAsked) {
+  std::vector<Edge> edges{{0, 0, 1}};
+  BuildOptions opts;
+  opts.remove_self_loops = false;
+  const CsrGraph g = build_csr(1, std::move(edges), opts);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(BuildCsr, MakeUndirectedAddsReverseEdges) {
+  std::vector<Edge> edges{{0, 1, 5}};
+  BuildOptions opts;
+  opts.make_undirected = true;
+  const CsrGraph g = build_csr(2, std::move(edges), opts);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.neighbors(1)[0], 0u);
+  EXPECT_EQ(g.weights_of(1)[0], 5u);
+}
+
+TEST(BuildCsr, DedupeKeepsMinimumWeight) {
+  std::vector<Edge> edges{{0, 1, 9}, {0, 1, 3}, {0, 1, 7}};
+  BuildOptions opts;
+  opts.dedupe_parallel_edges = true;
+  const CsrGraph g = build_csr(2, std::move(edges), opts);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.weights_of(0)[0], 3u);
+}
+
+TEST(BuildCsr, SortNeighborsProducesSortedAdjacency) {
+  std::vector<Edge> edges{{0, 3, 1}, {0, 1, 1}, {0, 2, 1}};
+  const CsrGraph g = build_csr(4, std::move(edges));
+  const auto nbrs = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(BuildCsr, UnsortedModePreservesAllEdges) {
+  std::vector<Edge> edges{{0, 3, 1}, {0, 1, 2}, {1, 0, 3}};
+  BuildOptions opts;
+  opts.sort_neighbors = false;
+  const CsrGraph g = build_csr(4, std::move(edges), opts);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+  g.validate();
+}
+
+TEST(BuildCsr, EmptyEdgeList) {
+  const CsrGraph g = build_csr(5, {});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.out_degree(v), 0u);
+}
+
+TEST(Reverse, ReversesEveryEdge) {
+  std::vector<Edge> edges{{0, 1, 10}, {1, 2, 20}, {0, 2, 30}};
+  const CsrGraph g = build_csr(3, edges);
+  const CsrGraph r = reverse(g);
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  EXPECT_EQ(r.out_degree(0), 0u);
+  EXPECT_EQ(r.out_degree(1), 1u);
+  EXPECT_EQ(r.out_degree(2), 2u);
+  EXPECT_EQ(r.neighbors(1)[0], 0u);
+  EXPECT_EQ(r.weights_of(1)[0], 10u);
+}
+
+TEST(Reverse, DoubleReverseIsIdentityOnSortedGraphs) {
+  std::vector<Edge> edges{{0, 1, 1}, {1, 2, 2}, {2, 0, 3}, {0, 2, 4}};
+  const CsrGraph g = build_csr(3, edges);
+  const CsrGraph rr = reverse(reverse(g));
+  ASSERT_EQ(rr.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < 3; ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = rr.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sssp::graph

@@ -1,0 +1,100 @@
+#include "graph/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/rmat.hpp"
+
+namespace sssp::graph {
+namespace {
+
+TEST(Components, SingleComponentRing) {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < 10; ++v) edges.push_back({v, (v + 1) % 10, 1});
+  const CsrGraph g = build_csr(10, std::move(edges));
+  const ComponentLabeling labeling = weakly_connected_components(g);
+  EXPECT_EQ(labeling.num_components(), 1u);
+  EXPECT_EQ(labeling.sizes[0], 10u);
+  EXPECT_EQ(labeling.largest_component(), 0u);
+}
+
+TEST(Components, DirectionIgnoredForWeakConnectivity) {
+  // 0 -> 1 and 2 -> 1: weakly one component despite no directed path
+  // from 0 to 2.
+  const CsrGraph g = build_csr(3, {{0, 1, 1}, {2, 1, 1}});
+  const ComponentLabeling labeling = weakly_connected_components(g);
+  EXPECT_EQ(labeling.num_components(), 1u);
+}
+
+TEST(Components, IsolatedVerticesAreOwnComponents) {
+  const CsrGraph g = build_csr(4, {{0, 1, 1}});
+  const ComponentLabeling labeling = weakly_connected_components(g);
+  EXPECT_EQ(labeling.num_components(), 3u);  // {0,1}, {2}, {3}
+  EXPECT_EQ(labeling.sizes[labeling.largest_component()], 2u);
+}
+
+TEST(Components, EmptyGraph) {
+  const CsrGraph g(std::vector<EdgeIndex>{0}, {}, {});
+  const ComponentLabeling labeling = weakly_connected_components(g);
+  EXPECT_EQ(labeling.num_components(), 0u);
+  EXPECT_THROW(labeling.largest_component(), std::logic_error);
+}
+
+TEST(Components, SizesSumToVertexCount) {
+  RmatOptions options;
+  options.scale = 10;
+  options.num_edges = 1 << 11;  // sparse: many components
+  const CsrGraph g = generate_rmat(options);
+  const ComponentLabeling labeling = weakly_connected_components(g);
+  std::size_t total = 0;
+  for (const std::size_t s : labeling.sizes) total += s;
+  EXPECT_EQ(total, g.num_vertices());
+  // Every label valid.
+  for (const std::uint32_t l : labeling.label)
+    EXPECT_LT(l, labeling.num_components());
+}
+
+TEST(ExtractComponent, PreservesEdgesAndWeights) {
+  // Two components: triangle {0,1,2} and edge {3,4}.
+  const CsrGraph g = build_csr(
+      5, {{0, 1, 5}, {1, 2, 6}, {2, 0, 7}, {3, 4, 9}});
+  const ComponentLabeling labeling = weakly_connected_components(g);
+  const ExtractedComponent triangle =
+      extract_component(g, labeling, labeling.label[0]);
+  EXPECT_EQ(triangle.graph.num_vertices(), 3u);
+  EXPECT_EQ(triangle.graph.num_edges(), 3u);
+  triangle.graph.validate();
+  // Round-trip the vertex maps.
+  for (VertexId nv = 0; nv < 3; ++nv) {
+    EXPECT_EQ(triangle.old_to_new[triangle.new_to_old[nv]], nv);
+  }
+  // Vertices 3 and 4 are not mapped.
+  EXPECT_EQ(triangle.old_to_new[3], kInvalidVertex);
+  EXPECT_EQ(triangle.old_to_new[4], kInvalidVertex);
+
+  const ExtractedComponent pair =
+      extract_component(g, labeling, labeling.label[3]);
+  EXPECT_EQ(pair.graph.num_vertices(), 2u);
+  EXPECT_EQ(pair.graph.num_edges(), 1u);
+  EXPECT_EQ(pair.graph.weights()[0], 9u);
+}
+
+TEST(ExtractComponent, RejectsBadArguments) {
+  const CsrGraph g = build_csr(2, {{0, 1, 1}});
+  const ComponentLabeling labeling = weakly_connected_components(g);
+  EXPECT_THROW(extract_component(g, labeling, 99), std::invalid_argument);
+  ComponentLabeling wrong = labeling;
+  wrong.label.pop_back();
+  EXPECT_THROW(extract_component(g, wrong, 0), std::invalid_argument);
+}
+
+TEST(LargestComponent, PicksTheBigOne) {
+  const CsrGraph g = build_csr(
+      6, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {4, 5, 1}});
+  const ExtractedComponent big = largest_component(g);
+  EXPECT_EQ(big.graph.num_vertices(), 4u);
+  EXPECT_EQ(big.graph.num_edges(), 3u);
+}
+
+}  // namespace
+}  // namespace sssp::graph

@@ -1,0 +1,72 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sssp::graph {
+namespace {
+
+CsrGraph make_triangle() {
+  // 0->1 (w=5), 0->2 (w=3), 1->2 (w=1)
+  return CsrGraph({0, 2, 3, 3}, {1, 2, 2}, {5, 3, 1});
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  CsrGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.mean_edge_weight(), 0.0);
+}
+
+TEST(CsrGraph, BasicAccessors) {
+  const CsrGraph g = make_triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.out_degree(2), 0u);
+
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  const auto w0 = g.weights_of(0);
+  EXPECT_EQ(w0[0], 5u);
+  EXPECT_EQ(w0[1], 3u);
+}
+
+TEST(CsrGraph, EdgeIndexAccessors) {
+  const CsrGraph g = make_triangle();
+  EXPECT_EQ(g.edge_begin(1), 2u);
+  EXPECT_EQ(g.edge_end(1), 3u);
+  EXPECT_EQ(g.edge_target(2), 2u);
+  EXPECT_EQ(g.edge_weight(2), 1u);
+}
+
+TEST(CsrGraph, MeanEdgeWeight) {
+  const CsrGraph g = make_triangle();
+  EXPECT_DOUBLE_EQ(g.mean_edge_weight(), 3.0);
+}
+
+TEST(CsrGraph, ValidatePasses) {
+  EXPECT_NO_THROW(make_triangle().validate());
+}
+
+TEST(CsrGraph, ConstructorRejectsMismatchedSizes) {
+  EXPECT_THROW(CsrGraph({0, 1}, {0, 0}, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(CsrGraph({0, 2}, {0, 0}, {1}), std::invalid_argument);
+  EXPECT_THROW(CsrGraph({}, {}, {}), std::invalid_argument);
+}
+
+TEST(CsrGraph, ValidateCatchesOutOfRangeTarget) {
+  const CsrGraph g({0, 1}, {5}, {1});  // vertex 5 doesn't exist
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(CsrGraph, MemoryBytesNonzero) {
+  EXPECT_GT(make_triangle().memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace sssp::graph

@@ -1,0 +1,86 @@
+#include "graph/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/degree_stats.hpp"
+
+namespace sssp::graph {
+namespace {
+
+TEST(Datasets, NamesAndParsing) {
+  EXPECT_EQ(dataset_name(Dataset::kCal), "Cal");
+  EXPECT_EQ(dataset_name(Dataset::kWiki), "Wiki");
+  EXPECT_EQ(parse_dataset("cal"), Dataset::kCal);
+  EXPECT_EQ(parse_dataset("WIKI"), Dataset::kWiki);
+  EXPECT_EQ(parse_dataset("road"), Dataset::kCal);
+  EXPECT_THROW(parse_dataset("facebook"), std::invalid_argument);
+}
+
+TEST(Datasets, RejectsBadScale) {
+  EXPECT_THROW(make_dataset(Dataset::kCal, {.scale = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(make_dataset(Dataset::kCal, {.scale = 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Datasets, CalLikeShapeAtSmallScale) {
+  const CsrGraph g = make_dataset(Dataset::kCal, {.scale = 1.0 / 128.0});
+  g.validate();
+  const DegreeStats s = compute_degree_stats(g);
+  // Cal: ~2.45 directed edges per node, low max degree, not scale-free.
+  EXPECT_NEAR(s.mean_degree, 2.45, 0.8) << to_string(s);
+  EXPECT_FALSE(looks_scale_free(s));
+  // Node count within 20% of the scaled target.
+  const double target = 1890815.0 / 128.0;
+  EXPECT_NEAR(static_cast<double>(s.num_vertices), target, target * 0.2);
+}
+
+TEST(Datasets, WikiLikeShapeAtSmallScale) {
+  const CsrGraph g = make_dataset(Dataset::kWiki, {.scale = 1.0 / 128.0});
+  g.validate();
+  const DegreeStats s = compute_degree_stats(g);
+  EXPECT_TRUE(looks_scale_free(s)) << to_string(s);
+  // Edge count within 15% of the scaled target (self-loops removed).
+  const double target = 19735890.0 / 128.0;
+  EXPECT_NEAR(static_cast<double>(s.num_edges), target, target * 0.15);
+  // Weights follow the paper's U[1, 99].
+  for (std::size_t i = 0; i < std::min<std::size_t>(g.num_edges(), 5000); ++i) {
+    EXPECT_GE(g.weights()[i], 1u);
+    EXPECT_LE(g.weights()[i], 99u);
+  }
+}
+
+TEST(Datasets, DefaultSourceIsConnectedHub) {
+  const CsrGraph wiki = make_dataset(Dataset::kWiki, {.scale = 1.0 / 256.0});
+  const VertexId src = default_source(Dataset::kWiki, wiki);
+  EXPECT_GT(wiki.out_degree(src), 0u);
+  // Wiki source is the max-degree vertex.
+  EXPECT_EQ(src, max_degree_vertex(wiki));
+
+  const CsrGraph cal = make_dataset(Dataset::kCal, {.scale = 1.0 / 256.0});
+  const VertexId cal_src = default_source(Dataset::kCal, cal);
+  EXPECT_LT(cal_src, cal.num_vertices());
+}
+
+TEST(Datasets, PaperTable1RowsMatchPaper) {
+  const auto cal = paper_table1_row(Dataset::kCal);
+  EXPECT_EQ(cal.nodes, 1890815u);
+  EXPECT_EQ(cal.edges, 4630444u);
+  const auto wiki = paper_table1_row(Dataset::kWiki);
+  EXPECT_EQ(wiki.nodes, 1634989u);
+  EXPECT_EQ(wiki.edges, 19735890u);
+  EXPECT_EQ(wiki.max_degree, 4970u);
+}
+
+TEST(Datasets, DeterministicPerSeed) {
+  const CsrGraph a = make_dataset(Dataset::kWiki, {.scale = 1.0 / 512.0, .seed = 3});
+  const CsrGraph b = make_dataset(Dataset::kWiki, {.scale = 1.0 / 512.0, .seed = 3});
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t i = 0; i < a.num_edges(); ++i) {
+    EXPECT_EQ(a.targets()[i], b.targets()[i]);
+    EXPECT_EQ(a.weights()[i], b.weights()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sssp::graph

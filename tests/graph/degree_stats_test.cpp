@@ -1,0 +1,77 @@
+#include "graph/degree_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace sssp::graph {
+namespace {
+
+TEST(DegreeStats, StarGraph) {
+  // Vertex 0 points to 1..9.
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < 10; ++v) edges.push_back({0, v, 1});
+  const CsrGraph g = build_csr(10, std::move(edges));
+  const DegreeStats s = compute_degree_stats(g);
+  EXPECT_EQ(s.num_vertices, 10u);
+  EXPECT_EQ(s.num_edges, 9u);
+  EXPECT_EQ(s.max_degree, 9u);
+  EXPECT_EQ(s.min_degree, 0u);
+  EXPECT_EQ(s.isolated_vertices, 9u);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 0.9);
+  EXPECT_EQ(s.median_degree, 0u);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const DegreeStats s = compute_degree_stats(CsrGraph({0}, {}, {}));
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.max_degree, 0u);
+}
+
+TEST(DegreeStats, ToStringMentionsCounts) {
+  std::vector<Edge> edges{{0, 1, 1}};
+  const CsrGraph g = build_csr(2, std::move(edges));
+  const std::string s = to_string(compute_degree_stats(g));
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("m=1"), std::string::npos);
+}
+
+TEST(LooksScaleFree, RejectsRegularGraph) {
+  // Ring: every vertex has degree 1.
+  std::vector<Edge> edges;
+  const VertexId n = 1000;
+  for (VertexId v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n, 1});
+  const CsrGraph g = build_csr(n, std::move(edges));
+  EXPECT_FALSE(looks_scale_free(compute_degree_stats(g)));
+}
+
+TEST(LooksScaleFree, AcceptsHubbyGraph) {
+  // 10000 vertices, most degree ~1, 15 hubs (top 0.15%) of degree ~500 so
+  // the p999 order statistic lands inside the hub set.
+  std::vector<Edge> edges;
+  const VertexId n = 10000;
+  for (VertexId v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n, 1});
+  for (VertexId hub = 0; hub < 15; ++hub)
+    for (VertexId i = 0; i < 500; ++i)
+      edges.push_back({hub, (hub * 97 + i * 13) % n, 1});
+  const CsrGraph g = build_csr(n, std::move(edges));
+  EXPECT_TRUE(looks_scale_free(compute_degree_stats(g)));
+}
+
+TEST(CountReachable, LineGraph) {
+  std::vector<Edge> edges{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}};
+  const CsrGraph g = build_csr(5, std::move(edges));  // vertex 4 disconnected
+  EXPECT_EQ(count_reachable(g, 0), 4u);
+  EXPECT_EQ(count_reachable(g, 2), 2u);
+  EXPECT_EQ(count_reachable(g, 4), 1u);
+  EXPECT_EQ(count_reachable(g, 99), 0u);  // out of range
+}
+
+TEST(MaxDegreeVertex, FindsHub) {
+  std::vector<Edge> edges{{3, 0, 1}, {3, 1, 1}, {3, 2, 1}, {0, 1, 1}};
+  const CsrGraph g = build_csr(4, std::move(edges));
+  EXPECT_EQ(max_degree_vertex(g), 3u);
+}
+
+}  // namespace
+}  // namespace sssp::graph

@@ -1,0 +1,95 @@
+#include "graph/dimacs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sssp::graph {
+namespace {
+
+TEST(Dimacs, ParsesWellFormedInput) {
+  std::istringstream in(
+      "c sample graph\n"
+      "p sp 3 3\n"
+      "a 1 2 10\n"
+      "a 2 3 20\n"
+      "a 1 3 99\n");
+  const CsrGraph g = load_dimacs(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.weights_of(1)[0], 20u);
+}
+
+TEST(Dimacs, SkipsBlankLinesAndComments) {
+  std::istringstream in(
+      "c one\n"
+      "\n"
+      "p sp 2 1\n"
+      "c two\n"
+      "a 1 2 7\n");
+  const CsrGraph g = load_dimacs(in);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Dimacs, RejectsArcBeforeProblemLine) {
+  std::istringstream in("a 1 2 3\n");
+  EXPECT_THROW(load_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsMissingProblemLine) {
+  std::istringstream in("c only comments\n");
+  EXPECT_THROW(load_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsWrongProblemKind) {
+  std::istringstream in("p max 3 3\n");
+  EXPECT_THROW(load_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsOutOfRangeVertex) {
+  std::istringstream in("p sp 2 1\na 1 5 1\n");
+  EXPECT_THROW(load_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsZeroVertexId) {
+  std::istringstream in("p sp 2 1\na 0 1 1\n");
+  EXPECT_THROW(load_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsUnknownRecordType) {
+  std::istringstream in("p sp 1 0\nz 1 1 1\n");
+  EXPECT_THROW(load_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, RoundTripThroughSaveAndLoad) {
+  std::istringstream in(
+      "p sp 4 4\n"
+      "a 1 2 5\n"
+      "a 2 3 6\n"
+      "a 3 4 7\n"
+      "a 4 1 8\n");
+  const CsrGraph g = load_dimacs(in);
+  std::ostringstream out;
+  save_dimacs(g, out, "round trip");
+  std::istringstream in2(out.str());
+  const CsrGraph g2 = load_dimacs(in2);
+  ASSERT_EQ(g2.num_vertices(), g.num_vertices());
+  ASSERT_EQ(g2.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = g2.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]);
+      EXPECT_EQ(g.weights_of(v)[i], g2.weights_of(v)[i]);
+    }
+  }
+}
+
+TEST(Dimacs, MissingFileThrows) {
+  EXPECT_THROW(load_dimacs_file("/nonexistent/file.gr"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sssp::graph

@@ -1,0 +1,104 @@
+#include "graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sssp::graph {
+namespace {
+
+TEST(EdgeList, ParsesWeightedLines) {
+  std::istringstream in(
+      "# comment\n"
+      "0 1 10\n"
+      "1 2 20\n"
+      "% another comment\n"
+      "\n"
+      "0 2 30\n");
+  const CsrGraph g = load_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.weights_of(0)[0], 10u);
+}
+
+TEST(EdgeList, MissingWeightsDrawnFromRange) {
+  std::istringstream in("0 1\n1 2\n2 3\n");
+  EdgeListOptions options;
+  options.default_min_weight = 5;
+  options.default_max_weight = 9;
+  const CsrGraph g = load_edge_list(in, options);
+  for (const Weight w : g.weights()) {
+    EXPECT_GE(w, 5u);
+    EXPECT_LE(w, 9u);
+  }
+}
+
+TEST(EdgeList, RandomWeightsDeterministicPerSeed) {
+  const std::string text = "0 1\n1 2\n";
+  EdgeListOptions options;
+  options.weight_seed = 33;
+  std::istringstream a(text), b(text);
+  const CsrGraph ga = load_edge_list(a, options);
+  const CsrGraph gb = load_edge_list(b, options);
+  for (std::size_t i = 0; i < ga.num_edges(); ++i)
+    EXPECT_EQ(ga.weights()[i], gb.weights()[i]);
+}
+
+TEST(EdgeList, UndirectedOptionAddsReverses) {
+  std::istringstream in("0 1 3\n");
+  EdgeListOptions options;
+  options.make_undirected = true;
+  const CsrGraph g = load_edge_list(in, options);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.neighbors(1)[0], 0u);
+}
+
+TEST(EdgeList, SelfLoopsRemoved) {
+  std::istringstream in("0 0 1\n0 1 2\n");
+  const CsrGraph g = load_edge_list(in);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(EdgeList, VertexCountFromMaxId) {
+  std::istringstream in("0 7 1\n");
+  const CsrGraph g = load_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 8u);
+}
+
+TEST(EdgeList, EmptyInputGivesEmptyGraph) {
+  std::istringstream in("# nothing\n");
+  const CsrGraph g = load_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(EdgeList, RejectsMalformedLine) {
+  std::istringstream in("0\n");
+  EXPECT_THROW(load_edge_list(in), std::runtime_error);
+}
+
+TEST(EdgeList, RejectsHugeVertexIds) {
+  std::istringstream in("0 99999999999 1\n");
+  EXPECT_THROW(load_edge_list(in), std::runtime_error);
+}
+
+TEST(EdgeList, RejectsBadWeightOptions) {
+  std::istringstream in("0 1\n");
+  EdgeListOptions options;
+  options.default_min_weight = 10;
+  options.default_max_weight = 1;
+  EXPECT_THROW(load_edge_list(in, options), std::invalid_argument);
+}
+
+TEST(EdgeList, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list_file("/nonexistent/x.txt"), std::runtime_error);
+}
+
+TEST(EdgeList, OversizedWeightClamped) {
+  std::istringstream in("0 1 99999999999\n");
+  const CsrGraph g = load_edge_list(in);
+  EXPECT_EQ(g.weights()[0], 0xFFFFFFFFu);
+}
+
+}  // namespace
+}  // namespace sssp::graph

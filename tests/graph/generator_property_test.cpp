@@ -1,0 +1,89 @@
+// Parameterized property sweeps over the dataset generators: structural
+// validity, shape invariants, and seed determinism across scales.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "graph/binary_io.hpp"
+#include "graph/datasets.hpp"
+#include "graph/degree_stats.hpp"
+
+namespace sssp::graph {
+namespace {
+
+using Case = std::tuple<Dataset, double /*scale*/, std::uint64_t /*seed*/>;
+
+class GeneratorProperty : public ::testing::TestWithParam<Case> {
+ protected:
+  CsrGraph make() const {
+    const auto [dataset, scale, seed] = GetParam();
+    return make_dataset(dataset, {.scale = scale, .seed = seed});
+  }
+};
+
+TEST_P(GeneratorProperty, StructurallyValid) {
+  const CsrGraph g = make();
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_GT(g.num_vertices(), 0u);
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST_P(GeneratorProperty, ShapeMatchesDatasetClass) {
+  const auto [dataset, scale, seed] = GetParam();
+  const DegreeStats stats = compute_degree_stats(make());
+  if (dataset == Dataset::kCal) {
+    EXPECT_FALSE(looks_scale_free(stats)) << to_string(stats);
+    EXPECT_LT(stats.max_degree, 32u);
+    EXPECT_NEAR(stats.mean_degree, 2.45, 1.0);
+  } else {
+    EXPECT_TRUE(looks_scale_free(stats)) << to_string(stats);
+    EXPECT_GT(stats.max_degree, 50u);
+  }
+}
+
+TEST_P(GeneratorProperty, WeightsInPaperRange) {
+  const auto [dataset, scale, seed] = GetParam();
+  const CsrGraph g = make();
+  Weight lo = ~Weight{0}, hi = 0;
+  for (const Weight w : g.weights()) {
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  EXPECT_GE(lo, 1u);
+  if (dataset == Dataset::kWiki) {
+    EXPECT_LE(hi, 99u);  // paper's U[1, 99]
+  }
+}
+
+TEST_P(GeneratorProperty, BitDeterministicPerSeed) {
+  const CsrGraph a = make();
+  const CsrGraph b = make();
+  std::stringstream sa, sb;
+  save_binary(a, sa);
+  save_binary(b, sb);
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST_P(GeneratorProperty, DefaultSourceHasWork) {
+  const auto [dataset, scale, seed] = GetParam();
+  const CsrGraph g = make();
+  const VertexId source = default_source(dataset, g);
+  ASSERT_LT(source, g.num_vertices());
+  // The chosen source must reach a meaningful share of the graph.
+  EXPECT_GT(count_reachable(g, source), g.num_vertices() / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorProperty,
+    ::testing::Combine(::testing::Values(Dataset::kCal, Dataset::kWiki),
+                       ::testing::Values(1.0 / 512.0, 1.0 / 128.0),
+                       ::testing::Values<std::uint64_t>(1, 42, 1234567)),
+    [](const ::testing::TestParamInfo<Case>& tpi) {
+      return dataset_name(std::get<0>(tpi.param)) + "_inv" +
+             std::to_string(static_cast<int>(1.0 / std::get<1>(tpi.param))) +
+             "_seed" + std::to_string(std::get<2>(tpi.param));
+    });
+
+}  // namespace
+}  // namespace sssp::graph

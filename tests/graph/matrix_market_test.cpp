@@ -1,0 +1,123 @@
+#include "graph/matrix_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sssp::graph {
+namespace {
+
+TEST(MatrixMarket, ParsesIntegerGeneral) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "% comment\n"
+      "3 3 2\n"
+      "1 2 10\n"
+      "3 1 20\n");
+  const CsrGraph g = load_matrix_market(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+  EXPECT_EQ(g.weights_of(0)[0], 10u);
+  EXPECT_EQ(g.neighbors(2)[0], 0u);
+}
+
+TEST(MatrixMarket, SymmetricDuplicatesOffDiagonal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer symmetric\n"
+      "3 3 2\n"
+      "2 1 5\n"
+      "3 3 9\n");  // diagonal entry; self-loop removed by the builder
+  const CsrGraph g = load_matrix_market(in);
+  EXPECT_EQ(g.num_edges(), 2u);  // 2->1 and 1->2
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+  EXPECT_EQ(g.neighbors(1)[0], 0u);
+}
+
+TEST(MatrixMarket, PatternGetsRandomWeightsInRange) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "4 4 3\n"
+      "1 2\n"
+      "2 3\n"
+      "3 4\n");
+  MatrixMarketOptions opts;
+  opts.pattern_min_weight = 1;
+  opts.pattern_max_weight = 99;
+  const CsrGraph g = load_matrix_market(in, opts);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (const Weight w : g.weights()) {
+    EXPECT_GE(w, 1u);
+    EXPECT_LE(w, 99u);
+  }
+}
+
+TEST(MatrixMarket, PatternWeightsAreDeterministicPerSeed) {
+  const std::string text =
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "4 4 2\n"
+      "1 2\n"
+      "3 4\n";
+  MatrixMarketOptions opts;
+  opts.weight_seed = 77;
+  std::istringstream a(text), b(text);
+  const CsrGraph ga = load_matrix_market(a, opts);
+  const CsrGraph gb = load_matrix_market(b, opts);
+  for (std::size_t i = 0; i < ga.num_edges(); ++i)
+    EXPECT_EQ(ga.weights()[i], gb.weights()[i]);
+}
+
+TEST(MatrixMarket, RealValuesAreRoundedAndClamped) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 2 2.7\n"
+      "2 1 0.001\n");
+  const CsrGraph g = load_matrix_market(in);
+  EXPECT_EQ(g.weights_of(0)[0], 3u);   // rounded
+  EXPECT_EQ(g.weights_of(1)[0], 1u);   // clamped up to 1
+}
+
+TEST(MatrixMarket, RectangularUsesMaxDimension) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 5 1\n"
+      "1 5 3\n");
+  const CsrGraph g = load_matrix_market(in);
+  EXPECT_EQ(g.num_vertices(), 5u);
+}
+
+TEST(MatrixMarket, RejectsMissingBanner) {
+  std::istringstream in("3 3 0\n");
+  EXPECT_THROW(load_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsUnsupportedField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate complex general\n3 3 0\n");
+  EXPECT_THROW(load_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "3 3 2\n"
+      "1 2 10\n");
+  EXPECT_THROW(load_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeIndex) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "3 3 1\n"
+      "4 1 10\n");
+  EXPECT_THROW(load_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(load_matrix_market_file("/nonexistent/x.mtx"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sssp::graph

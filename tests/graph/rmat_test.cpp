@@ -1,0 +1,95 @@
+#include "graph/rmat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/degree_stats.hpp"
+
+namespace sssp::graph {
+namespace {
+
+RmatOptions small_options() {
+  RmatOptions o;
+  o.scale = 12;           // 4096 vertices
+  o.num_edges = 1 << 16;  // 65536 edges
+  o.seed = 123;
+  return o;
+}
+
+TEST(Rmat, EdgeCountMatchesRequest) {
+  const auto edges = generate_rmat_edges(small_options());
+  EXPECT_EQ(edges.size(), std::size_t{1} << 16);
+}
+
+TEST(Rmat, VerticesWithinRange) {
+  const auto o = small_options();
+  for (const Edge& e : generate_rmat_edges(o)) {
+    EXPECT_LT(e.src, 1u << o.scale);
+    EXPECT_LT(e.dst, 1u << o.scale);
+  }
+}
+
+TEST(Rmat, WeightsWithinRange) {
+  auto o = small_options();
+  o.min_weight = 10;
+  o.max_weight = 20;
+  for (const Edge& e : generate_rmat_edges(o)) {
+    EXPECT_GE(e.weight, 10u);
+    EXPECT_LE(e.weight, 20u);
+  }
+}
+
+TEST(Rmat, DeterministicPerSeed) {
+  const auto a = generate_rmat_edges(small_options());
+  const auto b = generate_rmat_edges(small_options());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Rmat, DifferentSeedsDiffer) {
+  auto o1 = small_options();
+  auto o2 = small_options();
+  o2.seed = o1.seed + 1;
+  const auto a = generate_rmat_edges(o1);
+  const auto b = generate_rmat_edges(o2);
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!(a[i] == b[i])) ++differing;
+  EXPECT_GT(differing, a.size() / 2);
+}
+
+TEST(Rmat, CsrGraphIsValidAndScaleFree) {
+  const CsrGraph g = generate_rmat(small_options());
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), std::size_t{1} << 12);
+  const DegreeStats s = compute_degree_stats(g);
+  // The Graph500 parameters must generate a pronounced degree tail.
+  EXPECT_TRUE(looks_scale_free(s)) << to_string(s);
+  EXPECT_GT(s.max_degree, 50u * static_cast<std::size_t>(s.mean_degree));
+}
+
+TEST(Rmat, RejectsBadScale) {
+  auto o = small_options();
+  o.scale = 0;
+  EXPECT_THROW(generate_rmat_edges(o), std::invalid_argument);
+  o.scale = 40;
+  EXPECT_THROW(generate_rmat_edges(o), std::invalid_argument);
+}
+
+TEST(Rmat, RejectsBadProbabilities) {
+  auto o = small_options();
+  o.a = 0.9;  // sum > 1
+  EXPECT_THROW(generate_rmat_edges(o), std::invalid_argument);
+  o = small_options();
+  o.d = -0.05;
+  EXPECT_THROW(generate_rmat_edges(o), std::invalid_argument);
+}
+
+TEST(Rmat, RejectsBadWeights) {
+  auto o = small_options();
+  o.min_weight = 50;
+  o.max_weight = 10;
+  EXPECT_THROW(generate_rmat_edges(o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sssp::graph

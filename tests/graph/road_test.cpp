@@ -1,0 +1,99 @@
+#include "graph/road.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/degree_stats.hpp"
+
+namespace sssp::graph {
+namespace {
+
+RoadOptions small_options() {
+  RoadOptions o;
+  o.rows = 64;
+  o.cols = 64;
+  o.seed = 9;
+  return o;
+}
+
+TEST(Road, GraphIsValid) {
+  const CsrGraph g = generate_road(small_options());
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 64u * 64u);
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST(Road, LowDegreeNotScaleFree) {
+  const CsrGraph g = generate_road(small_options());
+  const DegreeStats s = compute_degree_stats(g);
+  EXPECT_LE(s.max_degree, 16u);  // grid + a few ramps
+  EXPECT_FALSE(looks_scale_free(s)) << to_string(s);
+  EXPECT_LT(s.mean_degree, 6.0);
+  EXPECT_GT(s.mean_degree, 1.0);
+}
+
+TEST(Road, AllEdgesBidirectionalWithEqualWeight) {
+  const CsrGraph g = generate_road(small_options());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.weights_of(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      // Find the reverse edge.
+      bool found = false;
+      const auto back = g.neighbors(v);
+      const auto back_w = g.weights_of(v);
+      for (std::size_t j = 0; j < back.size(); ++j) {
+        if (back[j] == u && back_w[j] == ws[i]) {
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found) << "missing reverse of " << u << "->" << v;
+    }
+  }
+}
+
+TEST(Road, DeterministicPerSeed) {
+  const auto a = generate_road_edges(small_options());
+  const auto b = generate_road_edges(small_options());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Road, MostVerticesConnectedAtDefaultDensity) {
+  const CsrGraph g = generate_road(small_options());
+  const std::size_t reachable =
+      count_reachable(g, static_cast<VertexId>(g.num_vertices() / 2));
+  EXPECT_GT(reachable, g.num_vertices() * 9 / 10);
+}
+
+TEST(Road, FullDensityGridHasExpectedEdgeCount) {
+  RoadOptions o;
+  o.rows = 8;
+  o.cols = 8;
+  o.street_density = 1.0;
+  o.ramps_per_1000_vertices = 0.0;
+  const auto edges = generate_road_edges(o);
+  // 2 * (rows*(cols-1) + (rows-1)*cols) directed edges.
+  EXPECT_EQ(edges.size(), 2u * (8 * 7 + 7 * 8));
+}
+
+TEST(Road, WeightsArePositive) {
+  for (const Edge& e : generate_road_edges(small_options()))
+    EXPECT_GE(e.weight, 1u);
+}
+
+TEST(Road, RejectsBadOptions) {
+  RoadOptions o;
+  o.rows = 0;
+  EXPECT_THROW(generate_road_edges(o), std::invalid_argument);
+  o = RoadOptions{};
+  o.street_density = 1.5;
+  EXPECT_THROW(generate_road_edges(o), std::invalid_argument);
+  o = RoadOptions{};
+  o.weight_spread = 0.5;
+  EXPECT_THROW(generate_road_edges(o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sssp::graph

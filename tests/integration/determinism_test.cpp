@@ -1,0 +1,86 @@
+// Integration: the whole pipeline is bit-deterministic from a seed —
+// the property EXPERIMENTS.md relies on when comparing runs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/self_tuning.hpp"
+#include "graph/binary_io.hpp"
+#include "graph/datasets.hpp"
+#include "sim/run.hpp"
+#include "sssp/near_far.hpp"
+
+namespace sssp {
+namespace {
+
+TEST(Determinism, DatasetFactoryIsPureInSeed) {
+  const graph::DatasetOptions options{.scale = 1.0 / 256.0, .seed = 11};
+  const auto a = graph::make_dataset(graph::Dataset::kWiki, options);
+  const auto b = graph::make_dataset(graph::Dataset::kWiki, options);
+  std::stringstream sa, sb;
+  graph::save_binary(a, sa);
+  graph::save_binary(b, sb);
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(Determinism, FullPipelineReproducesExactReports) {
+  auto run_once = [] {
+    const auto g =
+        graph::make_dataset(graph::Dataset::kCal, {.scale = 1.0 / 128.0});
+    const auto src = graph::default_source(graph::Dataset::kCal, g);
+    core::SelfTuningOptions tuning;
+    tuning.set_point = 1500.0;
+    tuning.measure_controller_time = false;  // wall-clock is the only
+                                             // nondeterministic input
+    const auto result = core::self_tuning_sssp(g, src, tuning);
+    return sim::simulate_run(sim::DeviceSpec::jetson_tk1(),
+                             sim::DefaultGovernor(),
+                             result.to_workload("det"));
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.total_seconds, b.total_seconds);      // bitwise, not NEAR
+  EXPECT_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_EQ(a.peak_power_w, b.peak_power_w);
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_EQ(a.iterations[i].seconds, b.iterations[i].seconds) << i;
+    EXPECT_EQ(a.iterations[i].frequencies, b.iterations[i].frequencies) << i;
+  }
+}
+
+TEST(Determinism, DifferentSeedsChangeTheWorkload) {
+  const auto g1 =
+      graph::make_dataset(graph::Dataset::kWiki, {.scale = 1.0 / 256.0, .seed = 1});
+  const auto g2 =
+      graph::make_dataset(graph::Dataset::kWiki, {.scale = 1.0 / 256.0, .seed = 2});
+  const auto r1 = algo::near_far(g1, graph::default_source(graph::Dataset::kWiki, g1));
+  const auto r2 = algo::near_far(g2, graph::default_source(graph::Dataset::kWiki, g2));
+  EXPECT_NE(r1.improving_relaxations, r2.improving_relaxations);
+}
+
+TEST(Determinism, ControllerTimeMeasurementDoesNotPerturbControl) {
+  // Wall-clock measurement feeds reporting only — never the control
+  // path — so the X-statistics must be identical with and without it.
+  const auto g =
+      graph::make_dataset(graph::Dataset::kWiki, {.scale = 1.0 / 256.0});
+  const auto src = graph::default_source(graph::Dataset::kWiki, g);
+  core::SelfTuningOptions with_time;
+  with_time.set_point = 4000.0;
+  with_time.measure_controller_time = true;
+  core::SelfTuningOptions without_time = with_time;
+  without_time.measure_controller_time = false;
+  const auto a = core::self_tuning_sssp(g, src, with_time);
+  const auto b = core::self_tuning_sssp(g, src, without_time);
+  ASSERT_EQ(a.num_iterations(), b.num_iterations());
+  for (std::size_t i = 0; i < a.num_iterations(); ++i) {
+    EXPECT_EQ(a.iterations[i].x2, b.iterations[i].x2) << i;
+    EXPECT_EQ(a.iterations[i].x4, b.iterations[i].x4) << i;
+    EXPECT_EQ(a.iterations[i].rebalance_items,
+              b.iterations[i].rebalance_items)
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace sssp

@@ -1,0 +1,151 @@
+// Integration: the full pipeline the benchmarks drive — dataset factory
+// -> algorithms -> workload -> device simulation — with cross-module
+// invariants that no single-module test can see.
+#include <gtest/gtest.h>
+
+#include "core/self_tuning.hpp"
+#include "graph/datasets.hpp"
+#include "sim/run.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/delta_sweep.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/near_far.hpp"
+
+namespace sssp {
+namespace {
+
+struct DatasetCase {
+  graph::Dataset dataset;
+  double scale;
+};
+
+class PipelineTest : public ::testing::TestWithParam<DatasetCase> {
+ protected:
+  void SetUp() override {
+    const auto [dataset, scale] = GetParam();
+    graph_ = graph::make_dataset(dataset, {.scale = scale, .seed = 7});
+    source_ = graph::default_source(dataset, graph_);
+    reference_ = algo::dijkstra_distances(graph_, source_);
+  }
+
+  graph::CsrGraph graph_;
+  graph::VertexId source_ = 0;
+  std::vector<graph::Distance> reference_;
+};
+
+TEST_P(PipelineTest, EveryAlgorithmMatchesDijkstra) {
+  EXPECT_EQ(algo::count_distance_mismatches(
+                algo::bellman_ford(graph_, source_).distances, reference_),
+            0u);
+  EXPECT_EQ(algo::count_distance_mismatches(
+                algo::delta_stepping(graph_, source_).distances, reference_),
+            0u);
+  EXPECT_EQ(algo::count_distance_mismatches(
+                algo::near_far(graph_, source_).distances, reference_),
+            0u);
+  core::SelfTuningOptions tuning;
+  tuning.set_point = 3000.0;
+  EXPECT_EQ(algo::count_distance_mismatches(
+                core::self_tuning_sssp(graph_, source_, tuning).distances,
+                reference_),
+            0u);
+}
+
+TEST_P(PipelineTest, WorkloadReplaysConsistentlyOnBothDevices) {
+  core::SelfTuningOptions tuning;
+  tuning.set_point = 2000.0;
+  tuning.measure_controller_time = false;
+  const auto run = core::self_tuning_sssp(graph_, source_, tuning);
+  const auto workload = run.to_workload("integration");
+
+  for (const auto& device :
+       {sim::DeviceSpec::jetson_tk1(), sim::DeviceSpec::jetson_tx1()}) {
+    const auto report = sim::simulate_run(
+        device, sim::PinnedDvfs(device.max_frequencies()), workload);
+    EXPECT_GT(report.total_seconds, 0.0) << device.name;
+    EXPECT_GT(report.average_power_w, device.static_power_w) << device.name;
+    EXPECT_NEAR(report.energy_joules,
+                report.average_power_w * report.total_seconds, 1e-9)
+        << device.name;
+    ASSERT_EQ(report.iterations.size(), workload.iterations.size())
+        << device.name;
+    // Every iteration must take at least one kernel launch.
+    for (const auto& it : report.iterations)
+      EXPECT_GE(it.seconds, device.kernel_launch_seconds);
+  }
+}
+
+TEST_P(PipelineTest, GovernorNeverBeatsMaxPinnedOnTime) {
+  // The default governor can only run at or below the max frequencies,
+  // so its simulated time is never shorter than the max-pinned run.
+  const auto baseline = algo::near_far(graph_, source_);
+  const auto workload = baseline.to_workload("integration");
+  const auto device = sim::DeviceSpec::jetson_tk1();
+  const auto pinned = sim::simulate_run(
+      device, sim::PinnedDvfs(device.max_frequencies()), workload);
+  const auto governed =
+      sim::simulate_run(device, sim::DefaultGovernor(), workload);
+  EXPECT_GE(governed.total_seconds, pinned.total_seconds * 0.999);
+  // ... and its average power is no higher.
+  EXPECT_LE(governed.average_power_w, pinned.average_power_w * 1.001);
+}
+
+TEST_P(PipelineTest, SweepBestDeltaIsNoWorseThanDefaultDelta) {
+  const auto device = sim::DeviceSpec::jetson_tk1();
+  const sim::PinnedDvfs policy(device.max_frequencies());
+  algo::DeltaSweepOptions sweep_options;
+  sweep_options.min_delta = 1;
+  sweep_options.max_delta = 1 << 18;
+  sweep_options.ratio = 4.0;
+  const auto sweep =
+      algo::sweep_delta(graph_, source_, device, policy, sweep_options);
+
+  const auto best =
+      algo::near_far(graph_, source_, {.delta = sweep.best_delta});
+  const auto default_run = algo::near_far(graph_, source_);
+  const auto best_report =
+      sim::simulate_run(device, policy, best.to_workload(""));
+  const auto default_report =
+      sim::simulate_run(device, policy, default_run.to_workload(""));
+  EXPECT_LE(best_report.total_seconds, default_report.total_seconds * 1.05);
+}
+
+TEST_P(PipelineTest, AllAlgorithmsAgreeOnReachabilityAndWorkAccounting) {
+  // Cross-algorithm invariants: every algorithm reaches the same vertex
+  // set, and improving-relaxation counts respect the provable bounds —
+  // at least one improvement per reached non-source vertex, and no
+  // blow-up beyond a small multiple of the edge count.
+  const auto bf = algo::bellman_ford(graph_, source_);
+  const auto nf = algo::near_far(graph_, source_);
+  core::SelfTuningOptions tuning;
+  tuning.set_point = 1000.0;
+  const auto st = core::self_tuning_sssp(graph_, source_, tuning);
+
+  const std::size_t reached = bf.reached_count();
+  EXPECT_EQ(nf.reached_count(), reached);
+  EXPECT_EQ(st.reached_count(), reached);
+  for (const auto* r : {&bf, &nf, &st}) {
+    EXPECT_GE(r->improving_relaxations, reached - 1) << r->algorithm;
+    // Sanity ceiling: no more improvements than edges times a small
+    // constant (each improvement strictly decreases one distance; path
+    // lengths bound re-improvements well below this on these graphs).
+    EXPECT_LE(r->improving_relaxations, 8 * graph_.num_edges())
+        << r->algorithm;
+  }
+  // Near-far's postponement avoids premature relaxations: it should not
+  // do more improving work than plain Bellman-Ford by more than a small
+  // factor, and typically does less.
+  EXPECT_LE(nf.improving_relaxations, 2 * bf.improving_relaxations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datasets, PipelineTest,
+    ::testing::Values(DatasetCase{graph::Dataset::kCal, 1.0 / 128.0},
+                      DatasetCase{graph::Dataset::kWiki, 1.0 / 256.0}),
+    [](const ::testing::TestParamInfo<DatasetCase>& tpi) {
+      return graph::dataset_name(tpi.param.dataset);
+    });
+
+}  // namespace
+}  // namespace sssp

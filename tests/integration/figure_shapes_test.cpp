@@ -1,0 +1,154 @@
+// Integration: the qualitative shapes the paper's figures report, as
+// executable assertions at test scale. These are the regression guards
+// for EXPERIMENTS.md — if a refactor silently flips a figure's shape,
+// one of these fails before the benchmark harness is ever run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/self_tuning.hpp"
+#include "graph/datasets.hpp"
+#include "sim/run.hpp"
+#include "sssp/delta_sweep.hpp"
+#include "sssp/near_far.hpp"
+
+namespace sssp {
+namespace {
+
+class FigureShapes : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cal_ = new graph::CsrGraph(
+        graph::make_dataset(graph::Dataset::kCal, {.scale = 1.0 / 32.0}));
+    cal_src_ = graph::default_source(graph::Dataset::kCal, *cal_);
+    wiki_ = new graph::CsrGraph(
+        graph::make_dataset(graph::Dataset::kWiki, {.scale = 1.0 / 128.0}));
+    wiki_src_ = graph::default_source(graph::Dataset::kWiki, *wiki_);
+  }
+  static void TearDownTestSuite() {
+    delete cal_;
+    delete wiki_;
+    cal_ = wiki_ = nullptr;
+  }
+
+  static graph::CsrGraph* cal_;
+  static graph::CsrGraph* wiki_;
+  static graph::VertexId cal_src_;
+  static graph::VertexId wiki_src_;
+  sim::DeviceSpec device_ = sim::DeviceSpec::jetson_tk1();
+};
+
+graph::CsrGraph* FigureShapes::cal_ = nullptr;
+graph::CsrGraph* FigureShapes::wiki_ = nullptr;
+graph::VertexId FigureShapes::cal_src_ = 0;
+graph::VertexId FigureShapes::wiki_src_ = 0;
+
+// Figure 2: average parallelism is monotone (weakly) in delta and spans
+// a large dynamic range.
+TEST_F(FigureShapes, Fig2ParallelismGrowsWithDelta) {
+  const std::pair<graph::CsrGraph*, graph::VertexId> inputs[] = {
+      {cal_, cal_src_}, {wiki_, wiki_src_}};
+  for (const auto& [input_graph, input_source] : inputs) {
+    double previous = 0.0;
+    std::size_t violations = 0;
+    std::vector<double> series;
+    for (graph::Distance delta = 1; delta <= (1u << 16); delta *= 8) {
+      const auto run =
+          algo::near_far(*input_graph, input_source, {.delta = delta});
+      series.push_back(run.average_parallelism());
+      if (series.back() + 1e-9 < previous) ++violations;
+      previous = series.back();
+    }
+    EXPECT_LE(violations, 1u);  // weakly monotone (one wobble tolerated)
+    EXPECT_GT(series.back(), 10.0 * series.front());
+  }
+}
+
+// Figure 3: iteration count decreases with delta; simulated runtime has
+// an interior minimum (U-shape).
+TEST_F(FigureShapes, Fig3RuntimeIsUShapedOnCal) {
+  const sim::PinnedDvfs policy(device_.max_frequencies());
+  algo::DeltaSweepOptions options;
+  options.min_delta = 4;
+  options.max_delta = 1 << 19;
+  options.ratio = 4.0;
+  const auto sweep =
+      algo::sweep_delta(*cal_, cal_src_, device_, policy, options);
+  ASSERT_GE(sweep.points.size(), 4u);
+  EXPECT_GT(sweep.points.front().iterations, sweep.points.back().iterations);
+  // Interior minimum: best delta is neither the smallest nor the largest.
+  EXPECT_NE(sweep.best_delta, sweep.points.front().delta);
+  EXPECT_NE(sweep.best_delta, sweep.points.back().delta);
+}
+
+// Figure 5/1: the controller tightens the parallelism band around P
+// relative to a comparable-average baseline.
+TEST_F(FigureShapes, Fig5ControllerTightensTheBand) {
+  const double p = 2000.0;
+  core::SelfTuningOptions tuning;
+  tuning.set_point = p;
+  tuning.measure_controller_time = false;
+  const auto tuned = core::self_tuning_sssp(*cal_, cal_src_, tuning);
+
+  std::vector<double> steady;
+  for (std::size_t i = tuned.num_iterations() / 4;
+       i < tuned.num_iterations(); ++i)
+    steady.push_back(static_cast<double>(tuned.iterations[i].x2));
+  std::sort(steady.begin(), steady.end());
+  const double median = steady[steady.size() / 2];
+  const double iqr = steady[steady.size() * 3 / 4] - steady[steady.size() / 4];
+  EXPECT_GT(median, 0.4 * p);
+  EXPECT_LT(median, 2.5 * p);
+  EXPECT_LT(iqr, 1.5 * median);  // concentrated mass near the median
+}
+
+// Figure 6 (Cal headline): at least one self-tuning configuration beats
+// the baseline on time without using more power.
+TEST_F(FigureShapes, Fig6SelfTuningDominatesBaselineSomewhereOnCal) {
+  const sim::DefaultGovernor governor;
+  algo::DeltaSweepOptions sweep_options;
+  sweep_options.min_delta = 16;
+  sweep_options.max_delta = 1 << 19;
+  sweep_options.ratio = 2.0;
+  const auto sweep =
+      algo::sweep_delta(*cal_, cal_src_, device_, governor, sweep_options);
+  const auto baseline =
+      algo::near_far(*cal_, cal_src_, {.delta = sweep.best_delta});
+  const auto base_report = sim::simulate_run(
+      device_, governor, baseline.to_workload(""), {.keep_iteration_reports = false});
+
+  bool dominated = false;
+  for (const double p : {1000.0, 4000.0, 8000.0}) {
+    core::SelfTuningOptions tuning;
+    tuning.set_point = p;
+    const auto run = core::self_tuning_sssp(*cal_, cal_src_, tuning);
+    const auto report = sim::simulate_run(
+        device_, governor, run.to_workload(""), {.keep_iteration_reports = false});
+    if (report.total_seconds < base_report.total_seconds &&
+        report.average_power_w <= base_report.average_power_w * 1.02) {
+      dominated = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(dominated);
+}
+
+// Figure 8: average power under the default governor rises with P.
+TEST_F(FigureShapes, Fig8PowerRisesWithSetPoint) {
+  const sim::DefaultGovernor governor;
+  std::vector<double> powers;
+  for (const double p : {500.0, 2000.0, 8000.0}) {
+    core::SelfTuningOptions tuning;
+    tuning.set_point = p;
+    tuning.measure_controller_time = false;
+    const auto run = core::self_tuning_sssp(*wiki_, wiki_src_, tuning);
+    powers.push_back(sim::simulate_run(device_, governor,
+                                       run.to_workload(""),
+                                       {.keep_iteration_reports = false})
+                         .average_power_w);
+  }
+  EXPECT_LT(powers.front(), powers.back());
+}
+
+}  // namespace
+}  // namespace sssp

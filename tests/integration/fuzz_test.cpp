@@ -1,0 +1,151 @@
+// Randomized property tests ("fuzz"):
+//
+// 1. The near-far engine produces exact Dijkstra distances under ANY
+//    threshold policy — including adversarial random walks that demote,
+//    re-pull, and jump erratically. This is the invariant that makes
+//    the whole self-tuning design safe (DESIGN.md Section 5).
+//
+// 2. The partitioned far queue is observably equivalent to the flat far
+//    queue under random push/pull interleavings: the same vertices come
+//    out for the same thresholds, regardless of boundary maintenance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/partitioned_far_queue.hpp"
+#include "frontier/engine.hpp"
+#include "frontier/far_queue.hpp"
+#include "sssp/dijkstra.hpp"
+#include "tests/sssp/test_graphs.hpp"
+#include "util/rng.hpp"
+
+namespace sssp {
+namespace {
+
+using graph::Distance;
+using graph::kInfiniteDistance;
+using graph::VertexId;
+
+class RandomPolicyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPolicyFuzz, EngineExactUnderAdversarialThresholds) {
+  const std::uint64_t seed = GetParam();
+  util::Xoshiro256 rng(seed);
+  const auto g = algo::testing::random_graph(
+      400 + rng.next_below(800), 1.0 + 6.0 * rng.next_double(), 99, seed);
+  const auto source = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+  const auto expected = algo::dijkstra_distances(g, source);
+
+  frontier::NearFarEngine engine(g, source);
+  frontier::FarQueue far;
+  std::vector<VertexId> refill;
+  Distance threshold = 1 + rng.next_below(50);
+
+  std::size_t guard = 0;
+  const std::size_t guard_limit = 50 * g.num_vertices() + 1000;
+  while (!engine.frontier_empty() && ++guard < guard_limit) {
+    engine.advance_and_filter();
+
+    // Adversarial threshold move: grow, shrink, or jump randomly.
+    switch (rng.next_below(4)) {
+      case 0:  // multiplicative growth
+        threshold = threshold + 1 + threshold / 2;
+        break;
+      case 1:  // harsh shrink
+        threshold = std::max<Distance>(1, threshold / 3);
+        break;
+      case 2:  // random jump within the plausible distance range
+        threshold = 1 + rng.next_below(100 * 100);
+        break;
+      default:  // hold
+        break;
+    }
+
+    engine.bisect(threshold);
+    for (const VertexId v : engine.spill()) far.push(v, engine.distance(v));
+    engine.clear_spill();
+
+    // Occasionally demote even further after bisect.
+    if (rng.next_below(3) == 0) {
+      const Distance demote_to = std::max<Distance>(1, threshold / 2);
+      engine.demote(demote_to);
+      for (const VertexId v : engine.spill()) far.push(v, engine.distance(v));
+      engine.clear_spill();
+    }
+
+    // Forced progress, as all algorithms implement it.
+    if (engine.frontier_empty() && !far.empty()) {
+      const Distance next_live = far.min_live_distance(engine.distances());
+      if (next_live == kInfiniteDistance) {
+        far.clear();
+      } else {
+        threshold = std::max(threshold, next_live + 1 + rng.next_below(200));
+        refill.clear();
+        far.drain_below(threshold, engine.distances(), refill);
+        engine.inject(refill);
+      }
+    }
+  }
+  ASSERT_LT(guard, guard_limit) << "policy failed to terminate";
+  EXPECT_EQ(algo::count_distance_mismatches(engine.distances(), expected), 0u)
+      << "seed " << seed;
+}
+
+TEST_P(RandomPolicyFuzz, PartitionedQueueMatchesFlatQueue) {
+  const std::uint64_t seed = GetParam();
+  util::Xoshiro256 rng(seed ^ 0xABCD);
+
+  const std::size_t n = 2000;
+  // Distances evolve downward over time, creating stale entries in both
+  // structures identically.
+  std::vector<Distance> dist(n);
+  for (auto& d : dist) d = 100 + rng.next_below(100000);
+
+  core::PartitionedFarQueue partitioned(1 + rng.next_below(5000));
+  frontier::FarQueue flat;
+
+  for (int round = 0; round < 200; ++round) {
+    const auto op = rng.next_below(10);
+    if (op < 5) {  // push a batch
+      for (int i = 0; i < 20; ++i) {
+        const auto v = static_cast<VertexId>(rng.next_below(n));
+        partitioned.push(v, dist[v]);
+        flat.push(v, dist[v]);
+      }
+    } else if (op < 7) {  // improve some distances (stale-ify entries)
+      for (int i = 0; i < 10; ++i) {
+        const auto v = static_cast<VertexId>(rng.next_below(n));
+        if (dist[v] > 1) dist[v] -= 1 + rng.next_below(dist[v] - 1);
+      }
+    } else if (op < 9) {  // pull below a random threshold
+      const Distance threshold = 1 + rng.next_below(120000);
+      std::vector<VertexId> from_partitioned, from_flat;
+      partitioned.pull_below(threshold, dist, from_partitioned);
+      flat.drain_below(threshold, dist, from_flat);
+      std::sort(from_partitioned.begin(), from_partitioned.end());
+      std::sort(from_flat.begin(), from_flat.end());
+      EXPECT_EQ(from_partitioned, from_flat) << "round " << round;
+      partitioned.check_invariants();
+    } else {  // boundary maintenance (must not change observable content)
+      partitioned.update_boundary(1.0 + rng.next_below(5000),
+                                  0.001 + rng.next_double() * 10.0);
+      partitioned.check_invariants();
+    }
+  }
+
+  // Final drain: identical live content.
+  std::vector<VertexId> from_partitioned, from_flat;
+  partitioned.pull_below(kInfiniteDistance, dist, from_partitioned);
+  flat.drain_below(kInfiniteDistance, dist, from_flat);
+  std::sort(from_partitioned.begin(), from_partitioned.end());
+  std::sort(from_flat.begin(), from_flat.end());
+  EXPECT_EQ(from_partitioned, from_flat);
+  EXPECT_TRUE(partitioned.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPolicyFuzz,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace sssp

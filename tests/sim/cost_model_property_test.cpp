@@ -1,0 +1,108 @@
+// Parameterized property sweeps over the stage cost model: the physical
+// monotonicities every roofline model must satisfy, checked across work
+// sizes, byte loads, devices, and the full frequency menus.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/cost_model.hpp"
+#include "sim/device.hpp"
+
+namespace sssp::sim {
+namespace {
+
+using Case = std::tuple<std::string /*device*/, std::uint64_t /*items*/,
+                        double /*bytes_per_item*/>;
+
+DeviceSpec device_by_name(const std::string& name) {
+  return name == "tx1" ? DeviceSpec::jetson_tx1() : DeviceSpec::jetson_tk1();
+}
+
+class CostModelProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CostModelProperty, TimeMonotoneInCoreFrequency) {
+  const auto [device_name, items, bytes_per_item] = GetParam();
+  const DeviceSpec device = device_by_name(device_name);
+  const double bytes = static_cast<double>(items) * bytes_per_item;
+  double previous = 1e300;
+  for (const auto mhz : device.core_freq_menu_mhz) {
+    const double t =
+        time_stage(device, {mhz, device.max_mem_mhz()}, items, bytes).seconds;
+    EXPECT_LE(t, previous + 1e-15) << mhz;
+    previous = t;
+  }
+}
+
+TEST_P(CostModelProperty, TimeMonotoneInMemFrequency) {
+  const auto [device_name, items, bytes_per_item] = GetParam();
+  const DeviceSpec device = device_by_name(device_name);
+  const double bytes = static_cast<double>(items) * bytes_per_item;
+  double previous = 1e300;
+  for (const auto mhz : device.mem_freq_menu_mhz) {
+    const double t =
+        time_stage(device, {device.max_core_mhz(), mhz}, items, bytes).seconds;
+    EXPECT_LE(t, previous + 1e-15) << mhz;
+    previous = t;
+  }
+}
+
+TEST_P(CostModelProperty, TimeMonotoneInWork) {
+  const auto [device_name, items, bytes_per_item] = GetParam();
+  const DeviceSpec device = device_by_name(device_name);
+  const FrequencyPair f = device.max_frequencies();
+  const double t1 =
+      time_stage(device, f, items, static_cast<double>(items) * bytes_per_item)
+          .seconds;
+  const double t2 = time_stage(device, f, items * 2,
+                               static_cast<double>(items * 2) * bytes_per_item)
+                        .seconds;
+  EXPECT_GE(t2 + 1e-15, t1);
+}
+
+TEST_P(CostModelProperty, UtilizationsInUnitInterval) {
+  const auto [device_name, items, bytes_per_item] = GetParam();
+  const DeviceSpec device = device_by_name(device_name);
+  for (const auto core : device.core_freq_menu_mhz) {
+    for (const auto mem : device.mem_freq_menu_mhz) {
+      const StageTiming t =
+          time_stage(device, {core, mem}, items,
+                     static_cast<double>(items) * bytes_per_item);
+      ASSERT_GE(t.core_utilization, 0.0);
+      ASSERT_LE(t.core_utilization, 1.0);
+      ASSERT_GE(t.mem_utilization, 0.0);
+      ASSERT_LE(t.mem_utilization, 1.0);
+      ASSERT_GE(t.seconds, device.kernel_launch_seconds);
+    }
+  }
+}
+
+TEST_P(CostModelProperty, SplittingWorkNeverBeatsOneLaunch) {
+  // Two half-size launches pay the dispatch latency twice; the model
+  // must never reward splitting (this is what punishes tiny deltas).
+  const auto [device_name, items, bytes_per_item] = GetParam();
+  if (items < 2) GTEST_SKIP();
+  const DeviceSpec device = device_by_name(device_name);
+  const FrequencyPair f = device.max_frequencies();
+  const double whole =
+      time_stage(device, f, items, static_cast<double>(items) * bytes_per_item)
+          .seconds;
+  const double half = time_stage(device, f, items / 2,
+                                 static_cast<double>(items / 2) * bytes_per_item)
+                          .seconds;
+  EXPECT_GE(2.0 * half + 1e-15, whole);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CostModelProperty,
+    ::testing::Combine(::testing::Values("tk1", "tx1"),
+                       ::testing::Values<std::uint64_t>(1, 100, 10000,
+                                                        5000000),
+                       ::testing::Values(0.0, 12.0, 24.0, 200.0)),
+    [](const ::testing::TestParamInfo<Case>& tpi) {
+      return std::get<0>(tpi.param) + "_items" +
+             std::to_string(std::get<1>(tpi.param)) + "_bpi" +
+             std::to_string(static_cast<int>(std::get<2>(tpi.param)));
+    });
+
+}  // namespace
+}  // namespace sssp::sim

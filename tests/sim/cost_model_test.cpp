@@ -1,0 +1,108 @@
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/device.hpp"
+
+namespace sssp::sim {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  DeviceSpec device_ = DeviceSpec::jetson_tk1();
+  FrequencyPair max_ = device_.max_frequencies();
+};
+
+TEST_F(CostModelTest, ZeroItemsCostNothing) {
+  const StageTiming t = time_stage(device_, max_, 0, 0.0);
+  EXPECT_DOUBLE_EQ(t.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(t.core_utilization, 0.0);
+}
+
+TEST_F(CostModelTest, TinyKernelDominatedByLaunchOverhead) {
+  const StageTiming t = time_stage(device_, max_, 1, 24.0);
+  EXPECT_GT(t.seconds, device_.kernel_launch_seconds);
+  EXPECT_LT(t.seconds, device_.kernel_launch_seconds * 1.5);
+  // One item on a 192-core device: utilization near zero.
+  EXPECT_LT(t.core_utilization, 0.01);
+}
+
+TEST_F(CostModelTest, LargeKernelAmortizesLaunch) {
+  const std::uint64_t items = 10'000'000;
+  const StageTiming t = time_stage(device_, max_, items, 0.0);
+  EXPECT_GT(t.seconds, 100 * device_.kernel_launch_seconds);
+  EXPECT_GT(t.core_utilization, 0.9);
+}
+
+TEST_F(CostModelTest, TimeScalesInverselyWithCoreFrequency) {
+  const std::uint64_t items = 1'000'000;
+  const StageTiming fast = time_stage(device_, {852, 924}, items, 0.0);
+  const StageTiming slow = time_stage(device_, {324, 924}, items, 0.0);
+  // Remove the identical launch overhead, then ratio ~ 852/324.
+  const double busy_fast = fast.seconds - device_.kernel_launch_seconds;
+  const double busy_slow = slow.seconds - device_.kernel_launch_seconds;
+  EXPECT_NEAR(busy_slow / busy_fast, 852.0 / 324.0, 0.01);
+}
+
+TEST_F(CostModelTest, MemoryBoundKernelScalesWithMemFrequency) {
+  // Huge bytes, tiny compute -> memory bound.
+  const double bytes = 1e9;
+  const StageTiming fast = time_stage(device_, {852, 924}, 10, bytes);
+  const StageTiming slow = time_stage(device_, {852, 396}, 10, bytes);
+  const double busy_fast = fast.seconds - device_.kernel_launch_seconds;
+  const double busy_slow = slow.seconds - device_.kernel_launch_seconds;
+  EXPECT_NEAR(busy_slow / busy_fast, 924.0 / 396.0, 0.01);
+  EXPECT_GT(fast.mem_utilization, 0.9);
+}
+
+TEST_F(CostModelTest, RooflineTakesMaxOfComputeAndMemory) {
+  // Compare a compute-only and memory-only kernel to the combined one.
+  const std::uint64_t items = 1'000'000;
+  const double bytes = 1e9;
+  const StageTiming compute_only = time_stage(device_, max_, items, 0.0);
+  const StageTiming mem_only = time_stage(device_, max_, 1, bytes);
+  const StageTiming both = time_stage(device_, max_, items, bytes);
+  EXPECT_GE(both.seconds + 1e-12,
+            std::max(compute_only.seconds, mem_only.seconds));
+  EXPECT_LE(both.seconds,
+            compute_only.seconds + mem_only.seconds);
+}
+
+TEST_F(CostModelTest, UtilizationBoundedByOne) {
+  for (std::uint64_t items : {1ull, 100ull, 100000ull, 100000000ull}) {
+    const StageTiming t = time_stage(device_, max_, items, 1e8);
+    EXPECT_GE(t.core_utilization, 0.0);
+    EXPECT_LE(t.core_utilization, 1.0);
+    EXPECT_GE(t.mem_utilization, 0.0);
+    EXPECT_LE(t.mem_utilization, 1.0);
+  }
+}
+
+TEST_F(CostModelTest, PartialWaveHasProportionalUtilization) {
+  // 96 items on 192 cores: half the cores busy during the busy period.
+  const StageTiming t = time_stage(device_, max_, 96, 0.0);
+  // Launch overhead dilutes utilization; busy-period utilization is 0.5.
+  const double busy = t.seconds - device_.kernel_launch_seconds;
+  const double busy_util = t.core_utilization * t.seconds / busy;
+  EXPECT_NEAR(busy_util, 0.5, 0.01);
+}
+
+TEST(IterationTiming, TimeWeightedAverages) {
+  IterationTiming it;
+  it.accumulate({1.0, 1.0, 0.0});
+  it.accumulate({3.0, 0.0, 1.0});
+  it.finalize();
+  EXPECT_DOUBLE_EQ(it.seconds, 4.0);
+  EXPECT_DOUBLE_EQ(it.core_utilization, 0.25);
+  EXPECT_DOUBLE_EQ(it.mem_utilization, 0.75);
+}
+
+TEST(IterationTiming, EmptyIterationFinalizesToZero) {
+  IterationTiming it;
+  it.finalize();
+  EXPECT_DOUBLE_EQ(it.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(it.core_utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace sssp::sim

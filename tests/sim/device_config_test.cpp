@@ -1,0 +1,102 @@
+#include "sim/device_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sssp::sim {
+namespace {
+
+TEST(DeviceConfig, ParsesMinimalConfig) {
+  std::istringstream in(
+      "name Test Board\n"
+      "core_freq_menu_mhz 100,200,300\n"
+      "mem_freq_menu_mhz 400,800\n");
+  const DeviceSpec spec = load_device_config(in);
+  EXPECT_EQ(spec.name, "Test Board");
+  EXPECT_EQ(spec.max_core_mhz(), 300u);
+  EXPECT_EQ(spec.max_mem_mhz(), 800u);
+  // Unspecified keys keep defaults.
+  EXPECT_GT(spec.cuda_cores, 0u);
+}
+
+TEST(DeviceConfig, ParsesFullConfigWithComments) {
+  std::istringstream in(
+      "# hypothetical board\n"
+      "name Nano\n"
+      "cuda_cores 128\n"
+      "items_per_core_cycle 0.00390625\n"
+      "kernel_launch_seconds 7e-6\n"
+      "peak_mem_bandwidth_bytes 25.6e9\n"
+      "bytes_per_edge 20   # lighter edges\n"
+      "bytes_per_vertex 8\n"
+      "core_freq_menu_mhz 76,153,230\n"
+      "mem_freq_menu_mhz 408,1600\n"
+      "static_power_w 2.0\n"
+      "gpu_dynamic_power_w 4.5\n"
+      "mem_dynamic_power_w 1.8\n"
+      "idle_core_fraction 0.10\n"
+      "core_v_min 0.80\n"
+      "core_v_max 1.05\n");
+  const DeviceSpec spec = load_device_config(in);
+  EXPECT_EQ(spec.cuda_cores, 128u);
+  EXPECT_DOUBLE_EQ(spec.bytes_per_edge, 20.0);
+  EXPECT_DOUBLE_EQ(spec.static_power_w, 2.0);
+  EXPECT_DOUBLE_EQ(spec.idle_core_fraction, 0.10);
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(DeviceConfig, RoundTripsThroughSave) {
+  const DeviceSpec original = DeviceSpec::jetson_tx1();
+  std::stringstream buffer;
+  save_device_config(original, buffer);
+  const DeviceSpec loaded = load_device_config(buffer);
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.cuda_cores, original.cuda_cores);
+  EXPECT_EQ(loaded.core_freq_menu_mhz, original.core_freq_menu_mhz);
+  EXPECT_EQ(loaded.mem_freq_menu_mhz, original.mem_freq_menu_mhz);
+  EXPECT_DOUBLE_EQ(loaded.gpu_dynamic_power_w, original.gpu_dynamic_power_w);
+  EXPECT_DOUBLE_EQ(loaded.core_v_max, original.core_v_max);
+}
+
+TEST(DeviceConfig, RejectsUnknownKey) {
+  std::istringstream in(
+      "core_freq_menu_mhz 100\nmem_freq_menu_mhz 100\nwattage 5\n");
+  EXPECT_THROW(load_device_config(in), std::runtime_error);
+}
+
+TEST(DeviceConfig, RejectsMissingMenus) {
+  std::istringstream in("name X\n");
+  EXPECT_THROW(load_device_config(in), std::runtime_error);
+}
+
+TEST(DeviceConfig, RejectsBadNumber) {
+  std::istringstream in(
+      "cuda_cores twelve\ncore_freq_menu_mhz 100\nmem_freq_menu_mhz 100\n");
+  EXPECT_THROW(load_device_config(in), std::runtime_error);
+}
+
+TEST(DeviceConfig, RejectsBadMenuEntry) {
+  std::istringstream in(
+      "core_freq_menu_mhz 100,abc\nmem_freq_menu_mhz 100\n");
+  EXPECT_THROW(load_device_config(in), std::runtime_error);
+}
+
+TEST(DeviceConfig, RejectsUnsortedMenuViaValidate) {
+  std::istringstream in(
+      "core_freq_menu_mhz 300,100\nmem_freq_menu_mhz 100\n");
+  EXPECT_THROW(load_device_config(in), std::invalid_argument);
+}
+
+TEST(DeviceConfig, MissingValueIsError) {
+  std::istringstream in("name\n");
+  EXPECT_THROW(load_device_config(in), std::runtime_error);
+}
+
+TEST(DeviceConfig, MissingFileThrows) {
+  EXPECT_THROW(load_device_config_file("/nonexistent/device.cfg"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sssp::sim

@@ -1,0 +1,74 @@
+#include "sim/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sssp::sim {
+namespace {
+
+TEST(FrequencyPair, LabelFormat) {
+  EXPECT_EQ((FrequencyPair{852, 924}).label(), "852/924");
+}
+
+TEST(DeviceSpec, Tk1PresetIsValid) {
+  const DeviceSpec tk1 = DeviceSpec::jetson_tk1();
+  EXPECT_EQ(tk1.cuda_cores, 192u);
+  EXPECT_EQ(tk1.max_core_mhz(), 852u);
+  EXPECT_EQ(tk1.max_mem_mhz(), 924u);
+  EXPECT_NO_THROW(tk1.validate());
+}
+
+TEST(DeviceSpec, Tx1PresetIsValid) {
+  const DeviceSpec tx1 = DeviceSpec::jetson_tx1();
+  EXPECT_EQ(tx1.cuda_cores, 256u);
+  EXPECT_EQ(tx1.max_core_mhz(), 998u);
+  EXPECT_NO_THROW(tx1.validate());
+  // TX1 should waste less idle power than TK1 (paper Section 5.2).
+  EXPECT_LT(tx1.idle_core_fraction, DeviceSpec::jetson_tk1().idle_core_fraction);
+}
+
+TEST(DeviceSpec, SupportsChecksBothMenus) {
+  const DeviceSpec tk1 = DeviceSpec::jetson_tk1();
+  EXPECT_TRUE(tk1.supports({852, 924}));
+  EXPECT_TRUE(tk1.supports({324, 600}));
+  EXPECT_FALSE(tk1.supports({853, 924}));
+  EXPECT_FALSE(tk1.supports({852, 925}));
+}
+
+TEST(DeviceSpec, MinMaxHelpers) {
+  const DeviceSpec tk1 = DeviceSpec::jetson_tk1();
+  EXPECT_EQ(tk1.max_frequencies(), (FrequencyPair{852, 924}));
+  EXPECT_EQ(tk1.min_frequencies(), (FrequencyPair{72, 204}));
+}
+
+TEST(DeviceSpec, ValidateRejectsEmptyMenu) {
+  DeviceSpec spec = DeviceSpec::jetson_tk1();
+  spec.core_freq_menu_mhz.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(DeviceSpec, ValidateRejectsUnsortedMenu) {
+  DeviceSpec spec = DeviceSpec::jetson_tk1();
+  std::swap(spec.mem_freq_menu_mhz[0], spec.mem_freq_menu_mhz[1]);
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(DeviceSpec, ValidateRejectsZeroCores) {
+  DeviceSpec spec = DeviceSpec::jetson_tk1();
+  spec.cuda_cores = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(DeviceSpec, ValidateRejectsBadIdleFraction) {
+  DeviceSpec spec = DeviceSpec::jetson_tk1();
+  spec.idle_core_fraction = 1.5;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(DeviceSpec, ValidateRejectsBadVoltages) {
+  DeviceSpec spec = DeviceSpec::jetson_tk1();
+  spec.core_v_max = spec.core_v_min - 0.1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sssp::sim

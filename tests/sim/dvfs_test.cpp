@@ -1,0 +1,100 @@
+#include "sim/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sssp::sim {
+namespace {
+
+IterationTiming make_iteration(double core_util, double mem_util) {
+  IterationTiming it;
+  it.accumulate({1.0, core_util, mem_util});
+  it.finalize();
+  return it;
+}
+
+class DvfsTest : public ::testing::Test {
+ protected:
+  DeviceSpec device_ = DeviceSpec::jetson_tk1();
+};
+
+TEST_F(DvfsTest, PinnedStaysFixed) {
+  PinnedDvfs policy({612, 600});
+  EXPECT_EQ(policy.initial(device_), (FrequencyPair{612, 600}));
+  EXPECT_EQ(policy.next(device_, make_iteration(1.0, 1.0)),
+            (FrequencyPair{612, 600}));
+  EXPECT_EQ(policy.next(device_, make_iteration(0.0, 0.0)),
+            (FrequencyPair{612, 600}));
+  EXPECT_EQ(policy.label(), "612/600");
+}
+
+TEST_F(DvfsTest, PinnedRejectsUnsupportedPair) {
+  PinnedDvfs policy({613, 600});
+  EXPECT_THROW(policy.initial(device_), std::invalid_argument);
+}
+
+TEST_F(DvfsTest, PinnedCloneIsIndependentAndEquivalent) {
+  PinnedDvfs policy({852, 924});
+  auto clone = policy.clone();
+  EXPECT_EQ(clone->initial(device_), (FrequencyPair{852, 924}));
+  EXPECT_EQ(clone->label(), "852/924");
+}
+
+TEST_F(DvfsTest, GovernorStartsMidMenu) {
+  DefaultGovernor governor;
+  const FrequencyPair start = governor.initial(device_);
+  EXPECT_NE(start, device_.max_frequencies());
+  EXPECT_NE(start, device_.min_frequencies());
+  EXPECT_TRUE(device_.supports(start));
+}
+
+TEST_F(DvfsTest, GovernorRampsUpUnderSustainedLoad) {
+  DefaultGovernor governor;
+  FrequencyPair f = governor.initial(device_);
+  for (int i = 0; i < 50; ++i) f = governor.next(device_, make_iteration(1.0, 1.0));
+  EXPECT_EQ(f, device_.max_frequencies());
+}
+
+TEST_F(DvfsTest, GovernorRampsDownWhenIdle) {
+  DefaultGovernor governor;
+  FrequencyPair f = governor.initial(device_);
+  for (int i = 0; i < 80; ++i) f = governor.next(device_, make_iteration(0.01, 0.01));
+  EXPECT_EQ(f, device_.min_frequencies());
+}
+
+TEST_F(DvfsTest, GovernorBurstsToMaxOnSaturation) {
+  DefaultGovernor governor;
+  governor.initial(device_);
+  const FrequencyPair f = governor.next(device_, make_iteration(0.99, 0.99));
+  EXPECT_EQ(f, device_.max_frequencies());
+}
+
+TEST_F(DvfsTest, GovernorHoldsInDeadband) {
+  DefaultGovernor governor;
+  const FrequencyPair start = governor.initial(device_);
+  FrequencyPair f = start;
+  for (int i = 0; i < 20; ++i) f = governor.next(device_, make_iteration(0.5, 0.5));
+  EXPECT_EQ(f, start);
+}
+
+TEST_F(DvfsTest, GovernorCloneResetsState) {
+  DefaultGovernor governor;
+  governor.initial(device_);
+  for (int i = 0; i < 50; ++i) governor.next(device_, make_iteration(1.0, 1.0));
+  auto fresh = governor.clone();
+  // The clone starts over mid-menu rather than inheriting max frequency.
+  const FrequencyPair start = fresh->initial(device_);
+  EXPECT_NE(start, device_.max_frequencies());
+}
+
+TEST_F(DvfsTest, GovernorOnlyAdjustsLoadedDomain) {
+  DefaultGovernor governor;
+  const FrequencyPair start = governor.initial(device_);
+  FrequencyPair f = start;
+  // Core saturated, memory idle: core should rise, memory should fall.
+  for (int i = 0; i < 80; ++i) f = governor.next(device_, make_iteration(0.9, 0.05));
+  EXPECT_GT(f.core_mhz, start.core_mhz);
+  EXPECT_LT(f.mem_mhz, start.mem_mhz);
+}
+
+}  // namespace
+}  // namespace sssp::sim

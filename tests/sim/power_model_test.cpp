@@ -1,0 +1,91 @@
+#include "sim/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sssp::sim {
+namespace {
+
+class PowerModelTest : public ::testing::Test {
+ protected:
+  DeviceSpec device_ = DeviceSpec::jetson_tk1();
+};
+
+TEST_F(PowerModelTest, VoltageInterpolatesAcrossMenu) {
+  EXPECT_DOUBLE_EQ(core_voltage(device_, device_.min_core_mhz()),
+                   device_.core_v_min);
+  EXPECT_DOUBLE_EQ(core_voltage(device_, device_.max_core_mhz()),
+                   device_.core_v_max);
+  const double mid = core_voltage(device_, 462);  // midpoint of 72..852
+  EXPECT_GT(mid, device_.core_v_min);
+  EXPECT_LT(mid, device_.core_v_max);
+}
+
+TEST_F(PowerModelTest, VoltageClampsOutsideMenu) {
+  EXPECT_DOUBLE_EQ(core_voltage(device_, 1), device_.core_v_min);
+  EXPECT_DOUBLE_EQ(core_voltage(device_, 5000), device_.core_v_max);
+}
+
+TEST_F(PowerModelTest, FullUtilizationAtMaxFreqHitsEnvelope) {
+  const double p =
+      board_power(device_, device_.max_frequencies(), 1.0, 1.0);
+  EXPECT_NEAR(p, device_.static_power_w + device_.gpu_dynamic_power_w +
+                     device_.mem_dynamic_power_w,
+              1e-9);
+}
+
+TEST_F(PowerModelTest, IdleIncludesStaticAndLeakage) {
+  const double p = idle_power(device_, device_.max_frequencies());
+  EXPECT_GT(p, device_.static_power_w);
+  EXPECT_LT(p, device_.static_power_w + device_.gpu_dynamic_power_w);
+}
+
+TEST_F(PowerModelTest, PowerMonotoneInUtilization) {
+  const FrequencyPair f = device_.max_frequencies();
+  double prev = -1.0;
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    const double p = board_power(device_, f, u, u);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST_F(PowerModelTest, PowerMonotoneInCoreFrequency) {
+  double prev = -1.0;
+  for (const std::uint32_t mhz : device_.core_freq_menu_mhz) {
+    const double p =
+        board_power(device_, {mhz, device_.max_mem_mhz()}, 0.8, 0.3);
+    EXPECT_GT(p, prev) << mhz;
+    prev = p;
+  }
+}
+
+TEST_F(PowerModelTest, PowerMonotoneInMemFrequency) {
+  double prev = -1.0;
+  for (const std::uint32_t mhz : device_.mem_freq_menu_mhz) {
+    const double p =
+        board_power(device_, {device_.max_core_mhz(), mhz}, 0.5, 0.8);
+    EXPECT_GT(p, prev) << mhz;
+    prev = p;
+  }
+}
+
+TEST_F(PowerModelTest, UtilizationClamped) {
+  const FrequencyPair f = device_.max_frequencies();
+  EXPECT_DOUBLE_EQ(board_power(device_, f, -0.5, -1.0),
+                   board_power(device_, f, 0.0, 0.0));
+  EXPECT_DOUBLE_EQ(board_power(device_, f, 1.5, 2.0),
+                   board_power(device_, f, 1.0, 1.0));
+}
+
+TEST_F(PowerModelTest, LowFrequencyCutsDynamicPowerSuperlinearly) {
+  // f·V² scaling: halving frequency cuts active-core power by more than
+  // half because voltage drops too.
+  const double hi = board_power(device_, {852, 924}, 1.0, 0.0) -
+                    board_power(device_, {852, 924}, 0.0, 0.0);
+  const double lo = board_power(device_, {396, 924}, 1.0, 0.0) -
+                    board_power(device_, {396, 924}, 0.0, 0.0);
+  EXPECT_LT(lo / hi, 396.0 / 852.0);
+}
+
+}  // namespace
+}  // namespace sssp::sim

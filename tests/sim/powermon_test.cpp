@@ -1,0 +1,87 @@
+#include "sim/powermon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sssp::sim {
+namespace {
+
+TEST(PowerTrace, EmptyTrace) {
+  PowerTrace trace;
+  EXPECT_DOUBLE_EQ(trace.duration_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.energy_joules(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.average_power_w(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.peak_power_w(), 0.0);
+}
+
+TEST(PowerTrace, EnergyIsExactIntegral) {
+  PowerTrace trace;
+  trace.add_segment(2.0, 5.0);   // 10 J
+  trace.add_segment(0.5, 10.0);  // 5 J
+  EXPECT_DOUBLE_EQ(trace.duration_seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(trace.energy_joules(), 15.0);
+  EXPECT_DOUBLE_EQ(trace.average_power_w(), 6.0);
+  EXPECT_DOUBLE_EQ(trace.peak_power_w(), 10.0);
+}
+
+TEST(PowerTrace, ZeroDurationSegmentsDropped) {
+  PowerTrace trace;
+  trace.add_segment(0.0, 100.0);
+  EXPECT_EQ(trace.num_segments(), 0u);
+  EXPECT_DOUBLE_EQ(trace.peak_power_w(), 0.0);
+}
+
+TEST(PowerTrace, NegativeDurationThrows) {
+  PowerTrace trace;
+  EXPECT_THROW(trace.add_segment(-1.0, 5.0), std::invalid_argument);
+}
+
+TEST(PowerTrace, AdjacentEqualPowerSegmentsMerge) {
+  PowerTrace trace;
+  trace.add_segment(1.0, 5.0);
+  trace.add_segment(2.0, 5.0);
+  trace.add_segment(1.0, 7.0);
+  EXPECT_EQ(trace.num_segments(), 2u);
+  EXPECT_DOUBLE_EQ(trace.duration_seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(trace.energy_joules(), 22.0);
+}
+
+TEST(PowerTrace, PowerAtWalksSegments) {
+  PowerTrace trace;
+  trace.add_segment(1.0, 5.0);
+  trace.add_segment(1.0, 8.0);
+  EXPECT_DOUBLE_EQ(trace.power_at(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(trace.power_at(1.5), 8.0);
+  EXPECT_DOUBLE_EQ(trace.power_at(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(trace.power_at(2.5), 0.0);
+}
+
+TEST(PowerTrace, SamplerMatchesSegments) {
+  PowerTrace trace;
+  trace.add_segment(0.010, 4.0);
+  trace.add_segment(0.010, 6.0);
+  const auto samples = trace.sample(1000.0);  // PowerMon's 1 kHz
+  ASSERT_EQ(samples.size(), 20u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(samples[i], 4.0) << i;
+  for (std::size_t i = 10; i < 20; ++i) EXPECT_DOUBLE_EQ(samples[i], 6.0) << i;
+}
+
+TEST(PowerTrace, SampledMeanApproximatesExactMean) {
+  PowerTrace trace;
+  for (int i = 0; i < 100; ++i)
+    trace.add_segment(0.001 * (1 + i % 3), 3.0 + (i % 7));
+  const auto samples = trace.sample(1000.0);
+  double mean = 0.0;
+  for (double s : samples) mean += s;
+  mean /= static_cast<double>(samples.size());
+  EXPECT_NEAR(mean, trace.average_power_w(), 0.25);
+}
+
+TEST(PowerTrace, SampleRejectsBadRate) {
+  PowerTrace trace;
+  trace.add_segment(1.0, 1.0);
+  EXPECT_THROW(trace.sample(0.0), std::invalid_argument);
+  EXPECT_THROW(trace.sample(-5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sssp::sim

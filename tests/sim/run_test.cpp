@@ -1,0 +1,141 @@
+#include "sim/run.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sssp::sim {
+namespace {
+
+RunWorkload uniform_workload(std::size_t iterations, std::uint64_t frontier) {
+  RunWorkload w;
+  w.algorithm = "test";
+  w.dataset = "synthetic";
+  for (std::size_t i = 0; i < iterations; ++i) {
+    IterationWork it;
+    it.x1 = frontier;
+    it.x2 = frontier * 4;
+    it.x3 = frontier * 2;
+    it.x4 = frontier;
+    it.edges_relaxed = frontier * 4;
+    it.far_queue_size = frontier;
+    w.iterations.push_back(it);
+  }
+  return w;
+}
+
+class SimulateRunTest : public ::testing::Test {
+ protected:
+  DeviceSpec device_ = DeviceSpec::jetson_tk1();
+};
+
+TEST_F(SimulateRunTest, EmptyWorkloadProducesEmptyReport) {
+  const RunReport r =
+      simulate_run(device_, PinnedDvfs(device_.max_frequencies()), {});
+  EXPECT_DOUBLE_EQ(r.total_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.energy_joules, 0.0);
+  EXPECT_TRUE(r.iterations.empty());
+}
+
+TEST_F(SimulateRunTest, ReportInternallyConsistent) {
+  const RunWorkload w = uniform_workload(50, 1000);
+  const RunReport r =
+      simulate_run(device_, PinnedDvfs(device_.max_frequencies()), w);
+  EXPECT_GT(r.total_seconds, 0.0);
+  EXPECT_NEAR(r.energy_joules, r.average_power_w * r.total_seconds, 1e-9);
+  EXPECT_GE(r.peak_power_w + 1e-9, r.average_power_w);
+  ASSERT_EQ(r.iterations.size(), 50u);
+  double sum = 0.0;
+  for (const auto& it : r.iterations) sum += it.seconds;
+  EXPECT_NEAR(sum, r.total_seconds, 1e-12);
+}
+
+TEST_F(SimulateRunTest, DeterministicAcrossCalls) {
+  const RunWorkload w = uniform_workload(20, 777);
+  const DefaultGovernor governor;
+  const RunReport a = simulate_run(device_, governor, w);
+  const RunReport b = simulate_run(device_, governor, w);
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+}
+
+TEST_F(SimulateRunTest, LowerFrequencySlowerAndLowerPower) {
+  const RunWorkload w = uniform_workload(100, 100000);
+  const RunReport fast =
+      simulate_run(device_, PinnedDvfs({852, 924}), w);
+  const RunReport slow = simulate_run(device_, PinnedDvfs({324, 396}), w);
+  EXPECT_GT(slow.total_seconds, fast.total_seconds);
+  EXPECT_LT(slow.average_power_w, fast.average_power_w);
+}
+
+TEST_F(SimulateRunTest, FewerBiggerIterationsBeatManySmallOnes) {
+  // Same total work split into 1000 tiny iterations vs 10 large ones:
+  // launch overhead makes the former slower (the paper's small-delta
+  // pathology).
+  RunWorkload many = uniform_workload(1000, 100);
+  RunWorkload few = uniform_workload(10, 10000);
+  const PinnedDvfs policy({852, 924});
+  const RunReport r_many = simulate_run(device_, policy, many);
+  const RunReport r_few = simulate_run(device_, policy, few);
+  EXPECT_GT(r_many.total_seconds, r_few.total_seconds);
+}
+
+TEST_F(SimulateRunTest, ControllerOverheadAppearsInTimeAndReport) {
+  RunWorkload w = uniform_workload(10, 1000);
+  for (auto& it : w.iterations) it.controller_seconds = 1e-4;
+  const RunReport with = simulate_run(device_, PinnedDvfs({852, 924}), w);
+  const RunReport without = simulate_run(
+      device_, PinnedDvfs({852, 924}), uniform_workload(10, 1000));
+  EXPECT_NEAR(with.controller_seconds, 1e-3, 1e-12);
+  EXPECT_NEAR(with.total_seconds - without.total_seconds, 1e-3, 1e-9);
+}
+
+TEST_F(SimulateRunTest, GovernorTracksLoadAcrossRun) {
+  // Saturating workload should end at higher frequency than it started.
+  const RunWorkload w = uniform_workload(100, 5'000'000);
+  const RunReport r = simulate_run(device_, DefaultGovernor(), w);
+  ASSERT_FALSE(r.iterations.empty());
+  EXPECT_GT(r.iterations.back().frequencies.core_mhz,
+            r.iterations.front().frequencies.core_mhz);
+}
+
+TEST_F(SimulateRunTest, KeepIterationReportsFalseSavesMemory) {
+  const RunWorkload w = uniform_workload(10, 100);
+  SimulateOptions opts;
+  opts.keep_iteration_reports = false;
+  const RunReport r =
+      simulate_run(device_, PinnedDvfs({852, 924}), w, opts);
+  EXPECT_TRUE(r.iterations.empty());
+  EXPECT_GT(r.total_seconds, 0.0);
+}
+
+TEST_F(SimulateRunTest, RelativeMetrics) {
+  const RunWorkload w = uniform_workload(50, 100000);
+  const RunReport fast = simulate_run(device_, PinnedDvfs({852, 924}), w);
+  const RunReport slow = simulate_run(device_, PinnedDvfs({324, 396}), w);
+  const RelativeMetrics m = relative_to(fast, slow);
+  EXPECT_GT(m.speedup, 1.0);
+  EXPECT_GT(m.relative_power, 1.0);
+  const RelativeMetrics self = relative_to(fast, fast);
+  EXPECT_DOUBLE_EQ(self.speedup, 1.0);
+  EXPECT_DOUBLE_EQ(self.relative_power, 1.0);
+  EXPECT_DOUBLE_EQ(self.relative_energy, 1.0);
+}
+
+TEST_F(SimulateRunTest, RelativeMetricsRejectEmptyRuns) {
+  const RunReport empty;
+  const RunWorkload w = uniform_workload(5, 10);
+  const RunReport real = simulate_run(device_, PinnedDvfs({852, 924}), w);
+  EXPECT_THROW(relative_to(real, empty), std::invalid_argument);
+  EXPECT_THROW(relative_to(empty, real), std::invalid_argument);
+}
+
+TEST(WorkloadTest, TotalEdgesRelaxed) {
+  RunWorkload w;
+  IterationWork a, b;
+  a.edges_relaxed = 10;
+  b.edges_relaxed = 32;
+  w.iterations = {a, b};
+  EXPECT_EQ(w.total_edges_relaxed(), 42u);
+}
+
+}  // namespace
+}  // namespace sssp::sim

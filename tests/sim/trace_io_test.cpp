@@ -1,0 +1,66 @@
+#include "sim/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace sssp::sim {
+namespace {
+
+PowerTrace two_segment_trace() {
+  PowerTrace trace;
+  trace.add_segment(0.010, 4.0);
+  trace.add_segment(0.005, 6.0);
+  return trace;
+}
+
+TEST(TraceIo, PowerSamplesCsvHasHeaderAndRows) {
+  std::ostringstream out;
+  write_power_samples_csv(two_segment_trace(), 1000.0, out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("time_s,watts\n", 0), 0u);
+  // 15 ms at 1 kHz -> 15 samples + header = 16 lines.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 16);
+  EXPECT_NE(text.find(",4\n"), std::string::npos);
+  EXPECT_NE(text.find(",6\n"), std::string::npos);
+}
+
+TEST(TraceIo, PowerSegmentsCsvRoundTripsStructure) {
+  std::ostringstream out;
+  write_power_segments_csv(two_segment_trace(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("start_s,duration_s,watts"), std::string::npos);
+  EXPECT_NE(text.find("0,0.01,4"), std::string::npos);
+  EXPECT_NE(text.find("0.01,0.005,6"), std::string::npos);
+}
+
+TEST(TraceIo, RunReportCsv) {
+  RunReport report;
+  report.iterations.push_back({0.001, 5.0, 0.8, 0.3, {852, 924}});
+  report.iterations.push_back({0.002, 4.0, 0.1, 0.9, {324, 600}});
+  std::ostringstream out;
+  write_run_report_csv(report, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("iteration,seconds"), std::string::npos);
+  EXPECT_NE(text.find("0,0.001,5,0.8,0.3,852,924"), std::string::npos);
+  EXPECT_NE(text.find("1,0.002,4,0.1,0.9,324,600"), std::string::npos);
+}
+
+TEST(TraceIo, FileVariantsWriteAndFail) {
+  const std::string path = ::testing::TempDir() + "trace.csv";
+  write_power_samples_csv_file(two_segment_trace(), 1000.0, path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+  EXPECT_THROW(
+      write_power_samples_csv_file(two_segment_trace(), 1e3, "/nope/x.csv"),
+      std::runtime_error);
+  RunReport report;
+  EXPECT_THROW(write_run_report_csv_file(report, "/nope/x.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sssp::sim

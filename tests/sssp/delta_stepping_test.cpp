@@ -1,0 +1,84 @@
+#include "sssp/delta_stepping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sssp/dijkstra.hpp"
+#include "tests/sssp/test_graphs.hpp"
+
+namespace sssp::algo {
+namespace {
+
+TEST(DeltaStepping, DiamondDistances) {
+  const auto g = testing::diamond();
+  const SsspResult r = delta_stepping(g, 0, {.delta = 2});
+  EXPECT_EQ(r.distances, dijkstra_distances(g, 0));
+}
+
+TEST(DeltaStepping, HeuristicDeltaWorks) {
+  const auto g = testing::random_graph(400, 4.0, 60, 11);
+  const SsspResult r = delta_stepping(g, 0);  // delta = 0 -> heuristic
+  EXPECT_EQ(count_distance_mismatches(r.distances, dijkstra_distances(g, 0)),
+            0u);
+}
+
+TEST(DeltaStepping, OutOfRangeSourceThrows) {
+  const auto g = testing::ring(4);
+  EXPECT_THROW(delta_stepping(g, 99), std::invalid_argument);
+}
+
+TEST(DeltaStepping, UnreachableVerticesStayInfinite) {
+  const auto g = graph::build_csr(4, {{0, 1, 3}});
+  const SsspResult r = delta_stepping(g, 0, {.delta = 2});
+  EXPECT_EQ(r.distances[2], graph::kInfiniteDistance);
+  EXPECT_EQ(r.distances[3], graph::kInfiniteDistance);
+}
+
+TEST(DeltaStepping, HugeDeltaDegeneratesToBellmanFordButExact) {
+  const auto g = testing::random_graph(300, 5.0, 30, 3);
+  const SsspResult r = delta_stepping(g, 0, {.delta = 1u << 30});
+  EXPECT_EQ(count_distance_mismatches(r.distances, dijkstra_distances(g, 0)),
+            0u);
+}
+
+TEST(DeltaStepping, DeltaOneDegeneratesToDijkstraLikePhases) {
+  const auto g = testing::random_graph(300, 5.0, 30, 4);
+  const SsspResult r = delta_stepping(g, 0, {.delta = 1});
+  EXPECT_EQ(count_distance_mismatches(r.distances, dijkstra_distances(g, 0)),
+            0u);
+  // With delta=1 every edge is heavy, so no redundant work: improving
+  // relaxations should be close to optimal (one per distance improvement
+  // in Dijkstra order, where ties may add a few).
+  EXPECT_LE(r.improving_relaxations, 2 * r.reached_count());
+}
+
+// Property sweep: exactness across deltas, seeds, and graph shapes.
+struct DeltaCase {
+  std::uint64_t seed;
+  graph::Distance delta;
+};
+
+class DeltaSteppingProperty : public ::testing::TestWithParam<DeltaCase> {};
+
+TEST_P(DeltaSteppingProperty, MatchesDijkstra) {
+  const auto [seed, delta] = GetParam();
+  const auto g = testing::random_graph(600, 4.0, 99, seed);
+  const auto src = static_cast<graph::VertexId>(seed % 600);
+  const SsspResult r = delta_stepping(g, src, {.delta = delta});
+  EXPECT_EQ(count_distance_mismatches(r.distances,
+                                      dijkstra_distances(g, src)),
+            0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeltaSteppingProperty,
+    ::testing::Values(DeltaCase{1, 1}, DeltaCase{1, 7}, DeltaCase{1, 50},
+                      DeltaCase{1, 500}, DeltaCase{2, 3}, DeltaCase{2, 25},
+                      DeltaCase{3, 10}, DeltaCase{3, 100}, DeltaCase{4, 64},
+                      DeltaCase{5, 2}),
+    [](const ::testing::TestParamInfo<DeltaCase>& tpi) {
+      return "seed" + std::to_string(tpi.param.seed) + "_delta" +
+             std::to_string(tpi.param.delta);
+    });
+
+}  // namespace
+}  // namespace sssp::algo

@@ -1,0 +1,95 @@
+#include "sssp/delta_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/run.hpp"
+#include "sssp/near_far.hpp"
+#include "tests/sssp/test_graphs.hpp"
+
+namespace sssp::algo {
+namespace {
+
+class DeltaSweepTest : public ::testing::Test {
+ protected:
+  sim::DeviceSpec device_ = sim::DeviceSpec::jetson_tk1();
+  sim::PinnedDvfs policy_{device_.max_frequencies()};
+};
+
+TEST_F(DeltaSweepTest, FindsTimeMinimizingDelta) {
+  const auto g = testing::random_graph(2000, 5.0, 99, 17);
+  DeltaSweepOptions opts;
+  opts.min_delta = 1;
+  opts.max_delta = 1 << 16;
+  const DeltaSweepResult sweep = sweep_delta(g, 0, device_, policy_, opts);
+  ASSERT_FALSE(sweep.points.empty());
+  // best_delta must be the argmin of the recorded points.
+  double best = 1e300;
+  graph::Distance argmin = 0;
+  for (const auto& p : sweep.points) {
+    if (p.simulated_seconds < best) {
+      best = p.simulated_seconds;
+      argmin = p.delta;
+    }
+  }
+  EXPECT_EQ(sweep.best_delta, argmin);
+}
+
+TEST_F(DeltaSweepTest, GridIsGeometricAndDeduplicated) {
+  const auto g = testing::ring(100);
+  DeltaSweepOptions opts;
+  opts.min_delta = 1;
+  opts.max_delta = 64;
+  opts.ratio = 2.0;
+  const DeltaSweepResult sweep = sweep_delta(g, 0, device_, policy_, opts);
+  ASSERT_EQ(sweep.points.size(), 7u);  // 1, 2, 4, ..., 64
+  for (std::size_t i = 1; i < sweep.points.size(); ++i)
+    EXPECT_EQ(sweep.points[i].delta, sweep.points[i - 1].delta * 2);
+}
+
+TEST_F(DeltaSweepTest, ParallelismGrowsWithDelta) {
+  const auto g = testing::random_graph(3000, 6.0, 99, 23);
+  DeltaSweepOptions opts;
+  opts.min_delta = 1;
+  opts.max_delta = 1 << 14;
+  opts.ratio = 4.0;
+  const DeltaSweepResult sweep = sweep_delta(g, 0, device_, policy_, opts);
+  ASSERT_GE(sweep.points.size(), 3u);
+  // Figure 2's shape: average parallelism is (weakly) increasing in delta.
+  EXPECT_LT(sweep.points.front().average_parallelism,
+            sweep.points.back().average_parallelism);
+  // Figure 3's shape: iteration count decreasing in delta.
+  EXPECT_GT(sweep.points.front().iterations, sweep.points.back().iterations);
+}
+
+TEST_F(DeltaSweepTest, RejectsBadRanges) {
+  const auto g = testing::ring(10);
+  DeltaSweepOptions opts;
+  opts.min_delta = 0;
+  EXPECT_THROW(sweep_delta(g, 0, device_, policy_, opts),
+               std::invalid_argument);
+  opts.min_delta = 100;
+  opts.max_delta = 1;
+  EXPECT_THROW(sweep_delta(g, 0, device_, policy_, opts),
+               std::invalid_argument);
+  opts = DeltaSweepOptions{};
+  opts.ratio = 1.0;
+  EXPECT_THROW(sweep_delta(g, 0, device_, policy_, opts),
+               std::invalid_argument);
+}
+
+TEST_F(DeltaSweepTest, PointsRecordPeakLoad) {
+  const auto g = testing::random_graph(1000, 5.0, 99, 31);
+  DeltaSweepOptions opts;
+  opts.min_delta = 4;
+  opts.max_delta = 4096;
+  opts.ratio = 8.0;
+  const DeltaSweepResult sweep = sweep_delta(g, 0, device_, policy_, opts);
+  for (const auto& p : sweep.points) {
+    EXPECT_GE(p.max_x2, static_cast<std::uint64_t>(p.average_parallelism));
+    EXPECT_GT(p.simulated_seconds, 0.0);
+    EXPECT_GT(p.average_power_w, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace sssp::algo

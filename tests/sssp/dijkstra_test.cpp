@@ -1,0 +1,90 @@
+#include "sssp/dijkstra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/sssp/test_graphs.hpp"
+
+namespace sssp::algo {
+namespace {
+
+using graph::kInfiniteDistance;
+
+TEST(Dijkstra, DiamondDistances) {
+  const auto g = testing::diamond();
+  const SsspResult r = dijkstra(g, 0);
+  ASSERT_EQ(r.distances.size(), 4u);
+  EXPECT_EQ(r.distances[0], 0u);
+  EXPECT_EQ(r.distances[1], 5u);
+  EXPECT_EQ(r.distances[2], 3u);
+  EXPECT_EQ(r.distances[3], 5u);
+  EXPECT_EQ(r.algorithm, "dijkstra");
+  EXPECT_EQ(r.reached_count(), 4u);
+}
+
+TEST(Dijkstra, RingDistances) {
+  const auto g = testing::ring(100);
+  const auto dist = dijkstra_distances(g, 0);
+  for (graph::VertexId v = 0; v < 100; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Dijkstra, NonZeroSource) {
+  const auto g = testing::ring(10);
+  const auto dist = dijkstra_distances(g, 7);
+  EXPECT_EQ(dist[7], 0u);
+  EXPECT_EQ(dist[8], 1u);
+  EXPECT_EQ(dist[6], 9u);  // wraps around the cycle
+}
+
+TEST(Dijkstra, UnreachableVerticesStayInfinite) {
+  // Two components: 0->1 and isolated 2.
+  const auto g = graph::build_csr(3, {{0, 1, 4}});
+  const auto dist = dijkstra_distances(g, 0);
+  EXPECT_EQ(dist[1], 4u);
+  EXPECT_EQ(dist[2], kInfiniteDistance);
+}
+
+TEST(Dijkstra, SingleVertexGraph) {
+  const auto g = graph::build_csr(1, {});
+  const auto dist = dijkstra_distances(g, 0);
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_EQ(dist[0], 0u);
+}
+
+TEST(Dijkstra, PicksShorterOfParallelEdges) {
+  graph::BuildOptions opts;
+  opts.dedupe_parallel_edges = false;
+  const auto g = graph::build_csr(2, {{0, 1, 9}, {0, 1, 2}}, opts);
+  EXPECT_EQ(dijkstra_distances(g, 0)[1], 2u);
+}
+
+TEST(Dijkstra, ZeroWeightEdges) {
+  const auto g = graph::build_csr(3, {{0, 1, 0}, {1, 2, 0}});
+  const auto dist = dijkstra_distances(g, 0);
+  EXPECT_EQ(dist[1], 0u);
+  EXPECT_EQ(dist[2], 0u);
+}
+
+TEST(Dijkstra, OutOfRangeSourceThrows) {
+  const auto g = testing::ring(4);
+  EXPECT_THROW(dijkstra_distances(g, 4), std::invalid_argument);
+}
+
+TEST(Dijkstra, LongChainNoOverflow) {
+  // 1000 vertices, max weights: distance ~ 1000 * (2^32 - 1) exceeds
+  // 32 bits; Distance is 64-bit so this must be exact.
+  std::vector<graph::Edge> edges;
+  const graph::Weight w = 0xFFFFFFFFu;
+  for (graph::VertexId v = 0; v + 1 < 1000; ++v) edges.push_back({v, v + 1, w});
+  const auto g = graph::build_csr(1000, std::move(edges));
+  const auto dist = dijkstra_distances(g, 0);
+  EXPECT_EQ(dist[999], 999ull * w);
+}
+
+TEST(CountDistanceMismatches, CountsDifferencesAndSizeGap) {
+  EXPECT_EQ(count_distance_mismatches({1, 2, 3}, {1, 2, 3}), 0u);
+  EXPECT_EQ(count_distance_mismatches({1, 9, 3}, {1, 2, 3}), 1u);
+  EXPECT_EQ(count_distance_mismatches({1, 2}, {1, 2, 3}), 1u);
+}
+
+}  // namespace
+}  // namespace sssp::algo

@@ -1,0 +1,44 @@
+// Shared fixtures for the SSSP algorithm tests: small hand-checked
+// graphs plus deterministic random graphs for property testing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace sssp::algo::testing {
+
+// 0 -5-> 1 -1-> 2, 0 -3-> 2, 2 -2-> 3: distances {0, 5, 3, 5}.
+inline graph::CsrGraph diamond() {
+  return graph::build_csr(4, {{0, 1, 5}, {1, 2, 1}, {0, 2, 3}, {2, 3, 2}});
+}
+
+// Directed cycle of n vertices, unit weights: dist(k) = k.
+inline graph::CsrGraph ring(graph::VertexId n) {
+  std::vector<graph::Edge> edges;
+  for (graph::VertexId v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n, 1});
+  return graph::build_csr(n, std::move(edges));
+}
+
+// Erdos-Renyi-style random digraph with ~avg_degree out-edges per vertex
+// and uniform weights in [1, max_weight]. Deterministic per seed.
+inline graph::CsrGraph random_graph(std::size_t n, double avg_degree,
+                                    graph::Weight max_weight,
+                                    std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<graph::Edge> edges;
+  const auto m = static_cast<std::size_t>(static_cast<double>(n) * avg_degree);
+  edges.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto u = static_cast<graph::VertexId>(rng.next_below(n));
+    const auto v = static_cast<graph::VertexId>(rng.next_below(n));
+    const auto w = static_cast<graph::Weight>(rng.next_range(1, max_weight));
+    edges.push_back({u, v, w});
+  }
+  return graph::build_csr(n, std::move(edges));
+}
+
+}  // namespace sssp::algo::testing

@@ -1,0 +1,54 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sssp::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  // Unknown names default to info rather than crashing experiments.
+  EXPECT_EQ(parse_log_level("verbose"), LogLevel::kInfo);
+}
+
+TEST(Log, SetAndGetLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST(Log, SuppressedLinesDoNotFormat) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // Streaming into a suppressed line must be a no-op (and not crash).
+  SSSP_LOG(kDebug) << "invisible " << 42;
+  SSSP_LOG(kError) << "also invisible at kOff " << 3.14;
+  SUCCEED();
+}
+
+TEST(Log, EmittingLineDoesNotThrow) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  EXPECT_NO_THROW((SSSP_LOG(kError) << "expected test error line"));
+}
+
+}  // namespace
+}  // namespace sssp::util

@@ -1,0 +1,69 @@
+#include "util/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sssp::util {
+namespace {
+
+TEST(Pareto, EmptyInput) {
+  EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(Pareto, SinglePointIsFront) {
+  const ParetoPoint p{1.0, 2.0, 7};
+  const auto front = pareto_front(std::span(&p, 1));
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].tag, 7u);
+}
+
+TEST(Pareto, DominatedPointsRemoved) {
+  const ParetoPoint points[] = {
+      {1.0, 1.0, 0},  // front
+      {2.0, 0.5, 1},  // dominated by 0 (costlier, worse)
+      {2.0, 2.0, 2},  // front
+      {3.0, 1.5, 3},  // dominated by 2
+      {0.5, 0.2, 4},  // front (cheapest)
+  };
+  const auto front = pareto_front(points);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].tag, 4u);
+  EXPECT_EQ(front[1].tag, 0u);
+  EXPECT_EQ(front[2].tag, 2u);
+  // Sorted ascending by cost, ascending by value along the front.
+  EXPECT_LT(front[0].cost, front[1].cost);
+  EXPECT_LT(front[1].value, front[2].value);
+}
+
+TEST(Pareto, EqualCostKeepsBestValue) {
+  const ParetoPoint points[] = {{1.0, 1.0, 0}, {1.0, 3.0, 1}};
+  const auto front = pareto_front(points);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].tag, 1u);
+}
+
+TEST(Pareto, ExactTiesKeepFirstOccurrence) {
+  const ParetoPoint points[] = {{1.0, 1.0, 5}, {1.0, 1.0, 6}};
+  const auto front = pareto_front(points);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].tag, 5u);
+}
+
+TEST(Pareto, IsDominatedAgreesWithFront) {
+  const ParetoPoint points[] = {
+      {1.0, 1.0, 0}, {2.0, 0.5, 1}, {2.0, 2.0, 2}, {3.0, 1.5, 3}};
+  EXPECT_FALSE(is_dominated(points[0], points));
+  EXPECT_TRUE(is_dominated(points[1], points));
+  EXPECT_FALSE(is_dominated(points[2], points));
+  EXPECT_TRUE(is_dominated(points[3], points));
+}
+
+TEST(Pareto, AllOnDiagonalAllSurvive) {
+  // Strictly increasing value with cost: nothing dominates anything.
+  std::vector<ParetoPoint> points;
+  for (std::size_t i = 0; i < 10; ++i)
+    points.push_back({static_cast<double>(i), static_cast<double>(i), i});
+  EXPECT_EQ(pareto_front(points).size(), 10u);
+}
+
+}  // namespace
+}  // namespace sssp::util

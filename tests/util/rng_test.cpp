@@ -1,0 +1,76 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace sssp::util {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, NextBelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro256, NextRangeInclusiveBounds) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  // All four values should appear in 10k draws.
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  // Mean of U[0,1) should be ~0.5.
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, ForkedStreamsAreIndependentAndDeterministic) {
+  Xoshiro256 parent1(5), parent2(5);
+  Xoshiro256 child1 = parent1.fork();
+  Xoshiro256 child2 = parent2.fork();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(child1.next(), child2.next());
+  // Child stream differs from the parent's continuation.
+  EXPECT_NE(child1.next(), parent1.next());
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sssp::util

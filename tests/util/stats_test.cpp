@@ -1,0 +1,184 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sssp::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(OnlineStats, KnownSequence) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats left, right, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i < 37 ? left : right).add(x);
+    all.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Ema, ConvergesToConstantInput) {
+  Ema ema(0.0, 4.0);
+  for (int i = 0; i < 200; ++i) ema.update(10.0);
+  EXPECT_NEAR(ema.value(), 10.0, 1e-9);
+}
+
+TEST(Ema, TauOneTracksInputExactly) {
+  Ema ema(5.0, 1.0);
+  EXPECT_DOUBLE_EQ(ema.update(42.0), 42.0);
+  EXPECT_DOUBLE_EQ(ema.update(-3.0), -3.0);
+}
+
+TEST(Ema, ClampsTauBelowOne) {
+  Ema ema(0.0, 0.25);
+  EXPECT_DOUBLE_EQ(ema.tau(), 1.0);
+  ema.set_tau(0.0);
+  EXPECT_DOUBLE_EQ(ema.tau(), 1.0);
+}
+
+TEST(Ema, SingleStepFormula) {
+  Ema ema(2.0, 2.0);
+  // y <- 0.5*2 + 0.5*6 = 4
+  EXPECT_DOUBLE_EQ(ema.update(6.0), 4.0);
+}
+
+TEST(QuantileSummary, MedianOfOddSample) {
+  QuantileSummary q;
+  for (double x : {5.0, 1.0, 3.0}) q.add(x);
+  EXPECT_DOUBLE_EQ(q.median(), 3.0);
+  EXPECT_DOUBLE_EQ(q.min(), 1.0);
+  EXPECT_DOUBLE_EQ(q.max(), 5.0);
+}
+
+TEST(QuantileSummary, InterpolatesBetweenOrderStats) {
+  QuantileSummary q;
+  q.add(0.0);
+  q.add(10.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.25), 2.5);
+}
+
+TEST(QuantileSummary, EmptyThrows) {
+  QuantileSummary q;
+  EXPECT_THROW(q.quantile(0.5), std::domain_error);
+}
+
+TEST(QuantileSummary, OutOfRangeQThrows) {
+  QuantileSummary q;
+  q.add(1.0);
+  EXPECT_THROW(q.quantile(-0.1), std::domain_error);
+  EXPECT_THROW(q.quantile(1.1), std::domain_error);
+}
+
+TEST(QuantileSummary, AddAllAndMean) {
+  QuantileSummary q;
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  q.add_all(xs);
+  EXPECT_EQ(q.count(), 4u);
+  EXPECT_DOUBLE_EQ(q.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(q.iqr(), q.quantile(0.75) - q.quantile(0.25));
+}
+
+TEST(QuantileSummary, CacheInvalidatedByAdd) {
+  QuantileSummary q;
+  q.add(1.0);
+  EXPECT_DOUBLE_EQ(q.median(), 1.0);
+  q.add(100.0);
+  EXPECT_DOUBLE_EQ(q.median(), 50.5);
+}
+
+TEST(Histogram, LinearBinning) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.lower_edge(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.upper_edge(4), 10.0);
+}
+
+TEST(Histogram, OutOfRangeClampsIntoEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(1e9);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, LogBinning) {
+  Histogram h(1.0, 10000.0, 4, Histogram::Scale::kLog);
+  h.add(2.0);      // decade [1,10)
+  h.add(50.0);     // [10,100)
+  h.add(500.0);    // [100,1000)
+  h.add(5000.0);   // [1000,10000)
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_EQ(h.count(b), 1u) << b;
+  EXPECT_NEAR(h.lower_edge(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.upper_edge(2), 1000.0, 1e-9);
+}
+
+TEST(Histogram, InvalidArgumentsThrow) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 10.0, 4, Histogram::Scale::kLog),
+               std::invalid_argument);
+}
+
+TEST(RelativeDifference, Basics) {
+  EXPECT_DOUBLE_EQ(relative_difference(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_difference(10.0, 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(relative_difference(0.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace sssp::util

@@ -1,0 +1,50 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sssp::util {
+namespace {
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.elapsed_seconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);  // sanity upper bound (slow CI tolerant)
+}
+
+TEST(WallTimer, UnitConversions) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = timer.elapsed_seconds();
+  const double ms = timer.elapsed_millis();
+  const double us = timer.elapsed_micros();
+  EXPECT_NEAR(ms, s * 1e3, s * 1e3);   // same order (captured sequentially)
+  EXPECT_GT(us, ms);                    // micros numerically larger
+}
+
+TEST(WallTimer, ResetRestartsClock) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.reset();
+  EXPECT_LT(timer.elapsed_seconds(), 0.015);
+}
+
+TEST(AccumulatingTimer, SumsIntervals) {
+  AccumulatingTimer timer;
+  EXPECT_DOUBLE_EQ(timer.total_seconds(), 0.0);
+  EXPECT_EQ(timer.intervals(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    timer.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    timer.stop();
+  }
+  EXPECT_EQ(timer.intervals(), 3u);
+  EXPECT_GE(timer.total_seconds(), 0.010);
+  EXPECT_NEAR(timer.mean_seconds(), timer.total_seconds() / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sssp::util

@@ -1,0 +1,79 @@
+// replay_tool — device-model what-if analysis without re-running the
+// algorithm: load a recorded workload (see sim/workload_io.hpp), then
+// sweep devices and DVFS settings over it.
+//
+//   sssp_tool --in g.bin --workload-csv run.csv   # record (see below)
+//   replay_tool --workload run.csv                # sweep TK1+TX1 menus
+//   replay_tool --workload run.csv --device-file myboard.cfg
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "sim/device_config.hpp"
+#include "sim/energy_metrics.hpp"
+#include "sim/run.hpp"
+#include "sim/workload_io.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+
+using namespace sssp;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  flags.define("workload", "", "workload CSV (from sssp_tool --workload-csv)");
+  flags.define("device-file", "", "only sweep this custom device");
+  flags.define("freq-stride", "3", "take every k-th frequency menu entry");
+  if (flags.handle_help("replay a recorded workload across device models"))
+    return 0;
+  flags.check_unknown();
+
+  try {
+    const std::string path = flags.get_string("workload");
+    if (path.empty()) {
+      std::fprintf(stderr, "--workload is required; see --help\n");
+      return 2;
+    }
+    const sim::RunWorkload workload = sim::load_workload_csv_file(path);
+    std::printf("workload: %s on %s, %zu iterations, %llu edge relaxations\n",
+                workload.algorithm.c_str(), workload.dataset.c_str(),
+                workload.iterations.size(),
+                static_cast<unsigned long long>(
+                    workload.total_edges_relaxed()));
+
+    std::vector<sim::DeviceSpec> devices;
+    if (const auto file = flags.get_string("device-file"); !file.empty()) {
+      devices.push_back(sim::load_device_config_file(file));
+    } else {
+      devices.push_back(sim::DeviceSpec::jetson_tk1());
+      devices.push_back(sim::DeviceSpec::jetson_tx1());
+    }
+    const auto stride = static_cast<std::size_t>(flags.get_int("freq-stride"));
+
+    util::TextTable table;
+    table.set_header({"device", "dvfs", "seconds", "avg_power_w", "energy_J",
+                      "EDP"});
+    for (const auto& device : devices) {
+      auto emit = [&](const sim::DvfsPolicy& policy) {
+        const auto report = sim::simulate_run(device, policy, workload,
+                                              {.keep_iteration_reports = false});
+        const auto metrics = sim::compute_energy_metrics(report);
+        table.add(device.name, policy.label(), report.total_seconds,
+                  report.average_power_w, report.energy_joules, metrics.edp);
+      };
+      emit(sim::DefaultGovernor());
+      for (std::size_t ci = 0; ci < device.core_freq_menu_mhz.size();
+           ci += stride) {
+        for (std::size_t mi = 0; mi < device.mem_freq_menu_mhz.size();
+             mi += stride) {
+          emit(sim::PinnedDvfs({device.core_freq_menu_mhz[ci],
+                                device.mem_freq_menu_mhz[mi]}));
+        }
+      }
+    }
+    std::printf("\n%s", table.to_string().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

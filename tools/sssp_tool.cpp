@@ -1,0 +1,172 @@
+// sssp_tool — run any of the library's SSSP algorithms on a graph file,
+// verify against Dijkstra, and optionally replay on a device model with
+// CSV trace export.
+//
+//   sssp_tool --in cal.bin --algorithm self-tuning --set-point 20000
+//             --device tk1 --dvfs default --trace-csv run.csv
+#include <cstdio>
+#include <string>
+
+#include "core/self_tuning.hpp"
+#include "tools/tool_common.hpp"
+#include "graph/degree_stats.hpp"
+#include "sim/device_config.hpp"
+#include "sim/run.hpp"
+#include "sim/trace_io.hpp"
+#include "sim/workload_io.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/near_far.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/timer.hpp"
+
+using namespace sssp;
+
+namespace {
+
+using tools::load_any_graph;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  flags.define("in", "", "input graph (.bin/.gr/.mtx/.txt/.el); required");
+  flags.define("algorithm", "self-tuning",
+               "dijkstra | bellman-ford | delta-stepping | near-far | "
+               "self-tuning");
+  flags.define("source", "-1", "source vertex (-1 = max out-degree)");
+  flags.define("delta", "0", "static delta for delta-stepping/near-far");
+  flags.define("set-point", "20000", "parallelism target for self-tuning");
+  flags.define("verify", "true", "verify distances against Dijkstra");
+  flags.define("device", "tk1", "device model for replay: tk1 | tx1 | none");
+  flags.define("device-file", "",
+               "custom device config (overrides --device; see "
+               "sim/device_config.hpp)");
+  flags.define("dvfs", "default",
+               "DVFS: 'default' governor or pinned 'core/mem' MHz pair");
+  flags.define("trace-csv", "", "write per-iteration device trace CSV here");
+  flags.define("workload-csv", "",
+               "record the workload for replay_tool (see sim/workload_io.hpp)");
+  flags.define("controller-csv", "",
+               "write per-iteration controller state (delta, d, alpha, X1-X4)");
+  if (flags.handle_help("run an SSSP algorithm on a graph file")) return 0;
+  flags.check_unknown();
+
+  try {
+    const std::string in = flags.get_string("in");
+    if (in.empty()) {
+      std::fprintf(stderr, "--in is required; see --help\n");
+      return 2;
+    }
+    const graph::CsrGraph g = load_any_graph(in);
+    std::printf("graph: %s\n",
+                to_string(graph::compute_degree_stats(g)).c_str());
+
+    const std::int64_t requested = flags.get_int("source");
+    const graph::VertexId source =
+        requested >= 0 ? static_cast<graph::VertexId>(requested)
+                       : graph::max_degree_vertex(g);
+
+    const std::string algorithm = flags.get_string("algorithm");
+    util::WallTimer timer;
+    algo::SsspResult result;
+    if (algorithm == "dijkstra") {
+      result = algo::dijkstra(g, source);
+    } else if (algorithm == "bellman-ford") {
+      result = algo::bellman_ford(g, source);
+    } else if (algorithm == "delta-stepping") {
+      result = algo::delta_stepping(
+          g, source,
+          {.delta = static_cast<graph::Distance>(flags.get_int("delta"))});
+    } else if (algorithm == "near-far") {
+      result = algo::near_far(
+          g, source,
+          {.delta = static_cast<graph::Distance>(flags.get_int("delta"))});
+    } else if (algorithm == "self-tuning") {
+      core::SelfTuningOptions options;
+      options.set_point = flags.get_double("set-point");
+      result = core::self_tuning_sssp(g, source, options);
+    } else {
+      std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
+      return 2;
+    }
+    const double host_seconds = timer.elapsed_seconds();
+
+    std::printf("%s from %u: reached %zu/%zu vertices, %zu iterations, "
+                "%.2fs host time\n",
+                result.algorithm.c_str(), source, result.reached_count(),
+                g.num_vertices(), result.num_iterations(), host_seconds);
+    if (!result.iterations.empty())
+      std::printf("average parallelism: %.0f, improving relaxations: %llu\n",
+                  result.average_parallelism(),
+                  static_cast<unsigned long long>(
+                      result.improving_relaxations));
+
+    if (const auto wpath = flags.get_string("workload-csv");
+        !wpath.empty() && !result.iterations.empty()) {
+      sim::save_workload_csv_file(result.to_workload(in), wpath);
+      std::printf("wrote workload to %s\n", wpath.c_str());
+    }
+    if (const auto cpath = flags.get_string("controller-csv");
+        !cpath.empty() && !result.iterations.empty()) {
+      util::CsvWriter csv(cpath);
+      csv.write_header({"iteration", "delta", "degree_estimate",
+                        "alpha_estimate", "x1", "x2", "x3", "x4",
+                        "rebalance_items", "far_queue_size"});
+      for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+        const auto& it = result.iterations[i];
+        csv.write(i, it.delta, it.degree_estimate, it.alpha_estimate, it.x1,
+                  it.x2, it.x3, it.x4, it.rebalance_items,
+                  it.far_queue_size);
+      }
+      std::printf("wrote controller trace to %s\n", cpath.c_str());
+    }
+
+    if (flags.get_bool("verify") && algorithm != "dijkstra") {
+      const auto expected = algo::dijkstra_distances(g, source);
+      const std::size_t mismatches =
+          algo::count_distance_mismatches(result.distances, expected);
+      std::printf("verification vs Dijkstra: %s\n",
+                  mismatches == 0 ? "EXACT" : "MISMATCH!");
+      if (mismatches) return 1;
+    }
+
+    const std::string device_name = flags.get_string("device");
+    const std::string device_file = flags.get_string("device-file");
+    if ((device_name != "none" || !device_file.empty()) &&
+        !result.iterations.empty()) {
+      const sim::DeviceSpec device =
+          !device_file.empty() ? sim::load_device_config_file(device_file)
+          : device_name == "tx1" ? sim::DeviceSpec::jetson_tx1()
+                                 : sim::DeviceSpec::jetson_tk1();
+      std::unique_ptr<sim::DvfsPolicy> policy;
+      const std::string dvfs = flags.get_string("dvfs");
+      if (dvfs == "default") {
+        policy = std::make_unique<sim::DefaultGovernor>();
+      } else {
+        const auto slash = dvfs.find('/');
+        if (slash == std::string::npos)
+          throw std::runtime_error("--dvfs expects 'default' or 'core/mem'");
+        policy = std::make_unique<sim::PinnedDvfs>(sim::FrequencyPair{
+            static_cast<std::uint32_t>(std::stoul(dvfs.substr(0, slash))),
+            static_cast<std::uint32_t>(std::stoul(dvfs.substr(slash + 1)))});
+      }
+      const auto report = sim::simulate_run(
+          device, *policy, result.to_workload(in));
+      std::printf("%s @ %s: %.4f s, %.2f W avg (peak %.2f), %.2f J\n",
+                  device.name.c_str(), dvfs.c_str(), report.total_seconds,
+                  report.average_power_w, report.peak_power_w,
+                  report.energy_joules);
+      if (const auto csv = flags.get_string("trace-csv"); !csv.empty()) {
+        sim::write_run_report_csv_file(report, csv);
+        std::printf("wrote per-iteration trace to %s\n", csv.c_str());
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

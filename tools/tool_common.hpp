@@ -1,0 +1,45 @@
+// Shared helpers for the CLI tools: extension-based graph loading and
+// saving across every supported format.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "graph/binary_io.hpp"
+#include "graph/csr.hpp"
+#include "graph/dimacs.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/matrix_market.hpp"
+
+namespace sssp::tools {
+
+inline bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// .bin (tunesssp binary cache), .gr (DIMACS), .mtx (MatrixMarket),
+// .txt/.el (edge list).
+inline graph::CsrGraph load_any_graph(const std::string& path) {
+  if (ends_with(path, ".bin")) return graph::load_binary_file(path);
+  if (ends_with(path, ".gr")) return graph::load_dimacs_file(path);
+  if (ends_with(path, ".mtx")) return graph::load_matrix_market_file(path);
+  if (ends_with(path, ".txt") || ends_with(path, ".el"))
+    return graph::load_edge_list_file(path);
+  throw std::runtime_error("unknown input format: " + path +
+                           " (expected .bin/.gr/.mtx/.txt/.el)");
+}
+
+// .bin or .gr (the formats with writers).
+inline void save_any_graph(const graph::CsrGraph& g, const std::string& path) {
+  if (ends_with(path, ".bin")) {
+    graph::save_binary_file(g, path);
+  } else if (ends_with(path, ".gr")) {
+    graph::save_dimacs_file(g, path, "written by tunesssp tools");
+  } else {
+    throw std::runtime_error("unknown output format: " + path +
+                             " (expected .bin/.gr)");
+  }
+}
+
+}  // namespace sssp::tools
