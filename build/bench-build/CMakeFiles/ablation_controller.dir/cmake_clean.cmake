@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_controller"
+  "../bench/ablation_controller.pdb"
+  "CMakeFiles/ablation_controller.dir/ablation_controller.cpp.o"
+  "CMakeFiles/ablation_controller.dir/ablation_controller.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_concurrency_profiles"
+  "../bench/fig1_concurrency_profiles.pdb"
+  "CMakeFiles/fig1_concurrency_profiles.dir/fig1_concurrency_profiles.cpp.o"
+  "CMakeFiles/fig1_concurrency_profiles.dir/fig1_concurrency_profiles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_concurrency_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

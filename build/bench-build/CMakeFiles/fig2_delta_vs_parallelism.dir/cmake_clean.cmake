@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_delta_vs_parallelism"
+  "../bench/fig2_delta_vs_parallelism.pdb"
+  "CMakeFiles/fig2_delta_vs_parallelism.dir/fig2_delta_vs_parallelism.cpp.o"
+  "CMakeFiles/fig2_delta_vs_parallelism.dir/fig2_delta_vs_parallelism.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_delta_vs_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_delta_vs_performance"
+  "../bench/fig3_delta_vs_performance.pdb"
+  "CMakeFiles/fig3_delta_vs_performance.dir/fig3_delta_vs_performance.cpp.o"
+  "CMakeFiles/fig3_delta_vs_performance.dir/fig3_delta_vs_performance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_delta_vs_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

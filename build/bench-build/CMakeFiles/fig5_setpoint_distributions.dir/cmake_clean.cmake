@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_setpoint_distributions"
+  "../bench/fig5_setpoint_distributions.pdb"
+  "CMakeFiles/fig5_setpoint_distributions.dir/fig5_setpoint_distributions.cpp.o"
+  "CMakeFiles/fig5_setpoint_distributions.dir/fig5_setpoint_distributions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_setpoint_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_perf_power_tk1"
+  "../bench/fig6_perf_power_tk1.pdb"
+  "CMakeFiles/fig6_perf_power_tk1.dir/fig6_perf_power_tk1.cpp.o"
+  "CMakeFiles/fig6_perf_power_tk1.dir/fig6_perf_power_tk1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_perf_power_tk1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

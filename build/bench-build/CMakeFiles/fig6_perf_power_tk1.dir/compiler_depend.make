@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_perf_power_tk1.
+# This may be replaced when dependencies are built.

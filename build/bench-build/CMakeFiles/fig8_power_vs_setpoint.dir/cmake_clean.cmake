@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_power_vs_setpoint"
+  "../bench/fig8_power_vs_setpoint.pdb"
+  "CMakeFiles/fig8_power_vs_setpoint.dir/fig8_power_vs_setpoint.cpp.o"
+  "CMakeFiles/fig8_power_vs_setpoint.dir/fig8_power_vs_setpoint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_power_vs_setpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

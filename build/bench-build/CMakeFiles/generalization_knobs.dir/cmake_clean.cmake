@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/generalization_knobs"
+  "../bench/generalization_knobs.pdb"
+  "CMakeFiles/generalization_knobs.dir/generalization_knobs.cpp.o"
+  "CMakeFiles/generalization_knobs.dir/generalization_knobs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalization_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/overhead_controller.cpp" "bench-build/CMakeFiles/overhead_controller.dir/overhead_controller.cpp.o" "gcc" "bench-build/CMakeFiles/overhead_controller.dir/overhead_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/tunesssp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tunesssp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sssp/CMakeFiles/tunesssp_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontier/CMakeFiles/tunesssp_frontier.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tunesssp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tunesssp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tunesssp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/overhead_controller"
+  "../bench/overhead_controller.pdb"
+  "CMakeFiles/overhead_controller.dir/overhead_controller.cpp.o"
+  "CMakeFiles/overhead_controller.dir/overhead_controller.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunesssp_bench_common.dir/common.cpp.o"
+  "CMakeFiles/tunesssp_bench_common.dir/common.cpp.o.d"
+  "CMakeFiles/tunesssp_bench_common.dir/perf_power.cpp.o"
+  "CMakeFiles/tunesssp_bench_common.dir/perf_power.cpp.o.d"
+  "libtunesssp_bench_common.a"
+  "libtunesssp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunesssp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_sgd.cpp" "src/core/CMakeFiles/tunesssp_core.dir/adaptive_sgd.cpp.o" "gcc" "src/core/CMakeFiles/tunesssp_core.dir/adaptive_sgd.cpp.o.d"
+  "/root/repo/src/core/advance_model.cpp" "src/core/CMakeFiles/tunesssp_core.dir/advance_model.cpp.o" "gcc" "src/core/CMakeFiles/tunesssp_core.dir/advance_model.cpp.o.d"
+  "/root/repo/src/core/bisect_model.cpp" "src/core/CMakeFiles/tunesssp_core.dir/bisect_model.cpp.o" "gcc" "src/core/CMakeFiles/tunesssp_core.dir/bisect_model.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/tunesssp_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/tunesssp_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/partitioned_far_queue.cpp" "src/core/CMakeFiles/tunesssp_core.dir/partitioned_far_queue.cpp.o" "gcc" "src/core/CMakeFiles/tunesssp_core.dir/partitioned_far_queue.cpp.o.d"
+  "/root/repo/src/core/power_cap.cpp" "src/core/CMakeFiles/tunesssp_core.dir/power_cap.cpp.o" "gcc" "src/core/CMakeFiles/tunesssp_core.dir/power_cap.cpp.o.d"
+  "/root/repo/src/core/power_feedback.cpp" "src/core/CMakeFiles/tunesssp_core.dir/power_feedback.cpp.o" "gcc" "src/core/CMakeFiles/tunesssp_core.dir/power_feedback.cpp.o.d"
+  "/root/repo/src/core/self_tuning.cpp" "src/core/CMakeFiles/tunesssp_core.dir/self_tuning.cpp.o" "gcc" "src/core/CMakeFiles/tunesssp_core.dir/self_tuning.cpp.o.d"
+  "/root/repo/src/core/tunable_bfs.cpp" "src/core/CMakeFiles/tunesssp_core.dir/tunable_bfs.cpp.o" "gcc" "src/core/CMakeFiles/tunesssp_core.dir/tunable_bfs.cpp.o.d"
+  "/root/repo/src/core/tunable_pagerank.cpp" "src/core/CMakeFiles/tunesssp_core.dir/tunable_pagerank.cpp.o" "gcc" "src/core/CMakeFiles/tunesssp_core.dir/tunable_pagerank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontier/CMakeFiles/tunesssp_frontier.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tunesssp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tunesssp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sssp/CMakeFiles/tunesssp_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tunesssp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

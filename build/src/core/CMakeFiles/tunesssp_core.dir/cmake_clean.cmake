@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunesssp_core.dir/adaptive_sgd.cpp.o"
+  "CMakeFiles/tunesssp_core.dir/adaptive_sgd.cpp.o.d"
+  "CMakeFiles/tunesssp_core.dir/advance_model.cpp.o"
+  "CMakeFiles/tunesssp_core.dir/advance_model.cpp.o.d"
+  "CMakeFiles/tunesssp_core.dir/bisect_model.cpp.o"
+  "CMakeFiles/tunesssp_core.dir/bisect_model.cpp.o.d"
+  "CMakeFiles/tunesssp_core.dir/controller.cpp.o"
+  "CMakeFiles/tunesssp_core.dir/controller.cpp.o.d"
+  "CMakeFiles/tunesssp_core.dir/partitioned_far_queue.cpp.o"
+  "CMakeFiles/tunesssp_core.dir/partitioned_far_queue.cpp.o.d"
+  "CMakeFiles/tunesssp_core.dir/power_cap.cpp.o"
+  "CMakeFiles/tunesssp_core.dir/power_cap.cpp.o.d"
+  "CMakeFiles/tunesssp_core.dir/power_feedback.cpp.o"
+  "CMakeFiles/tunesssp_core.dir/power_feedback.cpp.o.d"
+  "CMakeFiles/tunesssp_core.dir/self_tuning.cpp.o"
+  "CMakeFiles/tunesssp_core.dir/self_tuning.cpp.o.d"
+  "CMakeFiles/tunesssp_core.dir/tunable_bfs.cpp.o"
+  "CMakeFiles/tunesssp_core.dir/tunable_bfs.cpp.o.d"
+  "CMakeFiles/tunesssp_core.dir/tunable_pagerank.cpp.o"
+  "CMakeFiles/tunesssp_core.dir/tunable_pagerank.cpp.o.d"
+  "libtunesssp_core.a"
+  "libtunesssp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunesssp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

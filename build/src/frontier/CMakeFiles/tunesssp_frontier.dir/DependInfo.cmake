@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontier/engine.cpp" "src/frontier/CMakeFiles/tunesssp_frontier.dir/engine.cpp.o" "gcc" "src/frontier/CMakeFiles/tunesssp_frontier.dir/engine.cpp.o.d"
+  "/root/repo/src/frontier/far_queue.cpp" "src/frontier/CMakeFiles/tunesssp_frontier.dir/far_queue.cpp.o" "gcc" "src/frontier/CMakeFiles/tunesssp_frontier.dir/far_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tunesssp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tunesssp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tunesssp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunesssp_frontier.dir/engine.cpp.o"
+  "CMakeFiles/tunesssp_frontier.dir/engine.cpp.o.d"
+  "CMakeFiles/tunesssp_frontier.dir/far_queue.cpp.o"
+  "CMakeFiles/tunesssp_frontier.dir/far_queue.cpp.o.d"
+  "libtunesssp_frontier.a"
+  "libtunesssp_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunesssp_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

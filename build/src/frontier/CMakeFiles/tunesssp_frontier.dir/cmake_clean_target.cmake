@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtunesssp_frontier.a"
+)

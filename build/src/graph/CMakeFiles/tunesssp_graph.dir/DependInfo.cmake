@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/binary_io.cpp" "src/graph/CMakeFiles/tunesssp_graph.dir/binary_io.cpp.o" "gcc" "src/graph/CMakeFiles/tunesssp_graph.dir/binary_io.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/graph/CMakeFiles/tunesssp_graph.dir/builder.cpp.o" "gcc" "src/graph/CMakeFiles/tunesssp_graph.dir/builder.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/graph/CMakeFiles/tunesssp_graph.dir/components.cpp.o" "gcc" "src/graph/CMakeFiles/tunesssp_graph.dir/components.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/tunesssp_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/tunesssp_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/datasets.cpp" "src/graph/CMakeFiles/tunesssp_graph.dir/datasets.cpp.o" "gcc" "src/graph/CMakeFiles/tunesssp_graph.dir/datasets.cpp.o.d"
+  "/root/repo/src/graph/degree_stats.cpp" "src/graph/CMakeFiles/tunesssp_graph.dir/degree_stats.cpp.o" "gcc" "src/graph/CMakeFiles/tunesssp_graph.dir/degree_stats.cpp.o.d"
+  "/root/repo/src/graph/dimacs.cpp" "src/graph/CMakeFiles/tunesssp_graph.dir/dimacs.cpp.o" "gcc" "src/graph/CMakeFiles/tunesssp_graph.dir/dimacs.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/graph/CMakeFiles/tunesssp_graph.dir/edge_list.cpp.o" "gcc" "src/graph/CMakeFiles/tunesssp_graph.dir/edge_list.cpp.o.d"
+  "/root/repo/src/graph/matrix_market.cpp" "src/graph/CMakeFiles/tunesssp_graph.dir/matrix_market.cpp.o" "gcc" "src/graph/CMakeFiles/tunesssp_graph.dir/matrix_market.cpp.o.d"
+  "/root/repo/src/graph/rmat.cpp" "src/graph/CMakeFiles/tunesssp_graph.dir/rmat.cpp.o" "gcc" "src/graph/CMakeFiles/tunesssp_graph.dir/rmat.cpp.o.d"
+  "/root/repo/src/graph/road.cpp" "src/graph/CMakeFiles/tunesssp_graph.dir/road.cpp.o" "gcc" "src/graph/CMakeFiles/tunesssp_graph.dir/road.cpp.o.d"
+  "/root/repo/src/graph/weights.cpp" "src/graph/CMakeFiles/tunesssp_graph.dir/weights.cpp.o" "gcc" "src/graph/CMakeFiles/tunesssp_graph.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tunesssp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunesssp_graph.dir/binary_io.cpp.o"
+  "CMakeFiles/tunesssp_graph.dir/binary_io.cpp.o.d"
+  "CMakeFiles/tunesssp_graph.dir/builder.cpp.o"
+  "CMakeFiles/tunesssp_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/tunesssp_graph.dir/components.cpp.o"
+  "CMakeFiles/tunesssp_graph.dir/components.cpp.o.d"
+  "CMakeFiles/tunesssp_graph.dir/csr.cpp.o"
+  "CMakeFiles/tunesssp_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/tunesssp_graph.dir/datasets.cpp.o"
+  "CMakeFiles/tunesssp_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/tunesssp_graph.dir/degree_stats.cpp.o"
+  "CMakeFiles/tunesssp_graph.dir/degree_stats.cpp.o.d"
+  "CMakeFiles/tunesssp_graph.dir/dimacs.cpp.o"
+  "CMakeFiles/tunesssp_graph.dir/dimacs.cpp.o.d"
+  "CMakeFiles/tunesssp_graph.dir/edge_list.cpp.o"
+  "CMakeFiles/tunesssp_graph.dir/edge_list.cpp.o.d"
+  "CMakeFiles/tunesssp_graph.dir/matrix_market.cpp.o"
+  "CMakeFiles/tunesssp_graph.dir/matrix_market.cpp.o.d"
+  "CMakeFiles/tunesssp_graph.dir/rmat.cpp.o"
+  "CMakeFiles/tunesssp_graph.dir/rmat.cpp.o.d"
+  "CMakeFiles/tunesssp_graph.dir/road.cpp.o"
+  "CMakeFiles/tunesssp_graph.dir/road.cpp.o.d"
+  "CMakeFiles/tunesssp_graph.dir/weights.cpp.o"
+  "CMakeFiles/tunesssp_graph.dir/weights.cpp.o.d"
+  "libtunesssp_graph.a"
+  "libtunesssp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunesssp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

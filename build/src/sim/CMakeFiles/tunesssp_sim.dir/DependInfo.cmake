@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/tunesssp_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/tunesssp_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/tunesssp_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/tunesssp_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/device_config.cpp" "src/sim/CMakeFiles/tunesssp_sim.dir/device_config.cpp.o" "gcc" "src/sim/CMakeFiles/tunesssp_sim.dir/device_config.cpp.o.d"
+  "/root/repo/src/sim/dvfs.cpp" "src/sim/CMakeFiles/tunesssp_sim.dir/dvfs.cpp.o" "gcc" "src/sim/CMakeFiles/tunesssp_sim.dir/dvfs.cpp.o.d"
+  "/root/repo/src/sim/energy_metrics.cpp" "src/sim/CMakeFiles/tunesssp_sim.dir/energy_metrics.cpp.o" "gcc" "src/sim/CMakeFiles/tunesssp_sim.dir/energy_metrics.cpp.o.d"
+  "/root/repo/src/sim/power_model.cpp" "src/sim/CMakeFiles/tunesssp_sim.dir/power_model.cpp.o" "gcc" "src/sim/CMakeFiles/tunesssp_sim.dir/power_model.cpp.o.d"
+  "/root/repo/src/sim/powermon.cpp" "src/sim/CMakeFiles/tunesssp_sim.dir/powermon.cpp.o" "gcc" "src/sim/CMakeFiles/tunesssp_sim.dir/powermon.cpp.o.d"
+  "/root/repo/src/sim/run.cpp" "src/sim/CMakeFiles/tunesssp_sim.dir/run.cpp.o" "gcc" "src/sim/CMakeFiles/tunesssp_sim.dir/run.cpp.o.d"
+  "/root/repo/src/sim/trace_io.cpp" "src/sim/CMakeFiles/tunesssp_sim.dir/trace_io.cpp.o" "gcc" "src/sim/CMakeFiles/tunesssp_sim.dir/trace_io.cpp.o.d"
+  "/root/repo/src/sim/workload_io.cpp" "src/sim/CMakeFiles/tunesssp_sim.dir/workload_io.cpp.o" "gcc" "src/sim/CMakeFiles/tunesssp_sim.dir/workload_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tunesssp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunesssp_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/tunesssp_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/tunesssp_sim.dir/device.cpp.o"
+  "CMakeFiles/tunesssp_sim.dir/device.cpp.o.d"
+  "CMakeFiles/tunesssp_sim.dir/device_config.cpp.o"
+  "CMakeFiles/tunesssp_sim.dir/device_config.cpp.o.d"
+  "CMakeFiles/tunesssp_sim.dir/dvfs.cpp.o"
+  "CMakeFiles/tunesssp_sim.dir/dvfs.cpp.o.d"
+  "CMakeFiles/tunesssp_sim.dir/energy_metrics.cpp.o"
+  "CMakeFiles/tunesssp_sim.dir/energy_metrics.cpp.o.d"
+  "CMakeFiles/tunesssp_sim.dir/power_model.cpp.o"
+  "CMakeFiles/tunesssp_sim.dir/power_model.cpp.o.d"
+  "CMakeFiles/tunesssp_sim.dir/powermon.cpp.o"
+  "CMakeFiles/tunesssp_sim.dir/powermon.cpp.o.d"
+  "CMakeFiles/tunesssp_sim.dir/run.cpp.o"
+  "CMakeFiles/tunesssp_sim.dir/run.cpp.o.d"
+  "CMakeFiles/tunesssp_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/tunesssp_sim.dir/trace_io.cpp.o.d"
+  "CMakeFiles/tunesssp_sim.dir/workload_io.cpp.o"
+  "CMakeFiles/tunesssp_sim.dir/workload_io.cpp.o.d"
+  "libtunesssp_sim.a"
+  "libtunesssp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunesssp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

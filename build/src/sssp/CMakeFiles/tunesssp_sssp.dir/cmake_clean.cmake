@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunesssp_sssp.dir/bellman_ford.cpp.o"
+  "CMakeFiles/tunesssp_sssp.dir/bellman_ford.cpp.o.d"
+  "CMakeFiles/tunesssp_sssp.dir/delta_stepping.cpp.o"
+  "CMakeFiles/tunesssp_sssp.dir/delta_stepping.cpp.o.d"
+  "CMakeFiles/tunesssp_sssp.dir/delta_sweep.cpp.o"
+  "CMakeFiles/tunesssp_sssp.dir/delta_sweep.cpp.o.d"
+  "CMakeFiles/tunesssp_sssp.dir/dijkstra.cpp.o"
+  "CMakeFiles/tunesssp_sssp.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/tunesssp_sssp.dir/multi_source.cpp.o"
+  "CMakeFiles/tunesssp_sssp.dir/multi_source.cpp.o.d"
+  "CMakeFiles/tunesssp_sssp.dir/near_far.cpp.o"
+  "CMakeFiles/tunesssp_sssp.dir/near_far.cpp.o.d"
+  "CMakeFiles/tunesssp_sssp.dir/result.cpp.o"
+  "CMakeFiles/tunesssp_sssp.dir/result.cpp.o.d"
+  "libtunesssp_sssp.a"
+  "libtunesssp_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunesssp_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

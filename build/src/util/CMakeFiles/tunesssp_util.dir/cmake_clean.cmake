@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunesssp_util.dir/csv.cpp.o"
+  "CMakeFiles/tunesssp_util.dir/csv.cpp.o.d"
+  "CMakeFiles/tunesssp_util.dir/flags.cpp.o"
+  "CMakeFiles/tunesssp_util.dir/flags.cpp.o.d"
+  "CMakeFiles/tunesssp_util.dir/log.cpp.o"
+  "CMakeFiles/tunesssp_util.dir/log.cpp.o.d"
+  "CMakeFiles/tunesssp_util.dir/stats.cpp.o"
+  "CMakeFiles/tunesssp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tunesssp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/tunesssp_util.dir/thread_pool.cpp.o.d"
+  "libtunesssp_util.a"
+  "libtunesssp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunesssp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

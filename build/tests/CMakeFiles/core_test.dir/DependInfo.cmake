@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/adaptive_sgd_test.cpp" "tests/CMakeFiles/core_test.dir/core/adaptive_sgd_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/adaptive_sgd_test.cpp.o.d"
+  "/root/repo/tests/core/controller_property_test.cpp" "tests/CMakeFiles/core_test.dir/core/controller_property_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/controller_property_test.cpp.o.d"
+  "/root/repo/tests/core/controller_test.cpp" "tests/CMakeFiles/core_test.dir/core/controller_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/controller_test.cpp.o.d"
+  "/root/repo/tests/core/models_test.cpp" "tests/CMakeFiles/core_test.dir/core/models_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/models_test.cpp.o.d"
+  "/root/repo/tests/core/partitioned_far_queue_test.cpp" "tests/CMakeFiles/core_test.dir/core/partitioned_far_queue_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/partitioned_far_queue_test.cpp.o.d"
+  "/root/repo/tests/core/power_cap_test.cpp" "tests/CMakeFiles/core_test.dir/core/power_cap_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/power_cap_test.cpp.o.d"
+  "/root/repo/tests/core/power_feedback_property_test.cpp" "tests/CMakeFiles/core_test.dir/core/power_feedback_property_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/power_feedback_property_test.cpp.o.d"
+  "/root/repo/tests/core/power_feedback_test.cpp" "tests/CMakeFiles/core_test.dir/core/power_feedback_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/power_feedback_test.cpp.o.d"
+  "/root/repo/tests/core/self_tuning_test.cpp" "tests/CMakeFiles/core_test.dir/core/self_tuning_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/self_tuning_test.cpp.o.d"
+  "/root/repo/tests/core/tunable_bfs_test.cpp" "tests/CMakeFiles/core_test.dir/core/tunable_bfs_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/tunable_bfs_test.cpp.o.d"
+  "/root/repo/tests/core/tunable_pagerank_test.cpp" "tests/CMakeFiles/core_test.dir/core/tunable_pagerank_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/tunable_pagerank_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tunesssp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sssp/CMakeFiles/tunesssp_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontier/CMakeFiles/tunesssp_frontier.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tunesssp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tunesssp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tunesssp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

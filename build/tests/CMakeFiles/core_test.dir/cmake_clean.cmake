@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/adaptive_sgd_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/adaptive_sgd_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/controller_property_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/controller_property_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/controller_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/controller_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/models_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/models_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/partitioned_far_queue_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/partitioned_far_queue_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/power_cap_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/power_cap_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/power_feedback_property_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/power_feedback_property_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/power_feedback_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/power_feedback_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/self_tuning_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/self_tuning_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/tunable_bfs_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/tunable_bfs_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/tunable_pagerank_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/tunable_pagerank_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

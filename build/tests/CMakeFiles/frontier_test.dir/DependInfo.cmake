@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/frontier/engine_test.cpp" "tests/CMakeFiles/frontier_test.dir/frontier/engine_test.cpp.o" "gcc" "tests/CMakeFiles/frontier_test.dir/frontier/engine_test.cpp.o.d"
+  "/root/repo/tests/frontier/far_queue_test.cpp" "tests/CMakeFiles/frontier_test.dir/frontier/far_queue_test.cpp.o" "gcc" "tests/CMakeFiles/frontier_test.dir/frontier/far_queue_test.cpp.o.d"
+  "/root/repo/tests/frontier/parallel_engine_test.cpp" "tests/CMakeFiles/frontier_test.dir/frontier/parallel_engine_test.cpp.o" "gcc" "tests/CMakeFiles/frontier_test.dir/frontier/parallel_engine_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontier/CMakeFiles/tunesssp_frontier.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tunesssp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tunesssp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tunesssp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

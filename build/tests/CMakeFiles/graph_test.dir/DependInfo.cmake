@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/binary_io_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/binary_io_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/binary_io_test.cpp.o.d"
+  "/root/repo/tests/graph/builder_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/builder_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/builder_test.cpp.o.d"
+  "/root/repo/tests/graph/components_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/components_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/components_test.cpp.o.d"
+  "/root/repo/tests/graph/csr_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/csr_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/csr_test.cpp.o.d"
+  "/root/repo/tests/graph/datasets_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/datasets_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/datasets_test.cpp.o.d"
+  "/root/repo/tests/graph/degree_stats_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/degree_stats_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/degree_stats_test.cpp.o.d"
+  "/root/repo/tests/graph/dimacs_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/dimacs_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/dimacs_test.cpp.o.d"
+  "/root/repo/tests/graph/edge_list_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/edge_list_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/edge_list_test.cpp.o.d"
+  "/root/repo/tests/graph/generator_property_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/generator_property_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/generator_property_test.cpp.o.d"
+  "/root/repo/tests/graph/matrix_market_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/matrix_market_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/matrix_market_test.cpp.o.d"
+  "/root/repo/tests/graph/rmat_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/rmat_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/rmat_test.cpp.o.d"
+  "/root/repo/tests/graph/road_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/road_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/road_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tunesssp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tunesssp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

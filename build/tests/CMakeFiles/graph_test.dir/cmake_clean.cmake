@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_test.dir/graph/binary_io_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/binary_io_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/builder_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/builder_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/components_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/components_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/csr_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/csr_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/datasets_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/datasets_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/degree_stats_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/degree_stats_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/dimacs_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/dimacs_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/edge_list_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/edge_list_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/generator_property_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/generator_property_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/matrix_market_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/matrix_market_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/rmat_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/rmat_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/road_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/road_test.cpp.o.d"
+  "graph_test"
+  "graph_test.pdb"
+  "graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/cost_model_property_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/cost_model_property_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/cost_model_property_test.cpp.o.d"
+  "/root/repo/tests/sim/cost_model_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/cost_model_test.cpp.o.d"
+  "/root/repo/tests/sim/device_config_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/device_config_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/device_config_test.cpp.o.d"
+  "/root/repo/tests/sim/device_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/device_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/device_test.cpp.o.d"
+  "/root/repo/tests/sim/dvfs_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/dvfs_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/dvfs_test.cpp.o.d"
+  "/root/repo/tests/sim/energy_metrics_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/energy_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/energy_metrics_test.cpp.o.d"
+  "/root/repo/tests/sim/power_model_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/power_model_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/power_model_test.cpp.o.d"
+  "/root/repo/tests/sim/powermon_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/powermon_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/powermon_test.cpp.o.d"
+  "/root/repo/tests/sim/run_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/run_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/run_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_io_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/trace_io_test.cpp.o.d"
+  "/root/repo/tests/sim/workload_io_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/workload_io_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/workload_io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tunesssp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tunesssp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/cost_model_property_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/cost_model_property_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/cost_model_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/cost_model_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/device_config_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/device_config_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/device_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/device_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/dvfs_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/dvfs_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/energy_metrics_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/energy_metrics_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/power_model_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/power_model_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/powermon_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/powermon_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/run_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/run_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/trace_io_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/trace_io_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/workload_io_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/workload_io_test.cpp.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

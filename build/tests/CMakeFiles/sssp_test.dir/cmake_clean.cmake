@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_test.dir/sssp/bellman_ford_test.cpp.o"
+  "CMakeFiles/sssp_test.dir/sssp/bellman_ford_test.cpp.o.d"
+  "CMakeFiles/sssp_test.dir/sssp/delta_stepping_test.cpp.o"
+  "CMakeFiles/sssp_test.dir/sssp/delta_stepping_test.cpp.o.d"
+  "CMakeFiles/sssp_test.dir/sssp/delta_sweep_test.cpp.o"
+  "CMakeFiles/sssp_test.dir/sssp/delta_sweep_test.cpp.o.d"
+  "CMakeFiles/sssp_test.dir/sssp/dijkstra_test.cpp.o"
+  "CMakeFiles/sssp_test.dir/sssp/dijkstra_test.cpp.o.d"
+  "CMakeFiles/sssp_test.dir/sssp/multi_source_test.cpp.o"
+  "CMakeFiles/sssp_test.dir/sssp/multi_source_test.cpp.o.d"
+  "CMakeFiles/sssp_test.dir/sssp/near_far_test.cpp.o"
+  "CMakeFiles/sssp_test.dir/sssp/near_far_test.cpp.o.d"
+  "CMakeFiles/sssp_test.dir/sssp/paths_test.cpp.o"
+  "CMakeFiles/sssp_test.dir/sssp/paths_test.cpp.o.d"
+  "sssp_test"
+  "sssp_test.pdb"
+  "sssp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

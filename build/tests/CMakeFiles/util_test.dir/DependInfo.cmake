@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/csv_test.cpp" "tests/CMakeFiles/util_test.dir/util/csv_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/csv_test.cpp.o.d"
+  "/root/repo/tests/util/flags_test.cpp" "tests/CMakeFiles/util_test.dir/util/flags_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/flags_test.cpp.o.d"
+  "/root/repo/tests/util/log_test.cpp" "tests/CMakeFiles/util_test.dir/util/log_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/log_test.cpp.o.d"
+  "/root/repo/tests/util/pareto_test.cpp" "tests/CMakeFiles/util_test.dir/util/pareto_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/pareto_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/util_test.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/util_test.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/util_test.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/util/timer_test.cpp" "tests/CMakeFiles/util_test.dir/util/timer_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/timer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tunesssp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

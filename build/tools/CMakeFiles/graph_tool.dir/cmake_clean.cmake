@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_tool.dir/graph_tool.cpp.o"
+  "CMakeFiles/graph_tool.dir/graph_tool.cpp.o.d"
+  "graph_tool"
+  "graph_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

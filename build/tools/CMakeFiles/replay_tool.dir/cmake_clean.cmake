@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_tool.dir/replay_tool.cpp.o"
+  "CMakeFiles/replay_tool.dir/replay_tool.cpp.o.d"
+  "replay_tool"
+  "replay_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_tool.dir/sssp_tool.cpp.o"
+  "CMakeFiles/sssp_tool.dir/sssp_tool.cpp.o.d"
+  "sssp_tool"
+  "sssp_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

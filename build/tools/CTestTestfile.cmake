@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_graph_generate "/root/repo/build/tools/graph_tool" "generate" "--dataset" "wiki" "--scale" "0.002" "--out" "/root/repo/build/tools/smoke.bin")
+set_tests_properties(tool_graph_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sssp_run "/root/repo/build/tools/sssp_tool" "--in" "/root/repo/build/tools/smoke.bin" "--set-point" "1000" "--workload-csv" "/root/repo/build/tools/smoke_wl.csv")
+set_tests_properties(tool_sssp_run PROPERTIES  DEPENDS "tool_graph_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_replay "/root/repo/build/tools/replay_tool" "--workload" "/root/repo/build/tools/smoke_wl.csv" "--freq-stride" "8")
+set_tests_properties(tool_replay PROPERTIES  DEPENDS "tool_sssp_run" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
