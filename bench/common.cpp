@@ -2,10 +2,45 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sssp/delta_sweep.hpp"
 
 namespace sssp::bench {
+
+namespace {
+
+// Written by parse_common_flags, flushed by the atexit hook — every
+// bench binary gets --metrics-out/--trace-out without touching its main.
+BenchConfig g_obs_sinks;
+
+void write_observability_sinks() {
+  if (!g_obs_sinks.metrics_path.empty()) {
+    std::ofstream out(g_obs_sinks.metrics_path, std::ios::binary);
+    if (out) {
+      out << (g_obs_sinks.metrics_format == "prometheus"
+                  ? obs::MetricsRegistry::global().to_prometheus()
+                  : obs::MetricsRegistry::global().to_json() + "\n");
+      std::printf("wrote metrics to %s\n", g_obs_sinks.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n",
+                   g_obs_sinks.metrics_path.c_str());
+    }
+  }
+  if (!g_obs_sinks.trace_path.empty()) {
+    try {
+      obs::Tracer::global().save(g_obs_sinks.trace_path);
+      std::printf("wrote trace to %s\n", g_obs_sinks.trace_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+    }
+  }
+}
+
+}  // namespace
 
 bool parse_common_flags(util::Flags& flags, const std::string& description,
                         BenchConfig& config) {
@@ -13,12 +48,32 @@ bool parse_common_flags(util::Flags& flags, const std::string& description,
   flags.define("wiki-scale", "0.015625", "Wiki RMAT scale (1.0 = paper size)");
   flags.define("seed", "42", "generator seed");
   flags.define("csv", "", "also write results to this CSV file");
+  flags.define("metrics-out", "", "write the metrics registry here at exit");
+  flags.define("metrics-format", "json",
+               "metrics export format: json | prometheus");
+  flags.define("trace-out", "",
+               "write a Chrome trace-event JSON here at exit");
   if (flags.handle_help(description)) return true;
   flags.check_unknown();
   config.cal_scale = flags.get_double("cal-scale");
   config.wiki_scale = flags.get_double("wiki-scale");
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.csv_path = flags.get_string("csv");
+  config.metrics_path = flags.get_string("metrics-out");
+  config.metrics_format = flags.get_string("metrics-format");
+  config.trace_path = flags.get_string("trace-out");
+  if (!config.metrics_path.empty() || !config.trace_path.empty()) {
+    g_obs_sinks = config;
+    obs::set_metrics_enabled(!config.metrics_path.empty());
+    obs::set_trace_enabled(!config.trace_path.empty());
+    // Construct the singletons BEFORE registering the exit hook:
+    // function-local statics are destroyed in reverse construction
+    // order interleaved with atexit handlers, so touching them here
+    // guarantees they are still alive when the hook runs.
+    obs::MetricsRegistry::global();
+    obs::Tracer::global();
+    std::atexit(write_observability_sinks);
+  }
   return false;
 }
 

@@ -32,6 +32,12 @@ struct BenchConfig {
   double wiki_scale = 1.0 / 64.0;
   std::uint64_t seed = 42;
   std::string csv_path;  // empty = terminal only
+  // Observability sinks (empty = disabled). When set, the matching
+  // runtime gate is enabled for the whole benchmark process and the
+  // file is written at exit.
+  std::string metrics_path;
+  std::string metrics_format = "json";  // json | prometheus
+  std::string trace_path;
 };
 
 // Registers the common flags on `flags` and parses them. Exits the

@@ -7,6 +7,8 @@
 
 #include "bench/common.hpp"
 #include "core/self_tuning.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace sssp;
 
@@ -30,42 +32,79 @@ int main(int argc, char** argv) {
 
   auto csv = bench::open_csv(config);
   if (csv)
-    csv->write_header({"graph", "set_point", "controller_us", "sim_seconds",
+    csv->write_header({"graph", "set_point", "controller_us", "traced_us",
+                       "trace_overhead_percent", "sim_seconds",
                        "us_per_second", "percent"});
 
+  // Controller-loop time is measured twice: with every observability
+  // gate off (the default production configuration — this is the number
+  // the paper's overhead claim maps to) and with tracing + metrics
+  // enabled, so instrumentation regressions show up in this bench.
+  const bool obs_was_on = obs::metrics_enabled() || obs::trace_enabled();
+
   util::TextTable table;
-  table.set_header({"graph", "P", "controller_us", "us_per_iteration",
-                    "sim_seconds", "us_per_sim_second", "percent_of_runtime"});
+  table.set_header({"graph", "P", "controller_us", "traced_us",
+                    "trace_overhead_%", "us_per_iteration", "sim_seconds",
+                    "us_per_sim_second", "percent_of_runtime"});
   for (const auto dataset : {graph::Dataset::kCal, graph::Dataset::kWiki}) {
     const auto bundle = bench::load_dataset(dataset, config);
     const double p = bench::default_set_points(dataset, bundle.scale)[1];
 
-    double best_controller = 1e300;
-    double sim_seconds = 0.0;
-    std::size_t iterations = 0;
-    for (int r = 0; r < repeats; ++r) {
-      core::SelfTuningOptions options;
-      options.set_point = p;
-      options.measure_controller_time = true;
-      const auto run =
-          core::self_tuning_sssp(bundle.graph, bundle.source, options);
-      if (run.controller_seconds < best_controller) {
-        best_controller = run.controller_seconds;
-        iterations = run.num_iterations();
-        sim_seconds =
-            bench::simulate(run, bundle.name, device, governor).total_seconds;
+    auto measure = [&](bool instrumented, double& sim_seconds,
+                       std::size_t& iterations) {
+      obs::set_metrics_enabled(instrumented);
+      obs::set_trace_enabled(instrumented);
+      double best_controller = 1e300;
+      for (int r = 0; r < repeats; ++r) {
+        core::SelfTuningOptions options;
+        options.set_point = p;
+        options.measure_controller_time = true;
+        const auto run =
+            core::self_tuning_sssp(bundle.graph, bundle.source, options);
+        if (run.controller_seconds < best_controller) {
+          best_controller = run.controller_seconds;
+          iterations = run.num_iterations();
+          sim_seconds = bench::simulate(run, bundle.name, device, governor)
+                            .total_seconds;
+        }
+        // Bound tracer memory across repeats (events are not the point
+        // here, their emission cost is).
+        if (instrumented) obs::Tracer::global().clear();
       }
-    }
+      obs::set_metrics_enabled(false);
+      obs::set_trace_enabled(false);
+      return best_controller;
+    };
+
+    double sim_seconds = 0.0, traced_sim_seconds = 0.0;
+    std::size_t iterations = 0, traced_iterations = 0;
+    const double best_controller = measure(false, sim_seconds, iterations);
+    const double traced_controller =
+        measure(true, traced_sim_seconds, traced_iterations);
+
     const double us = best_controller * 1e6;
+    const double traced_us = traced_controller * 1e6;
+    const double overhead_pct = 100.0 * (traced_controller - best_controller) /
+                                best_controller;
     const double us_per_s = us / sim_seconds;
     const double us_per_iter = us / static_cast<double>(iterations);
-    table.add(bundle.name, p, us, us_per_iter, sim_seconds, us_per_s,
-              100.0 * best_controller / sim_seconds);
+    table.add(bundle.name, p, us, traced_us, overhead_pct, us_per_iter,
+              sim_seconds, us_per_s, 100.0 * best_controller / sim_seconds);
     if (csv)
-      csv->write(bundle.name, p, us, sim_seconds, us_per_s,
-                 100.0 * best_controller / sim_seconds);
+      csv->write(bundle.name, p, us, traced_us, overhead_pct, sim_seconds,
+                 us_per_s, 100.0 * best_controller / sim_seconds);
+  }
+  // parse_common_flags may have enabled gates for --metrics-out/--trace-out;
+  // restore them for the atexit sinks.
+  if (obs_was_on) {
+    obs::set_metrics_enabled(!config.metrics_path.empty());
+    obs::set_trace_enabled(!config.trace_path.empty());
   }
   std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "traced_us re-runs the same workload with tracing and metrics\n"
+      "enabled; trace_overhead_%% is the controller-loop cost of\n"
+      "instrumentation and should stay small (future PRs: watch this).\n");
   std::printf(
       "note: us_per_sim_second exceeds the paper's 50-200 us/s band at\n"
       "bench scale because the simulated denominator shrinks ~16-64x with\n"

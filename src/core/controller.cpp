@@ -4,7 +4,31 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace sssp::core {
+
+namespace {
+
+struct ControllerMetrics {
+  obs::Counter& observations;
+  obs::Counter& plans;
+  obs::Counter& deadband_holds;
+  obs::Counter& forced_deltas;
+  obs::Histogram& delta;
+
+  static ControllerMetrics& get() {
+    static ControllerMetrics m{
+        obs::MetricsRegistry::global().counter("controller.observations"),
+        obs::MetricsRegistry::global().counter("controller.plans"),
+        obs::MetricsRegistry::global().counter("controller.deadband_holds"),
+        obs::MetricsRegistry::global().counter("controller.forced_deltas"),
+        obs::MetricsRegistry::global().histogram("controller.delta")};
+    return m;
+  }
+};
+
+}  // namespace
 
 DeltaController::DeltaController(const ControllerConfig& config)
     : config_(config),
@@ -31,6 +55,7 @@ double DeltaController::clamp_delta(double delta) const {
 }
 
 void DeltaController::observe_advance(double x1, double x2) {
+  if (obs::metrics_enabled()) ControllerMetrics::get().observations.add();
   if (has_pending_) {
     bisect_.observe(pending_delta_change_, pending_x4_, x1);
     has_pending_ = false;
@@ -51,9 +76,9 @@ double DeltaController::plan_delta(double x4, double far_total_size,
 
   // Eq. 6, with a deadband around the target.
   double step = (state.x1_target - x4) / last_alpha_;
-  if (std::abs(x4 - state.x1_target) <=
-      config_.deadband_ratio * state.x1_target)
-    step = 0.0;
+  const bool in_deadband = std::abs(x4 - state.x1_target) <=
+                           config_.deadband_ratio * state.x1_target;
+  if (in_deadband) step = 0.0;
   if (far_total_size <= 0.0 && step > 0.0) step = 0.0;
   const double max_step = config_.max_step_ratio * std::max(delta_, 1.0);
   step = std::clamp(step, -max_step, max_step);
@@ -63,6 +88,12 @@ double DeltaController::plan_delta(double x4, double far_total_size,
   pending_x4_ = x4;
   has_pending_ = pending_delta_change_ != 0.0;
   delta_ = new_delta;
+  if (obs::metrics_enabled()) {
+    ControllerMetrics& m = ControllerMetrics::get();
+    m.plans.add();
+    if (in_deadband) m.deadband_holds.add();
+    m.delta.record(delta_);
+  }
   return delta_;
 }
 
@@ -74,6 +105,7 @@ void DeltaController::set_set_point(double set_point) {
 
 void DeltaController::force_delta(double new_delta, double x4,
                                   bool inform_model) {
+  if (obs::metrics_enabled()) ControllerMetrics::get().forced_deltas.add();
   new_delta = clamp_delta(new_delta);
   if (inform_model) {
     pending_delta_change_ = new_delta - delta_;

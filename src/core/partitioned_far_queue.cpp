@@ -4,11 +4,37 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace sssp::core {
 
 using graph::Distance;
 using graph::kInfiniteDistance;
 using graph::VertexId;
+
+namespace {
+
+struct FarQueueMetrics {
+  obs::Counter& pushes;
+  obs::Counter& pulled;
+  obs::Counter& scanned;
+  obs::Counter& boundary_updates;
+  obs::Counter& boundary_moved;
+  obs::Gauge& partitions;
+
+  static FarQueueMetrics& get() {
+    static FarQueueMetrics m{
+        obs::MetricsRegistry::global().counter("far_queue.pushes"),
+        obs::MetricsRegistry::global().counter("far_queue.pulled"),
+        obs::MetricsRegistry::global().counter("far_queue.scanned"),
+        obs::MetricsRegistry::global().counter("far_queue.boundary_updates"),
+        obs::MetricsRegistry::global().counter("far_queue.boundary_moved"),
+        obs::MetricsRegistry::global().gauge("far_queue.partitions")};
+    return m;
+  }
+};
+
+}  // namespace
 
 PartitionedFarQueue::PartitionedFarQueue(Distance first_bound) {
   if (first_bound == 0)
@@ -36,6 +62,7 @@ std::size_t PartitionedFarQueue::partition_index_for(Distance d) const {
 void PartitionedFarQueue::push(VertexId v, Distance d) {
   partitions_[partition_index_for(d)].entries.push_back({v, d});
   ++total_entries_;
+  if (obs::metrics_enabled()) FarQueueMetrics::get().pushes.add();
 }
 
 void PartitionedFarQueue::drop_empty_front() {
@@ -73,6 +100,11 @@ std::uint64_t PartitionedFarQueue::pull_below(
     if (straddles) break;
   }
   drop_empty_front();
+  if (obs::metrics_enabled()) {
+    FarQueueMetrics& m = FarQueueMetrics::get();
+    m.scanned.add(scanned);
+    m.partitions.set(static_cast<double>(partitions_.size()));
+  }
   return scanned;
 }
 
@@ -105,6 +137,12 @@ PartitionedFarQueue::PullResult PartitionedFarQueue::pull_front_partition(
     front.entries.erase(front.entries.begin(),
                         front.entries.begin() +
                             static_cast<std::ptrdiff_t>(consumed));
+  }
+  if (obs::metrics_enabled()) {
+    FarQueueMetrics& m = FarQueueMetrics::get();
+    m.scanned.add(result.scanned);
+    m.pulled.add(result.pulled);
+    m.partitions.set(static_cast<double>(partitions_.size()));
   }
   return result;
 }
@@ -146,6 +184,12 @@ std::uint64_t PartitionedFarQueue::update_boundary(double set_point,
   }
   current.entries.resize(keep);
   current.upper_bound = target;
+  if (obs::metrics_enabled()) {
+    FarQueueMetrics& m = FarQueueMetrics::get();
+    m.boundary_updates.add();
+    m.boundary_moved.add(moved);
+    m.partitions.set(static_cast<double>(partitions_.size()));
+  }
   return moved;
 }
 

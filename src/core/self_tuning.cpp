@@ -7,6 +7,9 @@
 
 #include "core/partitioned_far_queue.hpp"
 #include "frontier/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace sssp::core {
@@ -19,6 +22,37 @@ using graph::VertexId;
 Distance to_threshold(double delta) {
   if (delta >= 9e18) return kInfiniteDistance;
   return static_cast<Distance>(std::max(1.0, std::ceil(delta)));
+}
+
+struct SelfTuningMetrics {
+  obs::Counter& iterations;
+  obs::Histogram& controller_seconds;
+  obs::Histogram& x2;
+
+  static SelfTuningMetrics& get() {
+    static SelfTuningMetrics m{
+        obs::MetricsRegistry::global().counter("self_tuning.iterations"),
+        obs::MetricsRegistry::global().histogram(
+            "controller.seconds_per_iteration"),
+        obs::MetricsRegistry::global().histogram("self_tuning.x2")};
+    return m;
+  }
+};
+
+// Per-iteration counter tracks in Perfetto (the paper's Figures 1-3
+// signals: X1-X4, delta, and the two model estimates).
+void emit_counter_tracks(const frontier::IterationStats& stats) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  const double ts = tracer.now_us();
+  tracer.counter("X1", ts, static_cast<double>(stats.x1));
+  tracer.counter("X2", ts, static_cast<double>(stats.x2));
+  tracer.counter("X3", ts, static_cast<double>(stats.x3));
+  tracer.counter("X4", ts, static_cast<double>(stats.x4));
+  tracer.counter("delta", ts, stats.delta);
+  tracer.counter("degree_estimate", ts, stats.degree_estimate);
+  tracer.counter("alpha_estimate", ts, stats.alpha_estimate);
+  tracer.counter("far_queue_size", ts,
+                 static_cast<double>(stats.far_queue_size));
 }
 
 }  // namespace
@@ -88,11 +122,13 @@ struct SelfTuningRun::Impl {
 bool SelfTuningRun::Impl::step() {
   if (done()) return false;
 
+  SSSP_TRACE_SPAN("iteration");
   frontier::IterationStats stats;
   stats.delta = controller.delta();
   double controller_seconds = 0.0;
 
   // --- stages 1+2: advance + filter (device work) ---
+  // The engine emits the "advance" and "filter" spans itself.
   const auto advance = engine.advance_and_filter();
   stats.x1 = advance.x1;
   stats.x2 = advance.x2;
@@ -100,25 +136,40 @@ bool SelfTuningRun::Impl::step() {
   stats.improving_relaxations = advance.improving_relaxations;
 
   // --- controller phase A (host work) ---
-  controller_timer.reset();
-  controller.observe_advance(static_cast<double>(advance.x1),
-                             static_cast<double>(advance.x2));
-  controller_seconds += controller_timer.elapsed_seconds();
+  {
+    SSSP_TRACE_SPAN("controller");
+    controller_timer.reset();
+    controller.observe_advance(static_cast<double>(advance.x1),
+                               static_cast<double>(advance.x2));
+    controller_seconds += controller_timer.elapsed_seconds();
+  }
 
   // --- stage 3: bisect at delta_k (device work) ---
   const Distance threshold_k = to_threshold(controller.delta());
   stats.x4 = engine.bisect(threshold_k);
-  for (const VertexId v : engine.spill()) far.push(v, engine.distance(v));
-  engine.clear_spill();
+  {
+    SSSP_TRACE_SPAN("rebalance");
+    for (const VertexId v : engine.spill()) far.push(v, engine.distance(v));
+    engine.clear_spill();
+  }
 
   // --- controller phase B: plan delta_{k+1} (host work) ---
-  controller_timer.reset();
-  const double new_delta = controller.plan_delta(
-      static_cast<double>(stats.x4), static_cast<double>(far.size()),
-      static_cast<double>(far.current_partition_size()),
-      static_cast<double>(std::min<Distance>(far.current_partition_bound(),
-                                             Distance{1} << 60)));
-  controller_seconds += controller_timer.elapsed_seconds();
+  double new_delta = 0.0;
+  {
+    SSSP_TRACE_SPAN("controller");
+    controller_timer.reset();
+    new_delta = controller.plan_delta(
+        static_cast<double>(stats.x4), static_cast<double>(far.size()),
+        static_cast<double>(far.current_partition_size()),
+        static_cast<double>(std::min<Distance>(far.current_partition_bound(),
+                                               Distance{1} << 60)));
+    controller_seconds += controller_timer.elapsed_seconds();
+  }
+
+  Distance threshold_next = to_threshold(new_delta);
+  Distance reached = threshold_next;
+  {
+  SSSP_TRACE_SPAN("rebalance");
   // Boundary maintenance moves entries between partitions: that is
   // device-side rebalance work (charged via rebalance_items), not host
   // controller compute.
@@ -132,7 +183,6 @@ bool SelfTuningRun::Impl::step() {
   // (partitions are pulled in distance order up to the target), so a
   // planned increase needs no separate whole-range pull — that would
   // re-admit unbounded distance-tied cohorts past the set-point.
-  Distance threshold_next = to_threshold(new_delta);
   if (threshold_next < threshold_k && options.rebalance_down) {
     // Demoted vertices may lie below boundaries the queue has already
     // consumed; lower the floor so Eq. 7 can subdivide that range.
@@ -171,7 +221,7 @@ bool SelfTuningRun::Impl::step() {
   // from inside the deadband would immediately trigger the demote side
   // (ping-pong).
   const double low_water = target_x1 * (1.0 - controller.deadband_ratio());
-  Distance reached = threshold_next;
+  reached = threshold_next;
   while (static_cast<double>(engine.frontier_size()) < low_water &&
          !far.empty()) {
     if (options.partition_boundaries) {
@@ -215,7 +265,15 @@ bool SelfTuningRun::Impl::step() {
       reached = std::max(reached, forced);
     }
   }
+  }  // rebalance span
   if (reached > threshold_next) {
+    SSSP_TRACE_SPAN("controller");
+    if (obs::trace_enabled()) {
+      obs::Tracer& tracer = obs::Tracer::global();
+      tracer.instant("forced_progress", tracer.now_us());
+    }
+    SSSP_LOG(kDebug) << "forced progress: threshold " << threshold_next
+                     << " -> " << reached;
     controller_timer.reset();
     controller.force_delta(
         reached == kInfiniteDistance ? 9e18 : static_cast<double>(reached),
@@ -233,6 +291,7 @@ bool SelfTuningRun::Impl::step() {
   if (!engine.frontier_empty()) {
     const Distance snap = engine.frontier_max_distance() + 1;
     if (static_cast<double>(snap) < controller.delta()) {
+      SSSP_TRACE_SPAN("controller");
       controller_timer.reset();
       controller.force_delta(static_cast<double>(snap),
                              static_cast<double>(stats.x4),
@@ -247,6 +306,13 @@ bool SelfTuningRun::Impl::step() {
   if (options.measure_controller_time) {
     stats.controller_seconds = controller_seconds;
     result.controller_seconds += controller_seconds;
+  }
+  if (obs::trace_enabled()) emit_counter_tracks(stats);
+  if (obs::metrics_enabled()) {
+    SelfTuningMetrics& m = SelfTuningMetrics::get();
+    m.iterations.add();
+    m.controller_seconds.record(controller_seconds);
+    m.x2.record(static_cast<double>(stats.x2));
   }
   result.iterations.push_back(stats);
   return true;

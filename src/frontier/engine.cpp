@@ -5,9 +5,35 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sssp::frontier {
+
+namespace {
+
+// Instrument handles are resolved once and cached; every hot-path use
+// is behind the metrics_enabled() branch.
+struct EngineMetrics {
+  obs::Counter& advances;
+  obs::Counter& edges_relaxed;
+  obs::Counter& improving;
+  obs::Counter& bisects;
+  obs::Histogram& frontier_size;
+
+  static EngineMetrics& get() {
+    static EngineMetrics m{
+        obs::MetricsRegistry::global().counter("engine.advance.calls"),
+        obs::MetricsRegistry::global().counter("engine.advance.edges"),
+        obs::MetricsRegistry::global().counter("engine.advance.improving"),
+        obs::MetricsRegistry::global().counter("engine.bisect.calls"),
+        obs::MetricsRegistry::global().histogram("engine.frontier_size")};
+    return m;
+  }
+};
+
+}  // namespace
 
 NearFarEngine::NearFarEngine(const graph::CsrGraph& graph,
                              graph::VertexId source)
@@ -29,18 +55,35 @@ NearFarEngine::NearFarEngine(const graph::CsrGraph& graph,
 }
 
 NearFarEngine::AdvanceResult NearFarEngine::advance_and_filter() {
-  updated_frontier_.clear();
-  ++epoch_;
-  if (epoch_ == 0) {  // wrapped: reset marks once every 2^32 iterations
-    std::fill(mark_.begin(), mark_.end(), 0);
-    epoch_ = 1;
+  {
+    // The dedup filter itself is fused into the advance loop (the
+    // epoch-stamped mark array); this span covers the standalone part
+    // of the filter phase — bitmap epoch maintenance. See
+    // docs/OBSERVABILITY.md for how to read the fused trace.
+    SSSP_TRACE_SPAN("filter");
+    updated_frontier_.clear();
+    ++epoch_;
+    if (epoch_ == 0) {  // wrapped: reset marks once every 2^32 iterations
+      std::fill(mark_.begin(), mark_.end(), 0);
+      epoch_ = 1;
+    }
   }
-  AdvanceResult result =
-      options_.parallel && frontier_.size() >= options_.parallel_threshold
-          ? advance_parallel()
-          : advance_serial();
+  AdvanceResult result;
+  {
+    SSSP_TRACE_SPAN("advance");
+    result = options_.parallel && frontier_.size() >= options_.parallel_threshold
+                 ? advance_parallel()
+                 : advance_serial();
+  }
   total_improving_ += result.improving_relaxations;
   frontier_.clear();
+  if (obs::metrics_enabled()) {
+    EngineMetrics& m = EngineMetrics::get();
+    m.advances.add();
+    m.edges_relaxed.add(result.x2);
+    m.improving.add(result.improving_relaxations);
+    m.frontier_size.record(static_cast<double>(result.x1));
+  }
   return result;
 }
 
@@ -134,6 +177,8 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_parallel() {
 }
 
 std::uint64_t NearFarEngine::bisect(graph::Distance threshold) {
+  SSSP_TRACE_SPAN("bisect");
+  if (obs::metrics_enabled()) EngineMetrics::get().bisects.add();
   // advance_and_filter() left the frontier empty; refill the near side.
   frontier_max_distance_ = 0;
   for (const graph::VertexId v : updated_frontier_) {

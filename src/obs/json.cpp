@@ -1,0 +1,273 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace sssp::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;
+  char& top = stack_.back();
+  if (top == 'k') {
+    stack_.pop_back();  // key consumed by this value
+  } else if (top == 'a') {
+    top = 'A';
+  } else if (top == 'A') {
+    *out_ << ',';
+  }
+  // 'o'/'O' without a pending key is a misuse; the validator in tests
+  // catches the malformed output rather than crashing the writer here.
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  *out_ << '{';
+  stack_.push_back('o');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (!stack_.empty()) stack_.pop_back();
+  *out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  *out_ << '[';
+  stack_.push_back('a');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (!stack_.empty()) stack_.pop_back();
+  *out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (!stack_.empty()) {
+    char& top = stack_.back();
+    if (top == 'o') {
+      top = 'O';
+    } else if (top == 'O') {
+      *out_ << ',';
+    }
+  }
+  *out_ << '"' << json_escape(name) << "\":";
+  stack_.push_back('k');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  *out_ << '"' << json_escape(s) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  if (!std::isfinite(d)) return null();
+  before_value();
+  char buf[40];
+  // %.17g round-trips doubles; shorter forms are emitted when exact.
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  *out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  *out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  *out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  *out_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  *out_ << "null";
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Validator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos;
+      else
+        break;
+    }
+  }
+
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (!eof()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (eof()) return false;
+        const char e = text[pos++];
+        switch (e) {
+          case '"': case '\\': case '/': case 'b': case 'f':
+          case 'n': case 'r': case 't':
+            break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              if (eof() || !std::isxdigit(static_cast<unsigned char>(peek())))
+                return false;
+              ++pos;
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    return true;
+  }
+
+  bool number() {
+    consume('-');
+    if (consume('0')) {
+      // no leading zeros
+    } else if (!digits()) {
+      return false;
+    }
+    if (consume('.') && !digits()) return false;
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (eof()) return false;
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = object(); break;
+      case '[': ok = array(); break;
+      case '"': ok = string(); break;
+      case 't': ok = literal("true"); break;
+      case 'f': ok = literal("false"); break;
+      case 'n': ok = literal("null"); break;
+      default: ok = number(); break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+  Parser p{text};
+  if (!p.value()) return false;
+  p.skip_ws();
+  return p.eof();
+}
+
+}  // namespace sssp::obs

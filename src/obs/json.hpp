@@ -1,0 +1,64 @@
+// Minimal JSON support for the observability layer: a streaming writer
+// (used by the metrics exporter, the trace sink, and the run report)
+// and a strict validator (used by tests and by tools that re-check the
+// documents they just wrote).
+//
+// The writer tracks nesting in a small state stack and inserts commas
+// automatically, so call sites read like the document they produce:
+//
+//   JsonWriter w(out);
+//   w.begin_object();
+//   w.key("x1").value(42);
+//   w.key("iterations").begin_array(); ... w.end_array();
+//   w.end_object();
+//
+// Non-finite doubles serialize as null (JSON has no inf/nan).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace sssp::obs {
+
+// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(&out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Object member name; must be followed by a value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v) { return value(std::uint64_t{v}); }
+  JsonWriter& value(int v) { return value(std::int64_t{v}); }
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+ private:
+  void before_value();
+
+  std::ostream* out_;
+  // One char of state per nesting level: 'o'/'O' object (empty/non-empty),
+  // 'a'/'A' array (empty/non-empty), 'k' key emitted awaiting value.
+  std::string stack_;
+};
+
+// Strict recursive-descent validation of a complete JSON document
+// (single value, arbitrary nesting; depth-capped to keep the validator
+// itself safe on adversarial input). Returns true iff `text` parses.
+bool json_valid(std::string_view text);
+
+}  // namespace sssp::obs

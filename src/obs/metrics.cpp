@@ -1,0 +1,221 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace sssp::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (v > current &&
+         !target.compare_exchange_weak(current, v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+int Histogram::bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // zeros, negatives, NaN
+  const double e = std::log2(v) * kSubBuckets;
+  const long idx =
+      1 + static_cast<long>(std::floor(e)) - kMinExponent * kSubBuckets;
+  if (idx < 1) return 1;
+  if (idx >= kBuckets) return kBuckets - 1;
+  return static_cast<int>(idx);
+}
+
+double Histogram::bucket_value(int index) noexcept {
+  if (index <= 0) return 0.0;
+  // Geometric midpoint of [2^(k/s), 2^((k+1)/s)).
+  const double k =
+      static_cast<double>(index - 1) + kMinExponent * kSubBuckets;
+  return std::exp2((k + 0.5) / kSubBuckets);
+}
+
+void Histogram::record(double v) noexcept {
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (std::isfinite(v)) {
+    atomic_add(sum_, v);
+    atomic_max(max_, v);
+  }
+}
+
+double Histogram::percentile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the p-th percentile in a sorted sample (nearest-rank).
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (seen >= rank) return bucket_value(i);
+  }
+  return max();  // racing concurrent records; best effort
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.key(name).value(g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(h->count());
+    w.key("sum").value(h->sum());
+    w.key("mean").value(h->mean());
+    w.key("max").value(h->max());
+    w.key("p50").value(h->percentile(50.0));
+    w.key("p95").value(h->percentile(95.0));
+    w.key("p99").value(h->percentile(99.0));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return out.str();
+}
+
+namespace {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "sssp_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void prometheus_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " ";
+    prometheus_number(out, g->value());
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " summary\n";
+    for (const double q : {0.5, 0.95, 0.99}) {
+      out += p + "{quantile=\"";
+      prometheus_number(out, q);
+      out += "\"} ";
+      prometheus_number(out, h->percentile(q * 100.0));
+      out += "\n";
+    }
+    out += p + "_sum ";
+    prometheus_number(out, h->sum());
+    out += "\n";
+    out += p + "_count " + std::to_string(h->count()) + "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace sssp::obs

@@ -1,0 +1,116 @@
+#include "obs/run_report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace sssp::obs {
+
+void write_run_report(std::ostream& out, const RunReportMeta& meta,
+                      std::span<const frontier::IterationStats> iterations,
+                      const sim::RunReport* sim_report) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("schema").value("tunesssp.run_report.v1");
+
+  w.key("meta").begin_object();
+  w.key("tool").value(meta.tool);
+  w.key("algorithm").value(meta.algorithm);
+  w.key("dataset").value(meta.dataset);
+  w.key("source").value(meta.source);
+  w.key("set_point").value(meta.set_point);
+  if (meta.device.empty()) {
+    w.key("device").null();
+    w.key("dvfs").null();
+  } else {
+    w.key("device").value(meta.device);
+    w.key("dvfs").value(meta.dvfs);
+  }
+  w.end_object();
+
+  const std::size_t sim_iterations =
+      sim_report != nullptr ? sim_report->iterations.size() : 0;
+  const std::size_t records = std::max(iterations.size(), sim_iterations);
+
+  w.key("totals").begin_object();
+  w.key("iterations").value(static_cast<std::uint64_t>(records));
+  w.key("num_vertices").value(meta.num_vertices);
+  w.key("reached").value(meta.reached);
+  w.key("improving_relaxations").value(meta.improving_relaxations);
+  w.key("host_seconds").value(meta.host_seconds);
+  w.key("controller_seconds").value(meta.controller_seconds);
+  w.end_object();
+
+  w.key("sim");
+  if (sim_report == nullptr) {
+    w.null();
+  } else {
+    w.begin_object();
+    w.key("total_seconds").value(sim_report->total_seconds);
+    w.key("energy_joules").value(sim_report->energy_joules);
+    w.key("average_power_w").value(sim_report->average_power_w);
+    w.key("peak_power_w").value(sim_report->peak_power_w);
+    w.key("controller_seconds").value(sim_report->controller_seconds);
+    w.end_object();
+  }
+
+  w.key("iterations").begin_array();
+  for (std::size_t i = 0; i < records; ++i) {
+    w.begin_object();
+    w.key("iter").value(static_cast<std::uint64_t>(i));
+    if (i < iterations.size()) {
+      const frontier::IterationStats& it = iterations[i];
+      w.key("x1").value(it.x1);
+      w.key("x2").value(it.x2);
+      w.key("x3").value(it.x3);
+      w.key("x4").value(it.x4);
+      w.key("improving_relaxations").value(it.improving_relaxations);
+      w.key("far_queue_size").value(it.far_queue_size);
+      w.key("rebalance_items").value(it.rebalance_items);
+      w.key("delta").value(it.delta);
+      w.key("degree_estimate").value(it.degree_estimate);
+      w.key("alpha_estimate").value(it.alpha_estimate);
+      w.key("controller_seconds").value(it.controller_seconds);
+    }
+    if (i < sim_iterations) {
+      const sim::IterationReport& sim_it = sim_report->iterations[i];
+      w.key("sim").begin_object();
+      w.key("seconds").value(sim_it.seconds);
+      w.key("average_power_w").value(sim_it.average_power_w);
+      w.key("core_utilization").value(sim_it.core_utilization);
+      w.key("mem_utilization").value(sim_it.mem_utilization);
+      w.key("core_mhz").value(std::uint64_t{sim_it.frequencies.core_mhz});
+      w.key("mem_mhz").value(std::uint64_t{sim_it.frequencies.mem_mhz});
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string run_report_json(
+    const RunReportMeta& meta,
+    std::span<const frontier::IterationStats> iterations,
+    const sim::RunReport* sim_report) {
+  std::ostringstream out;
+  write_run_report(out, meta, iterations, sim_report);
+  return out.str();
+}
+
+void save_run_report(const std::string& path, const RunReportMeta& meta,
+                     std::span<const frontier::IterationStats> iterations,
+                     const sim::RunReport* sim_report) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out)
+    throw std::runtime_error("save_run_report: cannot open " + path);
+  write_run_report(out, meta, iterations, sim_report);
+  out << '\n';
+  if (!out)
+    throw std::runtime_error("save_run_report: write failed: " + path);
+}
+
+}  // namespace sssp::obs

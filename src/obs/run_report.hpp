@@ -1,0 +1,74 @@
+// Run-report JSON: one machine-readable document per run, merging the
+// engine's per-iteration statistics (frontier::IterationStats, which
+// already carries the controller internals delta / degree_estimate /
+// alpha_estimate), run-level totals, and — when a device replay was
+// performed — the simulator's power/energy report, iteration-aligned.
+//
+// Schema "tunesssp.run_report.v1":
+//   {
+//     "schema": "tunesssp.run_report.v1",
+//     "meta":   { tool, algorithm, dataset, source, set_point,
+//                 device, dvfs },
+//     "totals": { iterations, num_vertices, reached,
+//                 improving_relaxations, host_seconds,
+//                 controller_seconds },
+//     "sim":    { total_seconds, energy_joules, average_power_w,
+//                 peak_power_w, controller_seconds } | null,
+//     "iterations": [ { iter, x1, x2, x3, x4, improving_relaxations,
+//                       far_queue_size, rebalance_items, delta,
+//                       degree_estimate, alpha_estimate,
+//                       controller_seconds,
+//                       sim: { seconds, average_power_w,
+//                              core_utilization, mem_utilization,
+//                              core_mhz, mem_mhz }? } ]
+//   }
+//
+// Consumers should key on "schema" and ignore unknown fields.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "frontier/stats.hpp"
+#include "sim/run.hpp"
+
+namespace sssp::obs {
+
+struct RunReportMeta {
+  std::string tool;       // producing binary, e.g. "sssp_tool"
+  std::string algorithm;  // e.g. "self-tuning"
+  std::string dataset;    // graph path or dataset name
+  std::uint64_t source = 0;
+  double set_point = 0.0;  // 0 when the algorithm has none
+  std::string device;      // empty = no device replay
+  std::string dvfs;
+  // Run totals (0 when unknown to the producer).
+  std::uint64_t num_vertices = 0;
+  std::uint64_t reached = 0;
+  std::uint64_t improving_relaxations = 0;
+  double host_seconds = 0.0;
+  double controller_seconds = 0.0;
+};
+
+// Emits one record per iteration: engine/controller fields come from
+// `iterations`, the nested "sim" object from `sim_report` (aligned by
+// index). Either side may be absent (replay_tool has no engine stats);
+// the record count is the larger of the two.
+void write_run_report(std::ostream& out, const RunReportMeta& meta,
+                      std::span<const frontier::IterationStats> iterations,
+                      const sim::RunReport* sim_report = nullptr);
+
+std::string run_report_json(
+    const RunReportMeta& meta,
+    std::span<const frontier::IterationStats> iterations,
+    const sim::RunReport* sim_report = nullptr);
+
+// Writes the document to `path` (throws std::runtime_error on I/O
+// failure).
+void save_run_report(const std::string& path, const RunReportMeta& meta,
+                     std::span<const frontier::IterationStats> iterations,
+                     const sim::RunReport* sim_report = nullptr);
+
+}  // namespace sssp::obs

@@ -1,0 +1,115 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace sssp::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+std::atomic<std::uint32_t> g_next_thread_ordinal{1};
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool enabled) noexcept {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint32_t thread_ordinal() noexcept {
+  thread_local const std::uint32_t ordinal =
+      g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+double Tracer::now_us() const noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::push(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+}
+
+void Tracer::complete(const char* name, double ts_us, double dur_us) {
+  push({name, Phase::kComplete, thread_ordinal(), ts_us, dur_us, 0.0});
+}
+
+void Tracer::counter(const char* name, double ts_us, double value) {
+  push({name, Phase::kCounter, thread_ordinal(), ts_us, 0.0, value});
+}
+
+void Tracer::instant(const char* name, double ts_us) {
+  push({name, Phase::kInstant, thread_ordinal(), ts_us, 0.0, 0.0});
+}
+
+std::size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+void Tracer::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const Event& e : events_) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("cat").value("sssp");
+    w.key("pid").value(std::uint64_t{1});
+    w.key("ts").value(e.ts_us);
+    switch (e.phase) {
+      case Phase::kComplete:
+        w.key("ph").value("X");
+        w.key("tid").value(e.tid);
+        w.key("dur").value(e.dur_us);
+        break;
+      case Phase::kCounter:
+        // Counter tracks are process-scoped; pin them to tid 0 so each
+        // name renders as a single track regardless of emitting thread.
+        w.key("ph").value("C");
+        w.key("tid").value(std::uint64_t{0});
+        w.key("args").begin_object().key("value").value(e.value).end_object();
+        break;
+      case Phase::kInstant:
+        w.key("ph").value("i");
+        w.key("tid").value(e.tid);
+        w.key("s").value("t");  // thread-scoped instant
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+}
+
+void Tracer::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("Tracer::save: cannot open " + path);
+  write_json(out);
+  out << '\n';
+  if (!out) throw std::runtime_error("Tracer::save: write failed: " + path);
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace sssp::obs

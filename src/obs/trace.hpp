@@ -1,0 +1,111 @@
+// Scoped-span tracer emitting Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Three event kinds are recorded:
+//  - complete spans (ph "X"): a named duration on a thread track, used
+//    for the engine phases (advance, filter, bisect, rebalance) and the
+//    controller;
+//  - counter tracks (ph "C"): one sample per iteration for X1-X4,
+//    delta, degree_estimate, alpha_estimate, far_queue_size;
+//  - instants (ph "i"): point markers (e.g. forced-progress jumps).
+//
+// Gating mirrors the metrics registry: `trace_enabled()` is a relaxed
+// atomic load, and a ScopedSpan constructed while tracing is disabled
+// does nothing but that one test. Event names must be string literals
+// (or otherwise outlive the tracer) — events store the pointer.
+//
+// Recording appends to an in-memory buffer under a short mutex hold;
+// phase-level spans fire a few times per iteration, so contention is
+// negligible even with the parallel engine enabled.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sssp::obs {
+
+bool trace_enabled() noexcept;
+void set_trace_enabled(bool enabled) noexcept;
+
+// Small sequential id for the calling thread (stable per thread for the
+// process lifetime); doubles as the trace "tid".
+std::uint32_t thread_ordinal() noexcept;
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Microseconds since this tracer's epoch (steady clock).
+  double now_us() const noexcept;
+
+  // `name` must outlive the tracer (string literal).
+  void complete(const char* name, double ts_us, double dur_us);
+  void counter(const char* name, double ts_us, double value);
+  void instant(const char* name, double ts_us);
+
+  std::size_t num_events() const;
+  void clear();
+
+  // {"traceEvents":[...],"displayTimeUnit":"ms"}
+  void write_json(std::ostream& out) const;
+  void save(const std::string& path) const;  // throws on I/O failure
+
+  static Tracer& global();
+
+ private:
+  enum class Phase : std::uint8_t { kComplete, kCounter, kInstant };
+  struct Event {
+    const char* name;
+    Phase phase;
+    std::uint32_t tid;
+    double ts_us;
+    double dur_us;  // complete spans
+    double value;   // counters
+  };
+
+  void push(const Event& event);
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+// RAII span against the global tracer; ~free when tracing is disabled
+// (one relaxed load + branch in the constructor, one branch in the
+// destructor).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) noexcept {
+    if (trace_enabled()) {
+      name_ = name;
+      start_us_ = Tracer::global().now_us();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      Tracer& tracer = Tracer::global();
+      tracer.complete(name_, start_us_, tracer.now_us() - start_us_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  double start_us_ = 0.0;
+};
+
+#define SSSP_OBS_CONCAT_INNER(a, b) a##b
+#define SSSP_OBS_CONCAT(a, b) SSSP_OBS_CONCAT_INNER(a, b)
+// Scoped phase span: SSSP_TRACE_SPAN("advance");
+#define SSSP_TRACE_SPAN(name) \
+  ::sssp::obs::ScopedSpan SSSP_OBS_CONCAT(sssp_obs_span_, __LINE__)(name)
+
+}  // namespace sssp::obs

@@ -2,13 +2,36 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/power_model.hpp"
 
 namespace sssp::sim {
 
+namespace {
+
+struct SimMetrics {
+  obs::Counter& runs;
+  obs::Counter& iterations;
+  obs::Histogram& iteration_seconds;
+  obs::Histogram& iteration_power_w;
+
+  static SimMetrics& get() {
+    static SimMetrics m{
+        obs::MetricsRegistry::global().counter("sim.runs"),
+        obs::MetricsRegistry::global().counter("sim.iterations"),
+        obs::MetricsRegistry::global().histogram("sim.iteration_seconds"),
+        obs::MetricsRegistry::global().histogram("sim.iteration_power_w")};
+    return m;
+  }
+};
+
+}  // namespace
+
 RunReport simulate_run(const DeviceSpec& device, const DvfsPolicy& policy,
                        const RunWorkload& workload,
                        const SimulateOptions& options) {
+  SSSP_TRACE_SPAN("simulate_run");
   device.validate();
   RunReport report;
   auto live_policy = policy.clone();
@@ -64,8 +87,16 @@ RunReport simulate_run(const DeviceSpec& device, const DvfsPolicy& policy,
                                    iteration.mem_utilization, freqs});
     }
 
+    if (obs::metrics_enabled()) {
+      SimMetrics& m = SimMetrics::get();
+      m.iterations.add();
+      m.iteration_seconds.record(iteration.seconds);
+      m.iteration_power_w.record(gpu_power);
+    }
+
     freqs = live_policy->next(device, iteration);
   }
+  if (obs::metrics_enabled()) SimMetrics::get().runs.add();
 
   report.total_seconds = report.trace.duration_seconds();
   report.energy_joules = report.trace.energy_joules();

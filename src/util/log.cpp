@@ -1,8 +1,11 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 namespace sssp::util {
@@ -26,6 +29,44 @@ const char* level_name(LogLevel level) {
     case LogLevel::kOff: return "OFF";
   }
   return "?";
+}
+
+// 2026-08-06T12:34:56.789Z — UTC so logs from different machines and
+// the trace files (which use a monotonic clock) can at least be
+// ordered without timezone archaeology.
+std::string iso8601_utc_now() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto secs = time_point_cast<seconds>(now);
+  const auto millis =
+      duration_cast<milliseconds>(now - secs).count();
+  const std::time_t t = system_clock::to_time_t(now);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &t);
+#else
+  gmtime_r(&t, &tm);
+#endif
+  char buffer[80];
+  std::snprintf(buffer, sizeof buffer,
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", tm.tm_year + 1900,
+                tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec,
+                static_cast<int>(millis));
+  return buffer;
+}
+
+// Opened once from SSSP_LOG_FILE; nullptr when unset or unopenable.
+// Intentionally never fclosed — the logger must outlive static
+// destructors that may still log.
+std::FILE* log_file_sink() {
+  static std::FILE* sink = []() -> std::FILE* {
+    const char* path = std::getenv("SSSP_LOG_FILE");
+    if (!path || !*path) return nullptr;
+    std::FILE* f = std::fopen(path, "a");
+    if (!f) std::fprintf(stderr, "[WARN] cannot open SSSP_LOG_FILE %s\n", path);
+    return f;
+  }();
+  return sink;
 }
 
 }  // namespace
@@ -52,12 +93,34 @@ LogLevel parse_log_level(const std::string& name) noexcept {
   return LogLevel::kInfo;
 }
 
+unsigned log_thread_id() noexcept {
+  static std::atomic<unsigned> next{1};
+  thread_local unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 namespace detail {
 
+std::string format_line(LogLevel level, const std::string& message) {
+  std::string line = iso8601_utc_now();
+  line += " [";
+  line += level_name(level);
+  line += "] t";
+  line += std::to_string(log_thread_id());
+  line += ' ';
+  line += message;
+  return line;
+}
+
 void emit(LogLevel level, const std::string& message) {
+  const std::string line = format_line(level, message);
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "%s\n", line.c_str());
+  if (std::FILE* f = log_file_sink()) {
+    std::fprintf(f, "%s\n", line.c_str());
+    std::fflush(f);
+  }
 }
 
 }  // namespace detail

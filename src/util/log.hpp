@@ -1,6 +1,15 @@
 // Tiny leveled logger. Experiments run in batch mode, so the default
 // level is kInfo; set SSSP_LOG=debug in the environment or call
 // set_level() to see controller traces.
+//
+// Each line carries an ISO-8601 UTC timestamp and a small per-process
+// thread ordinal (t1 = first thread to log), so interleaved controller
+// and worker output stays attributable:
+//
+//   2026-08-06T12:34:56.789Z [INFO] t1 delta -> 4096
+//
+// Set SSSP_LOG_FILE=/path/to/run.log to mirror every emitted line to a
+// file in addition to stderr (appended, flushed per line).
 #pragma once
 
 #include <sstream>
@@ -15,8 +24,15 @@ void set_log_level(LogLevel level) noexcept;
 // Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
 LogLevel parse_log_level(const std::string& name) noexcept;
 
+// Small sequential id for the calling thread (1 = first thread that
+// asked). Stable for the thread's lifetime.
+unsigned log_thread_id() noexcept;
+
 namespace detail {
 void emit(LogLevel level, const std::string& message);
+// The full line as emitted (sans trailing newline); split out so tests
+// can check the format without capturing stderr.
+std::string format_line(LogLevel level, const std::string& message);
 }
 
 // Stream-style logging: LOG(kInfo) << "x = " << x;

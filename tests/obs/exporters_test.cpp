@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace sssp::obs {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(JsonWriter, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonValid, AcceptsAndRejects) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid(R"({"a":[1,2.5,-3e2,"x",true,false,null]})"));
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid(R"({"a":})"));
+  EXPECT_FALSE(json_valid(R"({"a":1} trailing)"));
+  EXPECT_FALSE(json_valid("[1,]"));
+  EXPECT_FALSE(json_valid("nan"));
+}
+
+TEST(MetricsJson, GoldenForCountersAndGauges) {
+  MetricsRegistry registry;
+  registry.counter("engine.advances").add(3);
+  registry.counter("controller.plans").add(12);
+  registry.gauge("far.partitions").set(2.0);
+  // std::map ordering makes the export deterministic.
+  EXPECT_EQ(registry.to_json(),
+            R"({"counters":{"controller.plans":12,"engine.advances":3},)"
+            R"("gauges":{"far.partitions":2},"histograms":{}})");
+}
+
+TEST(MetricsJson, HistogramBlockIsValidAndComplete) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("engine.frontier_size");
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  const std::string doc = registry.to_json();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_TRUE(contains(doc, R"("engine.frontier_size":{"count":100,)"));
+  for (const char* field : {"\"sum\":", "\"mean\":", "\"max\":", "\"p50\":",
+                            "\"p95\":", "\"p99\":"})
+    EXPECT_TRUE(contains(doc, field)) << field << " missing in " << doc;
+}
+
+TEST(MetricsJson, EmptyRegistryIsValid) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.to_json(),
+            R"({"counters":{},"gauges":{},"histograms":{}})");
+  EXPECT_TRUE(json_valid(registry.to_json()));
+}
+
+TEST(MetricsPrometheus, GoldenForCountersAndGauges) {
+  MetricsRegistry registry;
+  registry.counter("engine.advances").add(3);
+  registry.gauge("far.partitions").set(2.0);
+  EXPECT_EQ(registry.to_prometheus(),
+            "# TYPE sssp_engine_advances counter\n"
+            "sssp_engine_advances 3\n"
+            "# TYPE sssp_far_partitions gauge\n"
+            "sssp_far_partitions 2\n");
+}
+
+TEST(MetricsPrometheus, HistogramExportsSummary) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("controller.seconds_per_iteration");
+  h.record(0.001);
+  h.record(0.002);
+  const std::string text = registry.to_prometheus();
+  EXPECT_TRUE(
+      contains(text, "# TYPE sssp_controller_seconds_per_iteration summary"));
+  EXPECT_TRUE(
+      contains(text, "sssp_controller_seconds_per_iteration{quantile=\"0.5\"}"));
+  EXPECT_TRUE(contains(text, "sssp_controller_seconds_per_iteration_sum "));
+  EXPECT_TRUE(contains(text, "sssp_controller_seconds_per_iteration_count 2"));
+  // Dots sanitized, sssp_ prefix applied, no raw name leaks through.
+  EXPECT_FALSE(contains(text, "controller.seconds"));
+}
+
+}  // namespace
+}  // namespace sssp::obs

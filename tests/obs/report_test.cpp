@@ -1,0 +1,122 @@
+#include "obs/run_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/self_tuning.hpp"
+#include "obs/json.hpp"
+#include "sim/device.hpp"
+#include "sim/dvfs.hpp"
+#include "tests/sssp/test_graphs.hpp"
+
+namespace sssp::obs {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1))
+    ++n;
+  return n;
+}
+
+// End-to-end: run the self-tuning solver on a small scale-free graph,
+// emit the run report, and check the document against the in-memory
+// IterationStats it was built from.
+class RunReportRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto g = algo::testing::random_graph(3000, 6.0, 99, 7);
+    core::SelfTuningOptions options;
+    options.set_point = 400.0;
+    result_ = core::self_tuning_sssp(g, 0, options);
+    ASSERT_FALSE(result_.iterations.empty());
+
+    meta_.tool = "report_test";
+    meta_.algorithm = result_.algorithm;
+    meta_.dataset = "random_graph(3000)";
+    meta_.source = 0;
+    meta_.set_point = options.set_point;
+    meta_.num_vertices = 3000;
+    meta_.reached = result_.reached_count();
+    meta_.improving_relaxations = result_.improving_relaxations;
+  }
+
+  algo::SsspResult result_;
+  RunReportMeta meta_;
+};
+
+TEST_F(RunReportRoundTrip, ValidJsonWithOneRecordPerIteration) {
+  const std::string doc = run_report_json(meta_, result_.iterations);
+  EXPECT_TRUE(json_valid(doc));
+  EXPECT_TRUE(contains(doc, R"("schema":"tunesssp.run_report.v1")"));
+  EXPECT_EQ(count_occurrences(doc, R"({"iter":)"),
+            result_.iterations.size());
+  // No device replay -> sim block is null.
+  EXPECT_TRUE(contains(doc, R"("sim":null)"));
+}
+
+TEST_F(RunReportRoundTrip, RecordsMatchIterationStats) {
+  const std::string doc = run_report_json(meta_, result_.iterations);
+  // Spot-check that each record serializes its own stats: the x2
+  // (edge relaxations) sequence is the engine's ground truth.
+  for (std::size_t i = 0; i < result_.iterations.size(); ++i) {
+    const auto& stats = result_.iterations[i];
+    const std::string record = R"({"iter":)" + std::to_string(i) +
+                               R"(,"x1":)" + std::to_string(stats.x1) +
+                               R"(,"x2":)" + std::to_string(stats.x2);
+    EXPECT_TRUE(contains(doc, record))
+        << "iteration " << i << " not serialized faithfully: " << record;
+  }
+  // Controller internals ride along in every record.
+  EXPECT_EQ(count_occurrences(doc, R"("delta":)"),
+            result_.iterations.size());
+  EXPECT_EQ(count_occurrences(doc, R"("degree_estimate":)"),
+            result_.iterations.size());
+  EXPECT_EQ(count_occurrences(doc, R"("alpha_estimate":)"),
+            result_.iterations.size());
+}
+
+TEST_F(RunReportRoundTrip, SimReportMergesIterationAligned) {
+  const auto device = sim::DeviceSpec::jetson_tk1();
+  const sim::DefaultGovernor governor;
+  const auto sim_report =
+      sim::simulate_run(device, governor, result_.to_workload("test"),
+                        {.keep_iteration_reports = true});
+  const std::string doc =
+      run_report_json(meta_, result_.iterations, &sim_report);
+  EXPECT_TRUE(json_valid(doc));
+  EXPECT_TRUE(contains(doc, R"("energy_joules":)"));
+  EXPECT_TRUE(contains(doc, R"("average_power_w":)"));
+  // Every iteration record gains a nested sim object.
+  EXPECT_EQ(count_occurrences(doc, R"("sim":{"seconds":)"),
+            result_.iterations.size());
+}
+
+TEST(RunReport, EmptyIterationsStillValid) {
+  RunReportMeta meta;
+  meta.tool = "report_test";
+  meta.algorithm = "none";
+  const std::string doc = run_report_json(meta, {});
+  EXPECT_TRUE(json_valid(doc));
+  EXPECT_TRUE(contains(doc, R"("iterations":[])"));
+  // Unset device/dvfs serialize as null, not empty strings.
+  EXPECT_TRUE(contains(doc, R"("device":null)"));
+}
+
+TEST(RunReport, MetaStringsAreEscaped) {
+  RunReportMeta meta;
+  meta.tool = "report_test";
+  meta.dataset = "weird\"name\\with\nstuff";
+  const std::string doc = run_report_json(meta, {});
+  EXPECT_TRUE(json_valid(doc));
+}
+
+}  // namespace
+}  // namespace sssp::obs

@@ -1,0 +1,120 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace sssp::obs {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::string to_json(const Tracer& tracer) {
+  std::ostringstream out;
+  tracer.write_json(out);
+  return out.str();
+}
+
+// Restores the global gate on scope exit so tests cannot leak an
+// enabled tracer into later suites.
+class TraceGateGuard {
+ public:
+  TraceGateGuard() : saved_(trace_enabled()) {}
+  ~TraceGateGuard() { set_trace_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(Tracer, EmptyTraceIsValidJson) {
+  Tracer tracer;
+  const std::string doc = to_json(tracer);
+  EXPECT_EQ(doc, R"({"traceEvents":[],"displayTimeUnit":"ms"})");
+  EXPECT_TRUE(json_valid(doc));
+}
+
+TEST(Tracer, CompleteEventCarriesDurationAndThread) {
+  Tracer tracer;
+  tracer.complete("advance", 10.0, 5.0);
+  const std::string doc = to_json(tracer);
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_TRUE(contains(doc, R"("name":"advance")"));
+  EXPECT_TRUE(contains(doc, R"("ph":"X")"));
+  EXPECT_TRUE(contains(doc, R"("ts":10)"));
+  EXPECT_TRUE(contains(doc, R"("dur":5)"));
+  EXPECT_TRUE(contains(doc, R"("pid":1)"));
+  EXPECT_TRUE(contains(doc, R"("cat":"sssp")"));
+}
+
+TEST(Tracer, CounterEventPinsTidZeroAndCarriesValue) {
+  Tracer tracer;
+  tracer.counter("X2", 3.0, 1234.0);
+  const std::string doc = to_json(tracer);
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_TRUE(contains(doc, R"("ph":"C")"));
+  EXPECT_TRUE(contains(doc, R"("tid":0)"));
+  EXPECT_TRUE(contains(doc, R"("args":{"value":1234})"));
+}
+
+TEST(Tracer, InstantEventIsThreadScoped) {
+  Tracer tracer;
+  tracer.instant("forced_progress", 7.0);
+  const std::string doc = to_json(tracer);
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_TRUE(contains(doc, R"("ph":"i")"));
+  EXPECT_TRUE(contains(doc, R"("s":"t")"));
+}
+
+TEST(Tracer, ClearDropsEvents) {
+  Tracer tracer;
+  tracer.complete("advance", 0.0, 1.0);
+  tracer.counter("X1", 0.0, 1.0);
+  EXPECT_EQ(tracer.num_events(), 2u);
+  tracer.clear();
+  EXPECT_EQ(tracer.num_events(), 0u);
+}
+
+TEST(Tracer, NowIsMonotonic) {
+  Tracer tracer;
+  const double a = tracer.now_us();
+  const double b = tracer.now_us();
+  EXPECT_GE(b, a);
+}
+
+TEST(ScopedSpan, DisabledEmitsNothing) {
+  TraceGateGuard guard;
+  set_trace_enabled(false);
+  const std::size_t before = Tracer::global().num_events();
+  {
+    SSSP_TRACE_SPAN("should_not_appear");
+  }
+  EXPECT_EQ(Tracer::global().num_events(), before);
+}
+
+TEST(ScopedSpan, EnabledEmitsOneCompleteEvent) {
+  TraceGateGuard guard;
+  set_trace_enabled(true);
+  const std::size_t before = Tracer::global().num_events();
+  {
+    SSSP_TRACE_SPAN("trace_test_span");
+  }
+  set_trace_enabled(false);
+  EXPECT_EQ(Tracer::global().num_events(), before + 1);
+  const std::string doc = to_json(Tracer::global());
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_TRUE(contains(doc, R"("name":"trace_test_span")"));
+}
+
+TEST(ThreadOrdinal, StableAndPositive) {
+  const std::uint32_t id = thread_ordinal();
+  EXPECT_GE(id, 1u);
+  EXPECT_EQ(thread_ordinal(), id);
+}
+
+}  // namespace
+}  // namespace sssp::obs

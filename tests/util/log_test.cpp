@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <thread>
+
 namespace sssp::util {
 namespace {
 
@@ -48,6 +51,25 @@ TEST(Log, EmittingLineDoesNotThrow) {
   LogLevelGuard guard;
   set_log_level(LogLevel::kError);
   EXPECT_NO_THROW((SSSP_LOG(kError) << "expected test error line"));
+}
+
+TEST(Log, FormattedLineHasTimestampLevelAndThread) {
+  const std::string line =
+      detail::format_line(LogLevel::kWarn, "delta -> 4096");
+  // 2026-08-06T12:34:56.789Z [WARN] tN delta -> 4096
+  const std::regex pattern(
+      R"(\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z )"
+      R"(\[WARN\] t\d+ delta -> 4096)");
+  EXPECT_TRUE(std::regex_match(line, pattern)) << line;
+}
+
+TEST(Log, ThreadIdIsStablePerThread) {
+  const unsigned first = log_thread_id();
+  EXPECT_GE(first, 1u);
+  EXPECT_EQ(log_thread_id(), first);
+  unsigned other = 0;
+  std::thread([&] { other = log_thread_id(); }).join();
+  EXPECT_NE(other, first);
 }
 
 }  // namespace

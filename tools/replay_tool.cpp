@@ -7,12 +7,15 @@
 //   replay_tool --workload run.csv --device-file myboard.cfg
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "obs/run_report.hpp"
 #include "sim/device_config.hpp"
 #include "sim/energy_metrics.hpp"
 #include "sim/run.hpp"
 #include "sim/workload_io.hpp"
+#include "tools/tool_common.hpp"
 #include "util/csv.hpp"
 #include "util/flags.hpp"
 
@@ -23,11 +26,16 @@ int main(int argc, char** argv) {
   flags.define("workload", "", "workload CSV (from sssp_tool --workload-csv)");
   flags.define("device-file", "", "only sweep this custom device");
   flags.define("freq-stride", "3", "take every k-th frequency menu entry");
+  tools::define_observability_flags(flags);
+  flags.define("report-out", "",
+               "write a run-report JSON for the first device's default-"
+               "governor replay here");
   if (flags.handle_help("replay a recorded workload across device models"))
     return 0;
   flags.check_unknown();
 
   try {
+    tools::enable_observability(flags);
     const std::string path = flags.get_string("workload");
     if (path.empty()) {
       std::fprintf(stderr, "--workload is required; see --help\n");
@@ -52,13 +60,22 @@ int main(int argc, char** argv) {
     util::TextTable table;
     table.set_header({"device", "dvfs", "seconds", "avg_power_w", "energy_J",
                       "EDP"});
+    const std::string report_path = flags.get_string("report-out");
+    std::optional<sim::RunReport> report_run;
+    std::string report_device;
     for (const auto& device : devices) {
       auto emit = [&](const sim::DvfsPolicy& policy) {
+        // The run feeding --report-out keeps its per-iteration reports.
+        const bool keep = !report_path.empty() && !report_run.has_value();
         const auto report = sim::simulate_run(device, policy, workload,
-                                              {.keep_iteration_reports = false});
+                                              {.keep_iteration_reports = keep});
         const auto metrics = sim::compute_energy_metrics(report);
         table.add(device.name, policy.label(), report.total_seconds,
                   report.average_power_w, report.energy_joules, metrics.edp);
+        if (keep) {
+          report_run = report;
+          report_device = device.name;
+        }
       };
       emit(sim::DefaultGovernor());
       for (std::size_t ci = 0; ci < device.core_freq_menu_mhz.size();
@@ -71,6 +88,19 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("\n%s", table.to_string().c_str());
+
+    if (report_run) {
+      obs::RunReportMeta meta;
+      meta.tool = "replay_tool";
+      meta.algorithm = workload.algorithm;
+      meta.dataset = workload.dataset;
+      meta.device = report_device;
+      meta.dvfs = "default";
+      meta.controller_seconds = report_run->controller_seconds;
+      obs::save_run_report(report_path, meta, {}, &*report_run);
+      std::printf("wrote run report to %s\n", report_path.c_str());
+    }
+    tools::write_observability_outputs(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -5,11 +5,19 @@
 //   sssp_tool --in cal.bin --algorithm self-tuning --set-point 20000
 //             --device tk1 --dvfs default --trace-csv run.csv
 #include <cstdio>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
 
 #include "core/self_tuning.hpp"
 #include "tools/tool_common.hpp"
 #include "graph/degree_stats.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "sim/device_config.hpp"
 #include "sim/run.hpp"
 #include "sim/trace_io.hpp"
@@ -51,10 +59,15 @@ int main(int argc, char** argv) {
                "record the workload for replay_tool (see sim/workload_io.hpp)");
   flags.define("controller-csv", "",
                "write per-iteration controller state (delta, d, alpha, X1-X4)");
+  tools::define_observability_flags(flags);
+  flags.define("report-out", "",
+               "write the merged run-report JSON here (engine stats + "
+               "controller internals + device power/energy)");
   if (flags.handle_help("run an SSSP algorithm on a graph file")) return 0;
   flags.check_unknown();
 
   try {
+    tools::enable_observability(flags);
     const std::string in = flags.get_string("in");
     if (in.empty()) {
       std::fprintf(stderr, "--in is required; see --help\n");
@@ -135,6 +148,9 @@ int main(int argc, char** argv) {
 
     const std::string device_name = flags.get_string("device");
     const std::string device_file = flags.get_string("device-file");
+    std::optional<sim::RunReport> sim_report;
+    std::string device_label;
+    std::string dvfs_label;
     if ((device_name != "none" || !device_file.empty()) &&
         !result.iterations.empty()) {
       const sim::DeviceSpec device =
@@ -153,17 +169,63 @@ int main(int argc, char** argv) {
             static_cast<std::uint32_t>(std::stoul(dvfs.substr(0, slash))),
             static_cast<std::uint32_t>(std::stoul(dvfs.substr(slash + 1)))});
       }
-      const auto report = sim::simulate_run(
-          device, *policy, result.to_workload(in));
+      sim_report = sim::simulate_run(device, *policy, result.to_workload(in));
+      device_label = device.name;
+      dvfs_label = dvfs;
       std::printf("%s @ %s: %.4f s, %.2f W avg (peak %.2f), %.2f J\n",
-                  device.name.c_str(), dvfs.c_str(), report.total_seconds,
-                  report.average_power_w, report.peak_power_w,
-                  report.energy_joules);
+                  device.name.c_str(), dvfs.c_str(),
+                  sim_report->total_seconds, sim_report->average_power_w,
+                  sim_report->peak_power_w, sim_report->energy_joules);
       if (const auto csv = flags.get_string("trace-csv"); !csv.empty()) {
-        sim::write_run_report_csv_file(report, csv);
+        sim::write_run_report_csv_file(*sim_report, csv);
         std::printf("wrote per-iteration trace to %s\n", csv.c_str());
       }
     }
+
+    if (const auto rpath = flags.get_string("report-out"); !rpath.empty()) {
+      obs::RunReportMeta meta;
+      meta.tool = "sssp_tool";
+      meta.algorithm = result.algorithm;
+      meta.dataset = in;
+      meta.source = source;
+      meta.set_point =
+          algorithm == "self-tuning" ? flags.get_double("set-point") : 0.0;
+      meta.device = device_label;
+      meta.dvfs = dvfs_label;
+      meta.num_vertices = g.num_vertices();
+      meta.reached = result.reached_count();
+      meta.improving_relaxations = result.improving_relaxations;
+      meta.host_seconds = host_seconds;
+      meta.controller_seconds = result.controller_seconds;
+      obs::save_run_report(rpath, meta, result.iterations,
+                          sim_report ? &*sim_report : nullptr);
+
+      // Round-trip sanity: the file must parse and carry one record per
+      // iteration (scripted consumers depend on this).
+      std::ifstream check(rpath, std::ios::binary);
+      std::ostringstream buffer;
+      buffer << check.rdbuf();
+      const std::string document = buffer.str();
+      std::size_t records = 0;
+      for (std::size_t pos = document.find("{\"iter\":");
+           pos != std::string::npos;
+           pos = document.find("{\"iter\":", pos + 1))
+        ++records;
+      if (!obs::json_valid(document) ||
+          records != result.iterations.size()) {
+        std::fprintf(stderr,
+                     "report self-check FAILED: valid=%d records=%zu "
+                     "iterations=%zu\n",
+                     obs::json_valid(document) ? 1 : 0, records,
+                     result.iterations.size());
+        return 1;
+      }
+      std::printf("wrote run report to %s (%zu iteration records, valid "
+                  "JSON)\n",
+                  rpath.c_str(), records);
+    }
+
+    tools::write_observability_outputs(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

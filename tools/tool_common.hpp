@@ -1,7 +1,10 @@
 // Shared helpers for the CLI tools: extension-based graph loading and
-// saving across every supported format.
+// saving across every supported format, plus the observability flag
+// plumbing (--metrics-out / --metrics-format / --trace-out).
 #pragma once
 
+#include <cstdio>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 
@@ -10,6 +13,9 @@
 #include "graph/dimacs.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/matrix_market.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/flags.hpp"
 
 namespace sssp::tools {
 
@@ -39,6 +45,45 @@ inline void save_any_graph(const graph::CsrGraph& g, const std::string& path) {
   } else {
     throw std::runtime_error("unknown output format: " + path +
                              " (expected .bin/.gr)");
+  }
+}
+
+// Registers the shared observability flags. Call before handle_help().
+inline void define_observability_flags(util::Flags& flags) {
+  flags.define("metrics-out", "",
+               "write the metrics registry here after the run");
+  flags.define("metrics-format", "json",
+               "metrics export format: json | prometheus");
+  flags.define("trace-out", "",
+               "write a Chrome trace-event JSON here (open in Perfetto)");
+}
+
+// Turns the runtime gates on when the matching --*-out flag was given.
+// Must run before the instrumented work starts.
+inline void enable_observability(const util::Flags& flags) {
+  if (!flags.get_string("metrics-out").empty())
+    obs::set_metrics_enabled(true);
+  if (!flags.get_string("trace-out").empty()) obs::set_trace_enabled(true);
+}
+
+// Writes whatever sinks were requested; call once after the run.
+inline void write_observability_outputs(const util::Flags& flags) {
+  if (const auto path = flags.get_string("metrics-out"); !path.empty()) {
+    const std::string format = flags.get_string("metrics-format");
+    if (format != "json" && format != "prometheus")
+      throw std::runtime_error("--metrics-format expects json or prometheus");
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    out << (format == "prometheus"
+                ? obs::MetricsRegistry::global().to_prometheus()
+                : obs::MetricsRegistry::global().to_json() + "\n");
+    if (!out) throw std::runtime_error("write failed: " + path);
+    std::printf("wrote metrics to %s\n", path.c_str());
+  }
+  if (const auto path = flags.get_string("trace-out"); !path.empty()) {
+    obs::Tracer::global().save(path);
+    std::printf("wrote trace (%zu events) to %s\n",
+                obs::Tracer::global().num_events(), path.c_str());
   }
 }
 
