@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+
+#include "fault/failpoint.hpp"
+#include "obs/metrics.hpp"
 
 namespace sssp::core {
 
@@ -26,6 +30,18 @@ void AdaptiveSgd::set_parameter(double theta) noexcept {
 }
 
 double AdaptiveSgd::update(double x, double y) {
+  // Injected fault: a poisoned observation, as a glitched stats pipeline
+  // or corrupted engine counter would produce.
+  if (SSSP_FAILPOINT("sgd.observe.nan"))
+    y = std::numeric_limits<double>::quiet_NaN();
+  if (!std::isfinite(x) || !std::isfinite(y)) {
+    ++rejected_;
+    if (obs::metrics_enabled())
+      obs::MetricsRegistry::global()
+          .counter("sgd.rejected_observations")
+          .add();
+    return theta_;  // keep theta and the EMA state untouched
+  }
   if (x == 0.0) return theta_;  // no gradient information
   ++updates_;
 

@@ -44,7 +44,11 @@ class AdaptiveSgd {
 
   // One SGD step on observation (x, y) for the model y ≈ theta x.
   // Returns the updated parameter. x == 0 carries no gradient and is a
-  // no-op (the model is unidentifiable from it).
+  // no-op (the model is unidentifiable from it). Non-finite (NaN/Inf)
+  // observations are rejected — theta and the EMA state are untouched —
+  // and counted in rejected() and the obs registry
+  // ("sgd.rejected_observations"): one poisoned sample must not corrupt
+  // the model for the rest of the run.
   double update(double x, double y);
 
   double parameter() const noexcept { return theta_; }
@@ -54,6 +58,8 @@ class AdaptiveSgd {
   double learning_rate() const noexcept { return mu_; }
   double tau() const noexcept { return tau_; }
   std::uint64_t updates() const noexcept { return updates_; }
+  // Observations dropped by the non-finite input guard.
+  std::uint64_t rejected() const noexcept { return rejected_; }
 
  private:
   AdaptiveSgdOptions options_;
@@ -64,6 +70,7 @@ class AdaptiveSgd {
   double tau_;           // adaptive EMA time constant
   double mu_ = 0.0;      // last learning rate used
   std::uint64_t updates_ = 0;
+  std::uint64_t rejected_ = 0;
 };
 
 }  // namespace sssp::core

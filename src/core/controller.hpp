@@ -9,12 +9,22 @@
 //      before that.
 // The caller (SelfTuningSssp) applies the returned delta through the
 // rebalancer and reports forced progress jumps back via force_delta().
+//
+// Self-healing (docs/ROBUSTNESS.md): a ControllerHealth monitor watches
+// for non-finite inputs, NaN/Inf model state, delta pinned at its
+// bounds, and step oscillation. On detection the controller quarantines
+// and resets both models and degrades to a static mean-edge-weight
+// delta policy (delta advances by `fallback_delta` per plan, the
+// classic delta-stepping bucket walk); after a probation streak of
+// well-formed plans it recovers to adaptive control. Distances are
+// exact in every state — only tracking quality is at stake.
 #pragma once
 
 #include <cstdint>
 
 #include "core/advance_model.hpp"
 #include "core/bisect_model.hpp"
+#include "core/controller_health.hpp"
 
 namespace sssp::core {
 
@@ -40,13 +50,20 @@ struct ControllerConfig {
   std::uint64_t bootstrap_observations = 5;
   // Seed for the ADVANCE-MODEL's degree estimate (graph mean degree).
   double initial_degree = 1.0;
+  // Degraded-mode bucket width (the static delta policy's step per
+  // plan). 0 falls back to max(initial_delta, min_delta); SelfTuningSssp
+  // seeds it with the graph's mean edge weight.
+  double fallback_delta = 0.0;
+  // Health-monitor thresholds (see controller_health.hpp).
+  HealthConfig health;
 };
 
 class DeltaController {
  public:
   explicit DeltaController(const ControllerConfig& config);
 
-  // Phase A — after advance_and_filter of iteration k.
+  // Phase A — after advance_and_filter of iteration k. Non-finite
+  // observations are rejected by the models (see AdaptiveSgd::update).
   void observe_advance(double x1, double x2);
 
   // Phase B — after bisect of iteration k. far_total_size is the whole
@@ -57,6 +74,11 @@ class DeltaController {
   // raising the threshold cannot release any postponed work, and letting
   // delta run away from the distance range in play would poison the
   // Eq. 8 bootstrap (alpha = X4/delta) for the rest of the run.
+  //
+  // Non-finite inputs suppress planning entirely: the current delta is
+  // returned unchanged (logged once per run, counted in
+  // health().rejected_inputs()) instead of propagating garbage into
+  // Eq. 6 / Eq. 8. Repeated rejects degrade the control plane.
   double plan_delta(double x4, double far_total_size,
                     double far_partition_size, double far_partition_bound);
 
@@ -83,18 +105,29 @@ class DeltaController {
   const AdvanceModel& advance_model() const noexcept { return advance_; }
   const BisectModel& bisect_model() const noexcept { return bisect_; }
 
+  // Self-healing state (read-only; the controller manages transitions).
+  const ControllerHealth& health() const noexcept { return health_; }
+  ControlState control_state() const noexcept { return health_.state(); }
+
  private:
   double clamp_delta(double delta) const;
+  double fallback_step() const;
+  // Quarantine: discard both models' learned state and restart them from
+  // the configured priors.
+  void reset_models();
+  void handle_event(HealthEvent event);
 
   ControllerConfig config_;
   AdvanceModel advance_;
   BisectModel bisect_;
+  ControllerHealth health_;
   double delta_;
   double last_alpha_ = 1.0;
   // Pending (delta change, x4) awaiting the next iteration's X1.
   double pending_delta_change_ = 0.0;
   double pending_x4_ = 0.0;
   bool has_pending_ = false;
+  bool logged_nonfinite_ = false;
 };
 
 }  // namespace sssp::core

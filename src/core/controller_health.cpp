@@ -1,0 +1,66 @@
+#include "core/controller_health.hpp"
+
+#include <cmath>
+
+namespace sssp::core {
+
+HealthEvent ControllerHealth::degrade() {
+  state_ = ControlState::kDegraded;
+  ++degradations_;
+  reject_streak_ = 0;
+  pin_streak_ = 0;
+  oscillation_streak_ = 0;
+  healthy_streak_ = 0;
+  last_step_sign_ = 0;
+  return HealthEvent::kDegraded;
+}
+
+HealthEvent ControllerHealth::record_rejected_input() {
+  ++rejected_inputs_;
+  healthy_streak_ = 0;  // a degraded controller's probation restarts
+  if (state_ == ControlState::kDegraded) return HealthEvent::kNone;
+  if (++reject_streak_ >= config_.reject_limit) return degrade();
+  return HealthEvent::kNone;
+}
+
+HealthEvent ControllerHealth::record_plan(bool at_bound, double step,
+                                          double relative_step,
+                                          bool model_state_finite) {
+  if (state_ == ControlState::kDegraded) {
+    // Probation: consecutive well-formed plans readmit the adaptive
+    // controller (rejected inputs reset the streak elsewhere).
+    if (++healthy_streak_ >= config_.probation) {
+      state_ = ControlState::kAdaptive;
+      ++recoveries_;
+      healthy_streak_ = 0;
+      return HealthEvent::kRecovered;
+    }
+    return HealthEvent::kNone;
+  }
+
+  reject_streak_ = 0;
+
+  // A NaN/Inf model estimate is beyond repair by streak heuristics.
+  if (!model_state_finite) return degrade();
+
+  pin_streak_ = at_bound ? pin_streak_ + 1 : 0;
+  if (pin_streak_ >= config_.pin_limit) return degrade();
+
+  // Oscillation: alternating-sign steps of at least the delta's own
+  // magnitude. Ordinary tracking (small corrections inside the clamp)
+  // never sustains this; a diverging alpha estimate does.
+  const int sign = step > 0.0 ? 1 : step < 0.0 ? -1 : 0;
+  const bool large = std::abs(relative_step) >= 1.0;
+  if (sign != 0 && large && sign == -last_step_sign_) {
+    if (++oscillation_streak_ >= config_.oscillation_limit) return degrade();
+  } else {
+    // Any hold, small correction, or same-direction move breaks the
+    // alternating pattern.
+    oscillation_streak_ = 0;
+  }
+  if (sign != 0) last_step_sign_ = sign;
+
+  return HealthEvent::kNone;
+}
+
+}  // namespace sssp::core

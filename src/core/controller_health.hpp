@@ -1,0 +1,99 @@
+// Controller health monitor — the detection half of the self-healing
+// control plane (docs/ROBUSTNESS.md).
+//
+// The DeltaController trusts two SGD models; this class watches the
+// signals that say that trust is misplaced:
+//   - rejected inputs: non-finite X4 / far-queue stats reaching
+//     plan_delta (a corrupted stats pipeline);
+//   - non-finite model state: a NaN/Inf degree or alpha estimate;
+//   - pinning: delta parked at its min/max bound for many consecutive
+//     plans (a divergent model pushing against the clamp);
+//   - oscillation: large alternating-sign delta steps (an unstable
+//     feedback gain).
+// Any of these degrades the control plane: the controller quarantines
+// and resets its models and falls back to a static mean-edge-weight
+// delta policy. While degraded, every well-formed plan counts toward a
+// probation streak; once the streak completes, adaptive control
+// resumes with the freshly reset (and since retrained) models.
+//
+// The monitor is pure bookkeeping — it never touches the models itself;
+// DeltaController acts on the returned events.
+#pragma once
+
+#include <cstdint>
+
+namespace sssp::core {
+
+enum class ControlState : std::uint8_t {
+  kAdaptive = 0,  // Eq. 6 planning with learned models
+  kDegraded = 1,  // static fallback delta policy, models in quarantine
+};
+
+enum class HealthEvent : std::uint8_t {
+  kNone = 0,
+  kDegraded = 1,   // transition kAdaptive -> kDegraded just happened
+  kRecovered = 2,  // transition kDegraded -> kAdaptive just happened
+};
+
+struct HealthConfig {
+  // Consecutive non-finite controller inputs before degrading.
+  std::uint64_t reject_limit = 3;
+  // Consecutive plans with delta pinned at min/max before degrading.
+  std::uint64_t pin_limit = 16;
+  // Consecutive alternating-sign full-magnitude steps (|step| >= delta)
+  // before degrading.
+  std::uint64_t oscillation_limit = 8;
+  // Consecutive healthy plans while degraded before readmitting the
+  // adaptive controller.
+  std::uint64_t probation = 5;
+};
+
+class ControllerHealth {
+ public:
+  explicit ControllerHealth(const HealthConfig& config) : config_(config) {}
+
+  // A non-finite input reached the controller (the plan was suppressed).
+  // Returns kDegraded when the consecutive-reject streak crosses the
+  // limit.
+  HealthEvent record_rejected_input();
+
+  // A plan completed. `at_bound` — the resulting delta sits at the
+  // min/max clamp; `step` — the delta change taken; `relative_step` —
+  // step / max(previous delta, 1); `model_state_finite` — degree and
+  // alpha estimates are both finite. Returns kDegraded on a detected
+  // divergence, kRecovered when a degraded controller finishes
+  // probation.
+  HealthEvent record_plan(bool at_bound, double step, double relative_step,
+                          bool model_state_finite);
+
+  ControlState state() const noexcept { return state_; }
+  bool degraded() const noexcept { return state_ == ControlState::kDegraded; }
+
+  // Lifetime event counts (run-report and metrics fodder).
+  std::uint64_t degradations() const noexcept { return degradations_; }
+  std::uint64_t recoveries() const noexcept { return recoveries_; }
+  std::uint64_t rejected_inputs() const noexcept { return rejected_inputs_; }
+  std::uint64_t model_resets() const noexcept { return model_resets_; }
+  // Called by the controller when it resets a model (for accounting).
+  void count_model_reset() noexcept { ++model_resets_; }
+
+  const HealthConfig& config() const noexcept { return config_; }
+
+ private:
+  HealthEvent degrade();
+
+  HealthConfig config_;
+  ControlState state_ = ControlState::kAdaptive;
+  std::uint64_t degradations_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t rejected_inputs_ = 0;
+  std::uint64_t model_resets_ = 0;
+  // Detection streaks.
+  std::uint64_t reject_streak_ = 0;
+  std::uint64_t pin_streak_ = 0;
+  std::uint64_t oscillation_streak_ = 0;
+  std::uint64_t healthy_streak_ = 0;
+  int last_step_sign_ = 0;
+};
+
+}  // namespace sssp::core

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "fault/failpoint.hpp"
+#include "obs/metrics.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/power_model.hpp"
 #include "util/stats.hpp"
@@ -67,8 +70,24 @@ PowerFeedbackResult power_feedback_sssp(const graph::CsrGraph& graph,
   while (run.step()) {
     const frontier::IterationStats& it = run.last_iteration();
     const sim::IterationTiming timing = time_iteration(device, freqs, it);
-    const double watts = sim::board_power(
+    double watts = sim::board_power(
         device, freqs, timing.core_utilization, timing.mem_utilization);
+
+    // Injected fault: a garbage meter sample on the feedback path.
+    if (SSSP_FAILPOINT("sim.power.nan"))
+      watts = std::numeric_limits<double>::quiet_NaN();
+    // A non-finite reading must not reach the EMA — one NaN would stick
+    // in the smoothed state and freeze the set-point loop for the rest
+    // of the run. Drop the sample, hold the knob, keep the governor on
+    // its last utilizations.
+    if (!std::isfinite(watts)) {
+      if (obs::metrics_enabled())
+        obs::MetricsRegistry::global()
+            .counter("power_feedback.rejected_samples")
+            .add();
+      freqs = live_policy->next(device, timing);
+      continue;
+    }
 
     // The "PowerMon reading" for this iteration, smoothed.
     const double smoothed = power_ema.update(watts);

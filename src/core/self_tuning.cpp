@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
 #include "core/partitioned_far_queue.hpp"
+#include "fault/failpoint.hpp"
 #include "frontier/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -90,6 +92,8 @@ struct SelfTuningRun::Impl {
     config.adaptive_learning_rate = options.adaptive_learning_rate;
     config.bootstrap_observations = options.bootstrap_observations;
     config.initial_degree = mean_degree;
+    // Degraded-mode bucket width: the classic delta-stepping choice.
+    config.fallback_delta = mean_weight;
     return config;
   }
 
@@ -102,6 +106,9 @@ struct SelfTuningRun::Impl {
   bool step();
   void finalize() {
     result.improving_relaxations = engine.total_improving_relaxations();
+    result.controller_degradations = controller.health().degradations();
+    result.controller_recoveries = controller.health().recoveries();
+    result.controller_rejected_inputs = controller.health().rejected_inputs();
     result.distances = engine.distances();
     result.parents = engine.parents_valid()
                          ? engine.parents()
@@ -139,8 +146,12 @@ bool SelfTuningRun::Impl::step() {
   {
     SSSP_TRACE_SPAN("controller");
     controller_timer.reset();
-    controller.observe_advance(static_cast<double>(advance.x1),
-                               static_cast<double>(advance.x2));
+    // Injected fault: a corrupted engine counter reaching the
+    // ADVANCE-MODEL. The model rejects non-finite observations.
+    double x1_obs = static_cast<double>(advance.x1);
+    if (SSSP_FAILPOINT("controller.observe.nan"))
+      x1_obs = std::numeric_limits<double>::quiet_NaN();
+    controller.observe_advance(x1_obs, static_cast<double>(advance.x2));
     controller_seconds += controller_timer.elapsed_seconds();
   }
 
@@ -158,8 +169,17 @@ bool SelfTuningRun::Impl::step() {
   {
     SSSP_TRACE_SPAN("controller");
     controller_timer.reset();
+    // Injected faults: corrupted X4 / far-queue statistics reaching the
+    // planner. The controller's input firewall suppresses the plan and
+    // the health monitor degrades on a sustained streak.
+    double x4_in = static_cast<double>(stats.x4);
+    if (SSSP_FAILPOINT("controller.x4.nan"))
+      x4_in = std::numeric_limits<double>::quiet_NaN();
+    double far_total = static_cast<double>(far.size());
+    if (SSSP_FAILPOINT("controller.far.nan"))
+      far_total = std::numeric_limits<double>::infinity();
     new_delta = controller.plan_delta(
-        static_cast<double>(stats.x4), static_cast<double>(far.size()),
+        x4_in, far_total,
         static_cast<double>(far.current_partition_size()),
         static_cast<double>(std::min<Distance>(far.current_partition_bound(),
                                                Distance{1} << 60)));
@@ -303,6 +323,7 @@ bool SelfTuningRun::Impl::step() {
   stats.far_queue_size = far.size();
   stats.degree_estimate = controller.advance_model().degree();
   stats.alpha_estimate = controller.last_alpha();
+  stats.controller_degraded = controller.health().degraded();
   if (options.measure_controller_time) {
     stats.controller_seconds = controller_seconds;
     result.controller_seconds += controller_seconds;

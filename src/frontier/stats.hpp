@@ -29,6 +29,10 @@ struct IterationStats {
   // convergence analysis and the controller-diagnostics tooling.
   double degree_estimate = 0.0;
   double alpha_estimate = 0.0;
+  // True while the controller's self-healing monitor has the adaptive
+  // models quarantined and the static fallback delta policy is in
+  // effect (docs/ROBUSTNESS.md). Always false for baselines.
+  bool controller_degraded = false;
 
   sim::IterationWork to_work() const {
     sim::IterationWork w;

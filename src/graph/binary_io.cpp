@@ -2,77 +2,204 @@
 
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
 #include <vector>
+
+#include "fault/failpoint.hpp"
+#include "graph/io_error.hpp"
 
 namespace sssp::graph {
 namespace {
 
-constexpr char kMagic[8] = {'T', 'S', 'S', 'S', 'P', 'G', 'R', '1'};
+constexpr char kMagicV1[8] = {'T', 'S', 'S', 'S', 'P', 'G', 'R', '1'};
+constexpr char kMagicV2[8] = {'T', 'S', 'S', 'S', 'P', 'G', 'R', '2'};
+constexpr const char* kFormat = "binary graph";
 
-template <typename T>
-void write_raw(std::ostream& out, const T* data, std::size_t count) {
-  out.write(reinterpret_cast<const char*>(data),
-            static_cast<std::streamsize>(count * sizeof(T)));
+[[noreturn]] void fail(IoErrorClass error_class, const std::string& what,
+                       std::uint64_t byte_offset) {
+  throw GraphIoError(error_class, kFormat, what, GraphIoError::kNoPosition,
+                     byte_offset);
 }
 
-template <typename T>
-void read_raw(std::istream& in, T* data, std::size_t count,
-              const char* what) {
-  in.read(reinterpret_cast<char*>(data),
-          static_cast<std::streamsize>(count * sizeof(T)));
-  if (static_cast<std::size_t>(in.gcount()) != count * sizeof(T))
-    throw std::runtime_error(std::string("binary graph: truncated ") + what);
+std::uint64_t checksum(const void* data, std::size_t size) noexcept {
+  return fnv1a64(data, size);
+}
+
+// Tracks the stream position so every failure reports where the file
+// went bad (tellg() is unreliable after a failed read).
+struct Reader {
+  std::istream& in;
+  std::uint64_t offset = 0;
+
+  template <typename T>
+  void read(T* data, std::size_t count, const char* what) {
+    const std::size_t bytes = count * sizeof(T);
+    in.read(reinterpret_cast<char*>(data),
+            static_cast<std::streamsize>(bytes));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    // Injected short read: pretend the stream ended mid-section.
+    if (got != bytes || SSSP_FAILPOINT("graph.binary.short_read"))
+      fail(IoErrorClass::kTruncated,
+           std::string("unexpected end of stream in ") + what,
+           offset + got);
+    // Injected single-bit corruption: must be caught by the section
+    // checksum (v2) or structural validation (v1), never crash.
+    if (bytes > 0 && SSSP_FAILPOINT("graph.binary.bit_flip"))
+      reinterpret_cast<char*>(data)[bytes / 2] ^= 0x10;
+    offset += bytes;
+  }
+
+  // Reads a section followed by its v2 checksum trailer and verifies.
+  template <typename T>
+  void read_checksummed(T* data, std::size_t count, const char* what) {
+    const std::uint64_t section_start = offset;
+    read(data, count, what);
+    std::uint64_t expected = 0;
+    read(&expected, 1, what);
+    if (checksum(data, count * sizeof(T)) != expected)
+      fail(IoErrorClass::kChecksum,
+           std::string(what) + " section checksum mismatch", section_start);
+  }
+};
+
+struct Writer {
+  std::ostream& out;
+
+  template <typename T>
+  void write(const T* data, std::size_t count) {
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(count * sizeof(T)));
+  }
+
+  template <typename T>
+  void write_checksummed(const T* data, std::size_t count) {
+    write(data, count);
+    const std::uint64_t sum = checksum(data, count * sizeof(T));
+    write(&sum, 1);
+  }
+};
+
+struct Header {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+};
+
+// Refuse absurd sizes before allocating.
+void check_header_bounds(const Header& header, std::uint64_t offset) {
+  if (header.num_vertices > (std::uint64_t{1} << 33) ||
+      header.num_edges > (std::uint64_t{1} << 36))
+    fail(IoErrorClass::kLimit, "implausible header sizes", offset);
+}
+
+CsrGraph load_sections_v1(Reader& reader, const Header& header) {
+  std::vector<EdgeIndex> offsets(header.num_vertices + 1);
+  std::vector<VertexId> targets(header.num_edges);
+  std::vector<Weight> weights(header.num_edges);
+  reader.read(offsets.data(), offsets.size(), "offsets");
+  reader.read(targets.data(), targets.size(), "targets");
+  reader.read(weights.data(), weights.size(), "weights");
+  return CsrGraph(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+CsrGraph load_sections_v2(Reader& reader, const Header& header) {
+  std::vector<EdgeIndex> offsets(header.num_vertices + 1);
+  std::vector<VertexId> targets(header.num_edges);
+  std::vector<Weight> weights(header.num_edges);
+  reader.read_checksummed(offsets.data(), offsets.size(), "offsets");
+  reader.read_checksummed(targets.data(), targets.size(), "targets");
+  reader.read_checksummed(weights.data(), weights.size(), "weights");
+  return CsrGraph(std::move(offsets), std::move(targets), std::move(weights));
 }
 
 }  // namespace
 
+std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
 void save_binary(const CsrGraph& graph, std::ostream& out) {
-  out.write(kMagic, sizeof(kMagic));
-  const std::uint64_t n = graph.num_vertices();
-  const std::uint64_t m = graph.num_edges();
-  write_raw(out, &n, 1);
-  write_raw(out, &m, 1);
-  write_raw(out, graph.offsets().data(), graph.offsets().size());
-  write_raw(out, graph.targets().data(), graph.targets().size());
-  write_raw(out, graph.weights().data(), graph.weights().size());
-  if (!out) throw std::runtime_error("binary graph: write failed");
+  Writer writer{out};
+  writer.write(kMagicV2, sizeof(kMagicV2));
+
+  // Header body: covered by its own checksum so a bit flip in the sizes
+  // is distinguished from truncation.
+  struct HeaderBody {
+    std::uint32_t version;
+    std::uint32_t reserved;
+    std::uint64_t num_vertices;
+    std::uint64_t num_edges;
+  } body{kBinaryFormatVersion, 0, graph.num_vertices(), graph.num_edges()};
+  writer.write(&body, 1);
+  const std::uint64_t header_sum = checksum(&body, sizeof(body));
+  writer.write(&header_sum, 1);
+
+  writer.write_checksummed(graph.offsets().data(), graph.offsets().size());
+  writer.write_checksummed(graph.targets().data(), graph.targets().size());
+  writer.write_checksummed(graph.weights().data(), graph.weights().size());
+  if (!out) fail(IoErrorClass::kOpen, "write failed",
+                 GraphIoError::kNoPosition);
 }
 
 void save_binary_file(const CsrGraph& graph, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  if (!out)
+    throw GraphIoError(IoErrorClass::kOpen, kFormat,
+                       "cannot open for write: " + path);
   save_binary(graph, out);
 }
 
 CsrGraph load_binary(std::istream& in) {
-  char magic[sizeof(kMagic)];
-  read_raw(in, magic, sizeof(kMagic), "magic");
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    throw std::runtime_error("binary graph: bad magic");
+  Reader reader{in};
+  char magic[sizeof(kMagicV2)];
+  reader.read(magic, sizeof(magic), "magic");
 
-  std::uint64_t n = 0, m = 0;
-  read_raw(in, &n, 1, "header");
-  read_raw(in, &m, 1, "header");
-  // Sanity bound: refuse absurd sizes before allocating.
-  if (n > (std::uint64_t{1} << 33) || m > (std::uint64_t{1} << 36))
-    throw std::runtime_error("binary graph: implausible header sizes");
+  if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    // v1: plain header, no checksums (legacy caches).
+    Header header;
+    reader.read(&header.num_vertices, 1, "header");
+    reader.read(&header.num_edges, 1, "header");
+    check_header_bounds(header, 16);
+    CsrGraph graph = load_sections_v1(reader, header);
+    graph.validate();
+    return graph;
+  }
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) != 0)
+    fail(IoErrorClass::kVersion, "bad magic (not a tunesssp graph cache)", 0);
 
-  std::vector<EdgeIndex> offsets(n + 1);
-  std::vector<VertexId> targets(m);
-  std::vector<Weight> weights(m);
-  read_raw(in, offsets.data(), offsets.size(), "offsets");
-  read_raw(in, targets.data(), targets.size(), "targets");
-  read_raw(in, weights.data(), weights.size(), "weights");
+  struct HeaderBody {
+    std::uint32_t version;
+    std::uint32_t reserved;
+    std::uint64_t num_vertices;
+    std::uint64_t num_edges;
+  } body{};
+  const std::uint64_t header_start = reader.offset;
+  reader.read(&body, 1, "header");
+  std::uint64_t expected_sum = 0;
+  reader.read(&expected_sum, 1, "header");
+  if (checksum(&body, sizeof(body)) != expected_sum)
+    fail(IoErrorClass::kChecksum, "header checksum mismatch", header_start);
+  if (body.version != kBinaryFormatVersion)
+    fail(IoErrorClass::kVersion,
+         "unsupported format version " + std::to_string(body.version),
+         header_start);
 
-  CsrGraph graph(std::move(offsets), std::move(targets), std::move(weights));
+  const Header header{body.num_vertices, body.num_edges};
+  check_header_bounds(header, header_start);
+  CsrGraph graph = load_sections_v2(reader, header);
   graph.validate();
   return graph;
 }
 
 CsrGraph load_binary_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open binary graph: " + path);
+  if (!in)
+    throw GraphIoError(IoErrorClass::kOpen, kFormat,
+                       "cannot open: " + path);
   return load_binary(in);
 }
 

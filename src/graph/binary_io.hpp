@@ -2,13 +2,24 @@
 // text dominates experiment startup; this format memcpy's the three CSR
 // arrays with a small validated header instead.
 //
-// Layout (little-endian, 64-bit sizes):
-//   magic "TSSSPGR1" | num_vertices u64 | num_edges u64
-//   offsets  (num_vertices + 1) x u64
-//   targets  num_edges x u32
-//   weights  num_edges x u32
+// Format v2 ("TSSSPGR2", little-endian, 64-bit sizes) — written by
+// save_binary; adds a format version and end-to-end corruption
+// detection:
+//   magic "TSSSPGR2" | version u32 | reserved u32
+//   num_vertices u64 | num_edges u64 | header_checksum u64
+//   offsets  (num_vertices + 1) x u64 | offsets_checksum u64
+//   targets  num_edges x u32          | targets_checksum u64
+//   weights  num_edges x u32          | weights_checksum u64
+// Checksums are FNV-1a 64 over the raw section bytes (the header
+// checksum covers version..num_edges). A flipped bit anywhere in the
+// file surfaces as a structured GraphIoError instead of a corrupt
+// graph.
+//
+// Format v1 ("TSSSPGR1": header + raw sections, no checksums) is still
+// readable so existing caches keep working.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -16,11 +27,19 @@
 
 namespace sssp::graph {
 
+// The version save_binary writes into v2 headers.
+inline constexpr std::uint32_t kBinaryFormatVersion = 2;
+
+// FNV-1a 64-bit over a byte range (exposed for tests and tools).
+std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept;
+
 void save_binary(const CsrGraph& graph, std::ostream& out);
 void save_binary_file(const CsrGraph& graph, const std::string& path);
 
-// Throws std::runtime_error on bad magic, truncation, or inconsistent
-// sizes; the loaded graph is validated structurally.
+// Throws GraphIoError (see io_error.hpp) with a byte offset and error
+// class on bad magic (kVersion), truncation (kTruncated), checksum
+// mismatch (kChecksum), or implausible header sizes (kLimit); the
+// loaded graph is additionally validated structurally.
 CsrGraph load_binary(std::istream& in);
 CsrGraph load_binary_file(const std::string& path);
 

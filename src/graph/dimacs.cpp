@@ -2,18 +2,21 @@
 
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 #include <vector>
 
+#include "fault/failpoint.hpp"
 #include "graph/builder.hpp"
+#include "graph/io_error.hpp"
 #include "graph/types.hpp"
 
 namespace sssp::graph {
 namespace {
 
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
-  throw std::runtime_error("DIMACS parse error at line " +
-                           std::to_string(line) + ": " + what);
+constexpr const char* kFormat = "DIMACS";
+
+[[noreturn]] void fail(IoErrorClass error_class, std::size_t line,
+                       const std::string& what) {
+  throw GraphIoError(error_class, kFormat, what, line);
 }
 
 }  // namespace
@@ -29,6 +32,9 @@ CsrGraph load_dimacs(std::istream& in) {
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
+    // Injected parse fault: corrupt the record tag so the structured
+    // error path (not an abort) must handle it.
+    if (SSSP_FAILPOINT("graph.dimacs.corrupt_line")) line[0] = '?';
     switch (line[0]) {
       case 'c':
         break;  // comment
@@ -37,32 +43,44 @@ CsrGraph load_dimacs(std::istream& in) {
         char tag;
         std::string kind;
         if (!(ls >> tag >> kind >> declared_vertices >> declared_edges))
-          fail(line_no, "malformed problem line");
-        if (kind != "sp") fail(line_no, "expected problem kind 'sp'");
+          fail(IoErrorClass::kParse, line_no, "malformed problem line");
+        if (kind != "sp")
+          fail(IoErrorClass::kParse, line_no, "expected problem kind 'sp'");
         saw_problem = true;
         edges.reserve(declared_edges);
         break;
       }
       case 'a': {
-        if (!saw_problem) fail(line_no, "arc before problem line");
+        if (!saw_problem)
+          fail(IoErrorClass::kParse, line_no, "arc before problem line");
         std::istringstream ls(line);
         char tag;
         std::uint64_t src, dst, weight;
         if (!(ls >> tag >> src >> dst >> weight))
-          fail(line_no, "malformed arc line");
+          fail(IoErrorClass::kParse, line_no, "malformed arc line");
         if (src == 0 || dst == 0 || src > declared_vertices ||
             dst > declared_vertices)
-          fail(line_no, "vertex id out of range");
+          fail(IoErrorClass::kParse, line_no, "vertex id out of range");
         edges.push_back({static_cast<VertexId>(src - 1),
                          static_cast<VertexId>(dst - 1),
                          static_cast<Weight>(weight)});
         break;
       }
       default:
-        fail(line_no, std::string("unknown record type '") + line[0] + "'");
+        fail(IoErrorClass::kParse, line_no,
+             std::string("unknown record type '") + line[0] + "'");
     }
   }
-  if (!saw_problem) throw std::runtime_error("DIMACS: missing problem line");
+  if (!saw_problem)
+    fail(IoErrorClass::kTruncated, line_no, "missing problem line");
+  // A file that ends before delivering the declared arcs is truncated;
+  // extra arcs mean a corrupt header or writer.
+  if (edges.size() != declared_edges)
+    fail(edges.size() < declared_edges ? IoErrorClass::kTruncated
+                                       : IoErrorClass::kParse,
+         line_no,
+         "arc count " + std::to_string(edges.size()) +
+             " does not match declared " + std::to_string(declared_edges));
 
   BuildOptions build;
   build.remove_self_loops = true;
@@ -72,7 +90,8 @@ CsrGraph load_dimacs(std::istream& in) {
 
 CsrGraph load_dimacs_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open DIMACS file: " + path);
+  if (!in)
+    throw GraphIoError(IoErrorClass::kOpen, kFormat, "cannot open: " + path);
   return load_dimacs(in);
 }
 
@@ -92,7 +111,9 @@ void save_dimacs(const CsrGraph& graph, std::ostream& out,
 void save_dimacs_file(const CsrGraph& graph, const std::string& path,
                       const std::string& comment) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  if (!out)
+    throw GraphIoError(IoErrorClass::kOpen, kFormat,
+                       "cannot open for write: " + path);
   save_dimacs(graph, out, comment);
 }
 

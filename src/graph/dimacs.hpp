@@ -14,8 +14,8 @@
 
 namespace sssp::graph {
 
-// Parses a .gr stream/file into CSR. Throws std::runtime_error with a
-// line number on malformed input.
+// Parses a .gr stream/file into CSR. Throws GraphIoError (io_error.hpp)
+// with an error class and line number on malformed or truncated input.
 CsrGraph load_dimacs(std::istream& in);
 CsrGraph load_dimacs_file(const std::string& path);
 

@@ -6,7 +6,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fault/failpoint.hpp"
 #include "graph/builder.hpp"
+#include "graph/io_error.hpp"
 #include "util/rng.hpp"
 
 namespace sssp::graph {
@@ -25,14 +27,17 @@ CsrGraph load_edge_list(std::istream& in, const EdgeListOptions& options) {
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    // Injected parse fault: blank the separators so the numeric parse
+    // below fails through the structured-error path.
+    if (SSSP_FAILPOINT("graph.edge_list.corrupt_line")) line = "not numbers";
     std::istringstream ls(line);
     std::uint64_t src, dst;
     if (!(ls >> src >> dst))
-      throw std::runtime_error("edge list: malformed line " +
-                               std::to_string(line_no));
+      throw GraphIoError(IoErrorClass::kParse, "edge list", "malformed line",
+                         line_no);
     if (src > 0xFFFFFFFEull || dst > 0xFFFFFFFEull)
-      throw std::runtime_error("edge list: vertex id exceeds 32 bits at line " +
-                               std::to_string(line_no));
+      throw GraphIoError(IoErrorClass::kLimit, "edge list",
+                         "vertex id exceeds 32 bits", line_no);
     std::uint64_t weight;
     if (!(ls >> weight)) {
       weight = rng.next_range(options.default_min_weight,
@@ -56,7 +61,9 @@ CsrGraph load_edge_list(std::istream& in, const EdgeListOptions& options) {
 CsrGraph load_edge_list_file(const std::string& path,
                              const EdgeListOptions& options) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  if (!in)
+    throw GraphIoError(IoErrorClass::kOpen, "edge list",
+                       "cannot open: " + path);
   return load_edge_list(in, options);
 }
 

@@ -4,15 +4,23 @@
 #include <cmath>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 #include <vector>
 
+#include "fault/failpoint.hpp"
 #include "graph/builder.hpp"
+#include "graph/io_error.hpp"
 #include "graph/weights.hpp"
 #include "util/rng.hpp"
 
 namespace sssp::graph {
 namespace {
+
+constexpr const char* kFormat = "MatrixMarket";
+
+[[noreturn]] void fail(IoErrorClass error_class, std::size_t line,
+                       const std::string& what) {
+  throw GraphIoError(error_class, kFormat, what, line);
+}
 
 std::string to_lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
@@ -26,26 +34,24 @@ CsrGraph load_matrix_market(std::istream& in,
                             const MatrixMarketOptions& options) {
   std::string line;
   if (!std::getline(in, line))
-    throw std::runtime_error("MatrixMarket: empty input");
+    fail(IoErrorClass::kTruncated, 0, "empty input");
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
   if (banner != "%%MatrixMarket")
-    throw std::runtime_error("MatrixMarket: missing %%MatrixMarket banner");
+    fail(IoErrorClass::kVersion, 1, "missing %%MatrixMarket banner");
   object = to_lower(object);
   format = to_lower(format);
   field = to_lower(field);
   symmetry = to_lower(symmetry);
   if (object != "matrix" || format != "coordinate")
-    throw std::runtime_error(
-        "MatrixMarket: only 'matrix coordinate' supported");
+    fail(IoErrorClass::kParse, 1, "only 'matrix coordinate' supported");
   const bool pattern = field == "pattern";
   if (!pattern && field != "integer" && field != "real")
-    throw std::runtime_error("MatrixMarket: unsupported field '" + field + "'");
+    fail(IoErrorClass::kParse, 1, "unsupported field '" + field + "'");
   const bool symmetric = symmetry == "symmetric";
   if (!symmetric && symmetry != "general")
-    throw std::runtime_error("MatrixMarket: unsupported symmetry '" +
-                             symmetry + "'");
+    fail(IoErrorClass::kParse, 1, "unsupported symmetry '" + symmetry + "'");
 
   // Skip comments.
   std::size_t line_no = 1;
@@ -56,8 +62,7 @@ CsrGraph load_matrix_market(std::istream& in,
   std::istringstream size_line(line);
   std::uint64_t rows = 0, cols = 0, entries = 0;
   if (!(size_line >> rows >> cols >> entries))
-    throw std::runtime_error("MatrixMarket: malformed size line " +
-                             std::to_string(line_no));
+    fail(IoErrorClass::kParse, line_no, "malformed size line");
   const std::uint64_t n = std::max(rows, cols);
 
   std::vector<Edge> edges;
@@ -66,21 +71,23 @@ CsrGraph load_matrix_market(std::istream& in,
 
   for (std::uint64_t i = 0; i < entries; ++i) {
     if (!std::getline(in, line))
-      throw std::runtime_error("MatrixMarket: truncated at entry " +
-                               std::to_string(i));
+      fail(IoErrorClass::kTruncated, line_no,
+           "stream ended at entry " + std::to_string(i) + " of " +
+               std::to_string(entries));
     ++line_no;
     if (line.empty() || line[0] == '%') {
       --i;
       continue;
     }
+    // Injected parse fault: corrupt the entry so the structured error
+    // path must catch it.
+    if (SSSP_FAILPOINT("graph.matrix_market.corrupt_entry")) line = "x y z";
     std::istringstream ls(line);
     std::uint64_t r, c;
     if (!(ls >> r >> c))
-      throw std::runtime_error("MatrixMarket: malformed entry at line " +
-                               std::to_string(line_no));
+      fail(IoErrorClass::kParse, line_no, "malformed entry");
     if (r == 0 || c == 0 || r > n || c > n)
-      throw std::runtime_error("MatrixMarket: index out of range at line " +
-                               std::to_string(line_no));
+      fail(IoErrorClass::kParse, line_no, "index out of range");
     Weight w;
     if (pattern) {
       w = static_cast<Weight>(rng.next_range(options.pattern_min_weight,
@@ -88,8 +95,9 @@ CsrGraph load_matrix_market(std::istream& in,
     } else {
       double value = 0.0;
       if (!(ls >> value))
-        throw std::runtime_error("MatrixMarket: missing value at line " +
-                                 std::to_string(line_no));
+        fail(IoErrorClass::kParse, line_no, "missing value");
+      if (!std::isfinite(value))
+        fail(IoErrorClass::kParse, line_no, "non-finite value");
       double rounded = std::round(std::abs(value));
       if (rounded < 1.0 && options.clamp_nonpositive_to_one) rounded = 1.0;
       w = static_cast<Weight>(std::min(
@@ -110,7 +118,8 @@ CsrGraph load_matrix_market(std::istream& in,
 CsrGraph load_matrix_market_file(const std::string& path,
                                  const MatrixMarketOptions& options) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open MatrixMarket file: " + path);
+  if (!in)
+    throw GraphIoError(IoErrorClass::kOpen, kFormat, "cannot open: " + path);
   return load_matrix_market(in, options);
 }
 

@@ -42,6 +42,11 @@ void write_run_report(std::ostream& out, const RunReportMeta& meta,
   w.key("improving_relaxations").value(meta.improving_relaxations);
   w.key("host_seconds").value(meta.host_seconds);
   w.key("controller_seconds").value(meta.controller_seconds);
+  w.key("controller_health").begin_object();
+  w.key("degradations").value(meta.controller_degradations);
+  w.key("recoveries").value(meta.controller_recoveries);
+  w.key("rejected_inputs").value(meta.controller_rejected_inputs);
+  w.end_object();
   w.end_object();
 
   w.key("sim");
@@ -74,6 +79,7 @@ void write_run_report(std::ostream& out, const RunReportMeta& meta,
       w.key("degree_estimate").value(it.degree_estimate);
       w.key("alpha_estimate").value(it.alpha_estimate);
       w.key("controller_seconds").value(it.controller_seconds);
+      w.key("controller_degraded").value(it.controller_degraded);
     }
     if (i < sim_iterations) {
       const sim::IterationReport& sim_it = sim_report->iterations[i];

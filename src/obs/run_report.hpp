@@ -11,13 +11,15 @@
 //                 device, dvfs },
 //     "totals": { iterations, num_vertices, reached,
 //                 improving_relaxations, host_seconds,
-//                 controller_seconds },
+//                 controller_seconds,
+//                 controller_health: { degradations, recoveries,
+//                                      rejected_inputs } },
 //     "sim":    { total_seconds, energy_joules, average_power_w,
 //                 peak_power_w, controller_seconds } | null,
 //     "iterations": [ { iter, x1, x2, x3, x4, improving_relaxations,
 //                       far_queue_size, rebalance_items, delta,
 //                       degree_estimate, alpha_estimate,
-//                       controller_seconds,
+//                       controller_seconds, controller_degraded,
 //                       sim: { seconds, average_power_w,
 //                              core_utilization, mem_utilization,
 //                              core_mhz, mem_mhz }? } ]
@@ -50,6 +52,10 @@ struct RunReportMeta {
   std::uint64_t improving_relaxations = 0;
   double host_seconds = 0.0;
   double controller_seconds = 0.0;
+  // Self-healing control-plane event counts (docs/ROBUSTNESS.md).
+  std::uint64_t controller_degradations = 0;
+  std::uint64_t controller_recoveries = 0;
+  std::uint64_t controller_rejected_inputs = 0;
 };
 
 // Emits one record per iteration: engine/controller fields come from

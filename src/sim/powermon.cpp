@@ -1,11 +1,16 @@
 #include "sim/powermon.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace sssp::sim {
 
 void PowerTrace::add_segment(double seconds, double watts) {
+  // A NaN/Inf segment would silently poison every integral the trace
+  // exposes (energy, averages, peaks) — reject at the boundary instead.
+  if (!std::isfinite(seconds) || !std::isfinite(watts))
+    throw std::invalid_argument("PowerTrace: non-finite segment");
   if (seconds < 0.0)
     throw std::invalid_argument("PowerTrace: negative segment duration");
   if (seconds == 0.0) return;

@@ -21,7 +21,8 @@ struct PowerSegment {
 class PowerTrace {
  public:
   // Appends a segment; zero-duration segments are dropped. Negative
-  // durations throw std::invalid_argument.
+  // durations and non-finite (NaN/Inf) seconds or watts throw
+  // std::invalid_argument.
   void add_segment(double seconds, double watts);
 
   double duration_seconds() const noexcept { return total_seconds_; }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "fault/failpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/power_model.hpp"
@@ -69,9 +70,15 @@ RunReport simulate_run(const DeviceSpec& device, const DvfsPolicy& policy,
     iteration.finalize();
 
     // GPU-busy portion of the iteration.
-    const double gpu_power = board_power(device, freqs,
-                                         iteration.core_utilization,
-                                         iteration.mem_utilization);
+    double gpu_power = board_power(device, freqs,
+                                   iteration.core_utilization,
+                                   iteration.mem_utilization);
+    // Injected faults: a glitching power meter. A dropout reads 0 W, a
+    // spike reads a large (but finite) transient — both are recorded
+    // as-is; the trace integrals stay finite and downstream consumers
+    // (EMA feedback, energy metrics) must tolerate them.
+    if (SSSP_FAILPOINT("sim.power.dropout")) gpu_power = 0.0;
+    if (SSSP_FAILPOINT("sim.power.spike")) gpu_power *= 100.0;
     report.trace.add_segment(iteration.seconds, gpu_power);
 
     // Host-side controller time: GPU idle, board at idle power.

@@ -31,6 +31,11 @@ struct SsspResult {
   std::uint64_t improving_relaxations = 0;
   // Total host wall-clock spent inside the controller (0 for baselines).
   double controller_seconds = 0.0;
+  // Self-healing control-plane lifetime counts (docs/ROBUSTNESS.md);
+  // all 0 for baselines and for healthy self-tuning runs.
+  std::uint64_t controller_degradations = 0;
+  std::uint64_t controller_recoveries = 0;
+  std::uint64_t controller_rejected_inputs = 0;
 
   std::size_t num_iterations() const noexcept { return iterations.size(); }
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "util/rng.hpp"
 
@@ -142,6 +144,33 @@ TEST(AdaptiveSgd, PredictionUsesCurrentParameter) {
   AdaptiveSgd sgd;
   sgd.set_parameter(3.0);
   EXPECT_DOUBLE_EQ(sgd.prediction(4.0), 12.0);
+}
+
+TEST(AdaptiveSgd, RejectsNonFiniteObservations) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  AdaptiveSgd sgd;
+  // Warm up on clean data so there is real state to protect.
+  for (int k = 0; k < 50; ++k) sgd.update(1.0 + (k % 3), 2.0 * (1.0 + (k % 3)));
+  const double theta = sgd.parameter();
+  const double tau = sgd.tau();
+  const std::uint64_t updates = sgd.updates();
+
+  sgd.update(nan, 2.0);
+  sgd.update(2.0, nan);
+  sgd.update(inf, 2.0);
+  sgd.update(2.0, -inf);
+  sgd.update(nan, nan);
+
+  EXPECT_EQ(sgd.rejected(), 5u);
+  EXPECT_EQ(sgd.updates(), updates);  // rejected samples are not updates
+  EXPECT_DOUBLE_EQ(sgd.parameter(), theta);
+  EXPECT_DOUBLE_EQ(sgd.tau(), tau);
+  EXPECT_TRUE(std::isfinite(sgd.parameter()));
+
+  // Clean observations after the garbage keep converging.
+  for (int k = 0; k < 50; ++k) sgd.update(1.0 + (k % 3), 2.0 * (1.0 + (k % 3)));
+  EXPECT_NEAR(sgd.parameter(), 2.0, 0.2);
 }
 
 }  // namespace

@@ -1,0 +1,203 @@
+// Self-healing control plane: detection thresholds of ControllerHealth
+// and the DeltaController's degrade / quarantine / recover behavior
+// (docs/ROBUSTNESS.md).
+#include "core/controller_health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/controller.hpp"
+
+namespace sssp::core {
+namespace {
+
+const double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+HealthConfig small_config() {
+  HealthConfig config;
+  config.reject_limit = 3;
+  config.pin_limit = 4;
+  config.oscillation_limit = 4;
+  config.probation = 3;
+  return config;
+}
+
+TEST(ControllerHealth, StartsAdaptive) {
+  ControllerHealth health(small_config());
+  EXPECT_EQ(health.state(), ControlState::kAdaptive);
+  EXPECT_FALSE(health.degraded());
+  EXPECT_EQ(health.degradations(), 0u);
+}
+
+TEST(ControllerHealth, DegradesAfterRejectStreak) {
+  ControllerHealth health(small_config());
+  EXPECT_EQ(health.record_rejected_input(), HealthEvent::kNone);
+  EXPECT_EQ(health.record_rejected_input(), HealthEvent::kNone);
+  EXPECT_EQ(health.record_rejected_input(), HealthEvent::kDegraded);
+  EXPECT_TRUE(health.degraded());
+  EXPECT_EQ(health.degradations(), 1u);
+  EXPECT_EQ(health.rejected_inputs(), 3u);
+}
+
+TEST(ControllerHealth, HealthyPlanBreaksRejectStreak) {
+  ControllerHealth health(small_config());
+  health.record_rejected_input();
+  health.record_rejected_input();
+  health.record_plan(false, 1.0, 0.1, true);  // resets the streak
+  health.record_rejected_input();
+  health.record_rejected_input();
+  EXPECT_FALSE(health.degraded());
+}
+
+TEST(ControllerHealth, NonFiniteModelStateDegradesImmediately) {
+  ControllerHealth health(small_config());
+  EXPECT_EQ(health.record_plan(false, 0.0, 0.0, false),
+            HealthEvent::kDegraded);
+  EXPECT_TRUE(health.degraded());
+}
+
+TEST(ControllerHealth, PinStreakDegrades) {
+  ControllerHealth health(small_config());
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(health.record_plan(true, -1.0, -0.5, true), HealthEvent::kNone);
+  EXPECT_EQ(health.record_plan(true, -1.0, -0.5, true),
+            HealthEvent::kDegraded);
+}
+
+TEST(ControllerHealth, UnpinnedPlanBreaksPinStreak) {
+  ControllerHealth health(small_config());
+  for (int round = 0; round < 5; ++round) {
+    health.record_plan(true, -1.0, -0.5, true);
+    health.record_plan(true, -1.0, -0.5, true);
+    health.record_plan(false, 1.0, 0.1, true);
+  }
+  EXPECT_FALSE(health.degraded());
+}
+
+TEST(ControllerHealth, LargeAlternatingStepsDegrade) {
+  ControllerHealth health(small_config());
+  double sign = 1.0;
+  HealthEvent last = HealthEvent::kNone;
+  for (int i = 0; i < 6 && last == HealthEvent::kNone; ++i) {
+    last = health.record_plan(false, sign * 10.0, sign * 1.5, true);
+    sign = -sign;
+  }
+  EXPECT_EQ(last, HealthEvent::kDegraded);
+}
+
+TEST(ControllerHealth, SmallOscillationsAreHealthy) {
+  ControllerHealth health(small_config());
+  double sign = 1.0;
+  for (int i = 0; i < 50; ++i) {
+    // Alternating but small relative to delta: ordinary tracking.
+    EXPECT_EQ(health.record_plan(false, sign * 1.0, sign * 0.2, true),
+              HealthEvent::kNone);
+    sign = -sign;
+  }
+  EXPECT_FALSE(health.degraded());
+}
+
+TEST(ControllerHealth, RecoversAfterProbation) {
+  ControllerHealth health(small_config());
+  for (int i = 0; i < 3; ++i) health.record_rejected_input();
+  ASSERT_TRUE(health.degraded());
+  EXPECT_EQ(health.record_plan(false, 1.0, 0.1, true), HealthEvent::kNone);
+  EXPECT_EQ(health.record_plan(false, 1.0, 0.1, true), HealthEvent::kNone);
+  EXPECT_EQ(health.record_plan(false, 1.0, 0.1, true),
+            HealthEvent::kRecovered);
+  EXPECT_FALSE(health.degraded());
+  EXPECT_EQ(health.recoveries(), 1u);
+}
+
+TEST(ControllerHealth, RejectedInputDuringProbationRestartsIt) {
+  ControllerHealth health(small_config());
+  for (int i = 0; i < 3; ++i) health.record_rejected_input();
+  ASSERT_TRUE(health.degraded());
+  health.record_plan(false, 1.0, 0.1, true);
+  health.record_plan(false, 1.0, 0.1, true);
+  health.record_rejected_input();  // probation restarts
+  EXPECT_EQ(health.record_plan(false, 1.0, 0.1, true), HealthEvent::kNone);
+  EXPECT_EQ(health.record_plan(false, 1.0, 0.1, true), HealthEvent::kNone);
+  EXPECT_EQ(health.record_plan(false, 1.0, 0.1, true),
+            HealthEvent::kRecovered);
+}
+
+// --- DeltaController integration: firewall, fallback policy, recovery ---
+
+ControllerConfig controller_config() {
+  ControllerConfig config;
+  config.set_point = 1000.0;
+  config.initial_delta = 100.0;
+  config.fallback_delta = 25.0;
+  config.health.reject_limit = 2;
+  config.health.probation = 3;
+  return config;
+}
+
+TEST(DeltaControllerHealth, NonFiniteInputHoldsDelta) {
+  DeltaController controller(controller_config());
+  const double before = controller.delta();
+  EXPECT_DOUBLE_EQ(controller.plan_delta(kNaN, 10.0, 10.0, 100.0), before);
+  EXPECT_DOUBLE_EQ(controller.plan_delta(5.0, kNaN, 10.0, 100.0), before);
+  EXPECT_EQ(controller.health().rejected_inputs(), 2u);
+}
+
+TEST(DeltaControllerHealth, RepeatedGarbageDegradesAndWalksFallback) {
+  DeltaController controller(controller_config());
+  controller.plan_delta(kNaN, 10.0, 10.0, 100.0);
+  controller.plan_delta(kNaN, 10.0, 10.0, 100.0);
+  ASSERT_EQ(controller.control_state(), ControlState::kDegraded);
+  EXPECT_EQ(controller.health().degradations(), 1u);
+  EXPECT_EQ(controller.health().model_resets(), 1u);
+
+  // Degraded planning ignores the models: delta walks up by the
+  // fallback bucket width per plan, regardless of X4.
+  const double d0 = controller.delta();
+  const double d1 = controller.plan_delta(1e9, 10.0, 10.0, 100.0);
+  EXPECT_DOUBLE_EQ(d1, d0 + 25.0);
+  const double d2 = controller.plan_delta(0.0, 10.0, 10.0, 100.0);
+  EXPECT_DOUBLE_EQ(d2, d1 + 25.0);
+}
+
+TEST(DeltaControllerHealth, RecoversToAdaptiveAfterProbation) {
+  DeltaController controller(controller_config());
+  controller.plan_delta(kNaN, 10.0, 10.0, 100.0);
+  controller.plan_delta(kNaN, 10.0, 10.0, 100.0);
+  ASSERT_TRUE(controller.health().degraded());
+
+  for (int i = 0; i < 3; ++i) {
+    controller.observe_advance(900.0, 9000.0);
+    controller.plan_delta(900.0, 10.0, 10.0, 100.0);
+  }
+  EXPECT_EQ(controller.control_state(), ControlState::kAdaptive);
+  EXPECT_EQ(controller.health().recoveries(), 1u);
+  EXPECT_TRUE(std::isfinite(controller.delta()));
+
+  // Back in adaptive mode: planning responds to X4 again (an over-target
+  // frontier pushes delta down, not up by the fallback step).
+  const double before = controller.delta();
+  const double planned = controller.plan_delta(1e7, 10.0, 10.0, 100.0);
+  EXPECT_LT(planned, before);
+}
+
+TEST(DeltaControllerHealth, ForceDeltaRejectsNonFinite) {
+  DeltaController controller(controller_config());
+  const double before = controller.delta();
+  controller.force_delta(kNaN, 5.0);
+  controller.force_delta(200.0, kNaN);
+  EXPECT_DOUBLE_EQ(controller.delta(), before);
+  EXPECT_EQ(controller.health().rejected_inputs(), 2u);
+}
+
+TEST(DeltaControllerHealth, RejectsBadFallbackDelta) {
+  ControllerConfig config = controller_config();
+  config.fallback_delta = kNaN;
+  EXPECT_THROW(DeltaController{config}, std::invalid_argument);
+  config.fallback_delta = -1.0;
+  EXPECT_THROW(DeltaController{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sssp::core

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <string>
 
+#include "fault/failpoint.hpp"
+#include "graph/io_error.hpp"
 #include "graph/rmat.hpp"
 
 namespace sssp::graph {
@@ -81,6 +85,162 @@ TEST(BinaryIo, FileRoundTrip) {
 
 TEST(BinaryIo, MissingFileThrows) {
   EXPECT_THROW(load_binary_file("/nonexistent/g.bin"), std::runtime_error);
+}
+
+TEST(BinaryIo, MissingFileReportsOpenClass) {
+  try {
+    load_binary_file("/nonexistent/g.bin");
+    FAIL() << "expected GraphIoError";
+  } catch (const GraphIoError& e) {
+    EXPECT_EQ(e.error_class(), IoErrorClass::kOpen);
+    EXPECT_EQ(e.format(), "binary graph");
+  }
+}
+
+TEST(BinaryIo, ChecksumMismatchReportsSectionOffset) {
+  const CsrGraph g({0, 2, 3, 3}, {1, 2, 2}, {5, 3, 1});
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  std::string bytes = buffer.str();
+  // Corrupt one byte in the offsets section (just past magic + header
+  // body + header checksum).
+  const std::size_t offsets_start = 8 + 24 + 8;
+  bytes[offsets_start] ^= 0xFF;
+  std::stringstream corrupted(bytes);
+  try {
+    load_binary(corrupted);
+    FAIL() << "expected GraphIoError";
+  } catch (const GraphIoError& e) {
+    EXPECT_EQ(e.error_class(), IoErrorClass::kChecksum);
+    ASSERT_TRUE(e.has_byte_offset());
+    EXPECT_EQ(e.byte_offset(), offsets_start);
+  }
+}
+
+TEST(BinaryIo, UnsupportedVersionRejected) {
+  const CsrGraph g({0, 1, 1}, {1}, {7});
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  std::string bytes = buffer.str();
+  // Bump the version field (first u32 of the header body) and re-seal
+  // the header checksum so only the version check can object.
+  bytes[8] = 99;
+  const std::uint64_t sum = fnv1a64(bytes.data() + 8, 24);
+  bytes.replace(32, 8, reinterpret_cast<const char*>(&sum), 8);
+  std::stringstream patched(bytes);
+  try {
+    load_binary(patched);
+    FAIL() << "expected GraphIoError";
+  } catch (const GraphIoError& e) {
+    EXPECT_EQ(e.error_class(), IoErrorClass::kVersion);
+  }
+}
+
+TEST(BinaryIo, V1LegacyCacheStillLoads) {
+  // Hand-built v1 stream: magic + plain u64 sizes + raw sections, no
+  // checksums. The reader must keep accepting old caches byte-for-byte.
+  const CsrGraph g({0, 2, 3, 3}, {1, 2, 2}, {5, 3, 1});
+  std::stringstream buffer;
+  buffer.write("TSSSPGR1", 8);
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = g.num_edges();
+  buffer.write(reinterpret_cast<const char*>(&n), 8);
+  buffer.write(reinterpret_cast<const char*>(&m), 8);
+  buffer.write(reinterpret_cast<const char*>(g.offsets().data()),
+               static_cast<std::streamsize>(g.offsets().size() *
+                                            sizeof(EdgeIndex)));
+  buffer.write(reinterpret_cast<const char*>(g.targets().data()),
+               static_cast<std::streamsize>(g.targets().size() *
+                                            sizeof(VertexId)));
+  buffer.write(reinterpret_cast<const char*>(g.weights().data()),
+               static_cast<std::streamsize>(g.weights().size() *
+                                            sizeof(Weight)));
+  const CsrGraph loaded = load_binary(buffer);
+  ASSERT_EQ(loaded.num_vertices(), g.num_vertices());
+  ASSERT_EQ(loaded.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    EXPECT_EQ(loaded.targets()[i], g.targets()[i]);
+    EXPECT_EQ(loaded.weights()[i], g.weights()[i]);
+  }
+}
+
+// Corpus sweep: every possible truncation of a valid cache must produce
+// a structured truncation error — never a crash, never a bogus graph.
+TEST(BinaryIoCorpus, EveryTruncationIsAStructuredError) {
+  const CsrGraph g({0, 2, 3, 3}, {1, 2, 2}, {5, 3, 1});
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  const std::string full = buffer.str();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::stringstream truncated(full.substr(0, cut));
+    try {
+      load_binary(truncated);
+      FAIL() << "truncation at byte " << cut << " loaded successfully";
+    } catch (const GraphIoError& e) {
+      EXPECT_EQ(e.error_class(), IoErrorClass::kTruncated)
+          << "cut=" << cut << ": " << e.what();
+      EXPECT_TRUE(e.has_byte_offset()) << "cut=" << cut;
+      EXPECT_LE(e.byte_offset(), cut) << "cut=" << cut;
+    }
+  }
+}
+
+// Corpus sweep: every single-bit flip must be caught by the magic check
+// or a checksum — never a crash, never a silently corrupted graph.
+TEST(BinaryIoCorpus, EveryBitFlipIsAStructuredError) {
+  const CsrGraph g({0, 2, 3, 3}, {1, 2, 2}, {5, 3, 1});
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  const std::string full = buffer.str();
+  for (std::size_t byte = 0; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = full;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      std::stringstream corrupted(flipped);
+      try {
+        load_binary(corrupted);
+        FAIL() << "bit flip at byte " << byte << " bit " << bit
+               << " loaded successfully";
+      } catch (const GraphIoError& e) {
+        EXPECT_TRUE(e.error_class() == IoErrorClass::kVersion ||
+                    e.error_class() == IoErrorClass::kChecksum ||
+                    e.error_class() == IoErrorClass::kLimit)
+            << "byte=" << byte << " bit=" << bit << ": " << e.what();
+      }
+    }
+  }
+}
+
+// The injected loader faults themselves surface as structured errors.
+TEST(BinaryIoCorpus, ShortReadFailpointReportsTruncation) {
+  const CsrGraph g({0, 2, 3, 3}, {1, 2, 2}, {5, 3, 1});
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  fault::FailpointRegistry::global().arm("graph.binary.short_read=3");
+  try {
+    load_binary(buffer);
+    fault::FailpointRegistry::global().disarm_all();
+    FAIL() << "expected GraphIoError";
+  } catch (const GraphIoError& e) {
+    fault::FailpointRegistry::global().disarm_all();
+    EXPECT_EQ(e.error_class(), IoErrorClass::kTruncated);
+  }
+}
+
+TEST(BinaryIoCorpus, BitFlipFailpointCaughtByChecksum) {
+  const CsrGraph g({0, 2, 3, 3}, {1, 2, 2}, {5, 3, 1});
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  // Fire on the 4th read: past magic and header, inside the sections.
+  fault::FailpointRegistry::global().arm("graph.binary.bit_flip=4");
+  try {
+    load_binary(buffer);
+    fault::FailpointRegistry::global().disarm_all();
+    FAIL() << "expected GraphIoError";
+  } catch (const GraphIoError& e) {
+    fault::FailpointRegistry::global().disarm_all();
+    EXPECT_EQ(e.error_class(), IoErrorClass::kChecksum);
+  }
 }
 
 }  // namespace

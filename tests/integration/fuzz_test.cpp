@@ -8,12 +8,21 @@
 // 2. The partitioned far queue is observably equivalent to the flat far
 //    queue under random push/pull interleavings: the same vertices come
 //    out for the same thresholds, regardless of boundary maintenance.
+// 3. Control-plane fault injection: with failpoints feeding NaN/Inf
+//    into the controller's models and stats pipeline, the self-tuning
+//    solver still produces exact Dijkstra distances (the engine
+//    invariant above makes the control plane non-critical for
+//    correctness) and the self-healing monitor records the
+//    degradation (docs/ROBUSTNESS.md).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <set>
+#include <string>
 
 #include "core/partitioned_far_queue.hpp"
+#include "core/self_tuning.hpp"
+#include "fault/failpoint.hpp"
 #include "frontier/engine.hpp"
 #include "frontier/far_queue.hpp"
 #include "sssp/dijkstra.hpp"
@@ -146,6 +155,75 @@ TEST_P(RandomPolicyFuzz, PartitionedQueueMatchesFlatQueue) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPolicyFuzz,
                          ::testing::Range<std::uint64_t>(1, 21));
+
+// --- control-plane fault injection ---
+
+class ControlPlaneFaultInjection
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  // Failpoints are process-global; never leak an armed one into the
+  // suites that share this binary.
+  void TearDown() override { fault::FailpointRegistry::global().disarm_all(); }
+};
+
+TEST_P(ControlPlaneFaultInjection, DistancesExactUnderInjectedFaults) {
+  const auto g = algo::testing::random_graph(900, 5.0, 99, 1234);
+  const graph::VertexId source = 3;
+  const auto expected = algo::dijkstra_distances(g, source);
+
+  fault::FailpointRegistry::global().arm(GetParam());
+  core::SelfTuningOptions options;
+  options.set_point = 500.0;
+  const auto result = core::self_tuning_sssp(g, source, options);
+  const std::uint64_t fires = fault::FailpointRegistry::global().total_fires();
+  fault::FailpointRegistry::global().disarm_all();
+
+  EXPECT_GT(fires, 0u) << "failpoint never fired: " << GetParam();
+  EXPECT_EQ(algo::count_distance_mismatches(result.distances, expected), 0u)
+      << "spec " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Failpoints, ControlPlaneFaultInjection,
+    ::testing::Values("controller.x4.nan",        // every plan suppressed
+                      "controller.far.nan",       // Inf far-queue stats
+                      "controller.observe.nan",   // poisoned ADVANCE input
+                      "sgd.observe.nan",          // poisoned inside the SGD
+                      "controller.x4.nan=0.4,7",  // intermittent corruption
+                      "sgd.observe.nan=3"));      // every 3rd observation
+
+TEST(ControlPlaneFaultInjection2, SustainedGarbageDegradesAndIsRecorded) {
+  const auto g = algo::testing::random_graph(900, 5.0, 99, 1234);
+  const graph::VertexId source = 3;
+  const auto expected = algo::dijkstra_distances(g, source);
+
+  fault::FailpointRegistry::global().arm("controller.x4.nan");
+  core::SelfTuningOptions options;
+  options.set_point = 500.0;
+  const auto result = core::self_tuning_sssp(g, source, options);
+  fault::FailpointRegistry::global().disarm_all();
+
+  ASSERT_EQ(algo::count_distance_mismatches(result.distances, expected), 0u);
+  // The health monitor saw the garbage, degraded once (the stream never
+  // goes clean, so no recovery), and the per-iteration flag marks the
+  // degraded tail of the run.
+  EXPECT_GT(result.controller_rejected_inputs, 0u);
+  EXPECT_EQ(result.controller_degradations, 1u);
+  EXPECT_EQ(result.controller_recoveries, 0u);
+  EXPECT_TRUE(result.iterations.back().controller_degraded);
+  EXPECT_FALSE(result.iterations.front().controller_degraded);
+}
+
+TEST(ControlPlaneFaultInjection2, CleanRunStaysAdaptive) {
+  const auto g = algo::testing::random_graph(900, 5.0, 99, 1234);
+  core::SelfTuningOptions options;
+  options.set_point = 500.0;
+  const auto result = core::self_tuning_sssp(g, 3, options);
+  EXPECT_EQ(result.controller_degradations, 0u);
+  EXPECT_EQ(result.controller_rejected_inputs, 0u);
+  for (const auto& it : result.iterations)
+    EXPECT_FALSE(it.controller_degraded);
+}
 
 }  // namespace
 }  // namespace sssp

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 namespace sssp::sim {
 namespace {
 
@@ -81,6 +84,21 @@ TEST(PowerTrace, SampleRejectsBadRate) {
   trace.add_segment(1.0, 1.0);
   EXPECT_THROW(trace.sample(0.0), std::invalid_argument);
   EXPECT_THROW(trace.sample(-5.0), std::invalid_argument);
+}
+
+TEST(PowerTrace, RejectsNonFiniteSegments) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  PowerTrace trace;
+  trace.add_segment(1.0, 5.0);
+  EXPECT_THROW(trace.add_segment(nan, 5.0), std::invalid_argument);
+  EXPECT_THROW(trace.add_segment(1.0, nan), std::invalid_argument);
+  EXPECT_THROW(trace.add_segment(inf, 5.0), std::invalid_argument);
+  EXPECT_THROW(trace.add_segment(1.0, -inf), std::invalid_argument);
+  // The trace is untouched by the rejected segments.
+  EXPECT_EQ(trace.num_segments(), 1u);
+  EXPECT_DOUBLE_EQ(trace.duration_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(trace.energy_joules(), 5.0);
 }
 
 }  // namespace

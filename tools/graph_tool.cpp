@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
   flags.define("dataset", "cal", "generate: cal | wiki");
   flags.define("scale", "0.0625", "generate: fraction of paper size");
   flags.define("seed", "42", "generate: RNG seed");
+  tools::define_fault_flags(flags);
   if (flags.handle_help(
           "graph_tool <generate|convert|info|component> [flags]"))
     return 0;
@@ -64,6 +65,7 @@ int main(int argc, char** argv) {
   const std::string command = flags.positional()[0];
 
   try {
+    tools::enable_faults(flags);
     util::WallTimer timer;
     if (command == "generate") {
       const auto dataset = graph::parse_dataset(flags.get_string("dataset"));
@@ -103,6 +105,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
       return 2;
     }
+    tools::print_fault_summary();
+  } catch (const graph::GraphIoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::exit_code_for(e);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   flags.define("device-file", "", "only sweep this custom device");
   flags.define("freq-stride", "3", "take every k-th frequency menu entry");
   tools::define_observability_flags(flags);
+  tools::define_fault_flags(flags);
   flags.define("report-out", "",
                "write a run-report JSON for the first device's default-"
                "governor replay here");
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
 
   try {
     tools::enable_observability(flags);
+    tools::enable_faults(flags);
     const std::string path = flags.get_string("workload");
     if (path.empty()) {
       std::fprintf(stderr, "--workload is required; see --help\n");
@@ -100,7 +102,11 @@ int main(int argc, char** argv) {
       obs::save_run_report(report_path, meta, {}, &*report_run);
       std::printf("wrote run report to %s\n", report_path.c_str());
     }
+    tools::print_fault_summary();
     tools::write_observability_outputs(flags);
+  } catch (const graph::GraphIoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::exit_code_for(e);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

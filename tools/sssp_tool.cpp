@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
   flags.define("controller-csv", "",
                "write per-iteration controller state (delta, d, alpha, X1-X4)");
   tools::define_observability_flags(flags);
+  tools::define_fault_flags(flags);
   flags.define("report-out", "",
                "write the merged run-report JSON here (engine stats + "
                "controller internals + device power/energy)");
@@ -68,6 +69,7 @@ int main(int argc, char** argv) {
 
   try {
     tools::enable_observability(flags);
+    tools::enable_faults(flags);
     const std::string in = flags.get_string("in");
     if (in.empty()) {
       std::fprintf(stderr, "--in is required; see --help\n");
@@ -116,6 +118,15 @@ int main(int argc, char** argv) {
                   result.average_parallelism(),
                   static_cast<unsigned long long>(
                       result.improving_relaxations));
+    if (result.controller_degradations > 0)
+      std::printf("controller health: %llu degradations, %llu recoveries, "
+                  "%llu rejected inputs\n",
+                  static_cast<unsigned long long>(
+                      result.controller_degradations),
+                  static_cast<unsigned long long>(
+                      result.controller_recoveries),
+                  static_cast<unsigned long long>(
+                      result.controller_rejected_inputs));
 
     if (const auto wpath = flags.get_string("workload-csv");
         !wpath.empty() && !result.iterations.empty()) {
@@ -197,6 +208,9 @@ int main(int argc, char** argv) {
       meta.improving_relaxations = result.improving_relaxations;
       meta.host_seconds = host_seconds;
       meta.controller_seconds = result.controller_seconds;
+      meta.controller_degradations = result.controller_degradations;
+      meta.controller_recoveries = result.controller_recoveries;
+      meta.controller_rejected_inputs = result.controller_rejected_inputs;
       obs::save_run_report(rpath, meta, result.iterations,
                           sim_report ? &*sim_report : nullptr);
 
@@ -225,7 +239,11 @@ int main(int argc, char** argv) {
                   rpath.c_str(), records);
     }
 
+    tools::print_fault_summary();
     tools::write_observability_outputs(flags);
+  } catch (const graph::GraphIoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::exit_code_for(e);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,6 +1,8 @@
 // Shared helpers for the CLI tools: extension-based graph loading and
-// saving across every supported format, plus the observability flag
-// plumbing (--metrics-out / --metrics-format / --trace-out).
+// saving across every supported format, the observability flag plumbing
+// (--metrics-out / --metrics-format / --trace-out), fault-injection
+// arming (--failpoint / SSSP_FAILPOINT), and the structured-IO-error
+// exit-code mapping (docs/ROBUSTNESS.md).
 #pragma once
 
 #include <cstdio>
@@ -8,10 +10,12 @@
 #include <stdexcept>
 #include <string>
 
+#include "fault/failpoint.hpp"
 #include "graph/binary_io.hpp"
 #include "graph/csr.hpp"
 #include "graph/dimacs.hpp"
 #include "graph/edge_list.hpp"
+#include "graph/io_error.hpp"
 #include "graph/matrix_market.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -85,6 +89,55 @@ inline void write_observability_outputs(const util::Flags& flags) {
     std::printf("wrote trace (%zu events) to %s\n",
                 obs::Tracer::global().num_events(), path.c_str());
   }
+}
+
+// Registers the fault-injection flag. Call before handle_help().
+inline void define_fault_flags(util::Flags& flags) {
+  flags.define("failpoint", "",
+               "arm failpoints: 'name[=prob|count[,seed]]', ';'-separated "
+               "(also read from $SSSP_FAILPOINT; see docs/ROBUSTNESS.md)");
+}
+
+// Arms failpoints from the flag and the SSSP_FAILPOINT environment
+// variable. Must run before the instrumented work starts. Malformed
+// specs throw std::invalid_argument.
+inline void enable_faults(const util::Flags& flags) {
+  if (const auto spec = flags.get_string("failpoint"); !spec.empty())
+    fault::FailpointRegistry::global().arm_list(spec);
+  fault::FailpointRegistry::global().arm_from_env();
+}
+
+// One line per armed failpoint after the run, so fault-injection runs
+// are auditable from the console alone.
+inline void print_fault_summary() {
+  if (!fault::faults_enabled()) return;
+  for (const auto& fp : fault::FailpointRegistry::global().status()) {
+    if (fp.mode == fault::Failpoint::Mode::kDisarmed) continue;
+    std::printf("failpoint %s: %llu hits, %llu fires\n", fp.name.c_str(),
+                static_cast<unsigned long long>(fp.hits),
+                static_cast<unsigned long long>(fp.fires));
+  }
+}
+
+// Structured loader errors map to stable per-class exit codes so shell
+// harnesses can distinguish "file missing" from "file corrupt". Usage
+// errors use 2 and any other failure 1 (tool convention).
+inline int exit_code_for(const graph::GraphIoError& error) {
+  switch (error.error_class()) {
+    case graph::IoErrorClass::kOpen:
+      return 3;
+    case graph::IoErrorClass::kParse:
+      return 4;
+    case graph::IoErrorClass::kTruncated:
+      return 5;
+    case graph::IoErrorClass::kChecksum:
+      return 6;
+    case graph::IoErrorClass::kVersion:
+      return 7;
+    case graph::IoErrorClass::kLimit:
+      return 8;
+  }
+  return 1;
 }
 
 }  // namespace sssp::tools
