@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sssp/delta_sweep.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sssp::bench {
 
@@ -53,8 +54,16 @@ bool parse_common_flags(util::Flags& flags, const std::string& description,
                "metrics export format: json | prometheus");
   flags.define("trace-out", "",
                "write a Chrome trace-event JSON here at exit");
+  flags.define("threads", "0",
+               "thread pool size (0 = $SSSP_THREADS or hardware default); "
+               "results are bit-identical at any value");
   if (flags.handle_help(description)) return true;
   flags.check_unknown();
+  const std::int64_t threads = flags.get_int("threads");
+  if (threads < 0)
+    throw std::invalid_argument("--threads must be >= 0");
+  util::ThreadPool::set_global_threads(static_cast<std::size_t>(threads));
+  config.threads = util::ThreadPool::global().size();
   config.cal_scale = flags.get_double("cal-scale");
   config.wiki_scale = flags.get_double("wiki-scale");
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));

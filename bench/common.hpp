@@ -38,6 +38,9 @@ struct BenchConfig {
   std::string metrics_path;
   std::string metrics_format = "json";  // json | prometheus
   std::string trace_path;
+  // Effective thread-pool size after --threads was applied (0 = flag
+  // left at default and no SSSP_THREADS override).
+  std::size_t threads = 0;
 };
 
 // Registers the common flags on `flags` and parses them. Exits the

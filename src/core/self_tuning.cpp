@@ -68,7 +68,7 @@ struct SelfTuningRun::Impl {
         engine(graph, source,
                frontier::NearFarEngine::Options{
                    .parallel = opts.parallel_advance,
-                   .parallel_threshold = 4096}),
+                   .parallel_threshold = opts.parallel_threshold}),
         far(static_cast<Distance>(
             std::max(1.0, std::round(std::max(1.0, graph.mean_edge_weight()))))) {
     result.algorithm = "self-tuning";
@@ -110,10 +110,9 @@ struct SelfTuningRun::Impl {
     result.controller_recoveries = controller.health().recoveries();
     result.controller_rejected_inputs = controller.health().rejected_inputs();
     result.distances = engine.distances();
-    result.parents = engine.parents_valid()
-                         ? engine.parents()
-                         : algo::derive_parents(*graph_, result.distances,
-                                                result.source);
+    // The engine maintains parents deterministically in both serial and
+    // parallel advances; no re-derivation pass is needed.
+    result.parents = engine.parents();
   }
 
   SelfTuningOptions options;
@@ -160,7 +159,7 @@ bool SelfTuningRun::Impl::step() {
   stats.x4 = engine.bisect(threshold_k);
   {
     SSSP_TRACE_SPAN("rebalance");
-    for (const VertexId v : engine.spill()) far.push(v, engine.distance(v));
+    far.push_bulk(engine.spill(), engine.distances());
     engine.clear_spill();
   }
 
@@ -208,7 +207,7 @@ bool SelfTuningRun::Impl::step() {
     // consumed; lower the floor so Eq. 7 can subdivide that range.
     far.lower_floor(threshold_next);
     stats.rebalance_items += engine.demote(threshold_next);
-    for (const VertexId v : engine.spill()) far.push(v, engine.distance(v));
+    far.push_bulk(engine.spill(), engine.distances());
     engine.clear_spill();
   } else if (threshold_next <= threshold_k) {
     threshold_next = threshold_k;
@@ -226,7 +225,7 @@ bool SelfTuningRun::Impl::step() {
       const auto keep = static_cast<std::size_t>(
           std::max(1.0, controller.target_frontier_size()));
       stats.rebalance_items += engine.demote_excess(keep);
-      for (const VertexId v : engine.spill()) far.push(v, engine.distance(v));
+      far.push_bulk(engine.spill(), engine.distances());
       engine.clear_spill();
     }
   }

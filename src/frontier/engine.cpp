@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
+#include <limits>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -17,21 +17,31 @@ namespace {
 // is behind the metrics_enabled() branch.
 struct EngineMetrics {
   obs::Counter& advances;
+  obs::Counter& parallel_advances;
   obs::Counter& edges_relaxed;
   obs::Counter& improving;
   obs::Counter& bisects;
   obs::Histogram& frontier_size;
+  obs::Histogram& chunk_edges;
+  obs::Histogram& thread_utilization;
 
   static EngineMetrics& get() {
     static EngineMetrics m{
         obs::MetricsRegistry::global().counter("engine.advance.calls"),
+        obs::MetricsRegistry::global().counter("engine.advance.parallel"),
         obs::MetricsRegistry::global().counter("engine.advance.edges"),
         obs::MetricsRegistry::global().counter("engine.advance.improving"),
         obs::MetricsRegistry::global().counter("engine.bisect.calls"),
-        obs::MetricsRegistry::global().histogram("engine.frontier_size")};
+        obs::MetricsRegistry::global().histogram("engine.frontier_size"),
+        obs::MetricsRegistry::global().histogram("engine.advance.chunk_edges"),
+        obs::MetricsRegistry::global().histogram(
+            "engine.advance.thread_utilization")};
     return m;
   }
 };
+
+constexpr std::size_t kChunksPerThread = 8;   // oversubscription for claiming
+constexpr std::size_t kRangesPerThread = 4;   // uniform-cost scan phases
 
 }  // namespace
 
@@ -62,6 +72,7 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_and_filter() {
     // docs/OBSERVABILITY.md for how to read the fused trace.
     SSSP_TRACE_SPAN("filter");
     updated_frontier_.clear();
+    updated_frontier_.reserve(updated_high_water_);
     ++epoch_;
     if (epoch_ == 0) {  // wrapped: reset marks once every 2^32 iterations
       std::fill(mark_.begin(), mark_.end(), 0);
@@ -76,6 +87,7 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_and_filter() {
                  : advance_serial();
   }
   total_improving_ += result.improving_relaxations;
+  updated_high_water_ = std::max<std::size_t>(updated_high_water_, result.x3);
   frontier_.clear();
   if (obs::metrics_enabled()) {
     EngineMetrics& m = EngineMetrics::get();
@@ -114,100 +126,331 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_serial() {
   return result;
 }
 
-NearFarEngine::AdvanceResult NearFarEngine::advance_parallel() {
-  used_parallel_advance_ = true;
-  AdvanceResult result;
-  result.x1 = frontier_.size();
+std::uint64_t NearFarEngine::plan_chunks() {
+  const std::size_t x1 = frontier_.size();
+  util::ThreadPool& pool = util::ThreadPool::global();
+  edge_prefix_.resize(x1 + 1);
+  frontier_dist_.resize(x1);
 
-  std::atomic<std::uint64_t> edges{0};
-  std::atomic<std::uint64_t> improving{0};
-  std::mutex merge_mu;
-
-  util::parallel_for(frontier_.size(), [&](std::size_t begin,
-                                           std::size_t end) {
-    std::vector<graph::VertexId> local_frontier;
-    std::uint64_t local_edges = 0;
-    std::uint64_t local_improving = 0;
+  // Two-pass parallel prefix sum over the frontier's out-degrees; the
+  // same pass snapshots every frontier vertex's iteration-start
+  // distance (synchronous-relaxation semantics: phase A reads only this
+  // snapshot, so mid-iteration improvements of a frontier vertex never
+  // leak into the same iteration — that is what makes the results
+  // schedule-independent).
+  const std::size_t ranges =
+      std::max<std::size_t>(1, std::min(x1, pool.size() * kRangesPerThread));
+  const std::size_t per = (x1 + ranges - 1) / ranges;
+  range_base_.assign(ranges, 0);
+  edge_prefix_[0] = 0;
+  pool.for_each_chunk(ranges, [&](std::size_t r, std::size_t) {
+    const std::size_t begin = r * per;
+    const std::size_t end = std::min(x1, begin + per);
+    std::uint64_t running = 0;
     for (std::size_t i = begin; i < end; ++i) {
       const graph::VertexId u = frontier_[i];
-      const auto neighbors = graph_->neighbors(u);
-      const auto weights = graph_->weights_of(u);
-      local_edges += neighbors.size();
-      const graph::Distance du =
-          std::atomic_ref<graph::Distance>(dist_[u]).load(
-              std::memory_order_relaxed);
-      for (std::size_t e = 0; e < neighbors.size(); ++e) {
-        const graph::VertexId v = neighbors[e];
-        const graph::Distance nd = du + weights[e];
-        std::atomic_ref<graph::Distance> dv(dist_[v]);
-        graph::Distance current = dv.load(std::memory_order_relaxed);
-        bool improved = false;
-        while (nd < current) {
-          if (dv.compare_exchange_weak(current, nd,
-                                       std::memory_order_relaxed)) {
-            improved = true;
-            break;
-          }
-        }
-        if (!improved) continue;
-        ++local_improving;
-        // Deduplicate with an epoch CAS: exactly one thread appends v.
-        std::atomic_ref<std::uint32_t> mark(mark_[v]);
-        std::uint32_t seen = mark.load(std::memory_order_relaxed);
-        while (seen != epoch_) {
-          if (mark.compare_exchange_weak(seen, epoch_,
+      frontier_dist_[i] = dist_[u];
+      running += graph_->out_degree(u);
+      edge_prefix_[i + 1] = running;  // range-relative; globalized below
+    }
+    range_base_[r] = running;
+  });
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < ranges; ++r) {
+    const std::uint64_t t = range_base_[r];
+    range_base_[r] = total;
+    total += t;
+  }
+  pool.for_each_chunk(ranges, [&](std::size_t r, std::size_t) {
+    if (range_base_[r] == 0) return;
+    const std::size_t begin = r * per;
+    const std::size_t end = std::min(x1, begin + per);
+    for (std::size_t i = begin; i < end; ++i)
+      edge_prefix_[i + 1] += range_base_[r];
+  });
+  const std::uint64_t x2 = edge_prefix_[x1];
+
+  // Cut chunk boundaries. Edge-balanced: binary-search the degree
+  // prefix for multiples of the per-chunk edge budget, so every chunk
+  // owns ~equal edges (a hub bigger than the budget becomes its own
+  // chunk). Vertex-balanced: equal index ranges (the baseline the
+  // micro benchmark compares against). Either way the chunking only
+  // affects scheduling — results are chunk-independent.
+  chunk_begin_.clear();
+  chunk_begin_.push_back(0);
+  if (options_.partition == Options::Partition::kVertexBalanced) {
+    const std::size_t chunks =
+        std::max<std::size_t>(1,
+                              std::min(x1, pool.size() * kChunksPerThread));
+    const std::size_t cper = (x1 + chunks - 1) / chunks;
+    for (std::size_t b = cper; b < x1; b += cper) chunk_begin_.push_back(b);
+  } else {
+    const std::uint64_t budget = std::max<std::uint64_t>(
+        options_.min_chunk_edges,
+        x2 / std::max<std::size_t>(1, pool.size() * kChunksPerThread) + 1);
+    while (chunk_begin_.back() < x1) {
+      const std::uint64_t target = edge_prefix_[chunk_begin_.back()] + budget;
+      if (target >= x2) break;
+      const auto it =
+          std::lower_bound(edge_prefix_.begin() +
+                               static_cast<std::ptrdiff_t>(chunk_begin_.back() + 1),
+                           edge_prefix_.begin() + static_cast<std::ptrdiff_t>(x1),
+                           target);
+      const auto idx = static_cast<std::size_t>(it - edge_prefix_.begin());
+      if (idx >= x1) break;
+      chunk_begin_.push_back(idx);
+    }
+  }
+  chunk_begin_.push_back(x1);
+  if (obs::metrics_enabled()) {
+    EngineMetrics& m = EngineMetrics::get();
+    for (std::size_t c = 0; c + 1 < chunk_begin_.size(); ++c)
+      m.chunk_edges.record(static_cast<double>(
+          edge_prefix_[chunk_begin_[c + 1]] - edge_prefix_[chunk_begin_[c]]));
+  }
+  return x2;
+}
+
+NearFarEngine::AdvanceResult NearFarEngine::advance_parallel() {
+  AdvanceResult result;
+  result.x1 = frontier_.size();
+  util::ThreadPool& pool = util::ThreadPool::global();
+  if (winner_.size() != graph_->num_vertices())
+    winner_.assign(graph_->num_vertices(), 0);
+
+  {
+    SSSP_TRACE_SPAN("advance.plan");
+    result.x2 = plan_chunks();
+  }
+  const std::size_t num_chunks = chunk_begin_.size() - 1;
+  const bool tally_threads = obs::metrics_enabled();
+  if (tally_threads) thread_edges_.assign(pool.size(), 0);
+
+  // Phase A — relax: atomic-min every edge's proposed distance into
+  // dist_, claim each improved vertex exactly once via an epoch CAS on
+  // the mark array. The claim *set* is schedule-independent (v is
+  // claimed iff some edge beats its iteration-start distance); which
+  // thread claims is not, so ordering is resolved in phases B1/B2.
+  {
+    SSSP_TRACE_SPAN("advance.relax");
+    pool.for_each_chunk(num_chunks, [&](std::size_t c, std::size_t tid) {
+      const std::size_t begin = chunk_begin_[c];
+      const std::size_t end = chunk_begin_[c + 1];
+      for (std::size_t i = begin; i < end; ++i) {
+        const graph::VertexId u = frontier_[i];
+        const graph::Distance du = frontier_dist_[i];
+        const auto neighbors = graph_->neighbors(u);
+        const auto weights = graph_->weights_of(u);
+        for (std::size_t e = 0; e < neighbors.size(); ++e) {
+          const graph::VertexId v = neighbors[e];
+          const graph::Distance nd = du + weights[e];
+          std::atomic_ref<graph::Distance> dv(dist_[v]);
+          graph::Distance current = dv.load(std::memory_order_relaxed);
+          bool improved = false;
+          while (nd < current) {
+            if (dv.compare_exchange_weak(current, nd,
                                          std::memory_order_relaxed)) {
-            local_frontier.push_back(v);
-            break;
+              improved = true;
+              break;
+            }
+          }
+          if (!improved) continue;
+          std::atomic_ref<std::uint32_t> mark(mark_[v]);
+          std::uint32_t seen = mark.load(std::memory_order_relaxed);
+          while (seen != epoch_) {
+            if (mark.compare_exchange_weak(seen, epoch_,
+                                           std::memory_order_relaxed)) {
+              // Sole claimer initializes the winner slot; the phase
+              // barrier publishes it to B1.
+              winner_[v] = std::numeric_limits<std::uint64_t>::max();
+              break;
+            }
           }
         }
       }
-    }
-    edges.fetch_add(local_edges, std::memory_order_relaxed);
-    improving.fetch_add(local_improving, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(merge_mu);
-    updated_frontier_.insert(updated_frontier_.end(), local_frontier.begin(),
-                             local_frontier.end());
-  });
+      if (tally_threads)
+        thread_edges_[tid] += edge_prefix_[end] - edge_prefix_[begin];
+    });
+  }
 
-  result.x2 = edges.load();
-  result.improving_relaxations = improving.load();
-  result.x3 = updated_frontier_.size();
+  // Phase B1 — candidates: distances are final now, so re-walk the
+  // edges and record every relaxation that achieved its target's final
+  // distance, atomic-min-ing the canonical edge rank (frontier order ×
+  // adjacency order) into the winner slot. Both the per-chunk candidate
+  // lists and the winner ranks are pure functions of iteration-start
+  // state — no schedule dependence survives this phase.
+  {
+    SSSP_TRACE_SPAN("advance.candidates");
+    chunk_candidates_.resize(
+        std::max(chunk_candidates_.size(), num_chunks));
+    pool.for_each_chunk(num_chunks, [&](std::size_t c, std::size_t) {
+      auto& candidates = chunk_candidates_[c];
+      candidates.clear();
+      const std::size_t begin = chunk_begin_[c];
+      const std::size_t end = chunk_begin_[c + 1];
+      for (std::size_t i = begin; i < end; ++i) {
+        const graph::VertexId u = frontier_[i];
+        const graph::Distance du = frontier_dist_[i];
+        const std::uint64_t base = edge_prefix_[i];
+        const auto neighbors = graph_->neighbors(u);
+        const auto weights = graph_->weights_of(u);
+        for (std::size_t e = 0; e < neighbors.size(); ++e) {
+          const graph::VertexId v = neighbors[e];
+          if (mark_[v] != epoch_) continue;  // not improved this iteration
+          const graph::Distance nd = du + weights[e];
+          if (nd != dist_[v]) continue;  // does not achieve the final value
+          const std::uint64_t rank = base + e;
+          std::atomic_ref<std::uint64_t> w(winner_[v]);
+          std::uint64_t cur = w.load(std::memory_order_relaxed);
+          while (rank < cur &&
+                 !w.compare_exchange_weak(cur, rank,
+                                          std::memory_order_relaxed)) {
+          }
+          candidates.push_back({rank, v, u});
+        }
+      }
+    });
+  }
+
+  // Phase B2 — deterministic merge: count winners per chunk, exclusive-
+  // prefix-sum the counts, write each chunk's winners into its reserved
+  // slots. Chunk ranges partition the rank space in order and each list
+  // is rank-sorted, so the concatenation is globally ordered by winning
+  // edge rank — one canonical order, whatever the thread count or
+  // chunking. The winning edge also records the parent.
+  {
+    SSSP_TRACE_SPAN("advance.emit");
+    chunk_counts_.assign(num_chunks, 0);
+    pool.for_each_chunk(num_chunks, [&](std::size_t c, std::size_t) {
+      std::uint64_t count = 0;
+      for (const Candidate& cand : chunk_candidates_[c])
+        if (winner_[cand.v] == cand.rank) ++count;
+      chunk_counts_[c] = count;
+    });
+    chunk_offsets_.assign(num_chunks, 0);
+    std::uint64_t total = 0;
+    std::uint64_t improving = 0;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      chunk_offsets_[c] = total;
+      total += chunk_counts_[c];
+      improving += chunk_candidates_[c].size();
+    }
+    updated_frontier_.resize(total);
+    pool.for_each_chunk(num_chunks, [&](std::size_t c, std::size_t) {
+      std::uint64_t out = chunk_offsets_[c];
+      for (const Candidate& cand : chunk_candidates_[c]) {
+        if (winner_[cand.v] != cand.rank) continue;
+        updated_frontier_[out++] = cand.v;
+        parent_[cand.v] = cand.u;
+      }
+    });
+    result.x3 = total;
+    result.improving_relaxations = improving;
+  }
+
+  if (tally_threads) {
+    EngineMetrics& m = EngineMetrics::get();
+    m.parallel_advances.add();
+    const std::uint64_t busiest =
+        *std::max_element(thread_edges_.begin(), thread_edges_.end());
+    if (busiest > 0)
+      m.thread_utilization.record(
+          static_cast<double>(result.x2) /
+          (static_cast<double>(pool.size()) * static_cast<double>(busiest)));
+  }
   return result;
+}
+
+void NearFarEngine::partition_by_distance(
+    const std::vector<graph::VertexId>& input, graph::Distance threshold,
+    std::vector<graph::VertexId>& below) {
+  below.clear();
+  frontier_max_distance_ = 0;
+  const std::size_t n = input.size();
+  spill_.reserve(spill_high_water_);
+  if (!options_.parallel || n < options_.parallel_threshold) {
+    for (const graph::VertexId v : input) {
+      const graph::Distance d = dist_[v];
+      if (d < threshold) {
+        below.push_back(v);
+        frontier_max_distance_ = std::max(frontier_max_distance_, d);
+      } else {
+        spill_.push_back(v);
+      }
+    }
+    spill_high_water_ = std::max(spill_high_water_, spill_.size());
+    return;
+  }
+
+  // Count → exclusive-prefix-sum → write: the stable partition runs on
+  // the pool but produces exactly the serial output (input order is
+  // preserved on both sides).
+  util::ThreadPool& pool = util::ThreadPool::global();
+  const std::size_t chunks =
+      std::max<std::size_t>(1, std::min(n, pool.size() * kRangesPerThread));
+  const std::size_t per = (n + chunks - 1) / chunks;
+  chunk_counts_.assign(chunks, 0);   // below side
+  chunk_counts2_.assign(chunks, 0);  // spill side
+  chunk_max_.assign(chunks, 0);
+  pool.for_each_chunk(chunks, [&](std::size_t c, std::size_t) {
+    const std::size_t begin = std::min(n, c * per);
+    const std::size_t end = std::min(n, begin + per);
+    std::uint64_t num_below = 0;
+    graph::Distance max_below = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const graph::Distance d = dist_[input[i]];
+      if (d < threshold) {
+        ++num_below;
+        max_below = std::max(max_below, d);
+      }
+    }
+    chunk_counts_[c] = num_below;
+    chunk_counts2_[c] = (end - begin) - num_below;
+    chunk_max_[c] = max_below;
+  });
+  chunk_offsets_.assign(chunks, 0);
+  chunk_offsets2_.assign(chunks, 0);
+  std::uint64_t below_total = 0, spill_total = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    chunk_offsets_[c] = below_total;
+    chunk_offsets2_[c] = spill_total;
+    below_total += chunk_counts_[c];
+    spill_total += chunk_counts2_[c];
+    frontier_max_distance_ = std::max(frontier_max_distance_, chunk_max_[c]);
+  }
+  below.resize(below_total);
+  const std::size_t spill_base = spill_.size();
+  spill_.resize(spill_base + spill_total);
+  pool.for_each_chunk(chunks, [&](std::size_t c, std::size_t) {
+    const std::size_t begin = std::min(n, c * per);
+    const std::size_t end = std::min(n, begin + per);
+    std::uint64_t wb = chunk_offsets_[c];
+    std::uint64_t ws = spill_base + chunk_offsets2_[c];
+    for (std::size_t i = begin; i < end; ++i) {
+      const graph::VertexId v = input[i];
+      if (dist_[v] < threshold) {
+        below[wb++] = v;
+      } else {
+        spill_[ws++] = v;
+      }
+    }
+  });
+  spill_high_water_ = std::max(spill_high_water_, spill_.size());
 }
 
 std::uint64_t NearFarEngine::bisect(graph::Distance threshold) {
   SSSP_TRACE_SPAN("bisect");
   if (obs::metrics_enabled()) EngineMetrics::get().bisects.add();
   // advance_and_filter() left the frontier empty; refill the near side.
-  frontier_max_distance_ = 0;
-  for (const graph::VertexId v : updated_frontier_) {
-    const graph::Distance d = dist_[v];
-    if (d < threshold) {
-      frontier_.push_back(v);
-      frontier_max_distance_ = std::max(frontier_max_distance_, d);
-    } else {
-      spill_.push_back(v);
-    }
-  }
+  partition_by_distance(updated_frontier_, threshold, frontier_);
   updated_frontier_.clear();
   return frontier_.size();
 }
 
 std::uint64_t NearFarEngine::demote(graph::Distance threshold) {
   const std::uint64_t scanned = frontier_.size();
-  std::size_t keep = 0;
-  frontier_max_distance_ = 0;
-  for (const graph::VertexId v : frontier_) {
-    const graph::Distance d = dist_[v];
-    if (d < threshold) {
-      frontier_[keep++] = v;
-      frontier_max_distance_ = std::max(frontier_max_distance_, d);
-    } else {
-      spill_.push_back(v);
-    }
-  }
-  frontier_.resize(keep);
+  partition_by_distance(frontier_, threshold, partition_scratch_);
+  frontier_.swap(partition_scratch_);
   return scanned;
 }
 
@@ -216,6 +459,7 @@ std::uint64_t NearFarEngine::demote_excess(std::size_t keep) {
   const std::uint64_t spilled = frontier_.size() - keep;
   spill_.insert(spill_.end(), frontier_.begin() + static_cast<std::ptrdiff_t>(keep),
                 frontier_.end());
+  spill_high_water_ = std::max(spill_high_water_, spill_.size());
   frontier_.resize(keep);
   frontier_max_distance_ = 0;
   for (const graph::VertexId v : frontier_)
@@ -224,6 +468,7 @@ std::uint64_t NearFarEngine::demote_excess(std::size_t keep) {
 }
 
 void NearFarEngine::inject(std::span<const graph::VertexId> vertices) {
+  frontier_.reserve(frontier_.size() + vertices.size());
   for (const graph::VertexId v : vertices) {
     frontier_.push_back(v);
     frontier_max_distance_ = std::max(frontier_max_distance_, dist_[v]);

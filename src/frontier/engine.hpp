@@ -35,19 +35,32 @@ namespace sssp::frontier {
 class NearFarEngine {
  public:
   struct Options {
-    // Relax frontiers on the host thread pool with atomic-min distance
-    // updates (std::atomic_ref) once the frontier exceeds the threshold.
-    // Final distances are exact regardless of schedule. Per-iteration
-    // statistics, however, are only deterministic at one thread: when
-    // the frontier contains an edge u->v with v also in the frontier,
-    // whether v observes u's same-iteration improvement depends on
-    // scheduling (serial execution fixes it by frontier order), so X3
-    // and the subsequent trajectory may differ run-to-run. X2 of a
-    // given frontier (its neighbor-list cardinality) is always a set
-    // property. Parent recording is skipped — derive the tree from
-    // distances with algo::derive_parents instead.
+    // Relax frontiers above the threshold on the host thread pool.
+    // Parallel advances use synchronous (Bellman-Ford-style) relaxation
+    // from an iteration-start snapshot of the frontier's distances and
+    // a count → exclusive-prefix-sum → write merge, so the updated
+    // frontier's *ordering*, the per-iteration X1/X2/X3 statistics, the
+    // parent tree, and the final distances are all bit-identical at any
+    // thread count, any chunking, and any schedule (docs/PERFORMANCE.md
+    // has the argument). Parallel results differ from serial only in
+    // iteration dynamics — serial relaxation is chained in frontier
+    // order, so intra-frontier improvements propagate within one
+    // iteration — never in final distances or parents.
     bool parallel = false;
     std::size_t parallel_threshold = 4096;
+
+    // Work partitioning for parallel phases. Edge-balanced chunks are
+    // cut by binary-searching the frontier's degree prefix sums so each
+    // chunk owns ~equal *edges* — on skewed-degree (scale-free) graphs
+    // vertex-balanced chunks leave whole hubs in one chunk and
+    // serialize the iteration on it. Results are identical either way;
+    // only wall-clock differs (bench/micro_primitives.cpp measures).
+    enum class Partition { kEdgeBalanced, kVertexBalanced };
+    Partition partition = Partition::kEdgeBalanced;
+
+    // Minimum edges per chunk (grain): below this, chunk-claiming
+    // overhead dominates the work.
+    std::size_t min_chunk_edges = 2048;
   };
 
   // The graph must outlive the engine. source must be a valid vertex.
@@ -101,12 +114,17 @@ class NearFarEngine {
   }
   // Shortest-path-tree parents: parent_[v] is the predecessor on the
   // best known path to v (kInvalidVertex if unreached; source for the
-  // source). Maintained by every improving relaxation in serial mode;
-  // NOT maintained by parallel advances (see Options::parallel).
+  // source). Maintained by both serial and parallel advances: a
+  // parallel advance records the canonically-first relaxation that
+  // achieved each vertex's new distance, so the tree is deterministic
+  // and exact on termination at any thread count.
   const std::vector<graph::VertexId>& parents() const noexcept {
     return parent_;
   }
-  bool parents_valid() const noexcept { return !used_parallel_advance_; }
+  // Historical API: parallel advances once invalidated parents (they
+  // had to be re-derived from distances). The deterministic pipeline
+  // maintains them in every mode, so this is now always true.
+  bool parents_valid() const noexcept { return true; }
   graph::Distance distance(graph::VertexId v) const { return dist_[v]; }
   const graph::CsrGraph& graph() const noexcept { return *graph_; }
   graph::VertexId source() const noexcept { return source_; }
@@ -121,7 +139,10 @@ class NearFarEngine {
 
   // Total successful relaxations across the whole run (work-efficiency
   // metric: equals n-1 for Dijkstra-like behaviour, grows with redundant
-  // re-relaxation when thresholds are too aggressive).
+  // re-relaxation when thresholds are too aggressive). In parallel
+  // advances a "successful relaxation" is one that achieved the
+  // iteration's final distance for its target (ties included) — the
+  // schedule-independent analogue of the serial count.
   std::uint64_t total_improving_relaxations() const noexcept {
     return total_improving_;
   }
@@ -130,10 +151,23 @@ class NearFarEngine {
   AdvanceResult advance_serial();
   AdvanceResult advance_parallel();
 
+  // Computes edge_prefix_ / frontier_dist_ over the current frontier
+  // (parallel two-pass prefix sum) and cuts chunk_begin_ according to
+  // options_.partition. Returns X2 (total edges).
+  std::uint64_t plan_chunks();
+
+  // Stable-partitions `input` by distance < threshold: vertices below
+  // overwrite `below` (cleared first) in input order, the rest are
+  // appended to spill_, and frontier_max_distance_ is set to the max
+  // distance of the below side. Runs on the pool above the parallel
+  // threshold; serial otherwise. `input` must not alias `below`.
+  void partition_by_distance(const std::vector<graph::VertexId>& input,
+                             graph::Distance threshold,
+                             std::vector<graph::VertexId>& below);
+
   const graph::CsrGraph* graph_;
   graph::VertexId source_;
   Options options_;
-  bool used_parallel_advance_ = false;
   std::vector<graph::Distance> dist_;
   std::vector<graph::VertexId> parent_;
   std::vector<graph::VertexId> frontier_;
@@ -144,6 +178,31 @@ class NearFarEngine {
   std::uint32_t epoch_ = 0;
   std::uint64_t total_improving_ = 0;
   graph::Distance frontier_max_distance_ = 0;
+
+  // --- persistent parallel scratch (allocated on first parallel use,
+  // reused every iteration to avoid per-call allocation churn) ---
+  struct Candidate {
+    std::uint64_t rank;   // canonical edge rank (frontier order)
+    graph::VertexId v;    // relaxation target
+    graph::VertexId u;    // relaxation source (parent if this edge wins)
+  };
+  std::vector<std::uint64_t> edge_prefix_;      // frontier degree prefix sums
+  std::vector<graph::Distance> frontier_dist_;  // iteration-start du snapshot
+  std::vector<std::size_t> chunk_begin_;        // frontier-index chunk bounds
+  std::vector<std::uint64_t> winner_;  // per-vertex min winning edge rank
+  std::vector<std::vector<Candidate>> chunk_candidates_;
+  std::vector<std::uint64_t> chunk_counts_;   // per-chunk count scratch
+  std::vector<std::uint64_t> chunk_counts2_;  // second counter (partitions)
+  std::vector<std::uint64_t> chunk_offsets_;
+  std::vector<std::uint64_t> chunk_offsets2_;
+  std::vector<graph::Distance> chunk_max_;    // per-chunk distance maxima
+  std::vector<std::uint64_t> range_base_;     // prefix-sum pass scratch
+  std::vector<graph::VertexId> partition_scratch_;  // demote output buffer
+  std::vector<std::uint64_t> thread_edges_;   // per-thread edge tallies
+  // High-water marks from previous iterations, used to reserve output
+  // buffers up front instead of growing them from empty every time.
+  std::size_t updated_high_water_ = 0;
+  std::size_t spill_high_water_ = 0;
 };
 
 }  // namespace sssp::frontier

@@ -26,6 +26,16 @@ class FarQueue {
  public:
   void push(graph::VertexId v, graph::Distance d) { entries_.push_back({v, d}); }
 
+  // Bulk append of an engine spill: entry i is (vertices[i],
+  // current_distances[vertices[i]]), in input order. One reserve instead
+  // of per-push growth.
+  void push_bulk(std::span<const graph::VertexId> vertices,
+                 std::span<const graph::Distance> current_distances) {
+    entries_.reserve(entries_.size() + vertices.size());
+    for (const graph::VertexId v : vertices)
+      entries_.push_back({v, current_distances[v]});
+  }
+
   std::size_t size() const noexcept { return entries_.size(); }
   bool empty() const noexcept { return entries_.empty(); }
   void clear() noexcept { entries_.clear(); }

@@ -40,6 +40,7 @@ void write_run_report(std::ostream& out, const RunReportMeta& meta,
   w.key("num_vertices").value(meta.num_vertices);
   w.key("reached").value(meta.reached);
   w.key("improving_relaxations").value(meta.improving_relaxations);
+  w.key("threads").value(meta.threads);
   w.key("host_seconds").value(meta.host_seconds);
   w.key("controller_seconds").value(meta.controller_seconds);
   w.key("controller_health").begin_object();

@@ -10,7 +10,7 @@
 //     "meta":   { tool, algorithm, dataset, source, set_point,
 //                 device, dvfs },
 //     "totals": { iterations, num_vertices, reached,
-//                 improving_relaxations, host_seconds,
+//                 improving_relaxations, threads, host_seconds,
 //                 controller_seconds,
 //                 controller_health: { degradations, recoveries,
 //                                      rejected_inputs } },
@@ -50,6 +50,9 @@ struct RunReportMeta {
   std::uint64_t num_vertices = 0;
   std::uint64_t reached = 0;
   std::uint64_t improving_relaxations = 0;
+  // Effective host thread-pool size (0 when the tool ran no parallel
+  // pipeline work, e.g. pure replay).
+  std::uint64_t threads = 0;
   double host_seconds = 0.0;
   double controller_seconds = 0.0;
   // Self-healing control-plane event counts (docs/ROBUSTNESS.md).

@@ -20,6 +20,7 @@ SsspResult near_far(const graph::CsrGraph& graph, graph::VertexId source,
 
   frontier::NearFarEngine::Options engine_options;
   engine_options.parallel = options.parallel;
+  engine_options.parallel_threshold = options.parallel_threshold;
   frontier::NearFarEngine engine(graph, source, engine_options);
   frontier::FarQueue far;
 
@@ -46,8 +47,7 @@ SsspResult near_far(const graph::CsrGraph& graph, graph::VertexId source,
     stats.improving_relaxations = advance.improving_relaxations;
 
     stats.x4 = engine.bisect(threshold);
-    for (const graph::VertexId v : engine.spill())
-      far.push(v, engine.distance(v));
+    far.push_bulk(engine.spill(), engine.distances());
     engine.clear_spill();
 
     // Stage 4 — bisect-far-queue: when the near queue is exhausted,
@@ -72,9 +72,8 @@ SsspResult near_far(const graph::CsrGraph& graph, graph::VertexId source,
 
   result.improving_relaxations = engine.total_improving_relaxations();
   result.distances = engine.distances();
-  result.parents = engine.parents_valid()
-                       ? engine.parents()
-                       : derive_parents(graph, result.distances, source);
+  // Parents are maintained deterministically by both advance modes.
+  result.parents = engine.parents();
   return result;
 }
 

@@ -14,9 +14,13 @@ struct NearFarOptions {
   // Safety valve for pathological inputs (0 = unlimited).
   std::size_t max_iterations = 0;
   // Relax large frontiers on the host thread pool (see
-  // frontier::NearFarEngine::Options). Distances remain exact; parents
-  // are derived from distances after the run.
-  bool parallel = false;
+  // frontier::NearFarEngine::Options). The parallel pipeline is
+  // deterministic — distances, parents, frontier ordering, and
+  // per-iteration stats are bit-identical at any thread count — so it
+  // is on by default.
+  bool parallel = true;
+  // Frontiers below this size relax serially.
+  std::size_t parallel_threshold = 4096;
 };
 
 SsspResult near_far(const graph::CsrGraph& graph, graph::VertexId source,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 namespace sssp::util {
@@ -11,9 +12,9 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  // The calling thread participates in parallel_for, so spawn one fewer.
+  // The calling thread participates as thread 0, so spawn one fewer.
   for (std::size_t i = 1; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -26,33 +27,60 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t thread_id) {
   std::uint64_t seen_generation = 0;
   for (;;) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
-    if (stop_) return;
-    seen_generation = generation_;
-    // Pull chunks until the batch is exhausted.
-    while (next_chunk_ < chunks_) {
-      const std::size_t chunk = next_chunk_++;
-      lock.unlock();
-      const std::size_t per = (n_ + chunks_ - 1) / chunks_;
-      const std::size_t begin = chunk * per;
-      const std::size_t end = std::min(n_, begin + per);
-      try {
-        if (begin < end) (*body_)(begin, end);
-      } catch (...) {
-        lock.lock();
-        if (!error_) error_ = std::current_exception();
-        ++done_chunks_;
-        done_cv_.notify_all();
-        continue;
-      }
-      lock.lock();
-      ++done_chunks_;
-      done_cv_.notify_all();
+    const std::function<void(std::size_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      fn = fn_;
     }
+    std::exception_ptr err;
+    try {
+      (*fn)(thread_id);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (err && !error_) error_ = err;
+      ++done_workers_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    done_workers_ = 0;
+    error_ = nullptr;
+    ++generation_;
+  }
+  cv_.notify_all();
+  std::exception_ptr caller_err;
+  try {
+    fn(0);
+  } catch (...) {
+    caller_err = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return done_workers_ == workers_.size(); });
+  std::exception_ptr err = caller_err ? caller_err : error_;
+  error_ = nullptr;
+  fn_ = nullptr;
+  if (err) {
+    lock.unlock();
+    std::rethrow_exception(err);
   }
 }
 
@@ -63,58 +91,56 @@ void ThreadPool::parallel_for(
     body(0, n);
     return;
   }
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
   const std::size_t chunks = std::min(n, size() * 4);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    body_ = &body;
-    n_ = n;
-    chunks_ = chunks;
-    next_chunk_ = 0;
-    done_chunks_ = 0;
-    error_ = nullptr;
-    ++generation_;
-  }
-  cv_.notify_all();
-  // The caller helps drain chunks.
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (next_chunk_ < chunks_) {
-      const std::size_t chunk = next_chunk_++;
-      lock.unlock();
-      const std::size_t per = (n_ + chunks_ - 1) / chunks_;
-      const std::size_t begin = chunk * per;
-      const std::size_t end = std::min(n_, begin + per);
-      try {
-        if (begin < end) body(begin, end);
-      } catch (...) {
-        lock.lock();
-        if (!error_) error_ = std::current_exception();
-        ++done_chunks_;
-        continue;
-      }
-      lock.lock();
-      ++done_chunks_;
-    }
-    done_cv_.wait(lock, [&] { return done_chunks_ == chunks_; });
-    if (error_) {
-      auto err = error_;
-      error_ = nullptr;
-      lock.unlock();
-      std::rethrow_exception(err);
-    }
-  }
+  const std::size_t per = (n + chunks - 1) / chunks;
+  for_each_chunk(chunks, [&](std::size_t chunk, std::size_t) {
+    const std::size_t begin = chunk * per;
+    const std::size_t end = std::min(n, begin + per);
+    if (begin < end) body(begin, end);
+  });
 }
 
+namespace {
+
+struct GlobalPoolState {
+  std::mutex mu;
+  std::unique_ptr<ThreadPool> pool;
+};
+
+GlobalPoolState& global_pool_state() {
+  static GlobalPoolState state;
+  return state;
+}
+
+std::size_t env_threads() {
+  if (const char* env = std::getenv("SSSP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 0;
+}
+
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("SSSP_THREADS")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v > 0) return static_cast<std::size_t>(v);
-    }
-    return std::size_t{0};
-  }());
-  return pool;
+  GlobalPoolState& state = global_pool_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.pool) state.pool = std::make_unique<ThreadPool>(env_threads());
+  return *state.pool;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  const std::size_t resolved =
+      threads != 0 ? threads
+                   : (env_threads() != 0
+                          ? env_threads()
+                          : std::max<std::size_t>(
+                                1, std::thread::hardware_concurrency()));
+  GlobalPoolState& state = global_pool_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.pool && state.pool->size() == resolved) return;
+  state.pool.reset();  // join the old workers before starting new ones
+  state.pool = std::make_unique<ThreadPool>(resolved);
 }
 
 void parallel_for(std::size_t n,

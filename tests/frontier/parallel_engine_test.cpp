@@ -1,28 +1,35 @@
-// Parallel-advance correctness: the thread-pool execution must produce
-// exact final distances at any thread count and any parallel threshold.
-// Per-iteration statistics are NOT asserted equal to serial — when the
-// frontier contains intra-frontier edges, same-iteration improvement
-// visibility is schedule-dependent (see NearFarEngine::Options) — so
-// the assertions here are the schedule-independent ones: distances,
-// X2-as-set-property, and frontier dedup.
+// Parallel-advance determinism and correctness: the pipeline relaxes
+// from an iteration-start snapshot and merges with count → exclusive-
+// prefix-sum → write over canonical edge ranks, so the updated
+// frontier's ORDERING, the per-iteration X1/X2/X3 statistics, the
+// parent tree, and the distances are all bit-identical at any thread
+// count, any chunking mode, and any schedule — not merely "distances
+// exact". These tests pin that contract.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <vector>
 
 #include "frontier/engine.hpp"
 #include "graph/types.hpp"
 #include "tests/sssp/test_graphs.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sssp::frontier {
 namespace {
 
 using graph::kInfiniteDistance;
 
-// Runs a Bellman-Ford-style sweep (bisect keeps everything) and returns
-// per-iteration (x1, x2, x3) plus the distances.
+// Runs a Bellman-Ford-style sweep (bisect keeps everything) and records
+// everything the determinism contract covers.
 struct SweepTrace {
-  std::vector<std::array<std::uint64_t, 3>> iterations;
+  std::vector<std::array<std::uint64_t, 4>> stats;  // x1, x2, x3, improving
+  std::vector<std::vector<graph::VertexId>> frontiers;  // ordering included
   std::vector<graph::Distance> distances;
+  std::vector<graph::VertexId> parents;
+
+  bool operator==(const SweepTrace&) const = default;
 };
 
 SweepTrace run_sweep(const graph::CsrGraph& g, graph::VertexId source,
@@ -31,14 +38,82 @@ SweepTrace run_sweep(const graph::CsrGraph& g, graph::VertexId source,
   SweepTrace trace;
   while (!engine.frontier_empty()) {
     const auto advance = engine.advance_and_filter();
-    trace.iterations.push_back({advance.x1, advance.x2, advance.x3});
+    trace.stats.push_back(
+        {advance.x1, advance.x2, advance.x3, advance.improving_relaxations});
     engine.bisect(kInfiniteDistance);
+    trace.frontiers.emplace_back(engine.frontier().begin(),
+                                 engine.frontier().end());
   }
   trace.distances = engine.distances();
+  trace.parents = engine.parents();
   return trace;
 }
 
+// Parent tree exactness: every reached vertex's parent edge achieves
+// its distance, the source is its own parent, unreached have none.
+void expect_parents_exact(const graph::CsrGraph& g, graph::VertexId source,
+                          const SweepTrace& trace) {
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (trace.distances[v] == kInfiniteDistance) {
+      EXPECT_EQ(trace.parents[v], graph::kInvalidVertex) << "vertex " << v;
+      continue;
+    }
+    if (v == source) {
+      EXPECT_EQ(trace.parents[v], source);
+      continue;
+    }
+    const graph::VertexId p = trace.parents[v];
+    ASSERT_NE(p, graph::kInvalidVertex) << "vertex " << v;
+    const auto neighbors = g.neighbors(p);
+    const auto weights = g.weights_of(p);
+    bool achieves = false;
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      if (neighbors[i] == v &&
+          trace.distances[p] + weights[i] == trace.distances[v]) {
+        achieves = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(achieves) << "parent edge " << p << "->" << v
+                          << " does not achieve dist[" << v << "]";
+  }
+}
+
 class ParallelEngineTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelEngineTest, ParallelSweepBitIdenticalAcrossThreadCounts) {
+  const std::uint64_t seed = GetParam();
+  const auto g = algo::testing::random_graph(3000, 6.0, 99, seed);
+
+  util::ThreadPool::set_global_threads(1);
+  const SweepTrace reference =
+      run_sweep(g, 0, {.parallel = true, .parallel_threshold = 1});
+  for (const std::size_t threads : {2, 4, 8}) {
+    util::ThreadPool::set_global_threads(threads);
+    const SweepTrace trace =
+        run_sweep(g, 0, {.parallel = true, .parallel_threshold = 1});
+    EXPECT_EQ(trace, reference) << "threads=" << threads;
+  }
+  util::ThreadPool::set_global_threads(0);
+}
+
+TEST_P(ParallelEngineTest, PartitionModeDoesNotChangeResults) {
+  const std::uint64_t seed = GetParam();
+  const auto g = algo::testing::random_graph(3000, 6.0, 99, seed ^ 0xABC);
+  util::ThreadPool::set_global_threads(4);
+  NearFarEngine::Options options{.parallel = true, .parallel_threshold = 1};
+  options.partition = NearFarEngine::Options::Partition::kEdgeBalanced;
+  const SweepTrace edge_balanced = run_sweep(g, 0, options);
+  options.partition = NearFarEngine::Options::Partition::kVertexBalanced;
+  const SweepTrace vertex_balanced = run_sweep(g, 0, options);
+  // Chunk grain changes results... never. Only wall-clock.
+  options.min_chunk_edges = 1;
+  options.partition = NearFarEngine::Options::Partition::kEdgeBalanced;
+  const SweepTrace fine_grained = run_sweep(g, 0, options);
+  EXPECT_EQ(vertex_balanced, edge_balanced);
+  EXPECT_EQ(fine_grained, edge_balanced);
+  util::ThreadPool::set_global_threads(0);
+}
 
 TEST_P(ParallelEngineTest, ParallelSweepDistancesExact) {
   const std::uint64_t seed = GetParam();
@@ -50,13 +125,15 @@ TEST_P(ParallelEngineTest, ParallelSweepDistancesExact) {
       run_sweep(g, 0, {.parallel = true, .parallel_threshold = 1});
 
   EXPECT_EQ(parallel.distances, serial.distances);
+  expect_parents_exact(g, 0, serial);
+  expect_parents_exact(g, 0, parallel);
   // The first iteration starts from an identical frontier ({source}), so
   // its X1/X2 are schedule-independent set properties.
-  ASSERT_FALSE(parallel.iterations.empty());
-  EXPECT_EQ(parallel.iterations.front()[0], serial.iterations.front()[0]);
-  EXPECT_EQ(parallel.iterations.front()[1], serial.iterations.front()[1]);
+  ASSERT_FALSE(parallel.stats.empty());
+  EXPECT_EQ(parallel.stats.front()[0], serial.stats.front()[0]);
+  EXPECT_EQ(parallel.stats.front()[1], serial.stats.front()[1]);
   // Filter dedup bounds hold in every iteration.
-  for (const auto& it : parallel.iterations) {
+  for (const auto& it : parallel.stats) {
     EXPECT_LE(it[2], it[1]);  // x3 <= x2
   }
 }
@@ -69,21 +146,24 @@ TEST_P(ParallelEngineTest, MixedModeDistancesExact) {
   const SweepTrace mixed =
       run_sweep(g, 5, {.parallel = true, .parallel_threshold = 512});
   EXPECT_EQ(mixed.distances, serial.distances);
+  expect_parents_exact(g, 5, mixed);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEngineTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 
-TEST(ParallelEngine, ParentsInvalidOnlyAfterParallelAdvance) {
+TEST(ParallelEngine, ParentsStayValidInEveryMode) {
   const auto g = algo::testing::random_graph(6000, 5.0, 99, 8);
   NearFarEngine serial_engine(g, 0, {.parallel = false});
   EXPECT_TRUE(serial_engine.parents_valid());
 
   NearFarEngine parallel_engine(g, 0,
                                 {.parallel = true, .parallel_threshold = 1});
-  EXPECT_TRUE(parallel_engine.parents_valid());  // nothing ran yet
+  EXPECT_TRUE(parallel_engine.parents_valid());
   parallel_engine.advance_and_filter();
-  EXPECT_FALSE(parallel_engine.parents_valid());
+  // The deterministic pipeline maintains parents during the advance —
+  // the historical "re-derive after parallel runs" caveat is gone.
+  EXPECT_TRUE(parallel_engine.parents_valid());
 }
 
 TEST(ParallelEngine, UpdatedFrontierIsDuplicateFree) {
@@ -98,6 +178,50 @@ TEST(ParallelEngine, UpdatedFrontierIsDuplicateFree) {
     EXPECT_EQ(std::adjacent_find(frontier.begin(), frontier.end()),
               frontier.end());
   }
+}
+
+TEST(ParallelEngine, UpdatedFrontierOrderIsWinningEdgeRankOrder) {
+  // The merge contract: the updated frontier is ordered by each
+  // vertex's winning edge rank (frontier position × adjacency order).
+  // Recompute the expected order from first principles for one step.
+  const auto g = algo::testing::random_graph(2000, 7.0, 50, 11);
+  util::ThreadPool::set_global_threads(4);
+
+  NearFarEngine engine(g, 0, {.parallel = true, .parallel_threshold = 1});
+  // A couple of warm-up iterations so the frontier is interesting.
+  for (int i = 0; i < 2 && !engine.frontier_empty(); ++i) {
+    engine.advance_and_filter();
+    engine.bisect(kInfiniteDistance);
+  }
+  if (engine.frontier_empty()) GTEST_SKIP() << "graph too small";
+
+  const std::vector<graph::VertexId> frontier(engine.frontier().begin(),
+                                              engine.frontier().end());
+  const std::vector<graph::Distance> dist_before = engine.distances();
+  engine.advance_and_filter();
+  const auto& dist_after = engine.distances();
+
+  // Expected order: walk frontier × adjacency in rank order; a vertex is
+  // emitted at the first edge achieving its final (improved) distance.
+  std::vector<graph::VertexId> expected;
+  std::vector<char> emitted(g.num_vertices(), 0);
+  for (const graph::VertexId u : frontier) {
+    const auto neighbors = g.neighbors(u);
+    const auto weights = g.weights_of(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const graph::VertexId v = neighbors[i];
+      if (emitted[v] || dist_after[v] >= dist_before[v]) continue;
+      if (dist_before[u] + weights[i] == dist_after[v]) {
+        emitted[v] = 1;
+        expected.push_back(v);
+      }
+    }
+  }
+  engine.bisect(kInfiniteDistance);
+  const std::vector<graph::VertexId> actual(engine.frontier().begin(),
+                                            engine.frontier().end());
+  EXPECT_EQ(actual, expected);
+  util::ThreadPool::set_global_threads(0);
 }
 
 }  // namespace

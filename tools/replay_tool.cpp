@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   flags.define("freq-stride", "3", "take every k-th frequency menu entry");
   tools::define_observability_flags(flags);
   tools::define_fault_flags(flags);
+  tools::define_threads_flag(flags);
   flags.define("report-out", "",
                "write a run-report JSON for the first device's default-"
                "governor replay here");
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
   try {
     tools::enable_observability(flags);
     tools::enable_faults(flags);
+    const std::size_t threads = tools::apply_threads_flag(flags);
     const std::string path = flags.get_string("workload");
     if (path.empty()) {
       std::fprintf(stderr, "--workload is required; see --help\n");
@@ -98,6 +100,7 @@ int main(int argc, char** argv) {
       meta.dataset = workload.dataset;
       meta.device = report_device;
       meta.dvfs = "default";
+      meta.threads = threads;
       meta.controller_seconds = report_run->controller_seconds;
       obs::save_run_report(report_path, meta, {}, &*report_run);
       std::printf("wrote run report to %s\n", report_path.c_str());

@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
                "write per-iteration controller state (delta, d, alpha, X1-X4)");
   tools::define_observability_flags(flags);
   tools::define_fault_flags(flags);
+  tools::define_threads_flag(flags);
   flags.define("report-out", "",
                "write the merged run-report JSON here (engine stats + "
                "controller internals + device power/energy)");
@@ -70,6 +71,7 @@ int main(int argc, char** argv) {
   try {
     tools::enable_observability(flags);
     tools::enable_faults(flags);
+    const std::size_t threads = tools::apply_threads_flag(flags);
     const std::string in = flags.get_string("in");
     if (in.empty()) {
       std::fprintf(stderr, "--in is required; see --help\n");
@@ -110,9 +112,10 @@ int main(int argc, char** argv) {
     const double host_seconds = timer.elapsed_seconds();
 
     std::printf("%s from %u: reached %zu/%zu vertices, %zu iterations, "
-                "%.2fs host time\n",
+                "%.2fs host time, %zu threads\n",
                 result.algorithm.c_str(), source, result.reached_count(),
-                g.num_vertices(), result.num_iterations(), host_seconds);
+                g.num_vertices(), result.num_iterations(), host_seconds,
+                threads);
     if (!result.iterations.empty())
       std::printf("average parallelism: %.0f, improving relaxations: %llu\n",
                   result.average_parallelism(),
@@ -207,6 +210,7 @@ int main(int argc, char** argv) {
       meta.reached = result.reached_count();
       meta.improving_relaxations = result.improving_relaxations;
       meta.host_seconds = host_seconds;
+      meta.threads = threads;
       meta.controller_seconds = result.controller_seconds;
       meta.controller_degradations = result.controller_degradations;
       meta.controller_recoveries = result.controller_recoveries;

@@ -20,6 +20,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/flags.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sssp::tools {
 
@@ -89,6 +90,22 @@ inline void write_observability_outputs(const util::Flags& flags) {
     std::printf("wrote trace (%zu events) to %s\n",
                 obs::Tracer::global().num_events(), path.c_str());
   }
+}
+
+// Registers the --threads flag. Call before handle_help().
+inline void define_threads_flag(util::Flags& flags) {
+  flags.define("threads", "0",
+               "thread pool size (0 = $SSSP_THREADS or hardware default); "
+               "results are bit-identical at any value");
+}
+
+// Sizes the global pool from the flag and returns the effective thread
+// count (for run reports). Must run before the parallel work starts.
+inline std::size_t apply_threads_flag(const util::Flags& flags) {
+  const std::int64_t requested = flags.get_int("threads");
+  if (requested < 0) throw std::runtime_error("--threads must be >= 0");
+  util::ThreadPool::set_global_threads(static_cast<std::size_t>(requested));
+  return util::ThreadPool::global().size();
 }
 
 // Registers the fault-injection flag. Call before handle_help().
