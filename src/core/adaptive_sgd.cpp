@@ -29,6 +29,41 @@ void AdaptiveSgd::set_parameter(double theta) noexcept {
   theta_ = std::clamp(theta, options_.min_parameter, options_.max_parameter);
 }
 
+AdaptiveSgd::State AdaptiveSgd::state() const noexcept {
+  return {theta_, g_bar_, v_bar_, h_bar_, tau_, mu_, updates_, rejected_};
+}
+
+void AdaptiveSgd::restore(const State& state) {
+  // Same firewall policy as update(): a state that could not have been
+  // produced by this model (non-finite EMAs, theta outside the clamp,
+  // impossible tau/variance) is rejected and counted, never installed.
+  const bool well_formed =
+      std::isfinite(state.theta) && std::isfinite(state.g_bar) &&
+      std::isfinite(state.v_bar) && std::isfinite(state.h_bar) &&
+      std::isfinite(state.tau) && std::isfinite(state.mu) &&
+      state.theta >= options_.min_parameter &&
+      state.theta <= options_.max_parameter && state.v_bar > 0.0 &&
+      state.h_bar > 0.0 && state.tau >= 1.0 && state.mu >= 0.0;
+  if (!well_formed) {
+    ++rejected_;
+    if (obs::metrics_enabled())
+      obs::MetricsRegistry::global()
+          .counter("sgd.rejected_observations")
+          .add();
+    throw std::invalid_argument(
+        "AdaptiveSgd: rejected restore state (non-finite or out-of-range "
+        "field)");
+  }
+  theta_ = state.theta;
+  g_bar_ = state.g_bar;
+  v_bar_ = state.v_bar;
+  h_bar_ = state.h_bar;
+  tau_ = state.tau;
+  mu_ = state.mu;
+  updates_ = state.updates;
+  rejected_ = state.rejected;
+}
+
 double AdaptiveSgd::update(double x, double y) {
   // Injected fault: a poisoned observation, as a glitched stats pipeline
   // or corrupted engine counter would produce.

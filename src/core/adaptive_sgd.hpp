@@ -51,6 +51,28 @@ class AdaptiveSgd {
   // the model for the rest of the run.
   double update(double x, double y);
 
+  // Complete serializable SGD state (checkpoint/resume). Fields mirror
+  // the private members one-for-one: restoring a captured state makes
+  // every subsequent update() bit-identical to the uninterrupted model.
+  struct State {
+    double theta = 1.0;
+    double g_bar = 0.0;
+    double v_bar = 0.0;
+    double h_bar = 1.0;
+    double tau = 2.0;
+    double mu = 0.0;
+    std::uint64_t updates = 0;
+    std::uint64_t rejected = 0;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+  State state() const noexcept;
+  // Validated restore: non-finite or out-of-range fields go through the
+  // same input firewall as update() — counted in rejected() and the
+  // "sgd.rejected_observations" counter — and throw
+  // std::invalid_argument. A corrupt checkpoint must never seed a model.
+  void restore(const State& state);
+
   double parameter() const noexcept { return theta_; }
   void set_parameter(double theta) noexcept;
   double prediction(double x) const noexcept { return theta_ * x; }

@@ -37,6 +37,12 @@ class AdvanceModel {
 
   std::uint64_t observations() const noexcept { return sgd_.updates(); }
 
+  // Checkpoint/resume passthrough to the underlying SGD state (see
+  // AdaptiveSgd::State). restore_sgd validates and throws on corrupt
+  // fields.
+  AdaptiveSgd::State sgd_state() const noexcept { return sgd_.state(); }
+  void restore_sgd(const AdaptiveSgd::State& state) { sgd_.restore(state); }
+
  private:
   AdaptiveSgd sgd_;
 };

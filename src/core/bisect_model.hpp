@@ -57,6 +57,12 @@ class BisectModel {
   double learned_alpha() const noexcept { return sgd_.parameter(); }
   std::uint64_t observations() const noexcept { return sgd_.updates(); }
 
+  // Checkpoint/resume passthrough to the underlying SGD state (see
+  // AdaptiveSgd::State). restore_sgd validates and throws on corrupt
+  // fields.
+  AdaptiveSgd::State sgd_state() const noexcept { return sgd_.state(); }
+  void restore_sgd(const AdaptiveSgd::State& state) { sgd_.restore(state); }
+
  private:
   Options options_;
   AdaptiveSgd sgd_;

@@ -227,6 +227,45 @@ double DeltaController::plan_delta(double x4, double far_total_size,
   return delta_;
 }
 
+DeltaController::State DeltaController::state() const noexcept {
+  State state;
+  state.delta = delta_;
+  state.last_alpha = last_alpha_;
+  state.pending_delta_change = pending_delta_change_;
+  state.pending_x4 = pending_x4_;
+  state.has_pending = has_pending_;
+  state.logged_nonfinite = logged_nonfinite_;
+  state.advance_sgd = advance_.sgd_state();
+  state.bisect_sgd = bisect_.sgd_state();
+  state.health = health_.save_state();
+  return state;
+}
+
+void DeltaController::restore(const State& state) {
+  const bool well_formed =
+      std::isfinite(state.delta) && state.delta >= config_.min_delta &&
+      state.delta <= config_.max_delta && std::isfinite(state.last_alpha) &&
+      state.last_alpha > 0.0 && std::isfinite(state.pending_delta_change) &&
+      std::isfinite(state.pending_x4);
+  if (!well_formed) {
+    if (obs::metrics_enabled()) ControllerMetrics::get().rejected_inputs.add();
+    throw std::invalid_argument(
+        "DeltaController: rejected restore state (non-finite or "
+        "out-of-range field)");
+  }
+  // The models and the monitor run their own firewalls; any rejection
+  // propagates before this controller's fields are touched.
+  advance_.restore_sgd(state.advance_sgd);
+  bisect_.restore_sgd(state.bisect_sgd);
+  health_.restore(state.health);
+  delta_ = state.delta;
+  last_alpha_ = state.last_alpha;
+  pending_delta_change_ = state.pending_delta_change;
+  pending_x4_ = state.pending_x4;
+  has_pending_ = state.has_pending;
+  logged_nonfinite_ = state.logged_nonfinite;
+}
+
 void DeltaController::set_set_point(double set_point) {
   if (set_point <= 0.0)
     throw std::invalid_argument("DeltaController: set_point must be > 0");

@@ -109,6 +109,32 @@ class DeltaController {
   const ControllerHealth& health() const noexcept { return health_; }
   ControlState control_state() const noexcept { return health_.state(); }
 
+  // Complete serializable controller state (checkpoint/resume): delta,
+  // the pending BISECT-MODEL observation, both SGD models, and the
+  // health monitor. Restoring a captured state onto a controller built
+  // from the same config reproduces every subsequent plan bit-for-bit.
+  struct State {
+    double delta = 0.0;
+    double last_alpha = 1.0;
+    double pending_delta_change = 0.0;
+    double pending_x4 = 0.0;
+    bool has_pending = false;
+    bool logged_nonfinite = false;
+    AdaptiveSgd::State advance_sgd;
+    AdaptiveSgd::State bisect_sgd;
+    ControllerHealth::State health;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+  State state() const noexcept;
+  // Validated restore: delta must be finite and inside the configured
+  // [min_delta, max_delta]; alpha/pending fields finite. Rejections are
+  // counted through the existing input firewall
+  // ("controller.health.rejected_inputs") and throw
+  // std::invalid_argument — a corrupt checkpoint degrades to a load
+  // error, never to a poisoned control plane.
+  void restore(const State& state);
+
  private:
   double clamp_delta(double delta) const;
   double fallback_step() const;

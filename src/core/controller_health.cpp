@@ -1,8 +1,41 @@
 #include "core/controller_health.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace sssp::core {
+
+ControllerHealth::State ControllerHealth::save_state() const noexcept {
+  return {static_cast<std::uint8_t>(state_),
+          degradations_,
+          recoveries_,
+          rejected_inputs_,
+          model_resets_,
+          reject_streak_,
+          pin_streak_,
+          oscillation_streak_,
+          healthy_streak_,
+          last_step_sign_};
+}
+
+void ControllerHealth::restore(const State& state) {
+  if (state.control_state > static_cast<std::uint8_t>(ControlState::kDegraded))
+    throw std::invalid_argument(
+        "ControllerHealth: rejected restore state (unknown control state)");
+  if (state.last_step_sign < -1 || state.last_step_sign > 1)
+    throw std::invalid_argument(
+        "ControllerHealth: rejected restore state (step sign out of range)");
+  state_ = static_cast<ControlState>(state.control_state);
+  degradations_ = state.degradations;
+  recoveries_ = state.recoveries;
+  rejected_inputs_ = state.rejected_inputs;
+  model_resets_ = state.model_resets;
+  reject_streak_ = state.reject_streak;
+  pin_streak_ = state.pin_streak;
+  oscillation_streak_ = state.oscillation_streak;
+  healthy_streak_ = state.healthy_streak;
+  last_step_sign_ = state.last_step_sign;
+}
 
 HealthEvent ControllerHealth::degrade() {
   state_ = ControlState::kDegraded;

@@ -79,6 +79,27 @@ class ControllerHealth {
 
   const HealthConfig& config() const noexcept { return config_; }
 
+  // Complete serializable monitor state (checkpoint/resume): the event
+  // counters plus the detection streaks, so a resumed run degrades and
+  // recovers at exactly the iterations the uninterrupted run would.
+  struct State {
+    std::uint8_t control_state = 0;  // ControlState
+    std::uint64_t degradations = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t rejected_inputs = 0;
+    std::uint64_t model_resets = 0;
+    std::uint64_t reject_streak = 0;
+    std::uint64_t pin_streak = 0;
+    std::uint64_t oscillation_streak = 0;
+    std::uint64_t healthy_streak = 0;
+    std::int32_t last_step_sign = 0;  // -1, 0, or +1
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+  State save_state() const noexcept;
+  // Throws std::invalid_argument on out-of-range enum/sign fields.
+  void restore(const State& state);
+
  private:
   HealthEvent degrade();
 

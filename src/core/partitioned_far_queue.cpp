@@ -278,6 +278,41 @@ void PartitionedFarQueue::clear() {
   drop_empty_front();
 }
 
+PartitionedFarQueue::State PartitionedFarQueue::state() const {
+  State state;
+  state.lower_bound = lower_bound_;
+  state.bounds.reserve(partitions_.size());
+  state.entries.reserve(partitions_.size());
+  for (const Partition& partition : partitions_) {
+    state.bounds.push_back(partition.upper_bound);
+    state.entries.push_back(partition.entries);
+  }
+  return state;
+}
+
+void PartitionedFarQueue::restore(State&& state) {
+  if (state.bounds.empty() || state.bounds.size() != state.entries.size())
+    throw std::invalid_argument(
+        "PartitionedFarQueue: rejected restore state (shape mismatch)");
+  std::vector<Partition> partitions;
+  partitions.reserve(state.bounds.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < state.bounds.size(); ++i) {
+    total += state.entries[i].size();
+    partitions.push_back({state.bounds[i], std::move(state.entries[i])});
+  }
+  partitions_ = std::move(partitions);
+  lower_bound_ = state.lower_bound;
+  total_entries_ = total;
+  try {
+    check_invariants();
+  } catch (const std::logic_error& e) {
+    throw std::invalid_argument(
+        std::string("PartitionedFarQueue: rejected restore state (") +
+        e.what() + ")");
+  }
+}
+
 void PartitionedFarQueue::check_invariants() const {
   if (partitions_.empty())
     throw std::logic_error("PartitionedFarQueue: no partitions");

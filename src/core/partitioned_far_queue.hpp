@@ -111,6 +111,23 @@ class PartitionedFarQueue {
   // MAX, every entry within its partition's range. Throws otherwise.
   void check_invariants() const;
 
+  // Complete serializable queue state (checkpoint/resume): the floor,
+  // every partition's upper bound, and every entry — boundaries
+  // included, so Eq. 7 maintenance continues exactly where it left off.
+  struct State {
+    graph::Distance lower_bound = 0;
+    std::vector<graph::Distance> bounds;  // one per partition, ascending
+    std::vector<std::vector<frontier::FarEntry>> entries;  // aligned
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+  State state() const;
+  // Validated restore: rebuilds the partitions and re-derives the entry
+  // count, then runs check_invariants(). Throws std::invalid_argument
+  // on any malformed snapshot (bound order, entries above their bound,
+  // shape mismatch).
+  void restore(State&& state);
+
  private:
   struct Partition {
     graph::Distance upper_bound;

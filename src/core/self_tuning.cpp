@@ -68,7 +68,8 @@ struct SelfTuningRun::Impl {
         engine(graph, source,
                frontier::NearFarEngine::Options{
                    .parallel = opts.parallel_advance,
-                   .parallel_threshold = opts.parallel_threshold}),
+                   .parallel_threshold = opts.parallel_threshold,
+                   .control = opts.control}),
         far(static_cast<Distance>(
             std::max(1.0, std::round(std::max(1.0, graph.mean_edge_weight()))))) {
     result.algorithm = "self-tuning";
@@ -343,7 +344,41 @@ SelfTuningRun::SelfTuningRun(const graph::CsrGraph& graph,
                              const SelfTuningOptions& options)
     : impl_(std::make_unique<Impl>(graph, source, options)) {}
 
+SelfTuningRun::SelfTuningRun(const graph::CsrGraph& graph,
+                             const SelfTuningOptions& options,
+                             Snapshot&& snapshot)
+    : impl_(std::make_unique<Impl>(graph, snapshot.source, options)) {
+  // Construction above built the iteration-0 state; overwrite every
+  // stateful component from the snapshot. Each restore validates its
+  // own inputs and throws std::invalid_argument before mutating, so a
+  // corrupted snapshot can never yield a steppable run.
+  impl_->engine.restore(std::move(snapshot.engine));
+  impl_->far.restore(std::move(snapshot.far));
+  impl_->controller.restore(snapshot.controller);
+  impl_->result.iterations = std::move(snapshot.iterations);
+  impl_->result.controller_seconds = snapshot.controller_seconds;
+}
+
 SelfTuningRun::~SelfTuningRun() = default;
+
+SelfTuningRun::Snapshot SelfTuningRun::snapshot() const {
+  Snapshot snapshot;
+  snapshot.source = impl_->result.source;
+  snapshot.engine = impl_->engine.state();
+  snapshot.far = impl_->far.state();
+  snapshot.controller = impl_->controller.state();
+  snapshot.iterations = impl_->result.iterations;
+  snapshot.controller_seconds = impl_->result.controller_seconds;
+  return snapshot;
+}
+
+std::size_t SelfTuningRun::iterations_completed() const {
+  return impl_->result.iterations.size();
+}
+
+std::uint64_t SelfTuningRun::total_improving_relaxations() const {
+  return impl_->engine.total_improving_relaxations();
+}
 
 bool SelfTuningRun::step() { return impl_->step(); }
 

@@ -23,10 +23,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/controller.hpp"
+#include "core/partitioned_far_queue.hpp"
+#include "frontier/engine.hpp"
+#include "frontier/stats.hpp"
 #include "graph/csr.hpp"
 #include "sssp/result.hpp"
+#include "util/run_control.hpp"
 
 namespace sssp::core {
 
@@ -54,6 +59,11 @@ struct SelfTuningOptions {
   bool rebalance_down = true;          // allow demoting when delta shrinks
   bool partition_boundaries = true;    // Eq. 7 maintenance on/off
   std::uint64_t bootstrap_observations = 5;
+  // Cooperative cancellation, threaded into the engine: deadline /
+  // signal / stall requests abort the run mid-iteration with
+  // util::StopRequested. Not owned; must outlive the run. Not part of
+  // checkpointed state.
+  util::RunControl* control = nullptr;
 };
 
 // Runs self-tuning SSSP; distances are exact (verified by property
@@ -68,10 +78,34 @@ algo::SsspResult self_tuning_sssp(const graph::CsrGraph& graph,
 // free function above is `while (run.step()) {}` over this class.
 class SelfTuningRun {
  public:
+  // Complete resumable run state at an iteration boundary: engine
+  // arrays, far-queue partitions (boundaries included), controller
+  // (both SGD models + health monitor), and the iteration history so a
+  // resumed run's result is indistinguishable from an uninterrupted
+  // one. Serialized by ckpt::serialize_checkpoint.
+  struct Snapshot {
+    graph::VertexId source = 0;
+    frontier::NearFarEngine::State engine;
+    PartitionedFarQueue::State far;
+    DeltaController::State controller;
+    std::vector<frontier::IterationStats> iterations;
+    double controller_seconds = 0.0;
+
+    friend bool operator==(const Snapshot&, const Snapshot&) = default;
+  };
+
   // graph must outlive the run. Throws std::invalid_argument on a bad
   // source or non-positive set-point.
   SelfTuningRun(const graph::CsrGraph& graph, graph::VertexId source,
                 const SelfTuningOptions& options);
+  // Resume construction: rebuilds a run mid-flight from a Snapshot taken
+  // at an iteration boundary. `options` must equal the original run's
+  // options (the checkpoint layer stores and replays them); the snapshot
+  // is validated against the graph (sizes, vertex ranges, queue
+  // invariants, model firewalls) and any violation throws
+  // std::invalid_argument before the run becomes steppable.
+  SelfTuningRun(const graph::CsrGraph& graph, const SelfTuningOptions& options,
+                Snapshot&& snapshot);
   ~SelfTuningRun();
 
   SelfTuningRun(const SelfTuningRun&) = delete;
@@ -90,6 +124,16 @@ class SelfTuningRun {
   // Live controller/engine state (diagnostics and feedback inputs).
   const DeltaController& controller() const;
   const frontier::IterationStats& last_iteration() const;
+
+  // Iterations executed so far (restored history included on resume).
+  std::size_t iterations_completed() const;
+  // Monotone total-work counter, the stall watchdog's progress signal.
+  std::uint64_t total_improving_relaxations() const;
+
+  // Captures the complete resumable state. Only valid at an iteration
+  // boundary (between step() calls) — a run abandoned mid-step via
+  // StopRequested must not be snapshotted.
+  Snapshot snapshot() const;
 
   // Finalizes and returns the result (distances + iteration trace).
   // The run must not be stepped afterwards.

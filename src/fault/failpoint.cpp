@@ -49,6 +49,26 @@ void Failpoint::disarm() {
   mode_.store(Mode::kDisarmed, std::memory_order_relaxed);
 }
 
+FailpointRuntime Failpoint::runtime() const {
+  FailpointRuntime runtime;
+  runtime.name = name_;
+  runtime.mode = static_cast<std::uint8_t>(mode());
+  runtime.hits = hits();
+  runtime.fires = fires();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    runtime.rng_state = rng_state_;
+  }
+  return runtime;
+}
+
+void Failpoint::restore_runtime(const FailpointRuntime& runtime) {
+  hits_.store(runtime.hits, std::memory_order_relaxed);
+  fires_.store(runtime.fires, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_state_ = runtime.rng_state;
+}
+
 bool Failpoint::evaluate() noexcept {
   const std::uint64_t hit = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
   bool fire = false;
@@ -190,6 +210,20 @@ std::vector<FailpointStatus> FailpointRegistry::status() const {
   for (const auto& [name, fp] : points_)
     out.push_back({name, fp->mode(), fp->hits(), fp->fires()});
   return out;
+}
+
+std::vector<FailpointRuntime> FailpointRegistry::capture_runtime() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FailpointRuntime> out;
+  for (const auto& [name, fp] : points_)
+    if (fp->mode() != Failpoint::Mode::kDisarmed) out.push_back(fp->runtime());
+  return out;
+}
+
+void FailpointRegistry::restore_runtime(
+    const std::vector<FailpointRuntime>& runtimes) {
+  for (const FailpointRuntime& runtime : runtimes)
+    failpoint(runtime.name).restore_runtime(runtime);
 }
 
 std::uint64_t FailpointRegistry::total_fires() const {

@@ -78,6 +78,11 @@ class Failpoint {
     return fires_.load(std::memory_order_relaxed);
   }
 
+  // Snapshot / restore of the mutable runtime state (counters + stream
+  // position). restore_runtime leaves the arming untouched.
+  struct FailpointRuntime runtime() const;
+  void restore_runtime(const struct FailpointRuntime& runtime);
+
  private:
   bool evaluate() noexcept;
 
@@ -87,7 +92,7 @@ class Failpoint {
   std::atomic<std::uint64_t> fires_{0};
   // Armed-path state (mutex-guarded; armed sites are off the fast path
   // by definition, so contention cost is irrelevant).
-  std::mutex mu_;
+  mutable std::mutex mu_;
   double probability_ = 1.0;
   std::uint64_t period_ = 1;
   std::uint64_t rng_state_ = 0;
@@ -98,6 +103,25 @@ struct FailpointStatus {
   Failpoint::Mode mode;
   std::uint64_t hits;
   std::uint64_t fires;
+};
+
+// Serializable mid-run failpoint state (checkpoint/resume): hit/fire
+// counters and the probability stream's position. A resumed run that
+// restores this continues the exact fire pattern the original (spec,
+// seed) pair would have produced — every-Nth periods and probability
+// draws stay aligned with the interrupted run. Arming (mode/probability/
+// period) is intentionally *not* restored: it comes from the spec the
+// resuming process arms itself, so the stored mode is only used to
+// cross-check.
+struct FailpointRuntime {
+  std::string name;
+  std::uint8_t mode = 0;  // Failpoint::Mode at capture, for cross-checks
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  std::uint64_t rng_state = 0;
+
+  friend bool operator==(const FailpointRuntime&,
+                         const FailpointRuntime&) = default;
 };
 
 class FailpointRegistry {
@@ -125,6 +149,12 @@ class FailpointRegistry {
 
   // Status of every registered failpoint (armed or not), name-sorted.
   std::vector<FailpointStatus> status() const;
+  // Runtime snapshots of every *armed* failpoint, name-sorted (the
+  // checkpoint payload — disarmed sites carry no stream to preserve).
+  std::vector<FailpointRuntime> capture_runtime() const;
+  // Applies captured counters/streams by name (find-or-create). Arming
+  // is not changed: the resuming process re-arms from its own specs.
+  void restore_runtime(const std::vector<FailpointRuntime>& runtimes);
   // Total fires across all failpoints since process start.
   std::uint64_t total_fires() const;
 

@@ -103,7 +103,11 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_serial() {
   AdvanceResult result;
   result.x1 = frontier_.size();
 
-  for (const graph::VertexId u : frontier_) {
+  for (std::size_t fi = 0; fi < frontier_.size(); ++fi) {
+    if (options_.control != nullptr && (fi & 4095u) == 0 &&
+        options_.control->should_abort())
+      throw util::StopRequested(options_.control->reason());
+    const graph::VertexId u = frontier_[fi];
     const auto neighbors = graph_->neighbors(u);
     const auto weights = graph_->weights_of(u);
     result.x2 += neighbors.size();
@@ -218,6 +222,11 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_parallel() {
   if (winner_.size() != graph_->num_vertices())
     winner_.assign(graph_->num_vertices(), 0);
 
+  // Abort polls sit at phase *boundaries* only: pool workers never see
+  // the control object, so a stop request lands between phases, before
+  // any of this iteration's writes become externally visible state.
+  if (options_.control != nullptr && options_.control->should_abort())
+    throw util::StopRequested(options_.control->reason());
   {
     SSSP_TRACE_SPAN("advance.plan");
     result.x2 = plan_chunks();
@@ -272,6 +281,9 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_parallel() {
         thread_edges_[tid] += edge_prefix_[end] - edge_prefix_[begin];
     });
   }
+
+  if (options_.control != nullptr && options_.control->should_abort())
+    throw util::StopRequested(options_.control->reason());
 
   // Phase B1 — candidates: distances are final now, so re-walk the
   // edges and record every relaxation that achieved its target's final
@@ -440,6 +452,8 @@ void NearFarEngine::partition_by_distance(
 
 std::uint64_t NearFarEngine::bisect(graph::Distance threshold) {
   SSSP_TRACE_SPAN("bisect");
+  if (options_.control != nullptr && options_.control->should_abort())
+    throw util::StopRequested(options_.control->reason());
   if (obs::metrics_enabled()) EngineMetrics::get().bisects.add();
   // advance_and_filter() left the frontier empty; refill the near side.
   partition_by_distance(updated_frontier_, threshold, frontier_);
@@ -473,6 +487,38 @@ void NearFarEngine::inject(std::span<const graph::VertexId> vertices) {
     frontier_.push_back(v);
     frontier_max_distance_ = std::max(frontier_max_distance_, dist_[v]);
   }
+}
+
+NearFarEngine::State NearFarEngine::state() const {
+  State state;
+  state.dist = dist_;
+  state.parent = parent_;
+  state.frontier = frontier_;
+  state.total_improving = total_improving_;
+  state.frontier_max_distance = frontier_max_distance_;
+  return state;
+}
+
+void NearFarEngine::restore(State&& state) {
+  const std::size_t n = graph_->num_vertices();
+  if (state.dist.size() != n || state.parent.size() != n)
+    throw std::invalid_argument(
+        "NearFarEngine: restore state does not match graph size");
+  for (const graph::VertexId v : state.frontier)
+    if (v >= n)
+      throw std::invalid_argument(
+          "NearFarEngine: restore frontier vertex out of range");
+  dist_ = std::move(state.dist);
+  parent_ = std::move(state.parent);
+  frontier_ = std::move(state.frontier);
+  total_improving_ = state.total_improving;
+  frontier_max_distance_ = state.frontier_max_distance;
+  // Per-advance scratch restarts clean; epoch 0 means the next advance
+  // opens epoch 1 against all-zero marks, exactly like a fresh engine.
+  std::fill(mark_.begin(), mark_.end(), 0);
+  epoch_ = 0;
+  updated_frontier_.clear();
+  spill_.clear();
 }
 
 }  // namespace sssp::frontier

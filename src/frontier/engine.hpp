@@ -29,6 +29,7 @@
 
 #include "graph/csr.hpp"
 #include "graph/types.hpp"
+#include "util/run_control.hpp"
 
 namespace sssp::frontier {
 
@@ -61,6 +62,14 @@ class NearFarEngine {
     // Minimum edges per chunk (grain): below this, chunk-claiming
     // overhead dominates the work.
     std::size_t min_chunk_edges = 2048;
+
+    // Cooperative cancellation (docs/ROBUSTNESS.md): when set, advance
+    // and bisect poll should_abort() at stage boundaries (and every few
+    // thousand serial vertices) and throw util::StopRequested. A
+    // mid-stage abort leaves the engine state torn — the run must be
+    // abandoned and resumed from its last boundary checkpoint. Not
+    // owned; must outlive the engine.
+    util::RunControl* control = nullptr;
   };
 
   // The graph must outlive the engine. source must be a valid vertex.
@@ -146,6 +155,27 @@ class NearFarEngine {
   std::uint64_t total_improving_relaxations() const noexcept {
     return total_improving_;
   }
+
+  // Complete resumable engine state at an iteration boundary (frontier
+  // consumed or refilled, no advance in flight). The dedup marks and
+  // epoch are *not* part of the state: they are per-advance scratch —
+  // every advance opens a fresh epoch — so restore() resets them.
+  struct State {
+    std::vector<graph::Distance> dist;
+    std::vector<graph::VertexId> parent;
+    std::vector<graph::VertexId> frontier;
+    std::uint64_t total_improving = 0;
+    graph::Distance frontier_max_distance = 0;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+  State state() const;
+  // Validated restore onto this engine's graph: array sizes must match
+  // num_vertices() and every frontier id must be in range, else
+  // std::invalid_argument. Scratch (marks, epoch, spill, updated
+  // frontier) is reset; the next advance behaves exactly as it would
+  // have in the original run.
+  void restore(State&& state);
 
  private:
   AdvanceResult advance_serial();

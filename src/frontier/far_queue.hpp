@@ -20,6 +20,8 @@ namespace sssp::frontier {
 struct FarEntry {
   graph::VertexId vertex;
   graph::Distance distance;  // tentative distance when enqueued
+
+  friend bool operator==(const FarEntry&, const FarEntry&) = default;
 };
 
 class FarQueue {

@@ -34,6 +34,9 @@ struct IterationStats {
   // effect (docs/ROBUSTNESS.md). Always false for baselines.
   bool controller_degraded = false;
 
+  friend bool operator==(const IterationStats&,
+                         const IterationStats&) = default;
+
   sim::IterationWork to_work() const {
     sim::IterationWork w;
     w.x1 = x1;

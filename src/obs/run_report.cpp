@@ -29,6 +29,8 @@ void write_run_report(std::ostream& out, const RunReportMeta& meta,
     w.key("device").value(meta.device);
     w.key("dvfs").value(meta.dvfs);
   }
+  w.key("interrupted").value(meta.interrupted);
+  w.key("outcome").value(meta.outcome);
   w.end_object();
 
   const std::size_t sim_iterations =
@@ -47,6 +49,12 @@ void write_run_report(std::ostream& out, const RunReportMeta& meta,
   w.key("degradations").value(meta.controller_degradations);
   w.key("recoveries").value(meta.controller_recoveries);
   w.key("rejected_inputs").value(meta.controller_rejected_inputs);
+  w.end_object();
+  w.key("checkpoint").begin_object();
+  w.key("written").value(meta.checkpoints_written);
+  w.key("bytes").value(meta.checkpoint_bytes);
+  w.key("resumed").value(meta.resumed);
+  w.key("resumed_from_iteration").value(meta.resumed_from_iteration);
   w.end_object();
   w.end_object();
 

@@ -8,12 +8,14 @@
 //   {
 //     "schema": "tunesssp.run_report.v1",
 //     "meta":   { tool, algorithm, dataset, source, set_point,
-//                 device, dvfs },
+//                 device, dvfs, interrupted, outcome },
 //     "totals": { iterations, num_vertices, reached,
 //                 improving_relaxations, threads, host_seconds,
 //                 controller_seconds,
 //                 controller_health: { degradations, recoveries,
-//                                      rejected_inputs } },
+//                                      rejected_inputs },
+//                 checkpoint: { written, bytes, resumed,
+//                               resumed_from_iteration } },
 //     "sim":    { total_seconds, energy_joules, average_power_w,
 //                 peak_power_w, controller_seconds } | null,
 //     "iterations": [ { iter, x1, x2, x3, x4, improving_relaxations,
@@ -59,6 +61,17 @@ struct RunReportMeta {
   std::uint64_t controller_degradations = 0;
   std::uint64_t controller_recoveries = 0;
   std::uint64_t controller_rejected_inputs = 0;
+  // Run-control outcome (docs/ROBUSTNESS.md, "Checkpoint & recovery").
+  // outcome is "completed" or the stop reason ("deadline" / "stall" /
+  // "interrupt"); interrupted mirrors outcome != "completed" so
+  // consumers can filter partial reports with one boolean.
+  bool interrupted = false;
+  std::string outcome = "completed";
+  // Checkpoint accounting for totals.checkpoint.
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  bool resumed = false;
+  std::uint64_t resumed_from_iteration = 0;
 };
 
 // Emits one record per iteration: engine/controller fields come from

@@ -21,6 +21,7 @@ SsspResult near_far(const graph::CsrGraph& graph, graph::VertexId source,
   frontier::NearFarEngine::Options engine_options;
   engine_options.parallel = options.parallel;
   engine_options.parallel_threshold = options.parallel_threshold;
+  engine_options.control = options.control;
   frontier::NearFarEngine engine(graph, source, engine_options);
   frontier::FarQueue far;
 
@@ -36,6 +37,11 @@ SsspResult near_far(const graph::CsrGraph& graph, graph::VertexId source,
   while (!engine.frontier_empty()) {
     if (options.max_iterations && result.iterations.size() >= options.max_iterations)
       break;
+    if (options.control != nullptr) {
+      const util::StopReason reason = options.control->poll_iteration(
+          engine.total_improving_relaxations());
+      if (reason != util::StopReason::kNone) throw util::StopRequested(reason);
+    }
 
     frontier::IterationStats stats;
     stats.delta = static_cast<double>(threshold);

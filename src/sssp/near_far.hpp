@@ -5,6 +5,7 @@
 
 #include "graph/csr.hpp"
 #include "sssp/result.hpp"
+#include "util/run_control.hpp"
 
 namespace sssp::algo {
 
@@ -21,6 +22,10 @@ struct NearFarOptions {
   bool parallel = true;
   // Frontiers below this size relax serially.
   std::size_t parallel_threshold = 4096;
+  // Cooperative cancellation (deadline / signal / stall): polled each
+  // iteration and inside the engine stages; a stop request aborts the
+  // run with util::StopRequested. Not owned; may be null.
+  util::RunControl* control = nullptr;
 };
 
 SsspResult near_far(const graph::CsrGraph& graph, graph::VertexId source,

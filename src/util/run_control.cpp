@@ -1,0 +1,100 @@
+#include "util/run_control.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <string>
+
+namespace sssp::util {
+
+const char* to_string(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kNone: return "none";
+    case StopReason::kInterrupt: return "interrupt";
+    case StopReason::kDeadline: return "deadline";
+    case StopReason::kStall: return "stall";
+  }
+  return "unknown";
+}
+
+StopRequested::StopRequested(StopReason reason)
+    : std::runtime_error(std::string("run stopped: ") + to_string(reason)),
+      reason_(reason) {}
+
+void RunControl::request_stop(StopReason reason) noexcept {
+  if (reason == StopReason::kNone) return;
+  int expected = 0;
+  reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                  std::memory_order_relaxed);
+}
+
+void RunControl::set_deadline(double seconds_from_now) {
+  if (!(seconds_from_now > 0.0))
+    throw std::invalid_argument("RunControl: deadline must be > 0 seconds");
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds_from_now));
+  has_deadline_ = true;
+}
+
+StopReason RunControl::poll_iteration(std::uint64_t progress) {
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_)
+    request_stop(StopReason::kDeadline);
+  if (stall_limit_ > 0) {
+    if (has_progress_ && progress == last_progress_) {
+      if (++stall_iterations_ >= stall_limit_)
+        request_stop(StopReason::kStall);
+    } else {
+      stall_iterations_ = 0;
+    }
+    has_progress_ = true;
+    last_progress_ = progress;
+  }
+  return reason();
+}
+
+bool RunControl::should_abort() noexcept {
+  if (stop_requested()) return true;
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    request_stop(StopReason::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+void RunControl::throw_if_stopped() {
+  if (should_abort()) throw StopRequested(reason());
+}
+
+namespace {
+
+// The handler reads only this lock-free atomic; install/uninstall
+// publish the pointer before/after touching signal dispositions.
+std::atomic<RunControl*> g_signal_control{nullptr};
+std::atomic<int> g_signal_count{0};
+
+extern "C" void sssp_handle_stop_signal(int signo) {
+  const int count =
+      g_signal_count.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (count > 1) std::_Exit(128 + signo);  // second signal: hard exit
+  if (RunControl* control =
+          g_signal_control.load(std::memory_order_acquire);
+      control != nullptr)
+    control->request_stop(StopReason::kInterrupt);
+}
+
+}  // namespace
+
+void install_signal_stop(RunControl& control) {
+  g_signal_count.store(0, std::memory_order_relaxed);
+  g_signal_control.store(&control, std::memory_order_release);
+  std::signal(SIGINT, sssp_handle_stop_signal);
+  std::signal(SIGTERM, sssp_handle_stop_signal);
+}
+
+void uninstall_signal_stop() noexcept {
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_signal_control.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace sssp::util

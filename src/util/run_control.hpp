@@ -1,0 +1,106 @@
+// Cooperative run control for long SSSP runs (docs/ROBUSTNESS.md,
+// "Checkpoint & recovery"): a cancellation token combining an external
+// stop request (SIGINT/SIGTERM), a wall-clock deadline budget, and a
+// stall watchdog keyed on a monotone progress counter.
+//
+// The token is polled, never preemptive: drivers call poll_iteration()
+// at iteration boundaries (where a checkpoint is consistent) and the
+// engine calls should_abort() at stage boundaries / every few thousand
+// vertices for mid-iteration responsiveness. A mid-iteration abort
+// throws StopRequested and leaves the algorithm state torn — the caller
+// must resume from the last boundary checkpoint, not from the live
+// object.
+//
+// First stop reason wins: a deadline expiring after a SIGINT does not
+// reclassify the run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+namespace sssp::util {
+
+enum class StopReason : int {
+  kNone = 0,       // keep running
+  kInterrupt = 1,  // SIGINT/SIGTERM (tools exit 11)
+  kDeadline = 2,   // wall-clock budget expired (tools exit 9)
+  kStall = 3,      // no frontier progress across the stall limit (exit 10)
+};
+
+const char* to_string(StopReason reason) noexcept;
+
+// Thrown by mid-iteration abort points (engine stage boundaries). The
+// algorithm object is unusable afterwards; only boundary checkpoints
+// are valid resume points.
+class StopRequested : public std::runtime_error {
+ public:
+  explicit StopRequested(StopReason reason);
+  StopReason reason() const noexcept { return reason_; }
+
+ private:
+  StopReason reason_;
+};
+
+class RunControl {
+ public:
+  RunControl() = default;
+  RunControl(const RunControl&) = delete;
+  RunControl& operator=(const RunControl&) = delete;
+
+  // Records the stop request. First reason wins; kNone is ignored.
+  // Async-signal-safe (one lock-free atomic CAS) — the SIGINT handler
+  // calls this directly.
+  void request_stop(StopReason reason) noexcept;
+
+  StopReason reason() const noexcept {
+    return static_cast<StopReason>(reason_.load(std::memory_order_relaxed));
+  }
+  bool stop_requested() const noexcept { return reason() != StopReason::kNone; }
+
+  // Arms the wall-clock budget, measured from now.
+  void set_deadline(double seconds_from_now);
+  bool has_deadline() const noexcept { return has_deadline_; }
+
+  // Arms the stall watchdog: poll_iteration() reporting an unchanged
+  // progress counter this many consecutive times requests kStall.
+  // 0 disarms.
+  void set_stall_limit(std::uint64_t iterations) noexcept {
+    stall_limit_ = iterations;
+  }
+
+  // Iteration-boundary poll. `progress` is any monotone work counter
+  // (the engine's total improving relaxations); the watchdog fires when
+  // it stops moving. Checks the deadline too. Returns the stop reason
+  // in effect (kNone = keep running).
+  StopReason poll_iteration(std::uint64_t progress);
+
+  // Cheap mid-stage check: external stop + deadline only (no stall
+  // bookkeeping). Promotes an expired deadline to a stop request.
+  bool should_abort() noexcept;
+
+  // Throws StopRequested when a stop is pending (convenience for abort
+  // points that cannot return early).
+  void throw_if_stopped();
+
+ private:
+  std::atomic<int> reason_{0};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::uint64_t stall_limit_ = 0;
+  bool has_progress_ = false;
+  std::uint64_t last_progress_ = 0;
+  std::uint64_t stall_iterations_ = 0;
+};
+
+// SIGINT/SIGTERM -> control.request_stop(kInterrupt). One control can
+// be installed per process at a time (tools install theirs right after
+// flag parsing); installing replaces the previous one. The handler only
+// touches lock-free atomics. A second signal while one is already
+// pending hard-exits with the conventional 128 + signo, so a wedged
+// run can still be killed from the keyboard.
+void install_signal_stop(RunControl& control);
+void uninstall_signal_stop() noexcept;
+
+}  // namespace sssp::util

@@ -1,0 +1,128 @@
+#include "util/run_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <thread>
+
+namespace sssp::util {
+namespace {
+
+TEST(RunControl, StartsClean) {
+  RunControl control;
+  EXPECT_EQ(control.reason(), StopReason::kNone);
+  EXPECT_FALSE(control.stop_requested());
+  EXPECT_FALSE(control.should_abort());
+  EXPECT_EQ(control.poll_iteration(0), StopReason::kNone);
+  EXPECT_NO_THROW(control.throw_if_stopped());
+}
+
+TEST(RunControl, FirstReasonWins) {
+  RunControl control;
+  control.request_stop(StopReason::kInterrupt);
+  control.request_stop(StopReason::kDeadline);
+  control.request_stop(StopReason::kStall);
+  EXPECT_EQ(control.reason(), StopReason::kInterrupt);
+}
+
+TEST(RunControl, NoneIsIgnored) {
+  RunControl control;
+  control.request_stop(StopReason::kNone);
+  EXPECT_FALSE(control.stop_requested());
+  control.request_stop(StopReason::kStall);
+  control.request_stop(StopReason::kNone);
+  EXPECT_EQ(control.reason(), StopReason::kStall);
+}
+
+TEST(RunControl, DeadlineRejectsNonPositive) {
+  RunControl control;
+  EXPECT_THROW(control.set_deadline(0.0), std::invalid_argument);
+  EXPECT_THROW(control.set_deadline(-1.0), std::invalid_argument);
+}
+
+TEST(RunControl, ExpiredDeadlinePromotesToStop) {
+  RunControl control;
+  control.set_deadline(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(control.should_abort());
+  EXPECT_EQ(control.reason(), StopReason::kDeadline);
+}
+
+TEST(RunControl, PollIterationChecksDeadline) {
+  RunControl control;
+  control.set_deadline(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(control.poll_iteration(1), StopReason::kDeadline);
+}
+
+TEST(RunControl, UnexpiredDeadlineKeepsRunning) {
+  RunControl control;
+  control.set_deadline(3600.0);
+  EXPECT_FALSE(control.should_abort());
+  EXPECT_EQ(control.poll_iteration(1), StopReason::kNone);
+}
+
+TEST(RunControl, StallWatchdogFiresAfterLimit) {
+  RunControl control;
+  control.set_stall_limit(3);
+  // First poll only records the baseline.
+  EXPECT_EQ(control.poll_iteration(10), StopReason::kNone);
+  EXPECT_EQ(control.poll_iteration(10), StopReason::kNone);  // stall 1
+  EXPECT_EQ(control.poll_iteration(10), StopReason::kNone);  // stall 2
+  EXPECT_EQ(control.poll_iteration(10), StopReason::kStall);  // stall 3
+}
+
+TEST(RunControl, ProgressResetsStallCounter) {
+  RunControl control;
+  control.set_stall_limit(2);
+  EXPECT_EQ(control.poll_iteration(10), StopReason::kNone);
+  EXPECT_EQ(control.poll_iteration(10), StopReason::kNone);  // stall 1
+  EXPECT_EQ(control.poll_iteration(11), StopReason::kNone);  // progress
+  EXPECT_EQ(control.poll_iteration(11), StopReason::kNone);  // stall 1
+  EXPECT_EQ(control.poll_iteration(11), StopReason::kStall);  // stall 2
+}
+
+TEST(RunControl, ZeroStallLimitDisarmsWatchdog) {
+  RunControl control;
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(control.poll_iteration(7), StopReason::kNone);
+}
+
+TEST(RunControl, ThrowIfStoppedCarriesReason) {
+  RunControl control;
+  control.request_stop(StopReason::kStall);
+  try {
+    control.throw_if_stopped();
+    FAIL() << "expected StopRequested";
+  } catch (const StopRequested& e) {
+    EXPECT_EQ(e.reason(), StopReason::kStall);
+    EXPECT_STREQ(e.what(), "run stopped: stall");
+  }
+}
+
+TEST(RunControl, ToStringCoversAllReasons) {
+  EXPECT_STREQ(to_string(StopReason::kNone), "none");
+  EXPECT_STREQ(to_string(StopReason::kInterrupt), "interrupt");
+  EXPECT_STREQ(to_string(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(to_string(StopReason::kStall), "stall");
+}
+
+TEST(RunControl, SignalHandlerRequestsInterrupt) {
+  RunControl control;
+  install_signal_stop(control);
+  std::raise(SIGTERM);
+  uninstall_signal_stop();
+  EXPECT_EQ(control.reason(), StopReason::kInterrupt);
+}
+
+TEST(RunControl, SignalAfterDeadlineDoesNotReclassify) {
+  RunControl control;
+  control.request_stop(StopReason::kDeadline);
+  install_signal_stop(control);
+  std::raise(SIGINT);
+  uninstall_signal_stop();
+  EXPECT_EQ(control.reason(), StopReason::kDeadline);
+}
+
+}  // namespace
+}  // namespace sssp::util

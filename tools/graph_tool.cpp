@@ -14,6 +14,7 @@
 #include "graph/components.hpp"
 #include "graph/datasets.hpp"
 #include "graph/degree_stats.hpp"
+#include "obs/run_report.hpp"
 #include "tools/tool_common.hpp"
 #include "util/flags.hpp"
 #include "util/timer.hpp"
@@ -51,6 +52,10 @@ int main(int argc, char** argv) {
   flags.define("scale", "0.0625", "generate: fraction of paper size");
   flags.define("seed", "42", "generate: RNG seed");
   tools::define_fault_flags(flags);
+  tools::define_observability_flags(flags);
+  tools::define_threads_flag(flags);
+  flags.define("report-out", "",
+               "write a run-report JSON (dataset shape + totals) here");
   if (flags.handle_help(
           "graph_tool <generate|convert|info|component> [flags]"))
     return 0;
@@ -64,8 +69,16 @@ int main(int argc, char** argv) {
   }
   const std::string command = flags.positional()[0];
 
+  util::RunControl control;
   try {
+    tools::enable_observability(flags);
     tools::enable_faults(flags);
+    const std::size_t threads = tools::apply_threads_flag(flags);
+    // Graph commands are monolithic (no iteration boundary to poll), but
+    // a SIGINT/SIGTERM received mid-command still marks whatever gets
+    // flushed below as interrupted and maps to exit 11.
+    util::install_signal_stop(control);
+    std::uint64_t report_vertices = 0;
     util::WallTimer timer;
     if (command == "generate") {
       const auto dataset = graph::parse_dataset(flags.get_string("dataset"));
@@ -76,6 +89,7 @@ int main(int argc, char** argv) {
       std::printf("generated %s in %.2fs\n",
                   graph::dataset_name(dataset).c_str(),
                   timer.elapsed_seconds());
+      report_vertices = g.num_vertices();
       print_info(g);
       if (const auto out = flags.get_string("out"); !out.empty()) {
         save_any_graph(g, out);
@@ -83,6 +97,7 @@ int main(int argc, char** argv) {
       }
     } else if (command == "convert") {
       const auto g = load_any_graph(flags.get_string("in"));
+      report_vertices = g.num_vertices();
       save_any_graph(g, flags.get_string("out"));
       std::printf("converted %s -> %s (%zu vertices, %zu edges) in %.2fs\n",
                   flags.get_string("in").c_str(),
@@ -90,10 +105,12 @@ int main(int argc, char** argv) {
                   g.num_edges(), timer.elapsed_seconds());
     } else if (command == "info") {
       const auto g = load_any_graph(flags.get_string("in"));
+      report_vertices = g.num_vertices();
       print_info(g);
     } else if (command == "component") {
       const auto g = load_any_graph(flags.get_string("in"));
       const auto extracted = graph::largest_component(g);
+      report_vertices = extracted.graph.num_vertices();
       std::printf("largest component: %zu of %zu vertices, %zu edges\n",
                   extracted.graph.num_vertices(), g.num_vertices(),
                   extracted.graph.num_edges());
@@ -105,7 +122,26 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
       return 2;
     }
+    const util::StopReason stop = control.reason();
+    if (const auto path = flags.get_string("report-out"); !path.empty()) {
+      obs::RunReportMeta meta;
+      meta.tool = "graph_tool";
+      meta.algorithm = command;
+      meta.dataset = !flags.get_string("in").empty()
+                         ? flags.get_string("in")
+                         : flags.get_string("dataset");
+      meta.num_vertices = report_vertices;
+      meta.threads = threads;
+      meta.host_seconds = timer.elapsed_seconds();
+      meta.interrupted = stop != util::StopReason::kNone;
+      meta.outcome = stop == util::StopReason::kNone ? "completed"
+                                                     : util::to_string(stop);
+      obs::save_run_report(path, meta, {});
+      std::printf("wrote run report to %s\n", path.c_str());
+    }
     tools::print_fault_summary();
+    tools::write_observability_outputs(flags);
+    if (stop != util::StopReason::kNone) return tools::exit_code_for_stop(stop);
   } catch (const graph::GraphIoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return tools::exit_code_for(e);

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "obs/run_report.hpp"
 #include "sim/device_config.hpp"
 #include "sim/energy_metrics.hpp"
@@ -24,11 +25,15 @@ using namespace sssp;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   flags.define("workload", "", "workload CSV (from sssp_tool --workload-csv)");
+  flags.define("resume", "",
+               "replay the iteration history recorded in this checkpoint "
+               "file instead of a workload CSV");
   flags.define("device-file", "", "only sweep this custom device");
   flags.define("freq-stride", "3", "take every k-th frequency menu entry");
   tools::define_observability_flags(flags);
   tools::define_fault_flags(flags);
   tools::define_threads_flag(flags);
+  tools::define_run_control_flags(flags);
   flags.define("report-out", "",
                "write a run-report JSON for the first device's default-"
                "governor replay here");
@@ -36,16 +41,37 @@ int main(int argc, char** argv) {
     return 0;
   flags.check_unknown();
 
+  util::RunControl control;
   try {
     tools::enable_observability(flags);
     tools::enable_faults(flags);
     const std::size_t threads = tools::apply_threads_flag(flags);
+    tools::apply_run_control_flags(flags, control);
+    // SIGINT/SIGTERM stop the sweep between replays; whatever was
+    // simulated so far is flushed with "interrupted": true and exit 11.
+    util::install_signal_stop(control);
     const std::string path = flags.get_string("workload");
-    if (path.empty()) {
-      std::fprintf(stderr, "--workload is required; see --help\n");
+    const std::string resume_path = flags.get_string("resume");
+    if (path.empty() == resume_path.empty()) {
+      std::fprintf(stderr,
+                   "exactly one of --workload / --resume is required; see "
+                   "--help\n");
       return 2;
     }
-    const sim::RunWorkload workload = sim::load_workload_csv_file(path);
+    sim::RunWorkload workload;
+    if (!resume_path.empty()) {
+      // A checkpoint carries the interrupted run's full iteration
+      // history — enough to drive every what-if replay without
+      // re-running the algorithm.
+      const ckpt::RunState state = ckpt::load_checkpoint_file(resume_path);
+      workload.algorithm = state.meta.algorithm;
+      workload.dataset = resume_path;
+      workload.iterations.reserve(state.snapshot.iterations.size());
+      for (const auto& it : state.snapshot.iterations)
+        workload.iterations.push_back(it.to_work());
+    } else {
+      workload = sim::load_workload_csv_file(path);
+    }
     std::printf("workload: %s on %s, %zu iterations, %llu edge relaxations\n",
                 workload.algorithm.c_str(), workload.dataset.c_str(),
                 workload.iterations.size(),
@@ -69,6 +95,7 @@ int main(int argc, char** argv) {
     std::string report_device;
     for (const auto& device : devices) {
       auto emit = [&](const sim::DvfsPolicy& policy) {
+        if (control.should_abort()) return;
         // The run feeding --report-out keeps its per-iteration reports.
         const bool keep = !report_path.empty() && !report_run.has_value();
         const auto report = sim::simulate_run(device, policy, workload,
@@ -91,6 +118,9 @@ int main(int argc, char** argv) {
         }
       }
     }
+    const util::StopReason stop = control.reason();
+    if (stop != util::StopReason::kNone)
+      std::printf("sweep stopped early: %s\n", util::to_string(stop));
     std::printf("\n%s", table.to_string().c_str());
 
     if (report_run) {
@@ -102,11 +132,16 @@ int main(int argc, char** argv) {
       meta.dvfs = "default";
       meta.threads = threads;
       meta.controller_seconds = report_run->controller_seconds;
+      meta.interrupted = stop != util::StopReason::kNone;
+      meta.outcome = stop == util::StopReason::kNone ? "completed"
+                                                     : util::to_string(stop);
       obs::save_run_report(report_path, meta, {}, &*report_run);
       std::printf("wrote run report to %s\n", report_path.c_str());
     }
     tools::print_fault_summary();
     tools::write_observability_outputs(flags);
+    if (stop != util::StopReason::kNone)
+      return tools::exit_code_for_stop(stop);
   } catch (const graph::GraphIoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return tools::exit_code_for(e);

@@ -11,6 +11,8 @@
 #include <sstream>
 #include <string>
 
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/checkpointed_run.hpp"
 #include "core/self_tuning.hpp"
 #include "tools/tool_common.hpp"
 #include "graph/degree_stats.hpp"
@@ -62,16 +64,27 @@ int main(int argc, char** argv) {
   tools::define_observability_flags(flags);
   tools::define_fault_flags(flags);
   tools::define_threads_flag(flags);
+  tools::define_run_control_flags(flags);
+  tools::define_checkpoint_flags(flags);
   flags.define("report-out", "",
                "write the merged run-report JSON here (engine stats + "
                "controller internals + device power/energy)");
+  flags.define("distances-out", "",
+               "write the raw distance/parent arrays here (binary; for "
+               "byte-exact resume comparisons)");
   if (flags.handle_help("run an SSSP algorithm on a graph file")) return 0;
   flags.check_unknown();
 
+  util::RunControl control;
   try {
     tools::enable_observability(flags);
     tools::enable_faults(flags);
     const std::size_t threads = tools::apply_threads_flag(flags);
+    tools::apply_run_control_flags(flags, control);
+    // SIGINT/SIGTERM request a graceful stop: the run aborts at the next
+    // poll site, reports are flushed with "interrupted": true, and the
+    // tool exits 11. A second signal hard-exits 128+signo.
+    util::install_signal_stop(control);
     const std::string in = flags.get_string("in");
     if (in.empty()) {
       std::fprintf(stderr, "--in is required; see --help\n");
@@ -81,35 +94,79 @@ int main(int argc, char** argv) {
     std::printf("graph: %s\n",
                 to_string(graph::compute_degree_stats(g)).c_str());
 
+    // --resume implies self-tuning (the only checkpointable algorithm)
+    // and overrides --source with the checkpoint's.
+    std::optional<ckpt::RunState> resume_state;
+    if (const auto rpath = flags.get_string("resume"); !rpath.empty())
+      resume_state = ckpt::load_checkpoint_file(rpath);
+
     const std::int64_t requested = flags.get_int("source");
     const graph::VertexId source =
-        requested >= 0 ? static_cast<graph::VertexId>(requested)
-                       : graph::max_degree_vertex(g);
+        resume_state.has_value() ? resume_state->meta.source
+        : requested >= 0         ? static_cast<graph::VertexId>(requested)
+                                 : graph::max_degree_vertex(g);
 
-    const std::string algorithm = flags.get_string("algorithm");
+    const std::string algorithm =
+        resume_state.has_value() ? "self-tuning" : flags.get_string("algorithm");
     util::WallTimer timer;
     algo::SsspResult result;
-    if (algorithm == "dijkstra") {
-      result = algo::dijkstra(g, source);
-    } else if (algorithm == "bellman-ford") {
-      result = algo::bellman_ford(g, source);
-    } else if (algorithm == "delta-stepping") {
-      result = algo::delta_stepping(
-          g, source,
-          {.delta = static_cast<graph::Distance>(flags.get_int("delta"))});
-    } else if (algorithm == "near-far") {
-      result = algo::near_far(
-          g, source,
-          {.delta = static_cast<graph::Distance>(flags.get_int("delta"))});
-    } else if (algorithm == "self-tuning") {
-      core::SelfTuningOptions options;
-      options.set_point = flags.get_double("set-point");
-      result = core::self_tuning_sssp(g, source, options);
-    } else {
-      std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
-      return 2;
+    util::StopReason stop = util::StopReason::kNone;
+    bool stopped_mid_iteration = false;
+    ckpt::CheckpointedResult checkpointing{};
+    try {
+      if (algorithm == "dijkstra") {
+        result = algo::dijkstra(g, source);
+      } else if (algorithm == "bellman-ford") {
+        result = algo::bellman_ford(g, source);
+      } else if (algorithm == "delta-stepping") {
+        result = algo::delta_stepping(
+            g, source,
+            {.delta = static_cast<graph::Distance>(flags.get_int("delta"))});
+      } else if (algorithm == "near-far") {
+        algo::NearFarOptions options;
+        options.delta = static_cast<graph::Distance>(flags.get_int("delta"));
+        options.control = &control;
+        result = algo::near_far(g, source, options);
+      } else if (algorithm == "self-tuning") {
+        core::SelfTuningOptions options;
+        options.set_point = flags.get_double("set-point");
+        ckpt::CheckpointPolicy policy;
+        policy.path = flags.get_string("checkpoint-out");
+        policy.every_iterations =
+            static_cast<std::uint64_t>(flags.get_int("checkpoint-every"));
+        policy.every_seconds =
+            static_cast<double>(flags.get_int("checkpoint-every-ms")) / 1000.0;
+        checkpointing = ckpt::run_self_tuning_checkpointed(
+            g, source, options, policy, &control,
+            resume_state.has_value() ? &*resume_state : nullptr);
+        result = std::move(checkpointing.result);
+        stop = checkpointing.stop;
+        stopped_mid_iteration = checkpointing.stopped_mid_iteration;
+        if (checkpointing.resumed)
+          std::printf("resumed from iteration %llu (%s)\n",
+                      static_cast<unsigned long long>(
+                          checkpointing.resumed_from_iteration),
+                      flags.get_string("resume").c_str());
+        if (checkpointing.checkpoints_written > 0)
+          std::printf("checkpoints: %llu written, %llu bytes\n",
+                      static_cast<unsigned long long>(
+                          checkpointing.checkpoints_written),
+                      static_cast<unsigned long long>(
+                          checkpointing.checkpoint_bytes));
+      } else {
+        std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
+        return 2;
+      }
+    } catch (const util::StopRequested& stopped) {
+      // A non-checkpointed algorithm aborted mid-run: no usable result,
+      // but reports and metrics still flush below, marked interrupted.
+      stop = stopped.reason();
+      stopped_mid_iteration = true;
     }
     const double host_seconds = timer.elapsed_seconds();
+    if (stop != util::StopReason::kNone)
+      std::printf("run stopped early: %s%s\n", util::to_string(stop),
+                  stopped_mid_iteration ? " (mid-iteration)" : "");
 
     std::printf("%s from %u: reached %zu/%zu vertices, %zu iterations, "
                 "%.2fs host time, %zu threads\n",
@@ -151,13 +208,32 @@ int main(int argc, char** argv) {
       std::printf("wrote controller trace to %s\n", cpath.c_str());
     }
 
-    if (flags.get_bool("verify") && algorithm != "dijkstra") {
+    if (flags.get_bool("verify") && algorithm != "dijkstra" &&
+        stop == util::StopReason::kNone) {
       const auto expected = algo::dijkstra_distances(g, source);
       const std::size_t mismatches =
           algo::count_distance_mismatches(result.distances, expected);
       std::printf("verification vs Dijkstra: %s\n",
                   mismatches == 0 ? "EXACT" : "MISMATCH!");
       if (mismatches) return 1;
+    }
+
+    if (const auto dpath = flags.get_string("distances-out");
+        !dpath.empty() && stop == util::StopReason::kNone) {
+      // Raw arrays for byte-exact comparisons between an uninterrupted
+      // run and a kill-and-resume run (the CI crash-recovery matrix
+      // cmp(1)s these files).
+      std::ofstream out(dpath, std::ios::binary | std::ios::trunc);
+      if (!out) throw std::runtime_error("cannot open " + dpath);
+      const std::uint64_t n = result.distances.size();
+      out.write(reinterpret_cast<const char*>(&n), sizeof n);
+      out.write(reinterpret_cast<const char*>(result.distances.data()),
+                static_cast<std::streamsize>(n * sizeof(graph::Distance)));
+      out.write(reinterpret_cast<const char*>(result.parents.data()),
+                static_cast<std::streamsize>(result.parents.size() *
+                                             sizeof(graph::VertexId)));
+      if (!out) throw std::runtime_error("write failed: " + dpath);
+      std::printf("wrote distances/parents to %s\n", dpath.c_str());
     }
 
     const std::string device_name = flags.get_string("device");
@@ -215,6 +291,13 @@ int main(int argc, char** argv) {
       meta.controller_degradations = result.controller_degradations;
       meta.controller_recoveries = result.controller_recoveries;
       meta.controller_rejected_inputs = result.controller_rejected_inputs;
+      meta.interrupted = stop != util::StopReason::kNone;
+      meta.outcome = stop == util::StopReason::kNone ? "completed"
+                                                     : util::to_string(stop);
+      meta.checkpoints_written = checkpointing.checkpoints_written;
+      meta.checkpoint_bytes = checkpointing.checkpoint_bytes;
+      meta.resumed = checkpointing.resumed;
+      meta.resumed_from_iteration = checkpointing.resumed_from_iteration;
       obs::save_run_report(rpath, meta, result.iterations,
                           sim_report ? &*sim_report : nullptr);
 
@@ -245,6 +328,14 @@ int main(int argc, char** argv) {
 
     tools::print_fault_summary();
     tools::write_observability_outputs(flags);
+    if (stop != util::StopReason::kNone)
+      return tools::exit_code_for_stop(stop);
+  } catch (const ckpt::InjectedCrash& e) {
+    // Simulated process death: exit with a distinct code and WITHOUT
+    // flushing reports — the resume path must cope with their absence,
+    // exactly as after a real crash.
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return tools::kExitInjectedCrash;
   } catch (const graph::GraphIoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return tools::exit_code_for(e);

@@ -20,6 +20,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/flags.hpp"
+#include "util/run_control.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sssp::tools {
@@ -155,6 +156,76 @@ inline int exit_code_for(const graph::GraphIoError& error) {
       return 8;
   }
   return 1;
+}
+
+// Run-control exit codes continue the table above (README "Exit
+// codes"): a run stopped by its wall-clock deadline, the stall
+// watchdog, or SIGINT/SIGTERM exits with a distinct code after
+// flushing reports; an injected ckpt.* crash exits 12 *without*
+// flushing (it simulates process death).
+inline constexpr int kExitDeadline = 9;
+inline constexpr int kExitStall = 10;
+inline constexpr int kExitInterrupted = 11;
+inline constexpr int kExitInjectedCrash = 12;
+
+inline int exit_code_for_stop(util::StopReason reason) {
+  switch (reason) {
+    case util::StopReason::kNone:
+      return 0;
+    case util::StopReason::kInterrupt:
+      return kExitInterrupted;
+    case util::StopReason::kDeadline:
+      return kExitDeadline;
+    case util::StopReason::kStall:
+      return kExitStall;
+  }
+  return 1;
+}
+
+// Registers the graceful-shutdown flags. Call before handle_help().
+inline void define_run_control_flags(util::Flags& flags) {
+  flags.define("deadline-ms", "0",
+               "wall-clock budget in milliseconds; on expiry the run "
+               "checkpoints (if configured), flushes reports, and exits 9 "
+               "(0 = none)");
+  flags.define("stall-limit", "0",
+               "abort when no new distance improves across this many "
+               "consecutive iterations: checkpoint, report, exit 10 "
+               "(0 = watchdog off)");
+}
+
+// Applies the flags to a RunControl. Returns true when any limit was
+// armed (callers then install signal handlers and poll the control).
+inline bool apply_run_control_flags(const util::Flags& flags,
+                                    util::RunControl& control) {
+  bool armed = false;
+  if (const std::int64_t ms = flags.get_int("deadline-ms"); ms > 0) {
+    control.set_deadline(static_cast<double>(ms) / 1000.0);
+    armed = true;
+  } else if (ms < 0) {
+    throw std::runtime_error("--deadline-ms must be >= 0");
+  }
+  if (const std::int64_t limit = flags.get_int("stall-limit"); limit > 0) {
+    control.set_stall_limit(static_cast<std::uint64_t>(limit));
+    armed = true;
+  } else if (limit < 0) {
+    throw std::runtime_error("--stall-limit must be >= 0");
+  }
+  return armed;
+}
+
+// Registers the checkpoint/resume flags. Call before handle_help().
+inline void define_checkpoint_flags(util::Flags& flags) {
+  flags.define("checkpoint-out", "",
+               "write crash-consistent checkpoints here (atomic tmp+rename; "
+               "docs/ROBUSTNESS.md \"Checkpoint & recovery\")");
+  flags.define("checkpoint-every", "0",
+               "checkpoint cadence in iterations (0 = only on early stop)");
+  flags.define("checkpoint-every-ms", "0",
+               "checkpoint cadence in wall-clock milliseconds (0 = off)");
+  flags.define("resume", "",
+               "resume from this checkpoint file; the run continues the "
+               "interrupted trajectory bit-exactly");
 }
 
 }  // namespace sssp::tools
