@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
+#include "verify/auditor.hpp"
 
 namespace sssp::ckpt {
 
@@ -26,6 +27,11 @@ CheckpointedResult run_self_tuning_checkpointed(
     // live process state.
     effective = resume->options;
     effective.control = control;
+    // The audit knobs are live process state like `control` — they
+    // never alter the trajectory (reads only, unless a real fault
+    // trips), so the resuming process's flags apply.
+    effective.audit_every = options.audit_every;
+    effective.audit_abort = options.audit_abort;
     // Realign the armed failpoints' hit counters and probability
     // streams so injected-fault schedules continue where they left off.
     fault::FailpointRegistry::global().restore_runtime(resume->failpoints);
@@ -89,6 +95,13 @@ CheckpointedResult run_self_tuning_checkpointed(
         cadence_timer.reset();
       }
     }
+  } catch (const verify::AuditViolation& violation) {
+    // Audit-abort trips at the iteration boundary, after the iteration
+    // was recorded: the run state is intact and checkpointable, unlike
+    // a mid-stage StopRequested.
+    out.audit_aborted = true;
+    SSSP_LOG(kError) << violation.what()
+                     << "; stopping at the iteration boundary";
   } catch (const util::StopRequested& stopped) {
     // The stop landed inside a stage: the run state is torn, so it must
     // not be checkpointed — the last cadence write is the resume point.
@@ -99,9 +112,11 @@ CheckpointedResult run_self_tuning_checkpointed(
                     << "); resume from the last checkpoint";
   }
 
-  if (out.stop != util::StopReason::kNone && !out.stopped_mid_iteration &&
+  if (((out.stop != util::StopReason::kNone && !out.stopped_mid_iteration) ||
+       out.audit_aborted) &&
       checkpointing && policy.final_on_stop) {
-    // Clean boundary stop: capture the freshest possible resume point.
+    // Clean boundary stop (or audit abort, which also lands on a
+    // boundary): capture the freshest possible resume point.
     write_checkpoint();
   }
 

@@ -42,6 +42,11 @@ struct CheckpointedResult {
   // so no final checkpoint was written — the last cadence checkpoint is
   // the resume point — and result.distances are a partial view.
   bool stopped_mid_iteration = false;
+  // True when the online invariant auditor tripped in audit-abort mode:
+  // the run stopped at the (intact) iteration boundary, a final
+  // checkpoint was written if the policy allows, and result.distances
+  // are the partial state the auditor distrusted.
+  bool audit_aborted = false;
   bool resumed = false;
   std::uint64_t resumed_from_iteration = 0;
   std::uint64_t checkpoints_written = 0;

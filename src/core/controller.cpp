@@ -91,6 +91,10 @@ void DeltaController::reset_models() {
   if (obs::metrics_enabled()) ControllerMetrics::get().model_resets.add();
 }
 
+void DeltaController::quarantine() {
+  handle_event(health_.record_external_fault());
+}
+
 void DeltaController::handle_event(HealthEvent event) {
   switch (event) {
     case HealthEvent::kNone:

@@ -109,6 +109,13 @@ class DeltaController {
   const ControllerHealth& health() const noexcept { return health_; }
   ControlState control_state() const noexcept { return health_.state(); }
 
+  // External-fault quarantine: the run loop's invariant auditor caught a
+  // tripped invariant and no longer trusts the adaptive models. Resets
+  // both models and degrades to the static fallback delta policy (same
+  // path as a detected divergence); recovery goes through the usual
+  // probation. Idempotent while already degraded.
+  void quarantine();
+
   // Complete serializable controller state (checkpoint/resume): delta,
   // the pending BISECT-MODEL observation, both SGD models, and the
   // health monitor. Restoring a captured state onto a controller built

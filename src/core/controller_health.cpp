@@ -56,6 +56,12 @@ HealthEvent ControllerHealth::record_rejected_input() {
   return HealthEvent::kNone;
 }
 
+HealthEvent ControllerHealth::record_external_fault() {
+  healthy_streak_ = 0;
+  if (state_ == ControlState::kDegraded) return HealthEvent::kNone;
+  return degrade();
+}
+
 HealthEvent ControllerHealth::record_plan(bool at_bound, double step,
                                           double relative_step,
                                           bool model_state_finite) {

@@ -57,6 +57,13 @@ class ControllerHealth {
   // limit.
   HealthEvent record_rejected_input();
 
+  // An external watchdog (the invariant auditor, verify/auditor.hpp)
+  // observed a tripped runtime invariant. Unlike the streak heuristics
+  // this degrades immediately — the caller has positive evidence, not a
+  // suspicion. No-op (beyond restarting probation) when already
+  // degraded.
+  HealthEvent record_external_fault();
+
   // A plan completed. `at_bound` — the resulting delta sits at the
   // min/max clamp; `step` — the delta change taken; `relative_step` —
   // step / max(previous delta, 1); `model_state_finite` — degree and

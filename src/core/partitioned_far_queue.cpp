@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fault/failpoint.hpp"
 #include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
@@ -242,6 +243,11 @@ std::uint64_t PartitionedFarQueue::update_boundary(double set_point,
   }
   current.entries.resize(keep);
   current.upper_bound = target;
+  // Injected fault: a boundary write that breaks the Eq. 7 ordering
+  // (current bound raised to/above the next partition's). The invariant
+  // auditor's A2 check is the intended detector.
+  if (SSSP_FAILPOINT("far.boundary.corrupt"))
+    current.upper_bound = next.upper_bound;
   if (obs::metrics_enabled()) {
     FarQueueMetrics& m = FarQueueMetrics::get();
     m.boundary_updates.add();

@@ -107,6 +107,16 @@ class PartitionedFarQueue {
   // Drops all entries (used when every remaining entry is stale).
   void clear();
 
+  // Copies the partition upper bounds (ascending, last == MAX) into
+  // `out` — the invariant auditor's Eq. 7 monotonicity input. O(P) with
+  // no allocation once `out` has capacity; does not expose entries.
+  void boundary_snapshot(std::vector<graph::Distance>& out) const {
+    out.clear();
+    out.reserve(partitions_.size());
+    for (const Partition& partition : partitions_)
+      out.push_back(partition.upper_bound);
+  }
+
   // Invariant check for tests: boundaries strictly increasing, last is
   // MAX, every entry within its partition's range. Throws otherwise.
   void check_invariants() const;

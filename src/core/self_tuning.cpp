@@ -13,6 +13,8 @@
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
+#include "verify/auditor.hpp"
+#include "verify/flight_recorder.hpp"
 
 namespace sssp::core {
 namespace {
@@ -105,11 +107,14 @@ struct SelfTuningRun::Impl {
   }
 
   bool step();
+  void run_audit(const frontier::IterationStats& stats);
   void finalize() {
     result.improving_relaxations = engine.total_improving_relaxations();
     result.controller_degradations = controller.health().degradations();
     result.controller_recoveries = controller.health().recoveries();
     result.controller_rejected_inputs = controller.health().rejected_inputs();
+    result.audits_run = auditor.audits_run();
+    result.audit_violations = auditor.violations();
     result.distances = engine.distances();
     // The engine maintains parents deterministically in both serial and
     // parallel advances; no re-derivation pass is needed.
@@ -124,7 +129,48 @@ struct SelfTuningRun::Impl {
   algo::SsspResult result;
   std::vector<VertexId> refill;
   util::WallTimer controller_timer;
+  verify::InvariantAuditor auditor;
+  std::vector<Distance> audit_bounds;
+  bool flight_degraded_seen = false;
 };
+
+// Feeds one completed iteration's observable state to the invariant
+// auditor. A trip either aborts (audit_abort) or quarantines the
+// adaptive controller — distances stay exact in both outcomes; only
+// tracking quality is surrendered in the second.
+void SelfTuningRun::Impl::run_audit(const frontier::IterationStats& stats) {
+  verify::IterationAudit audit;
+  audit.iteration = result.iterations.size() - 1;  // just pushed
+  audit.delta = stats.delta;
+  audit.x1 = stats.x1;
+  audit.x2 = stats.x2;
+  audit.x3 = stats.x3;
+  audit.x4 = stats.x4;
+  audit.improving_relaxations = stats.improving_relaxations;
+  audit.far_size = far.size();
+  audit.degree_estimate = stats.degree_estimate;
+  audit.alpha_estimate = stats.alpha_estimate;
+  far.boundary_snapshot(audit_bounds);
+  audit.far_bounds = audit_bounds;
+  audit.far_floor = far.current_lower_bound();
+  audit.distances = engine.distances();
+  if (auditor.audit(audit) == 0) return;
+
+  const std::string detail =
+      auditor.findings().empty()
+          ? std::string("(details capped)")
+          : std::string(verify::to_string(auditor.findings().back().check)) +
+                ": " + auditor.findings().back().detail;
+  if (options.audit_abort) {
+    SSSP_LOG(kError) << "invariant audit tripped at iteration "
+                     << audit.iteration << " (" << detail << "); aborting";
+    throw verify::AuditViolation(audit.iteration, detail);
+  }
+  SSSP_LOG(kWarn) << "invariant audit tripped at iteration "
+                  << audit.iteration << " (" << detail
+                  << "); quarantining the adaptive controller";
+  controller.quarantine();
+}
 
 bool SelfTuningRun::Impl::step() {
   if (done()) return false;
@@ -335,7 +381,24 @@ bool SelfTuningRun::Impl::step() {
     m.controller_seconds.record(controller_seconds);
     m.x2.record(static_cast<double>(stats.x2));
   }
+  if (verify::flight_enabled()) {
+    const std::uint64_t iteration = result.iterations.size();
+    verify::record_iteration(iteration, stats.delta, stats.x1, stats.x2,
+                             stats.x3, stats.x4, stats.far_queue_size);
+    if (stats.controller_degraded != flight_degraded_seen) {
+      flight_degraded_seen = stats.controller_degraded;
+      verify::record_event(verify::FlightEventKind::kHealth, iteration,
+                           stats.controller_degraded ? "degraded"
+                                                     : "recovered");
+    }
+  }
   result.iterations.push_back(stats);
+  // Audit at the iteration boundary: the state just pushed is exactly
+  // what a checkpoint would persist, so an abort here unwinds from a
+  // resumable point.
+  if (options.audit_every > 0 &&
+      result.iterations.size() % options.audit_every == 0)
+    run_audit(stats);
   return true;
 }
 

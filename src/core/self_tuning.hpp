@@ -59,6 +59,20 @@ struct SelfTuningOptions {
   bool rebalance_down = true;          // allow demoting when delta shrinks
   bool partition_boundaries = true;    // Eq. 7 maintenance on/off
   std::uint64_t bootstrap_observations = 5;
+  // --- online invariant auditing (docs/ROBUSTNESS.md) ---
+  // Run the verify-layer invariant audit (A1-A4: frontier accounting,
+  // Eq. 7 boundary ordering, distance no-regression probes, finite
+  // controller state) every N iterations; 0 disables. Each audit is
+  // O(probes + partitions), so N = 1 stays well under 2% overhead on
+  // non-trivial graphs. Like `control`, this is a host-side knob: it is
+  // not serialized into checkpoints, and a resumed run restarts its
+  // audit counters.
+  std::uint64_t audit_every = 0;
+  // On a tripped invariant: false (default) quarantines the controller
+  // into the degraded static-delta policy and keeps running; true
+  // throws verify::AuditViolation at the iteration boundary (the
+  // checkpoint layer persists state before unwinding).
+  bool audit_abort = false;
   // Cooperative cancellation, threaded into the engine: deadline /
   // signal / stall requests abort the run mid-iteration with
   // util::StopRequested. Not owned; must outlive the run. Not part of

@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
+#include "util/weight_math.hpp"
 
 namespace sssp::frontier {
 
@@ -114,7 +115,7 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_serial() {
     const graph::Distance du = dist_[u];
     for (std::size_t i = 0; i < neighbors.size(); ++i) {
       const graph::VertexId v = neighbors[i];
-      const graph::Distance nd = du + weights[i];
+      const graph::Distance nd = util::saturating_add(du, weights[i]);
       if (nd < dist_[v]) {
         dist_[v] = nd;
         parent_[v] = u;
@@ -252,7 +253,7 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_parallel() {
         const auto weights = graph_->weights_of(u);
         for (std::size_t e = 0; e < neighbors.size(); ++e) {
           const graph::VertexId v = neighbors[e];
-          const graph::Distance nd = du + weights[e];
+          const graph::Distance nd = util::saturating_add(du, weights[e]);
           std::atomic_ref<graph::Distance> dv(dist_[v]);
           graph::Distance current = dv.load(std::memory_order_relaxed);
           bool improved = false;
@@ -309,7 +310,7 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_parallel() {
         for (std::size_t e = 0; e < neighbors.size(); ++e) {
           const graph::VertexId v = neighbors[e];
           if (mark_[v] != epoch_) continue;  // not improved this iteration
-          const graph::Distance nd = du + weights[e];
+          const graph::Distance nd = util::saturating_add(du, weights[e]);
           if (nd != dist_[v]) continue;  // does not achieve the final value
           const std::uint64_t rank = base + e;
           std::atomic_ref<std::uint64_t> w(winner_[v]);

@@ -110,6 +110,24 @@ CsrGraph load_sections_v2(Reader& reader, const Header& header) {
   return CsrGraph(std::move(offsets), std::move(targets), std::move(weights));
 }
 
+// Structural CSR validation (non-monotone offsets, out-of-range edge
+// targets, offset/edge-count mismatch) raises std::invalid_argument
+// from the graph layer; a *loader* must report it as a structured
+// parse error so tools exit with the corrupt-input code instead of the
+// generic failure code.
+template <typename Load>
+CsrGraph checked_structure(Load&& load, std::uint64_t payload_offset) {
+  try {
+    CsrGraph graph = load();
+    graph.validate();
+    return graph;
+  } catch (const std::invalid_argument& e) {
+    fail(IoErrorClass::kParse,
+         std::string("inconsistent CSR structure: ") + e.what(),
+         payload_offset);
+  }
+}
+
 }  // namespace
 
 std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept {
@@ -164,9 +182,9 @@ CsrGraph load_binary(std::istream& in) {
     reader.read(&header.num_vertices, 1, "header");
     reader.read(&header.num_edges, 1, "header");
     check_header_bounds(header, 16);
-    CsrGraph graph = load_sections_v1(reader, header);
-    graph.validate();
-    return graph;
+    const std::uint64_t payload_offset = reader.offset;
+    return checked_structure(
+        [&] { return load_sections_v1(reader, header); }, payload_offset);
   }
   if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) != 0)
     fail(IoErrorClass::kVersion, "bad magic (not a tunesssp graph cache)", 0);
@@ -190,9 +208,9 @@ CsrGraph load_binary(std::istream& in) {
 
   const Header header{body.num_vertices, body.num_edges};
   check_header_bounds(header, header_start);
-  CsrGraph graph = load_sections_v2(reader, header);
-  graph.validate();
-  return graph;
+  const std::uint64_t payload_offset = reader.offset;
+  return checked_structure(
+      [&] { return load_sections_v2(reader, header); }, payload_offset);
 }
 
 CsrGraph load_binary_file(const std::string& path) {

@@ -56,11 +56,26 @@ CsrGraph load_dimacs(std::istream& in) {
         std::istringstream ls(line);
         char tag;
         std::uint64_t src, dst, weight;
-        if (!(ls >> tag >> src >> dst >> weight))
+        std::string weight_token;
+        if (!(ls >> tag >> src >> dst >> weight_token))
           fail(IoErrorClass::kParse, line_no, "malformed arc line");
         if (src == 0 || dst == 0 || src > declared_vertices ||
             dst > declared_vertices)
           fail(IoErrorClass::kParse, line_no, "vertex id out of range");
+        // Parse the weight from its raw token: istream's unsigned
+        // extraction accepts "-5" and wraps it modulo 2^64, turning a
+        // negative-weight arc into a huge positive one instead of a
+        // load error.
+        if (weight_token[0] == '-')
+          fail(IoErrorClass::kParse, line_no,
+               "negative weight '" + weight_token + "'");
+        std::istringstream ws(weight_token);
+        if (!(ws >> weight) ||
+            ws.peek() != std::istringstream::traits_type::eof())
+          fail(IoErrorClass::kParse, line_no,
+               "malformed weight '" + weight_token + "'");
+        if (weight > 0xFFFFFFFFull)
+          fail(IoErrorClass::kLimit, line_no, "weight exceeds 32 bits");
         edges.push_back({static_cast<VertexId>(src - 1),
                          static_cast<VertexId>(dst - 1),
                          static_cast<Weight>(weight)});

@@ -38,10 +38,24 @@ CsrGraph load_edge_list(std::istream& in, const EdgeListOptions& options) {
     if (src > 0xFFFFFFFEull || dst > 0xFFFFFFFEull)
       throw GraphIoError(IoErrorClass::kLimit, "edge list",
                          "vertex id exceeds 32 bits", line_no);
+    // The weight column is optional, but when present it must be a
+    // non-negative integer. istream's unsigned extraction silently
+    // wraps "-5" modulo 2^64 and a stray "nan"/garbage token would fall
+    // through to a random weight — both produce a plausible-looking
+    // graph with corrupted weights, so parse the token explicitly.
     std::uint64_t weight;
-    if (!(ls >> weight)) {
+    std::string weight_token;
+    if (!(ls >> weight_token)) {
       weight = rng.next_range(options.default_min_weight,
                               options.default_max_weight);
+    } else if (weight_token[0] == '-') {
+      throw GraphIoError(IoErrorClass::kParse, "edge list",
+                         "negative weight '" + weight_token + "'", line_no);
+    } else {
+      std::istringstream ws(weight_token);
+      if (!(ws >> weight) || ws.peek() != std::istringstream::traits_type::eof())
+        throw GraphIoError(IoErrorClass::kParse, "edge list",
+                           "malformed weight '" + weight_token + "'", line_no);
     }
     edges.push_back({static_cast<VertexId>(src), static_cast<VertexId>(dst),
                      static_cast<Weight>(std::min<std::uint64_t>(

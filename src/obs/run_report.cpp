@@ -58,6 +58,33 @@ void write_run_report(std::ostream& out, const RunReportMeta& meta,
   w.end_object();
   w.end_object();
 
+  w.key("verification");
+  if (!meta.verification.requested) {
+    w.null();
+  } else {
+    const RunReportVerification& v = meta.verification;
+    w.begin_object();
+    w.key("mode").value(v.mode);
+    w.key("certified").value(v.certified);
+    w.key("vertices_checked").value(v.vertices_checked);
+    w.key("edges_checked").value(v.edges_checked);
+    w.key("violations").value(v.violations);
+    w.key("samples").begin_array();
+    for (const std::string& sample : v.samples) w.value(sample);
+    w.end_array();
+    w.key("seconds").value(v.seconds);
+    w.key("audits").begin_object();
+    w.key("run").value(v.audits_run);
+    w.key("violations").value(v.audit_violations);
+    w.end_object();
+    w.key("flight_recorder");
+    if (v.flight_recorder_path.empty())
+      w.null();
+    else
+      w.value(v.flight_recorder_path);
+    w.end_object();
+  }
+
   w.key("sim");
   if (sim_report == nullptr) {
     w.null();

@@ -16,6 +16,11 @@
 //                                      rejected_inputs },
 //                 checkpoint: { written, bytes, resumed,
 //                               resumed_from_iteration } },
+//     "verification": { mode, certified, vertices_checked,
+//                       edges_checked, violations, samples: [string],
+//                       seconds,
+//                       audits: { run, violations },
+//                       flight_recorder: path | null } | null,
 //     "sim":    { total_seconds, energy_joules, average_power_w,
 //                 peak_power_w, controller_seconds } | null,
 //     "iterations": [ { iter, x1, x2, x3, x4, improving_relaxations,
@@ -34,11 +39,32 @@
 #include <ostream>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "frontier/stats.hpp"
 #include "sim/run.hpp"
 
 namespace sssp::obs {
+
+// Result-verification outcome for the "verification" block. Plain data
+// (obs sits below verify in the library graph): the producing tool
+// copies the certifier/auditor outputs in.
+struct RunReportVerification {
+  bool requested = false;  // false => "verification": null
+  std::string mode;        // "certify" or "certify+dijkstra"
+  bool certified = false;
+  std::uint64_t vertices_checked = 0;
+  std::uint64_t edges_checked = 0;
+  std::uint64_t violations = 0;
+  std::vector<std::string> samples;  // human-readable, capped upstream
+  double seconds = 0.0;
+  // Online invariant-audit totals (0/0 when auditing was off).
+  std::uint64_t audits_run = 0;
+  std::uint64_t audit_violations = 0;
+  // Cross-link to the flight-recorder dump written for this run (empty
+  // = none).
+  std::string flight_recorder_path;
+};
 
 struct RunReportMeta {
   std::string tool;       // producing binary, e.g. "sssp_tool"
@@ -72,6 +98,9 @@ struct RunReportMeta {
   std::uint64_t checkpoint_bytes = 0;
   bool resumed = false;
   std::uint64_t resumed_from_iteration = 0;
+  // Certification / audit outcome (docs/ROBUSTNESS.md, "Verification &
+  // post-mortem").
+  RunReportVerification verification;
 };
 
 // Emits one record per iteration: engine/controller fields come from

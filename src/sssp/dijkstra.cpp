@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/weight_math.hpp"
+
 namespace sssp::algo {
 
 std::vector<graph::Distance> dijkstra_distances(const graph::CsrGraph& graph,
@@ -26,7 +28,7 @@ std::vector<graph::Distance> dijkstra_distances(const graph::CsrGraph& graph,
     const auto weights = graph.weights_of(u);
     for (std::size_t i = 0; i < neighbors.size(); ++i) {
       const graph::VertexId v = neighbors[i];
-      const graph::Distance nd = d + weights[i];
+      const graph::Distance nd = util::saturating_add(d, weights[i]);
       if (nd < dist[v]) {
         dist[v] = nd;
         heap.emplace(nd, v);
@@ -60,7 +62,7 @@ SsspResult dijkstra(const graph::CsrGraph& graph, graph::VertexId source) {
     const auto weights = graph.weights_of(u);
     for (std::size_t i = 0; i < neighbors.size(); ++i) {
       const graph::VertexId v = neighbors[i];
-      const graph::Distance nd = d + weights[i];
+      const graph::Distance nd = util::saturating_add(d, weights[i]);
       if (nd < result.distances[v]) {
         result.distances[v] = nd;
         result.parents[v] = u;

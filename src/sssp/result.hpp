@@ -36,6 +36,10 @@ struct SsspResult {
   std::uint64_t controller_degradations = 0;
   std::uint64_t controller_recoveries = 0;
   std::uint64_t controller_rejected_inputs = 0;
+  // Online invariant audits (verify/auditor.hpp) executed during the
+  // run and the violations they found; both 0 when auditing was off.
+  std::uint64_t audits_run = 0;
+  std::uint64_t audit_violations = 0;
 
   std::size_t num_iterations() const noexcept { return iterations.size(); }
 

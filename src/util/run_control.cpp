@@ -71,11 +71,25 @@ namespace {
 // publish the pointer before/after touching signal dispositions.
 std::atomic<RunControl*> g_signal_control{nullptr};
 std::atomic<int> g_signal_count{0};
+// Open signal-critical sections and the signo of a hard exit deferred
+// by one (0 = none pending).
+std::atomic<int> g_critical_depth{0};
+std::atomic<int> g_deferred_exit_signo{0};
 
 extern "C" void sssp_handle_stop_signal(int signo) {
   const int count =
       g_signal_count.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (count > 1) std::_Exit(128 + signo);  // second signal: hard exit
+  if (count > 1) {
+    // Second signal: hard exit — unless a critical section (e.g. the
+    // checkpoint tmp+rename window) is open, in which case the exit is
+    // deferred to the section's close so the protocol can finish and
+    // leave a valid file behind.
+    if (g_critical_depth.load(std::memory_order_acquire) > 0) {
+      g_deferred_exit_signo.store(signo, std::memory_order_release);
+      return;
+    }
+    std::_Exit(128 + signo);
+  }
   if (RunControl* control =
           g_signal_control.load(std::memory_order_acquire);
       control != nullptr)
@@ -84,8 +98,26 @@ extern "C" void sssp_handle_stop_signal(int signo) {
 
 }  // namespace
 
+ScopedSignalCritical::ScopedSignalCritical() noexcept {
+  g_critical_depth.fetch_add(1, std::memory_order_acq_rel);
+}
+
+ScopedSignalCritical::~ScopedSignalCritical() {
+  if (g_critical_depth.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // Last section closed: honor a hard exit that arrived inside it.
+  if (const int signo =
+          g_deferred_exit_signo.load(std::memory_order_acquire);
+      signo != 0)
+    std::_Exit(128 + signo);
+}
+
+bool signal_hard_exit_pending() noexcept {
+  return g_deferred_exit_signo.load(std::memory_order_acquire) != 0;
+}
+
 void install_signal_stop(RunControl& control) {
   g_signal_count.store(0, std::memory_order_relaxed);
+  g_deferred_exit_signo.store(0, std::memory_order_relaxed);
   g_signal_control.store(&control, std::memory_order_release);
   std::signal(SIGINT, sssp_handle_stop_signal);
   std::signal(SIGTERM, sssp_handle_stop_signal);

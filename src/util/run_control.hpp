@@ -99,8 +99,33 @@ class RunControl {
 // flag parsing); installing replaces the previous one. The handler only
 // touches lock-free atomics. A second signal while one is already
 // pending hard-exits with the conventional 128 + signo, so a wedged
-// run can still be killed from the keyboard.
+// run can still be killed from the keyboard — unless a signal-critical
+// section is open (below), in which case the hard exit is deferred to
+// the section's close.
 void install_signal_stop(RunControl& control);
 void uninstall_signal_stop() noexcept;
+
+// Signal-critical section: while at least one is open, the installed
+// handler's second-signal hard-exit path is *deferred* instead of
+// executed — the pending 128+signo exit fires when the last section
+// closes. The first (cooperative) signal is unaffected; it only sets
+// the stop flag. The checkpoint writer wraps its tmp+rename window in
+// one of these so an impatient ^C^C can never tear the protocol: the
+// write either completes (valid new checkpoint, then the process
+// exits) or was never entered (valid old checkpoint). Nestable,
+// async-signal-safe (lock-free atomics only), and a no-op when no
+// handler is installed.
+class ScopedSignalCritical {
+ public:
+  ScopedSignalCritical() noexcept;
+  ~ScopedSignalCritical();
+
+  ScopedSignalCritical(const ScopedSignalCritical&) = delete;
+  ScopedSignalCritical& operator=(const ScopedSignalCritical&) = delete;
+};
+
+// True when a deferred hard exit is pending (test hook; the exit itself
+// happens when the critical section closes).
+bool signal_hard_exit_pending() noexcept;
 
 }  // namespace sssp::util

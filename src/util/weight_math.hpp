@@ -1,0 +1,36 @@
+// Saturating distance arithmetic for the relaxation kernels.
+//
+// A tentative distance is a sum of 32-bit edge weights along a path; on
+// adversarial inputs (max-weight edges on a long path, or a corrupted
+// dist[] entry near kInfiniteDistance) the plain `du + w` relaxation
+// wraps modulo 2^64 and produces a *small* distance — which then beats
+// every honest label and silently poisons the whole run. The guards
+// here clamp at kInfiniteDistance instead: INF stays absorbing
+// (INF + w == INF), and a near-INF label can never relax below itself.
+//
+// Used by the engine's serial and parallel relax loops, Dijkstra (both
+// the result and distances-only variants), and the result certifier —
+// so the checker and the checked compute distances with identical
+// semantics.
+#pragma once
+
+#include "graph/types.hpp"
+
+namespace sssp::util {
+
+// dist + weight, clamped at kInfiniteDistance. The unreachable label is
+// absorbing and finite sums never wrap past it.
+constexpr graph::Distance saturating_add(graph::Distance dist,
+                                         graph::Distance weight) noexcept {
+  return dist >= graph::kInfiniteDistance - weight ? graph::kInfiniteDistance
+                                                   : dist + weight;
+}
+
+// True when `dist + weight` would reach or pass the INF sentinel (i.e.
+// the saturating result is not a usable finite distance).
+constexpr bool add_saturates(graph::Distance dist,
+                             graph::Distance weight) noexcept {
+  return dist >= graph::kInfiniteDistance - weight;
+}
+
+}  // namespace sssp::util

@@ -1,0 +1,142 @@
+#include "verify/auditor.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "verify/flight_recorder.hpp"
+
+namespace sssp::verify {
+
+const char* to_string(AuditCheck check) noexcept {
+  switch (check) {
+    case AuditCheck::kFrontierAccounting: return "frontier-accounting";
+    case AuditCheck::kBoundaryMonotone: return "boundary-monotone";
+    case AuditCheck::kDistanceRegression: return "distance-regression";
+    case AuditCheck::kControllerFinite: return "controller-finite";
+  }
+  return "unknown";
+}
+
+void InvariantAuditor::report(std::uint64_t iteration, AuditCheck check,
+                              std::string detail, std::size_t& fresh) {
+  ++violations_;
+  ++fresh;
+  if (findings_.size() < options_.max_findings)
+    findings_.push_back({iteration, check, std::move(detail)});
+}
+
+std::size_t InvariantAuditor::audit(const IterationAudit& it) {
+  ++audits_;
+  std::size_t fresh = 0;
+
+  // A1: frontier conservation. Every vertex the filter kept improved at
+  // least once, every improvement is one of the X2 edge items, and the
+  // bisect only splits the filtered frontier.
+  if (it.improving_relaxations > it.x2) {
+    std::ostringstream detail;
+    detail << "improving=" << it.improving_relaxations << " > x2=" << it.x2;
+    report(it.iteration, AuditCheck::kFrontierAccounting, detail.str(), fresh);
+  }
+  if (it.x3 > it.improving_relaxations) {
+    std::ostringstream detail;
+    detail << "x3=" << it.x3 << " > improving=" << it.improving_relaxations;
+    report(it.iteration, AuditCheck::kFrontierAccounting, detail.str(), fresh);
+  }
+  if (it.x4 > it.x3) {
+    std::ostringstream detail;
+    detail << "x4=" << it.x4 << " > x3=" << it.x3;
+    report(it.iteration, AuditCheck::kFrontierAccounting, detail.str(), fresh);
+  }
+
+  // A2: Eq. 7 boundary shape. Bounds strictly ascend to a final INF and
+  // never dip below the floor.
+  if (!it.far_bounds.empty()) {
+    if (it.far_bounds.back() != graph::kInfiniteDistance)
+      report(it.iteration, AuditCheck::kBoundaryMonotone,
+             "last far-queue bound is not INF", fresh);
+    if (it.far_floor > it.far_bounds.front()) {
+      std::ostringstream detail;
+      detail << "floor=" << it.far_floor << " above first bound "
+             << it.far_bounds.front();
+      report(it.iteration, AuditCheck::kBoundaryMonotone, detail.str(),
+             fresh);
+    }
+    for (std::size_t i = 1; i < it.far_bounds.size(); ++i) {
+      if (it.far_bounds[i] > it.far_bounds[i - 1]) continue;
+      std::ostringstream detail;
+      detail << "bound[" << i << "]=" << it.far_bounds[i]
+             << " <= bound[" << i - 1 << "]=" << it.far_bounds[i - 1];
+      report(it.iteration, AuditCheck::kBoundaryMonotone, detail.str(),
+             fresh);
+      break;  // one ordering finding per audit is enough signal
+    }
+  }
+
+  // A3: settled distances never regress. Fixed probe set, O(probes) per
+  // audit; the certifier covers the full array at the end.
+  if (!it.distances.empty()) {
+    if (probe_vertices_.empty()) {
+      const std::size_t n = it.distances.size();
+      const std::size_t count = std::min(options_.distance_probes, n);
+      const std::size_t stride = count > 0 ? n / count : 1;
+      probe_vertices_.reserve(count);
+      probe_distances_.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto v = static_cast<graph::VertexId>(i * stride);
+        probe_vertices_.push_back(v);
+        probe_distances_.push_back(it.distances[v]);
+      }
+    } else {
+      for (std::size_t i = 0; i < probe_vertices_.size(); ++i) {
+        const graph::VertexId v = probe_vertices_[i];
+        if (v >= it.distances.size()) continue;
+        const graph::Distance now = it.distances[v];
+        if (now > probe_distances_[i]) {
+          std::ostringstream detail;
+          detail << "dist[" << v << "] regressed " << probe_distances_[i]
+                 << " -> " << now;
+          report(it.iteration, AuditCheck::kDistanceRegression, detail.str(),
+                 fresh);
+        }
+        probe_distances_[i] = now;
+      }
+    }
+  }
+
+  // A4: controller state stays finite. A NaN/inf delta or model estimate
+  // poisons every subsequent plan; catch it the iteration it appears.
+  if (!std::isfinite(it.delta) || it.delta <= 0.0) {
+    std::ostringstream detail;
+    detail << "delta=" << it.delta;
+    report(it.iteration, AuditCheck::kControllerFinite, detail.str(), fresh);
+  }
+  if (!std::isfinite(it.degree_estimate) || it.degree_estimate < 0.0) {
+    std::ostringstream detail;
+    detail << "degree_estimate=" << it.degree_estimate;
+    report(it.iteration, AuditCheck::kControllerFinite, detail.str(), fresh);
+  }
+  if (!std::isfinite(it.alpha_estimate) || it.alpha_estimate < 0.0) {
+    std::ostringstream detail;
+    detail << "alpha_estimate=" << it.alpha_estimate;
+    report(it.iteration, AuditCheck::kControllerFinite, detail.str(), fresh);
+  }
+
+  if (fresh > 0) {
+    const char* note = findings_.empty()
+                           ? "violation"
+                           : to_string(findings_.back().check);
+    record_event(FlightEventKind::kAudit, it.iteration, note, fresh);
+  }
+  return fresh;
+}
+
+void InvariantAuditor::reset() {
+  audits_ = 0;
+  violations_ = 0;
+  findings_.clear();
+  probe_vertices_.clear();
+  probe_distances_.clear();
+}
+
+}  // namespace sssp::verify

@@ -1,0 +1,128 @@
+// Online invariant auditor — cheap per-iteration checks at pipeline
+// phase boundaries (docs/ROBUSTNESS.md, "Verification & post-mortem").
+//
+// Where the certifier proves the *final* answer, the auditor watches the
+// run while it is still cheap to stop: a corrupted distance array or a
+// broken far-queue boundary caught at iteration k costs k iterations,
+// not a full run plus a failed certification. The checks are O(probes +
+// partitions) per audit — independent of graph size — so sampling every
+// N iterations keeps overhead under the 2% budget even at N = 1 on
+// non-trivial graphs.
+//
+// Invariant catalog (IDs match docs/ROBUSTNESS.md):
+//   A1 frontier accounting   — improving <= X2, X3 <= improving,
+//                              X4 <= X3 (each filtered vertex improved
+//                              at least once; bisect only splits).
+//   A2 boundary monotone     — far-queue bounds strictly ascending,
+//                              last == INF, floor below the first
+//                              (Eq. 7 only ever tightens).
+//   A3 distance regression   — settled labels never increase between
+//                              audits, verified on a fixed probe set.
+//   A4 controller finite     — delta/degree/alpha finite, delta > 0
+//                              (a NaN here poisons every later plan).
+//
+// The auditor takes plain data (spans + scalars), not engine/controller
+// objects: verify sits below core in the library graph, so core can
+// feed it and react (quarantine / abort) without a dependency cycle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace sssp::verify {
+
+// Thrown by the run loop in audit-abort mode when an invariant trips at
+// an iteration boundary (the state is still snapshottable, so the
+// checkpoint layer can persist it before unwinding).
+class AuditViolation : public std::runtime_error {
+ public:
+  AuditViolation(std::uint64_t iteration, const std::string& detail)
+      : std::runtime_error("invariant audit failed at iteration " +
+                           std::to_string(iteration) + ": " + detail),
+        iteration_(iteration) {}
+  std::uint64_t iteration() const noexcept { return iteration_; }
+
+ private:
+  std::uint64_t iteration_;
+};
+
+enum class AuditCheck : std::uint8_t {
+  kFrontierAccounting = 0,  // A1
+  kBoundaryMonotone = 1,    // A2
+  kDistanceRegression = 2,  // A3
+  kControllerFinite = 3,    // A4
+};
+
+const char* to_string(AuditCheck check) noexcept;
+
+struct AuditFinding {
+  std::uint64_t iteration = 0;
+  AuditCheck check = AuditCheck::kFrontierAccounting;
+  std::string detail;
+};
+
+// One iteration's observable state, sampled at the end of
+// SelfTuningRun::step(). Spans alias engine/queue storage and are only
+// read during the audit call.
+struct IterationAudit {
+  std::uint64_t iteration = 0;
+  double delta = 0.0;
+  std::uint64_t x1 = 0;
+  std::uint64_t x2 = 0;
+  std::uint64_t x3 = 0;
+  std::uint64_t x4 = 0;
+  std::uint64_t improving_relaxations = 0;
+  std::uint64_t far_size = 0;
+  double degree_estimate = 0.0;
+  double alpha_estimate = 0.0;
+  // Far-queue partition bounds, ascending, last == kInfiniteDistance.
+  std::span<const graph::Distance> far_bounds;
+  graph::Distance far_floor = 0;
+  // Full tentative-distance array (probed, not swept).
+  std::span<const graph::Distance> distances;
+};
+
+class InvariantAuditor {
+ public:
+  struct Options {
+    std::size_t distance_probes = 64;  // A3 sample size
+    std::size_t max_findings = 16;     // retained detail records
+  };
+
+  InvariantAuditor() = default;
+  explicit InvariantAuditor(Options options) : options_(options) {}
+
+  // Runs every invariant against one iteration. Returns the number of
+  // violations found by THIS call (0 == clean); cumulative counters and
+  // capped findings are retained for the run report. Never throws —
+  // the caller decides whether a trip quarantines or aborts.
+  std::size_t audit(const IterationAudit& iteration);
+
+  std::uint64_t audits_run() const noexcept { return audits_; }
+  std::uint64_t violations() const noexcept { return violations_; }
+  const std::vector<AuditFinding>& findings() const noexcept {
+    return findings_;
+  }
+
+  void reset();
+
+ private:
+  void report(std::uint64_t iteration, AuditCheck check, std::string detail,
+              std::size_t& fresh);
+
+  Options options_{};
+  std::uint64_t audits_ = 0;
+  std::uint64_t violations_ = 0;
+  std::vector<AuditFinding> findings_;
+  // A3 probe set: fixed vertex ids (chosen on the first audit) and the
+  // labels they held last time.
+  std::vector<graph::VertexId> probe_vertices_;
+  std::vector<graph::Distance> probe_distances_;
+};
+
+}  // namespace sssp::verify

@@ -1,0 +1,187 @@
+#include "verify/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "fault/failpoint.hpp"
+#include "obs/json.hpp"
+
+namespace sssp::verify {
+
+namespace {
+
+std::atomic<bool> g_flight_enabled{false};
+
+const char* mode_name(fault::Failpoint::Mode mode) noexcept {
+  switch (mode) {
+    case fault::Failpoint::Mode::kDisarmed: return "disarmed";
+    case fault::Failpoint::Mode::kAlways: return "always";
+    case fault::Failpoint::Mode::kProbability: return "probability";
+    case fault::Failpoint::Mode::kEveryNth: return "every-nth";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+bool flight_enabled() noexcept {
+  return g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+void set_flight_enabled(bool enabled) noexcept {
+  g_flight_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+const char* to_string(FlightEventKind kind) noexcept {
+  switch (kind) {
+    case FlightEventKind::kIteration: return "iteration";
+    case FlightEventKind::kHealth: return "health";
+    case FlightEventKind::kCheckpoint: return "checkpoint";
+    case FlightEventKind::kAudit: return "audit";
+    case FlightEventKind::kStop: return "stop";
+    case FlightEventKind::kCertify: return "certify";
+    case FlightEventKind::kNote: return "note";
+  }
+  return "unknown";
+}
+
+void FlightEvent::set_note(const char* text) noexcept {
+  if (text == nullptr) {
+    note[0] = '\0';
+    return;
+  }
+  std::strncpy(note, text, sizeof(note) - 1);
+  note[sizeof(note) - 1] = '\0';
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::record(FlightEvent event) noexcept {
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  event.seq = seq;
+  Slot& slot = slots_[seq % kCapacity];
+  // Invalidate -> write payload -> publish. A reader that observes the
+  // slot mid-write sees stamp 0 (or a stamp that changed across its
+  // copy) and skips it.
+  slot.stamp.store(0, std::memory_order_release);
+  slot.event = event;
+  slot.stamp.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> events;
+  events.reserve(kCapacity);
+  for (const Slot& slot : slots_) {
+    const std::uint64_t before = slot.stamp.load(std::memory_order_acquire);
+    if (before == 0) continue;  // never completed a write
+    FlightEvent copy = slot.event;
+    const std::uint64_t after = slot.stamp.load(std::memory_order_acquire);
+    if (after != before || copy.seq + 1 != before) continue;  // torn
+    events.push_back(copy);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.seq < y.seq;
+            });
+  return events;
+}
+
+void FlightRecorder::dump_json(std::ostream& out,
+                               const std::string& reason) const {
+  const std::vector<FlightEvent> events = snapshot();
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("schema").value("tunesssp.flight.v1");
+  w.key("reason").value(reason);
+  w.key("events_recorded").value(total_recorded());
+  w.key("events_retained").value(static_cast<std::uint64_t>(events.size()));
+  w.key("events").begin_array();
+  for (const FlightEvent& event : events) {
+    w.begin_object();
+    w.key("seq").value(event.seq);
+    w.key("kind").value(to_string(event.kind));
+    w.key("iter").value(event.iteration);
+    w.key("delta").value(event.delta);
+    w.key("a").value(event.a);
+    w.key("b").value(event.b);
+    w.key("c").value(event.c);
+    w.key("d").value(event.d);
+    w.key("e").value(event.e);
+    w.key("note").value(event.note);
+    w.end_object();
+  }
+  w.end_array();
+  // The "last failpoint hits" a post-mortem wants next to the events:
+  // every registered failpoint with its arming and counters.
+  w.key("failpoints").begin_array();
+  for (const auto& fp : fault::FailpointRegistry::global().status()) {
+    if (fp.mode == fault::Failpoint::Mode::kDisarmed && fp.hits == 0)
+      continue;
+    w.begin_object();
+    w.key("name").value(fp.name);
+    w.key("mode").value(mode_name(fp.mode));
+    w.key("hits").value(fp.hits);
+    w.key("fires").value(fp.fires);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+std::string FlightRecorder::dump_json_string(const std::string& reason) const {
+  std::ostringstream out;
+  dump_json(out, reason);
+  return out.str();
+}
+
+bool FlightRecorder::save(const std::string& path,
+                          const std::string& reason) const noexcept {
+  try {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    dump_json(out, reason);
+    return static_cast<bool>(out);
+  } catch (...) {
+    return false;
+  }
+}
+
+void FlightRecorder::reset() noexcept {
+  head_.store(0, std::memory_order_relaxed);
+  for (Slot& slot : slots_) slot.stamp.store(0, std::memory_order_relaxed);
+}
+
+void record_iteration(std::uint64_t iteration, double delta, std::uint64_t x1,
+                      std::uint64_t x2, std::uint64_t x3, std::uint64_t x4,
+                      std::uint64_t far_queue_size) noexcept {
+  if (!flight_enabled()) return;
+  FlightEvent event;
+  event.kind = FlightEventKind::kIteration;
+  event.iteration = iteration;
+  event.delta = delta;
+  event.a = x1;
+  event.b = x2;
+  event.c = x3;
+  event.d = x4;
+  event.e = far_queue_size;
+  FlightRecorder::global().record(event);
+}
+
+void record_event(FlightEventKind kind, std::uint64_t iteration,
+                  const char* note, std::uint64_t a) noexcept {
+  if (!flight_enabled()) return;
+  FlightEvent event;
+  event.kind = kind;
+  event.iteration = iteration;
+  event.a = a;
+  event.set_note(note);
+  FlightRecorder::global().record(event);
+}
+
+}  // namespace sssp::verify

@@ -1,0 +1,115 @@
+// Flight recorder — the post-mortem half of the verification layer
+// (docs/ROBUSTNESS.md, "Verification & post-mortem").
+//
+// A fixed-size lock-free ring buffer of recent engine/controller events:
+// per-iteration summaries (delta, X1-X4, queue sizes), controller
+// health transitions, checkpoint writes, audit verdicts, and stop
+// requests. Recording is wait-free for writers (one fetch_add + a slot
+// write) and gated like the metrics registry — with the gate off, a
+// record site costs one relaxed load and a branch.
+//
+// When a run dies — invariant trip, certification failure, signal/abort
+// path — the ring is dumped as JSON ("tunesssp.flight.v1", schema in
+// docs/ROBUSTNESS.md) together with the armed failpoints' hit counters,
+// answering "what was the engine doing just before it died" without
+// re-running anything. Readers tolerate concurrent writers: a slot that
+// changes under the snapshot is skipped, never torn.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sssp::verify {
+
+// Recording gate (mirrors obs::metrics_enabled()).
+bool flight_enabled() noexcept;
+void set_flight_enabled(bool enabled) noexcept;
+
+enum class FlightEventKind : std::uint8_t {
+  kIteration = 0,   // end of a pipeline iteration (a=x1 b=x2 c=x3 d=x4)
+  kHealth = 1,      // controller degrade/recover (note says which)
+  kCheckpoint = 2,  // checkpoint written (a=bytes)
+  kAudit = 3,       // invariant audit verdict (a=violations this audit)
+  kStop = 4,        // run-control stop observed (note = reason)
+  kCertify = 5,     // certification verdict (a=violations)
+  kNote = 6,        // free-form marker
+};
+
+const char* to_string(FlightEventKind kind) noexcept;
+
+struct FlightEvent {
+  std::uint64_t seq = 0;  // assigned by record(); global event order
+  FlightEventKind kind = FlightEventKind::kNote;
+  std::uint64_t iteration = 0;
+  double delta = 0.0;
+  // Kind-specific payload slots (see the kind enum). kIteration uses
+  // a..d for X1..X4 and e for the far-queue population.
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint64_t d = 0;
+  std::uint64_t e = 0;
+  // Short label, always NUL-terminated. set_note() truncates safely.
+  char note[32] = {};
+
+  void set_note(const char* text) noexcept;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kCapacity = 256;  // power of two
+
+  static FlightRecorder& global();
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Appends the event (seq is assigned here), overwriting the oldest
+  // entry once the ring is full. Wait-free; safe from pool workers.
+  void record(FlightEvent event) noexcept;
+
+  // Events ever recorded (>= the ring's current population).
+  std::uint64_t total_recorded() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  // Consistent copy of the ring, oldest first. Slots being overwritten
+  // mid-snapshot are dropped rather than returned torn.
+  std::vector<FlightEvent> snapshot() const;
+
+  // "tunesssp.flight.v1" JSON: dump reason, the event list, and every
+  // registered failpoint's hit/fire counters (the "last failpoint hits"
+  // a post-mortem wants next to the event stream).
+  void dump_json(std::ostream& out, const std::string& reason) const;
+  std::string dump_json_string(const std::string& reason) const;
+  // Writes the dump to `path`; returns false on I/O failure (the abort
+  // path must not throw over the original failure).
+  bool save(const std::string& path, const std::string& reason) const noexcept;
+
+  // Drops all events and restarts seq at 0 (tests and tool re-runs).
+  void reset() noexcept;
+
+ private:
+  struct Slot {
+    // 0 = never written; otherwise event.seq + 1, stored with release
+    // after the payload so readers can detect torn slots.
+    std::atomic<std::uint64_t> stamp{0};
+    FlightEvent event;
+  };
+
+  std::atomic<std::uint64_t> head_{0};
+  Slot slots_[kCapacity];
+};
+
+// Convenience wrappers: cost one relaxed load when the gate is off.
+void record_iteration(std::uint64_t iteration, double delta, std::uint64_t x1,
+                      std::uint64_t x2, std::uint64_t x3, std::uint64_t x4,
+                      std::uint64_t far_queue_size) noexcept;
+void record_event(FlightEventKind kind, std::uint64_t iteration,
+                  const char* note, std::uint64_t a = 0) noexcept;
+
+}  // namespace sssp::verify

@@ -164,6 +164,48 @@ TEST(BinaryIo, V1LegacyCacheStillLoads) {
   }
 }
 
+TEST(BinaryIo, InconsistentCsrStructureReportsParseClass) {
+  // Sections that read cleanly (v1 has no checksums) but describe an
+  // impossible CSR — non-monotone offsets, or an edge target outside
+  // the vertex range — must surface as a structured kParse error, not
+  // as a raw std::invalid_argument from the graph layer (tools map the
+  // class to the corrupt-input exit code).
+  struct Case {
+    const char* name;
+    std::vector<EdgeIndex> offsets;
+    std::vector<VertexId> targets;
+    std::vector<Weight> weights;
+  };
+  const std::vector<Case> cases = {
+      {"non-monotone offsets", {0, 2, 1, 3}, {1, 2, 2}, {5, 3, 1}},
+      {"target out of range", {0, 2, 3, 3}, {1, 9, 2}, {5, 3, 1}},
+      {"offset past edge count", {0, 2, 3, 7}, {1, 2, 2}, {5, 3, 1}},
+  };
+  for (const Case& c : cases) {
+    std::stringstream buffer;
+    buffer.write("TSSSPGR1", 8);
+    const std::uint64_t n = c.offsets.size() - 1;
+    const std::uint64_t m = c.targets.size();
+    buffer.write(reinterpret_cast<const char*>(&n), 8);
+    buffer.write(reinterpret_cast<const char*>(&m), 8);
+    buffer.write(reinterpret_cast<const char*>(c.offsets.data()),
+                 static_cast<std::streamsize>(c.offsets.size() *
+                                              sizeof(EdgeIndex)));
+    buffer.write(reinterpret_cast<const char*>(c.targets.data()),
+                 static_cast<std::streamsize>(c.targets.size() *
+                                              sizeof(VertexId)));
+    buffer.write(reinterpret_cast<const char*>(c.weights.data()),
+                 static_cast<std::streamsize>(c.weights.size() *
+                                              sizeof(Weight)));
+    try {
+      load_binary(buffer);
+      FAIL() << c.name << " was accepted";
+    } catch (const GraphIoError& e) {
+      EXPECT_EQ(e.error_class(), IoErrorClass::kParse) << c.name;
+    }
+  }
+}
+
 // Corpus sweep: every possible truncation of a valid cache must produce
 // a structured truncation error — never a crash, never a bogus graph.
 TEST(BinaryIoCorpus, EveryTruncationIsAStructuredError) {

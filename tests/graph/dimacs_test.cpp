@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "graph/io_error.hpp"
+
 namespace sssp::graph {
 namespace {
 
@@ -89,6 +91,45 @@ TEST(Dimacs, RoundTripThroughSaveAndLoad) {
 
 TEST(Dimacs, MissingFileThrows) {
   EXPECT_THROW(load_dimacs_file("/nonexistent/file.gr"), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsNegativeWeight) {
+  // Unsigned extraction would wrap "-7" into a huge positive weight;
+  // the loader must surface it as a structured parse error.
+  std::istringstream in("p sp 2 1\na 1 2 -7\n");
+  try {
+    load_dimacs(in);
+    FAIL() << "negative weight accepted";
+  } catch (const GraphIoError& e) {
+    EXPECT_EQ(e.error_class(), IoErrorClass::kParse);
+    EXPECT_NE(std::string(e.what()).find("negative weight"),
+              std::string::npos);
+  }
+}
+
+TEST(Dimacs, RejectsMalformedWeight) {
+  for (const char* arc : {"a 1 2 nan\n", "a 1 2 1.5\n", "a 1 2 9x\n"}) {
+    std::istringstream in(std::string("p sp 2 1\n") + arc);
+    try {
+      load_dimacs(in);
+      FAIL() << "malformed weight accepted: " << arc;
+    } catch (const GraphIoError& e) {
+      EXPECT_EQ(e.error_class(), IoErrorClass::kParse) << arc;
+    }
+  }
+}
+
+TEST(Dimacs, RejectsWeightAbove32Bits) {
+  // Weights are 32-bit on disk and in CSR; silently truncating a
+  // 33-bit weight would change shortest paths, so the loader refuses
+  // with the kLimit class instead.
+  std::istringstream in("p sp 2 1\na 1 2 4294967296\n");
+  try {
+    load_dimacs(in);
+    FAIL() << "33-bit weight accepted";
+  } catch (const GraphIoError& e) {
+    EXPECT_EQ(e.error_class(), IoErrorClass::kLimit);
+  }
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "graph/io_error.hpp"
+
 namespace sssp::graph {
 namespace {
 
@@ -98,6 +100,33 @@ TEST(EdgeList, OversizedWeightClamped) {
   std::istringstream in("0 1 99999999999\n");
   const CsrGraph g = load_edge_list(in);
   EXPECT_EQ(g.weights()[0], 0xFFFFFFFFu);
+}
+
+TEST(EdgeList, RejectsNegativeWeight) {
+  // istream's unsigned extraction would wrap "-5" modulo 2^64 into a
+  // huge positive weight; the loader must reject it as a parse error
+  // instead of silently corrupting the graph.
+  std::istringstream in("0 1 -5\n");
+  try {
+    load_edge_list(in);
+    FAIL() << "negative weight accepted";
+  } catch (const GraphIoError& e) {
+    EXPECT_EQ(e.error_class(), IoErrorClass::kParse);
+    EXPECT_NE(std::string(e.what()).find("negative weight"),
+              std::string::npos);
+  }
+}
+
+TEST(EdgeList, RejectsNonNumericWeight) {
+  for (const char* line : {"0 1 nan\n", "0 1 3.5\n", "0 1 12abc\n"}) {
+    std::istringstream in(line);
+    try {
+      load_edge_list(in);
+      FAIL() << "malformed weight accepted: " << line;
+    } catch (const GraphIoError& e) {
+      EXPECT_EQ(e.error_class(), IoErrorClass::kParse) << line;
+    }
+  }
 }
 
 }  // namespace

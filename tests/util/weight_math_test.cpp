@@ -1,0 +1,58 @@
+#include "util/weight_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/types.hpp"
+
+namespace sssp::util {
+namespace {
+
+constexpr graph::Distance kInf = graph::kInfiniteDistance;
+constexpr graph::Distance kMaxWeight = 0xFFFFFFFFull;  // 32-bit edge cap
+
+TEST(WeightMathTest, OrdinarySumsAreExact) {
+  EXPECT_EQ(saturating_add(0, 0), 0u);
+  EXPECT_EQ(saturating_add(0, 7), 7u);
+  EXPECT_EQ(saturating_add(1000, kMaxWeight), 1000u + kMaxWeight);
+  static_assert(saturating_add(3, 4) == 7);
+}
+
+TEST(WeightMathTest, InfinityIsAbsorbing) {
+  EXPECT_EQ(saturating_add(kInf, 0), kInf);
+  EXPECT_EQ(saturating_add(kInf, 1), kInf);
+  EXPECT_EQ(saturating_add(kInf, kMaxWeight), kInf);
+}
+
+TEST(WeightMathTest, NearInfinityClampsInsteadOfWrapping) {
+  // The adversarial case the guard exists for: a label near INF plus a
+  // weight would wrap modulo 2^64 into a tiny "distance" that then
+  // beats every honest label.
+  EXPECT_EQ(saturating_add(kInf - 1, 1), kInf);
+  EXPECT_EQ(saturating_add(kInf - 1, kMaxWeight), kInf);
+  EXPECT_EQ(saturating_add(kInf - kMaxWeight, kMaxWeight), kInf);
+}
+
+TEST(WeightMathTest, BoundaryIsTight) {
+  // The largest dist that still produces a finite sum with weight w is
+  // exactly INF - w - 1.
+  const graph::Distance w = 5;
+  EXPECT_EQ(saturating_add(kInf - w - 1, w), kInf - 1);
+  EXPECT_EQ(saturating_add(kInf - w, w), kInf);
+}
+
+TEST(WeightMathTest, AddSaturatesMatchesTheClamp) {
+  const graph::Distance w = 17;
+  EXPECT_FALSE(add_saturates(0, w));
+  EXPECT_FALSE(add_saturates(kInf - w - 1, w));
+  EXPECT_TRUE(add_saturates(kInf - w, w));
+  EXPECT_TRUE(add_saturates(kInf, 0));
+  EXPECT_TRUE(add_saturates(kInf, w));
+  // add_saturates(d, w) is true exactly when the sum lands on INF.
+  for (const graph::Distance d : {graph::Distance{0}, kInf - w - 1,
+                                  kInf - w, kInf - 1, kInf}) {
+    EXPECT_EQ(add_saturates(d, w), saturating_add(d, w) == kInf) << "d=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace sssp::util

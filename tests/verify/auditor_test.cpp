@@ -1,0 +1,165 @@
+#include "verify/auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace sssp::verify {
+namespace {
+
+constexpr graph::Distance kInf = graph::kInfiniteDistance;
+
+// A consistent iteration: X accounting in order, ascending bounds
+// terminated by INF, finite controller state.
+struct AuditFixture {
+  std::vector<graph::Distance> bounds{100, 200, 400, kInf};
+  std::vector<graph::Distance> distances{0, 10, 20, 30, kInf, 50, 60, kInf};
+
+  IterationAudit clean(std::uint64_t iteration = 0) {
+    IterationAudit audit;
+    audit.iteration = iteration;
+    audit.delta = 50.0;
+    audit.x1 = 100;
+    audit.x2 = 80;
+    audit.improving_relaxations = 60;
+    audit.x3 = 40;
+    audit.x4 = 20;
+    audit.far_size = 500;
+    audit.degree_estimate = 9.5;
+    audit.alpha_estimate = 1.2;
+    audit.far_bounds = bounds;
+    audit.far_floor = 50;
+    audit.distances = distances;
+    return audit;
+  }
+};
+
+TEST(AuditorTest, CleanIterationPasses) {
+  AuditFixture fx;
+  InvariantAuditor auditor;
+  EXPECT_EQ(auditor.audit(fx.clean()), 0u);
+  EXPECT_EQ(auditor.audits_run(), 1u);
+  EXPECT_EQ(auditor.violations(), 0u);
+  EXPECT_TRUE(auditor.findings().empty());
+}
+
+TEST(AuditorTest, A1CatchesFrontierAccountingBreaks) {
+  AuditFixture fx;
+  {
+    InvariantAuditor auditor;
+    auto audit = fx.clean();
+    audit.improving_relaxations = audit.x2 + 1;  // improving <= X2
+    EXPECT_GT(auditor.audit(audit), 0u);
+    EXPECT_EQ(auditor.findings()[0].check, AuditCheck::kFrontierAccounting);
+  }
+  {
+    InvariantAuditor auditor;
+    auto audit = fx.clean();
+    audit.x3 = audit.improving_relaxations + 1;  // X3 <= improving
+    EXPECT_GT(auditor.audit(audit), 0u);
+  }
+  {
+    InvariantAuditor auditor;
+    auto audit = fx.clean();
+    audit.x4 = audit.x3 + 1;  // bisect only splits
+    EXPECT_GT(auditor.audit(audit), 0u);
+  }
+}
+
+TEST(AuditorTest, A2CatchesBoundaryOrderBreaks) {
+  AuditFixture fx;
+  {
+    InvariantAuditor auditor;
+    auto audit = fx.clean();
+    const std::vector<graph::Distance> dup{100, 100, 400, kInf};
+    audit.far_bounds = dup;
+    EXPECT_GT(auditor.audit(audit), 0u);
+    EXPECT_EQ(auditor.findings()[0].check, AuditCheck::kBoundaryMonotone);
+  }
+  {
+    InvariantAuditor auditor;
+    auto audit = fx.clean();
+    const std::vector<graph::Distance> no_inf{100, 200, 400};
+    audit.far_bounds = no_inf;  // last bound must be the INF catch-all
+    EXPECT_GT(auditor.audit(audit), 0u);
+  }
+  {
+    InvariantAuditor auditor;
+    auto audit = fx.clean();
+    audit.far_floor = 150;  // floor above the first bound
+    EXPECT_GT(auditor.audit(audit), 0u);
+  }
+}
+
+TEST(AuditorTest, A3CatchesDistanceRegression) {
+  AuditFixture fx;
+  InvariantAuditor auditor;
+  EXPECT_EQ(auditor.audit(fx.clean(0)), 0u);  // seeds the probe set
+  fx.distances[3] = 25;  // improvement: allowed
+  EXPECT_EQ(auditor.audit(fx.clean(1)), 0u);
+  fx.distances[3] = 40;  // regression: a settled label went back up
+  EXPECT_GT(auditor.audit(fx.clean(2)), 0u);
+  bool found = false;
+  for (const AuditFinding& f : auditor.findings())
+    found |= f.check == AuditCheck::kDistanceRegression;
+  EXPECT_TRUE(found);
+}
+
+TEST(AuditorTest, A4CatchesNonFiniteControllerState) {
+  AuditFixture fx;
+  for (const double bad_delta :
+       {std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(), 0.0, -3.0}) {
+    InvariantAuditor auditor;
+    auto audit = fx.clean();
+    audit.delta = bad_delta;
+    EXPECT_GT(auditor.audit(audit), 0u) << "delta=" << bad_delta;
+    EXPECT_EQ(auditor.findings()[0].check, AuditCheck::kControllerFinite);
+  }
+  InvariantAuditor auditor;
+  auto audit = fx.clean();
+  audit.alpha_estimate = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_GT(auditor.audit(audit), 0u);
+}
+
+TEST(AuditorTest, CountersAccumulateAndFindingsCap) {
+  AuditFixture fx;
+  InvariantAuditor::Options options;
+  options.max_findings = 3;
+  InvariantAuditor auditor(options);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    auto audit = fx.clean(i);
+    audit.delta = -1.0;
+    auditor.audit(audit);
+  }
+  EXPECT_EQ(auditor.audits_run(), 10u);
+  EXPECT_GE(auditor.violations(), 10u);
+  EXPECT_LE(auditor.findings().size(), 3u);
+}
+
+TEST(AuditorTest, ResetClearsStateAndProbes) {
+  AuditFixture fx;
+  InvariantAuditor auditor;
+  auditor.audit(fx.clean(0));
+  fx.distances[3] = 40;  // would regress against the old probe set...
+  auditor.reset();
+  EXPECT_EQ(auditor.audits_run(), 0u);
+  EXPECT_EQ(auditor.violations(), 0u);
+  // ...but after reset the first audit re-seeds and passes.
+  fx.distances[3] = 45;
+  EXPECT_EQ(auditor.audit(fx.clean(1)), 0u);
+}
+
+TEST(AuditorTest, AuditViolationCarriesIteration) {
+  const AuditViolation violation(17, "boundary-monotone: test");
+  EXPECT_EQ(violation.iteration(), 17u);
+  EXPECT_NE(std::string(violation.what()).find("iteration 17"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sssp::verify

@@ -1,0 +1,160 @@
+#include "verify/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace sssp::verify {
+namespace {
+
+FlightEvent make_event(FlightEventKind kind, std::uint64_t iteration) {
+  FlightEvent event;
+  event.kind = kind;
+  event.iteration = iteration;
+  return event;
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::global().reset();
+    set_flight_enabled(false);
+  }
+  void TearDown() override {
+    set_flight_enabled(false);
+    FlightRecorder::global().reset();
+  }
+};
+
+TEST_F(FlightRecorderTest, RecordsInOrder) {
+  FlightRecorder recorder;
+  for (std::uint64_t i = 0; i < 10; ++i)
+    recorder.record(make_event(FlightEventKind::kIteration, i));
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    EXPECT_EQ(events[i].iteration, i);
+  }
+}
+
+TEST_F(FlightRecorderTest, RingKeepsOnlyTheNewest) {
+  FlightRecorder recorder;
+  const std::size_t total = FlightRecorder::kCapacity + 37;
+  for (std::uint64_t i = 0; i < total; ++i)
+    recorder.record(make_event(FlightEventKind::kIteration, i));
+  EXPECT_EQ(recorder.total_recorded(), total);
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), FlightRecorder::kCapacity);
+  // Oldest-first, contiguous, ending at the last event recorded.
+  EXPECT_EQ(events.front().seq, total - FlightRecorder::kCapacity);
+  EXPECT_EQ(events.back().seq, total - 1);
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+}
+
+TEST_F(FlightRecorderTest, NoteTruncatesSafely) {
+  FlightEvent event;
+  event.set_note(
+      "a very long note that certainly exceeds the thirty-one usable "
+      "characters of the slot");
+  EXPECT_EQ(event.note[sizeof(event.note) - 1], '\0');
+  EXPECT_LT(std::string(event.note).size(), sizeof(event.note));
+  event.set_note("");
+  EXPECT_EQ(std::string(event.note), "");
+}
+
+TEST_F(FlightRecorderTest, GatedHelpersAreNoOpsWhenDisabled) {
+  ASSERT_FALSE(flight_enabled());
+  record_iteration(1, 2.0, 3, 4, 5, 6, 7);
+  record_event(FlightEventKind::kStop, 1, "interrupt");
+  EXPECT_EQ(FlightRecorder::global().total_recorded(), 0u);
+
+  set_flight_enabled(true);
+  record_iteration(1, 2.0, 3, 4, 5, 6, 7);
+  record_event(FlightEventKind::kStop, 1, "interrupt");
+  EXPECT_EQ(FlightRecorder::global().total_recorded(), 2u);
+  const auto events = FlightRecorder::global().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kIteration);
+  EXPECT_EQ(events[0].a, 3u);
+  EXPECT_EQ(events[0].e, 7u);
+  EXPECT_EQ(events[1].kind, FlightEventKind::kStop);
+  EXPECT_EQ(std::string(events[1].note), "interrupt");
+}
+
+TEST_F(FlightRecorderTest, JsonDumpCarriesSchemaReasonAndEvents) {
+  FlightRecorder recorder;
+  auto event = make_event(FlightEventKind::kCertify, 12);
+  event.a = 3;
+  event.set_note("fail");
+  recorder.record(event);
+  const std::string json = recorder.dump_json_string("certification-failed");
+  EXPECT_NE(json.find("\"schema\":\"tunesssp.flight.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"certification-failed\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"certify\""), std::string::npos);
+  EXPECT_NE(json.find("\"note\":\"fail\""), std::string::npos);
+  EXPECT_NE(json.find("\"failpoints\""), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, SaveWritesFileAndReportsFailure) {
+  FlightRecorder recorder;
+  recorder.record(make_event(FlightEventKind::kNote, 0));
+  const std::string path =
+      ::testing::TempDir() + "flight_recorder_test_dump.json";
+  ASSERT_TRUE(recorder.save(path, "test"));
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("tunesssp.flight.v1"), std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_FALSE(recorder.save("/nonexistent-dir/nope/flight.json", "test"));
+}
+
+TEST_F(FlightRecorderTest, ResetRestartsSequence) {
+  FlightRecorder recorder;
+  recorder.record(make_event(FlightEventKind::kNote, 0));
+  recorder.reset();
+  EXPECT_EQ(recorder.total_recorded(), 0u);
+  EXPECT_TRUE(recorder.snapshot().empty());
+  recorder.record(make_event(FlightEventKind::kNote, 1));
+  EXPECT_EQ(recorder.snapshot().front().seq, 0u);
+}
+
+TEST_F(FlightRecorderTest, ConcurrentWritersNeverTearTheSnapshot) {
+  FlightRecorder recorder;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 4000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        auto event = make_event(FlightEventKind::kIteration, i);
+        event.a = static_cast<std::uint64_t>(t);
+        recorder.record(event);
+      }
+    });
+  }
+  // Snapshot while the writers hammer the ring: every returned event
+  // must be internally consistent (valid writer id, unique seq).
+  for (int i = 0; i < 50; ++i) {
+    const auto events = recorder.snapshot();
+    std::set<std::uint64_t> seqs;
+    for (const FlightEvent& event : events) {
+      EXPECT_LT(event.a, static_cast<std::uint64_t>(kThreads));
+      EXPECT_TRUE(seqs.insert(event.seq).second);
+    }
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(recorder.total_recorded(), kThreads * kPerThread);
+  EXPECT_EQ(recorder.snapshot().size(), FlightRecorder::kCapacity);
+}
+
+}  // namespace
+}  // namespace sssp::verify

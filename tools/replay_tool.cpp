@@ -5,12 +5,16 @@
 //   sssp_tool --in g.bin --workload-csv run.csv   # record (see below)
 //   replay_tool --workload run.csv                # sweep TK1+TX1 menus
 //   replay_tool --workload run.csv --device-file myboard.cfg
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "ckpt/checkpoint.hpp"
+#include "ckpt/checkpointed_run.hpp"
+#include "core/self_tuning.hpp"
 #include "obs/run_report.hpp"
 #include "sim/device_config.hpp"
 #include "sim/energy_metrics.hpp"
@@ -19,6 +23,8 @@
 #include "tools/tool_common.hpp"
 #include "util/csv.hpp"
 #include "util/flags.hpp"
+#include "verify/certifier.hpp"
+#include "verify/flight_recorder.hpp"
 
 using namespace sssp;
 
@@ -30,10 +36,15 @@ int main(int argc, char** argv) {
                "file instead of a workload CSV");
   flags.define("device-file", "", "only sweep this custom device");
   flags.define("freq-stride", "3", "take every k-th frequency menu entry");
+  flags.define("graph", "",
+               "with --resume: the checkpoint's graph file; the run is "
+               "finished in-process and the result certified (exit 13 on "
+               "failure)");
   tools::define_observability_flags(flags);
   tools::define_fault_flags(flags);
   tools::define_threads_flag(flags);
   tools::define_run_control_flags(flags);
+  tools::define_verify_flags(flags);
   flags.define("report-out", "",
                "write a run-report JSON for the first device's default-"
                "governor replay here");
@@ -45,6 +56,9 @@ int main(int argc, char** argv) {
   try {
     tools::enable_observability(flags);
     tools::enable_faults(flags);
+    if (!flags.get_string("flight-out").empty() ||
+        flags.get_int("audit-every") > 0)
+      verify::set_flight_enabled(true);
     const std::size_t threads = tools::apply_threads_flag(flags);
     tools::apply_run_control_flags(flags, control);
     // SIGINT/SIGTERM stop the sweep between replays; whatever was
@@ -123,6 +137,77 @@ int main(int argc, char** argv) {
       std::printf("sweep stopped early: %s\n", util::to_string(stop));
     std::printf("\n%s", table.to_string().c_str());
 
+    // --graph: finish the checkpointed run in-process and certify the
+    // final result — answers "does this checkpoint still lead to a
+    // provably correct answer?" without a separate sssp_tool invocation.
+    bool certification_failed = false;
+    obs::RunReportVerification verification;
+    const std::string graph_path = flags.get_string("graph");
+    if (!graph_path.empty() && resume_path.empty())
+      std::fprintf(stderr, "warning: --graph is only used with --resume\n");
+    const bool strict = flags.get_bool("verify-strict");
+    if (!graph_path.empty() && !resume_path.empty() &&
+        (flags.get_bool("verify") || strict) &&
+        stop == util::StopReason::kNone) {
+      const graph::CsrGraph g = tools::load_any_graph(graph_path);
+      ckpt::RunState resume_state = ckpt::load_checkpoint_file(resume_path);
+      core::SelfTuningOptions options;  // replaced by the checkpoint's
+      options.audit_every = static_cast<std::uint64_t>(
+          std::max<std::int64_t>(0, flags.get_int("audit-every")));
+      options.audit_abort = flags.get_bool("audit-abort");
+      const ckpt::CheckpointedResult finished =
+          ckpt::run_self_tuning_checkpointed(g, resume_state.meta.source,
+                                             options, {}, &control,
+                                             &resume_state);
+      verification.audits_run = finished.result.audits_run;
+      verification.audit_violations = finished.result.audit_violations;
+      if (finished.audit_aborted) {
+        std::printf("checkpoint completion run aborted by invariant audit\n");
+        verification.requested = true;
+        certification_failed = true;
+      } else if (finished.stop != util::StopReason::kNone) {
+        std::printf("checkpoint completion run stopped early: %s\n",
+                    util::to_string(finished.stop));
+      } else {
+        verify::CertifyOptions copts;
+        copts.strict = strict;
+        const verify::Certificate cert = verify::certify(g, finished.result,
+                                                         copts);
+        std::printf("certification: %s (%s)\n",
+                    cert.certified ? "PASS" : "FAILED",
+                    cert.summary().c_str());
+        if (!cert.certified)
+          for (const verify::Violation& v : cert.samples)
+            std::fprintf(stderr, "  violation: %s at v=%llu: %s\n",
+                         verify::to_string(v.kind),
+                         static_cast<unsigned long long>(v.vertex),
+                         v.detail.c_str());
+        verification.requested = true;
+        verification.mode = strict ? "certify+dijkstra" : "certify";
+        verification.certified = cert.certified;
+        verification.vertices_checked = cert.vertices_checked;
+        verification.edges_checked = cert.edges_checked;
+        verification.violations = cert.violations;
+        verification.seconds = cert.seconds;
+        for (const verify::Violation& v : cert.samples)
+          verification.samples.push_back(
+              std::string(verify::to_string(v.kind)) + " at v=" +
+              std::to_string(v.vertex) + ": " + v.detail);
+        certification_failed = !cert.certified;
+      }
+    }
+    if (const auto fpath = flags.get_string("flight-out"); !fpath.empty()) {
+      const char* reason = certification_failed ? "certification-failed"
+                                                : "replay-complete";
+      if (verify::FlightRecorder::global().save(fpath, reason)) {
+        verification.flight_recorder_path = fpath;
+        std::printf("wrote flight recorder dump to %s\n", fpath.c_str());
+      } else {
+        std::fprintf(stderr, "flight recorder dump failed: %s\n",
+                     fpath.c_str());
+      }
+    }
+
     if (report_run) {
       obs::RunReportMeta meta;
       meta.tool = "replay_tool";
@@ -135,6 +220,7 @@ int main(int argc, char** argv) {
       meta.interrupted = stop != util::StopReason::kNone;
       meta.outcome = stop == util::StopReason::kNone ? "completed"
                                                      : util::to_string(stop);
+      meta.verification = verification;
       obs::save_run_report(report_path, meta, {}, &*report_run);
       std::printf("wrote run report to %s\n", report_path.c_str());
     }
@@ -142,6 +228,7 @@ int main(int argc, char** argv) {
     tools::write_observability_outputs(flags);
     if (stop != util::StopReason::kNone)
       return tools::exit_code_for_stop(stop);
+    if (certification_failed) return tools::kExitCertificationFailed;
   } catch (const graph::GraphIoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return tools::exit_code_for(e);

@@ -31,6 +31,9 @@
 #include "util/csv.hpp"
 #include "util/flags.hpp"
 #include "util/timer.hpp"
+#include "verify/auditor.hpp"
+#include "verify/certifier.hpp"
+#include "verify/flight_recorder.hpp"
 
 using namespace sssp;
 
@@ -49,7 +52,6 @@ int main(int argc, char** argv) {
   flags.define("source", "-1", "source vertex (-1 = max out-degree)");
   flags.define("delta", "0", "static delta for delta-stepping/near-far");
   flags.define("set-point", "20000", "parallelism target for self-tuning");
-  flags.define("verify", "true", "verify distances against Dijkstra");
   flags.define("device", "tk1", "device model for replay: tk1 | tx1 | none");
   flags.define("device-file", "",
                "custom device config (overrides --device; see "
@@ -66,6 +68,7 @@ int main(int argc, char** argv) {
   tools::define_threads_flag(flags);
   tools::define_run_control_flags(flags);
   tools::define_checkpoint_flags(flags);
+  tools::define_verify_flags(flags);
   flags.define("report-out", "",
                "write the merged run-report JSON here (engine stats + "
                "controller internals + device power/energy)");
@@ -79,6 +82,9 @@ int main(int argc, char** argv) {
   try {
     tools::enable_observability(flags);
     tools::enable_faults(flags);
+    if (!flags.get_string("flight-out").empty() ||
+        flags.get_int("audit-every") > 0)
+      verify::set_flight_enabled(true);
     const std::size_t threads = tools::apply_threads_flag(flags);
     tools::apply_run_control_flags(flags, control);
     // SIGINT/SIGTERM request a graceful stop: the run aborts at the next
@@ -130,6 +136,9 @@ int main(int argc, char** argv) {
       } else if (algorithm == "self-tuning") {
         core::SelfTuningOptions options;
         options.set_point = flags.get_double("set-point");
+        options.audit_every =
+            static_cast<std::uint64_t>(flags.get_int("audit-every"));
+        options.audit_abort = flags.get_bool("audit-abort");
         ckpt::CheckpointPolicy policy;
         policy.path = flags.get_string("checkpoint-out");
         policy.every_iterations =
@@ -164,9 +173,17 @@ int main(int argc, char** argv) {
       stopped_mid_iteration = true;
     }
     const double host_seconds = timer.elapsed_seconds();
-    if (stop != util::StopReason::kNone)
+    if (stop != util::StopReason::kNone) {
       std::printf("run stopped early: %s%s\n", util::to_string(stop),
                   stopped_mid_iteration ? " (mid-iteration)" : "");
+      verify::record_event(verify::FlightEventKind::kStop,
+                           result.num_iterations(), util::to_string(stop));
+    }
+    if (checkpointing.audit_aborted)
+      std::printf("run aborted by the invariant auditor (%llu audits, %llu "
+                  "violations)\n",
+                  static_cast<unsigned long long>(result.audits_run),
+                  static_cast<unsigned long long>(result.audit_violations));
 
     std::printf("%s from %u: reached %zu/%zu vertices, %zu iterations, "
                 "%.2fs host time, %zu threads\n",
@@ -208,14 +225,34 @@ int main(int argc, char** argv) {
       std::printf("wrote controller trace to %s\n", cpath.c_str());
     }
 
-    if (flags.get_bool("verify") && algorithm != "dijkstra" &&
-        stop == util::StopReason::kNone) {
-      const auto expected = algo::dijkstra_distances(g, source);
-      const std::size_t mismatches =
-          algo::count_distance_mismatches(result.distances, expected);
-      std::printf("verification vs Dijkstra: %s\n",
-                  mismatches == 0 ? "EXACT" : "MISMATCH!");
-      if (mismatches) return 1;
+    if (result.audits_run > 0)
+      std::printf("invariant audits: %llu run, %llu violations\n",
+                  static_cast<unsigned long long>(result.audits_run),
+                  static_cast<unsigned long long>(result.audit_violations));
+
+    // Injected post-run corruptions: flip one entry between the solver
+    // and the certifier so detection is testable end-to-end (mutation
+    // tests and the chaos soak arm these).
+    if (!result.distances.empty() && SSSP_FAILPOINT("verify.flip_dist"))
+      result.distances[result.distances.size() / 2] ^= 1;
+    if (!result.parents.empty() && SSSP_FAILPOINT("verify.flip_parent"))
+      result.parents[result.parents.size() / 2] ^= 1;
+
+    const bool strict = flags.get_bool("verify-strict");
+    std::optional<verify::Certificate> certificate;
+    if ((flags.get_bool("verify") || strict) &&
+        stop == util::StopReason::kNone && !checkpointing.audit_aborted &&
+        !result.distances.empty()) {
+      verify::CertifyOptions copts;
+      copts.strict = strict;
+      certificate = verify::certify(g, result, copts);
+      std::printf("certification: %s (%s)\n",
+                  certificate->certified ? "PASS" : "FAILED",
+                  certificate->summary().c_str());
+      if (!certificate->certified)
+        for (const verify::Violation& v : certificate->samples)
+          std::fprintf(stderr, "  violation: %s at v=%u: %s\n",
+                       verify::to_string(v.kind), v.vertex, v.detail.c_str());
     }
 
     if (const auto dpath = flags.get_string("distances-out");
@@ -272,6 +309,29 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Flight-recorder dump before the run report, so the report can
+    // cross-link the file it should be read next to.
+    std::string flight_path;
+    if (const auto fpath = flags.get_string("flight-out"); !fpath.empty()) {
+      std::string reason = "run-complete";
+      if (checkpointing.audit_aborted)
+        reason = "audit-abort";
+      else if (stop != util::StopReason::kNone)
+        reason = util::to_string(stop);
+      else if (certificate && !certificate->certified)
+        reason = "certification-failed";
+      if (verify::FlightRecorder::global().save(fpath, reason)) {
+        flight_path = fpath;
+        std::printf("wrote flight recorder dump to %s (%llu events)\n",
+                    fpath.c_str(),
+                    static_cast<unsigned long long>(
+                        verify::FlightRecorder::global().total_recorded()));
+      } else {
+        std::fprintf(stderr, "flight recorder dump failed: %s\n",
+                     fpath.c_str());
+      }
+    }
+
     if (const auto rpath = flags.get_string("report-out"); !rpath.empty()) {
       obs::RunReportMeta meta;
       meta.tool = "sssp_tool";
@@ -291,13 +351,33 @@ int main(int argc, char** argv) {
       meta.controller_degradations = result.controller_degradations;
       meta.controller_recoveries = result.controller_recoveries;
       meta.controller_rejected_inputs = result.controller_rejected_inputs;
-      meta.interrupted = stop != util::StopReason::kNone;
-      meta.outcome = stop == util::StopReason::kNone ? "completed"
-                                                     : util::to_string(stop);
+      meta.interrupted =
+          stop != util::StopReason::kNone || checkpointing.audit_aborted;
+      meta.outcome = checkpointing.audit_aborted ? "audit-abort"
+                     : stop == util::StopReason::kNone
+                         ? "completed"
+                         : util::to_string(stop);
       meta.checkpoints_written = checkpointing.checkpoints_written;
       meta.checkpoint_bytes = checkpointing.checkpoint_bytes;
       meta.resumed = checkpointing.resumed;
       meta.resumed_from_iteration = checkpointing.resumed_from_iteration;
+      meta.verification.requested =
+          certificate.has_value() || result.audits_run > 0;
+      if (certificate.has_value()) {
+        meta.verification.mode = strict ? "certify+dijkstra" : "certify";
+        meta.verification.certified = certificate->certified;
+        meta.verification.vertices_checked = certificate->vertices_checked;
+        meta.verification.edges_checked = certificate->edges_checked;
+        meta.verification.violations = certificate->violations;
+        meta.verification.seconds = certificate->seconds;
+        for (const verify::Violation& v : certificate->samples)
+          meta.verification.samples.push_back(
+              std::string(verify::to_string(v.kind)) + " at v=" +
+              std::to_string(v.vertex) + ": " + v.detail);
+      }
+      meta.verification.audits_run = result.audits_run;
+      meta.verification.audit_violations = result.audit_violations;
+      meta.verification.flight_recorder_path = flight_path;
       obs::save_run_report(rpath, meta, result.iterations,
                           sim_report ? &*sim_report : nullptr);
 
@@ -330,6 +410,9 @@ int main(int argc, char** argv) {
     tools::write_observability_outputs(flags);
     if (stop != util::StopReason::kNone)
       return tools::exit_code_for_stop(stop);
+    if (checkpointing.audit_aborted ||
+        (certificate.has_value() && !certificate->certified))
+      return tools::kExitCertificationFailed;
   } catch (const ckpt::InjectedCrash& e) {
     // Simulated process death: exit with a distinct code and WITHOUT
     // flushing reports — the resume path must cope with their absence,

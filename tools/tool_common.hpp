@@ -167,6 +167,10 @@ inline constexpr int kExitDeadline = 9;
 inline constexpr int kExitStall = 10;
 inline constexpr int kExitInterrupted = 11;
 inline constexpr int kExitInjectedCrash = 12;
+// The result failed certification (or the online invariant auditor
+// aborted the run): reports and the flight-recorder dump are flushed
+// first so the failure is post-mortemable.
+inline constexpr int kExitCertificationFailed = 13;
 
 inline int exit_code_for_stop(util::StopReason reason) {
   switch (reason) {
@@ -212,6 +216,27 @@ inline bool apply_run_control_flags(const util::Flags& flags,
     throw std::runtime_error("--stall-limit must be >= 0");
   }
   return armed;
+}
+
+// Registers the verification & post-mortem flags (docs/ROBUSTNESS.md,
+// "Verification & post-mortem"). Call before handle_help().
+inline void define_verify_flags(util::Flags& flags) {
+  flags.define("verify", "true",
+               "certify the finished result (O(V+E) certificate check: "
+               "edge consistency, tight acyclic parents, exact labels); "
+               "exit 13 on failure");
+  flags.define("verify-strict", "false",
+               "additionally cross-check every label against Dijkstra "
+               "(skipped on very large graphs)");
+  flags.define("audit-every", "0",
+               "run the online invariant audit every N iterations "
+               "(self-tuning only; 0 = off; see docs/ROBUSTNESS.md)");
+  flags.define("audit-abort", "false",
+               "abort at the iteration boundary when an audit trips "
+               "(default: quarantine the controller and keep running)");
+  flags.define("flight-out", "",
+               "write the flight-recorder JSON dump here after the run "
+               "(always enables event recording)");
 }
 
 // Registers the checkpoint/resume flags. Call before handle_help().
