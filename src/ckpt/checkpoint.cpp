@@ -11,6 +11,7 @@
 #include "graph/io_error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "prof/profiler.hpp"
 #include "util/log.hpp"
 #include "util/run_control.hpp"
 #include "util/timer.hpp"
@@ -604,6 +605,7 @@ void validate_against(const RunState& state, const graph::CsrGraph& graph) {
 std::uint64_t save_checkpoint_file(const std::string& path,
                                    const RunState& state) {
   SSSP_TRACE_SPAN("checkpoint");
+  SSSP_PROF_PHASE("checkpoint");
   util::WallTimer timer;
   // Crash failpoints simulate the process dying at the three interesting
   // instants of the write protocol (docs/ROBUSTNESS.md):

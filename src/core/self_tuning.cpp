@@ -10,6 +10,7 @@
 #include "fault/failpoint.hpp"
 #include "frontier/engine.hpp"
 #include "obs/metrics.hpp"
+#include "prof/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -176,6 +177,7 @@ bool SelfTuningRun::Impl::step() {
   if (done()) return false;
 
   SSSP_TRACE_SPAN("iteration");
+  SSSP_PROF_PHASE("iteration");
   frontier::IterationStats stats;
   stats.delta = controller.delta();
   double controller_seconds = 0.0;
@@ -191,6 +193,7 @@ bool SelfTuningRun::Impl::step() {
   // --- controller phase A (host work) ---
   {
     SSSP_TRACE_SPAN("controller");
+    SSSP_PROF_PHASE("controller");
     controller_timer.reset();
     // Injected fault: a corrupted engine counter reaching the
     // ADVANCE-MODEL. The model rejects non-finite observations.
@@ -206,6 +209,7 @@ bool SelfTuningRun::Impl::step() {
   stats.x4 = engine.bisect(threshold_k);
   {
     SSSP_TRACE_SPAN("rebalance");
+    SSSP_PROF_PHASE("far_spill");
     far.push_bulk(engine.spill(), engine.distances());
     engine.clear_spill();
   }
@@ -214,6 +218,7 @@ bool SelfTuningRun::Impl::step() {
   double new_delta = 0.0;
   {
     SSSP_TRACE_SPAN("controller");
+    SSSP_PROF_PHASE("controller");
     controller_timer.reset();
     // Injected faults: corrupted X4 / far-queue statistics reaching the
     // planner. The controller's input firewall suppresses the plan and
@@ -236,6 +241,7 @@ bool SelfTuningRun::Impl::step() {
   Distance reached = threshold_next;
   {
   SSSP_TRACE_SPAN("rebalance");
+  SSSP_PROF_PHASE("rebalance");
   // Boundary maintenance moves entries between partitions: that is
   // device-side rebalance work (charged via rebalance_items), not host
   // controller compute.
@@ -334,6 +340,7 @@ bool SelfTuningRun::Impl::step() {
   }  // rebalance span
   if (reached > threshold_next) {
     SSSP_TRACE_SPAN("controller");
+    SSSP_PROF_PHASE("controller");
     if (obs::trace_enabled()) {
       obs::Tracer& tracer = obs::Tracer::global();
       tracer.instant("forced_progress", tracer.now_us());
@@ -358,6 +365,7 @@ bool SelfTuningRun::Impl::step() {
     const Distance snap = engine.frontier_max_distance() + 1;
     if (static_cast<double>(snap) < controller.delta()) {
       SSSP_TRACE_SPAN("controller");
+      SSSP_PROF_PHASE("controller");
       controller_timer.reset();
       controller.force_delta(static_cast<double>(snap),
                              static_cast<double>(stats.x4),
@@ -393,6 +401,8 @@ bool SelfTuningRun::Impl::step() {
     }
   }
   result.iterations.push_back(stats);
+  if (prof::profiling_enabled())
+    prof::Profiler::global().sample_iteration(result.iterations.size() - 1);
   // Audit at the iteration boundary: the state just pushed is exactly
   // what a checkpoint would persist, so an abort here unwinds from a
   // resumable point.

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "prof/profiler.hpp"
 #include "util/thread_pool.hpp"
 #include "util/weight_math.hpp"
 
@@ -72,6 +73,7 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_and_filter() {
     // of the filter phase — bitmap epoch maintenance. See
     // docs/OBSERVABILITY.md for how to read the fused trace.
     SSSP_TRACE_SPAN("filter");
+    SSSP_PROF_PHASE("filter");
     updated_frontier_.clear();
     updated_frontier_.reserve(updated_high_water_);
     ++epoch_;
@@ -83,6 +85,7 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_and_filter() {
   AdvanceResult result;
   {
     SSSP_TRACE_SPAN("advance");
+    SSSP_PROF_PHASE("advance");
     result = options_.parallel && frontier_.size() >= options_.parallel_threshold
                  ? advance_parallel()
                  : advance_serial();
@@ -230,6 +233,7 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_parallel() {
     throw util::StopRequested(options_.control->reason());
   {
     SSSP_TRACE_SPAN("advance.plan");
+    SSSP_PROF_PHASE("advance.plan");
     result.x2 = plan_chunks();
   }
   const std::size_t num_chunks = chunk_begin_.size() - 1;
@@ -243,6 +247,7 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_parallel() {
   // thread claims is not, so ordering is resolved in phases B1/B2.
   {
     SSSP_TRACE_SPAN("advance.relax");
+    SSSP_PROF_PHASE("advance.relax");
     pool.for_each_chunk(num_chunks, [&](std::size_t c, std::size_t tid) {
       const std::size_t begin = chunk_begin_[c];
       const std::size_t end = chunk_begin_[c + 1];
@@ -294,6 +299,7 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_parallel() {
   // state — no schedule dependence survives this phase.
   {
     SSSP_TRACE_SPAN("advance.candidates");
+    SSSP_PROF_PHASE("advance.candidates");
     chunk_candidates_.resize(
         std::max(chunk_candidates_.size(), num_chunks));
     pool.for_each_chunk(num_chunks, [&](std::size_t c, std::size_t) {
@@ -333,6 +339,7 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_parallel() {
   // chunking. The winning edge also records the parent.
   {
     SSSP_TRACE_SPAN("advance.emit");
+    SSSP_PROF_PHASE("advance.emit");
     chunk_counts_.assign(num_chunks, 0);
     pool.for_each_chunk(num_chunks, [&](std::size_t c, std::size_t) {
       std::uint64_t count = 0;
@@ -453,6 +460,7 @@ void NearFarEngine::partition_by_distance(
 
 std::uint64_t NearFarEngine::bisect(graph::Distance threshold) {
   SSSP_TRACE_SPAN("bisect");
+  SSSP_PROF_PHASE("bisect");
   if (options_.control != nullptr && options_.control->should_abort())
     throw util::StopRequested(options_.control->reason());
   if (obs::metrics_enabled()) EngineMetrics::get().bisects.add();

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace sssp::obs {
 
@@ -266,6 +267,142 @@ struct Parser {
 bool json_valid(std::string_view text) {
   Parser p{text};
   if (!p.value()) return false;
+  p.skip_ws();
+  return p.eof();
+}
+
+// ---------------------------------------------------------------------------
+// Tree parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Builds a JsonValue tree on top of the validating primitives: each
+// leaf is validated by the Parser machinery first, then decoded from
+// the consumed slice, so both entry points accept exactly the same
+// language.
+struct TreeParser : Parser {
+  explicit TreeParser(std::string_view t) : Parser{t} {}
+
+  // Unescapes the contents of a string token already validated by
+  // Parser::string() (pos range excludes the quotes).
+  std::string decode_string(std::size_t begin, std::size_t end) const {
+    std::string out;
+    out.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      const char c = text[i];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char e = text[++i];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          const unsigned code = static_cast<unsigned>(
+              std::stoul(std::string(text.substr(i + 1, 4)), nullptr, 16));
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          i += 4;
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (eof()) return false;
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = parse_object(out); break;
+      case '[': ok = parse_array(out); break;
+      case '"': {
+        const std::size_t begin = pos + 1;
+        ok = string();
+        if (ok) {
+          out.type = JsonValue::Type::kString;
+          out.string = decode_string(begin, pos - 1);
+        }
+        break;
+      }
+      case 't':
+        ok = literal("true");
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        break;
+      case 'f':
+        ok = literal("false");
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        break;
+      case 'n':
+        ok = literal("null");
+        out.type = JsonValue::Type::kNull;
+        break;
+      default: {
+        const std::size_t begin = pos;
+        ok = number();
+        if (ok) {
+          out.type = JsonValue::Type::kNumber;
+          out.number = std::strtod(
+              std::string(text.substr(begin, pos - begin)).c_str(), nullptr);
+        }
+        break;
+      }
+    }
+    --depth;
+    return ok;
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      const std::size_t begin = pos + 1;
+      if (!string()) return false;
+      std::string key = decode_string(begin, pos - 1);
+      skip_ws();
+      if (!consume(':')) return false;
+      if (!parse_value(out.object[std::move(key)])) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      out.array.emplace_back();
+      if (!parse_value(out.array.back())) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+};
+
+}  // namespace
+
+bool parse_json(std::string_view text, JsonValue& out) {
+  out = JsonValue{};
+  TreeParser p(text);
+  if (!p.parse_value(out)) return false;
   p.skip_ws();
   return p.eof();
 }

@@ -16,9 +16,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace sssp::obs {
 
@@ -60,5 +62,48 @@ class JsonWriter {
 // (single value, arbitrary nesting; depth-capped to keep the validator
 // itself safe on adversarial input). Returns true iff `text` parses.
 bool json_valid(std::string_view text);
+
+// Parsed JSON document tree — enough for tools that read back the
+// documents this layer writes (bench_tool's baseline comparison, report
+// round-trip tests). Numbers are doubles (fine for our payloads:
+// counters fit in 53 bits, everything else is already a double).
+struct JsonValue {
+  enum class Type : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject
+  };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const noexcept { return type == Type::kNull; }
+  bool is_object() const noexcept { return type == Type::kObject; }
+  bool is_array() const noexcept { return type == Type::kArray; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const {
+    if (type != Type::kObject) return nullptr;
+    const auto it = object.find(std::string(key));
+    return it != object.end() ? &it->second : nullptr;
+  }
+  double number_or(std::string_view key, double fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->type == Type::kNumber ? v->number : fallback;
+  }
+  std::string string_or(std::string_view key, std::string fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->type == Type::kString ? v->string
+                                                    : std::move(fallback);
+  }
+};
+
+// Parses a complete JSON document (same strictness and depth cap as
+// json_valid). Returns false leaving `out` unspecified on malformed
+// input; \uXXXX escapes outside ASCII are replaced with '?' (our
+// documents never emit them).
+bool parse_json(std::string_view text, JsonValue& out);
 
 }  // namespace sssp::obs

@@ -60,6 +60,13 @@ double Histogram::bucket_value(int index) noexcept {
   return std::exp2((k + 0.5) / kSubBuckets);
 }
 
+double Histogram::bucket_upper_bound(int index) noexcept {
+  if (index <= 0) return 0.0;
+  const double k =
+      static_cast<double>(index - 1) + kMinExponent * kSubBuckets;
+  return std::exp2((k + 1.0) / kSubBuckets);
+}
+
 void Histogram::record(double v) noexcept {
   buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
       1, std::memory_order_relaxed);
@@ -144,6 +151,7 @@ std::string MetricsRegistry::to_json() const {
     w.key("mean").value(h->mean());
     w.key("max").value(h->max());
     w.key("p50").value(h->percentile(50.0));
+    w.key("p90").value(h->percentile(90.0));
     w.key("p95").value(h->percentile(95.0));
     w.key("p99").value(h->percentile(99.0));
     w.end_object();
@@ -155,6 +163,11 @@ std::string MetricsRegistry::to_json() const {
 
 namespace {
 
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 std::string prometheus_name(std::string_view name) {
   std::string out = "sssp_";
   for (const char c : name) {
@@ -162,6 +175,15 @@ std::string prometheus_name(std::string_view name) {
                     (c >= '0' && c <= '9') || c == '_';
     out += ok ? c : '_';
   }
+  return out;
+}
+
+// Counter families carry the conventional `_total` suffix; instrument
+// names that already end in it (or in a unit suffix that implies an
+// accumulating total, like `_seconds_total`) are left alone.
+std::string prometheus_counter_name(std::string_view name) {
+  std::string out = prometheus_name(name);
+  if (!ends_with(out, "_total")) out += "_total";
   return out;
 }
 
@@ -177,7 +199,7 @@ std::string MetricsRegistry::to_prometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [name, c] : counters_) {
-    const std::string p = prometheus_name(name);
+    const std::string p = prometheus_counter_name(name);
     out += "# TYPE " + p + " counter\n";
     out += p + " " + std::to_string(c->value()) + "\n";
   }
@@ -190,14 +212,20 @@ std::string MetricsRegistry::to_prometheus() const {
   }
   for (const auto& [name, h] : histograms_) {
     const std::string p = prometheus_name(name);
-    out += "# TYPE " + p + " summary\n";
-    for (const double q : {0.5, 0.95, 0.99}) {
-      out += p + "{quantile=\"";
-      prometheus_number(out, q);
-      out += "\"} ";
-      prometheus_number(out, h->percentile(q * 100.0));
-      out += "\n";
+    out += "# TYPE " + p + " histogram\n";
+    // Native histogram: cumulative counts at the upper edge of every
+    // non-empty log bucket (emitting all ~250 bucket edges per family
+    // would bloat the exposition for no resolution gain).
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t in_bucket = h->bucket_count(i);
+      if (in_bucket == 0) continue;
+      cumulative += in_bucket;
+      out += p + "_bucket{le=\"";
+      prometheus_number(out, Histogram::bucket_upper_bound(i));
+      out += "\"} " + std::to_string(cumulative) + "\n";
     }
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h->count()) + "\n";
     out += p + "_sum ";
     prometheus_number(out, h->sum());
     out += "\n";

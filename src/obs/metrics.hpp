@@ -89,6 +89,14 @@ class Histogram {
   // exposed for the exporter and percentile tests.
   static double bucket_value(int index) noexcept;
   static int bucket_index(double v) noexcept;
+  // Exclusive upper edge of bucket `index` (the Prometheus `le` bound;
+  // 0 for the zero bucket).
+  static double bucket_upper_bound(int index) noexcept;
+  // Raw count in bucket `index` (exporter + tests).
+  std::uint64_t bucket_count(int index) const noexcept {
+    return buckets_[static_cast<std::size_t>(index)].load(
+        std::memory_order_relaxed);
+  }
 
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
@@ -110,12 +118,15 @@ class MetricsRegistry {
   Histogram& histogram(std::string_view name);
 
   // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
-  //  mean,max,p50,p95,p99}}} — keys sorted (std::map), deterministic.
+  //  mean,max,p50,p90,p95,p99}}} — keys sorted (std::map),
+  //  deterministic.
   std::string to_json() const;
-  // Prometheus text exposition: counters and gauges verbatim,
-  // histograms as summaries (quantile labels + _sum/_count). Dots in
-  // instrument names become underscores; a `sssp_` prefix namespaces
-  // the exported families.
+  // Prometheus text exposition following the naming conventions:
+  // families get a `sssp_` prefix, non-[a-zA-Z0-9_] chars become '_',
+  // counters get a `_total` suffix (unless already present), and
+  // histograms export as native Prometheus histograms — cumulative
+  // `_bucket{le="..."}` lines over the non-empty log buckets plus
+  // `le="+Inf"`, then `_sum` and `_count`.
   std::string to_prometheus() const;
 
   // Zeroes every instrument (instances stay valid).

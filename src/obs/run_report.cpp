@@ -9,9 +9,91 @@
 
 namespace sssp::obs {
 
+namespace {
+
+// Counter fields shared by the profile totals, phases, and iteration
+// records (written into an already-open object).
+void write_counter_fields(JsonWriter& w, const prof::CounterValues& c) {
+  w.key("task_seconds").value(c.task_seconds);
+  w.key("cycles").value(c.cycles);
+  w.key("instructions").value(c.instructions);
+  w.key("llc_misses").value(c.llc_misses);
+  w.key("branch_misses").value(c.branch_misses);
+  w.key("context_switches").value(c.context_switches);
+}
+
+void write_profile_blocks(JsonWriter& w, const RunReportMeta& meta,
+                          const prof::RunProfile& p) {
+  const prof::EnergyReport& e = p.energy;
+  w.key("energy").begin_object();
+  w.key("backend").value(prof::to_string(e.backend));
+  w.key("backend_detail").value(e.backend_detail);
+  w.key("joules").value(e.joules);
+  w.key("package_joules").value(e.package_joules);
+  w.key("dram_joules").value(e.dram_joules);
+  w.key("seconds").value(e.seconds);
+  w.key("average_watts").value(e.average_watts);
+  w.key("joules_per_relaxation")
+      .value(meta.improving_relaxations > 0
+                 ? e.joules /
+                       static_cast<double>(meta.improving_relaxations)
+                 : 0.0);
+  w.key("energy_delay_product").value(e.energy_delay_product);
+  w.end_object();
+
+  w.key("profile").begin_object();
+  w.key("counter_backend").value(prof::to_string(p.counter_backend));
+  w.key("counter_backend_detail").value(p.counter_backend_detail);
+  w.key("wall_seconds").value(p.wall_seconds);
+  w.key("totals").begin_object();
+  write_counter_fields(w, p.totals);
+  w.key("ipc").value(p.totals.cycles > 0
+                         ? static_cast<double>(p.totals.instructions) /
+                               static_cast<double>(p.totals.cycles)
+                         : 0.0);
+  w.key("llc_misses_per_kilo_instruction")
+      .value(p.totals.instructions > 0
+                 ? 1000.0 * static_cast<double>(p.totals.llc_misses) /
+                       static_cast<double>(p.totals.instructions)
+                 : 0.0);
+  w.key("branch_miss_rate")
+      .value(p.totals.instructions > 0
+                 ? static_cast<double>(p.totals.branch_misses) /
+                       static_cast<double>(p.totals.instructions)
+                 : 0.0);
+  w.end_object();
+  w.key("phases").begin_object();
+  for (const auto& [name, phase] : p.phases) {
+    w.key(name).begin_object();
+    w.key("seconds").value(phase.seconds);
+    w.key("joules").value(phase.joules);
+    w.key("entries").value(phase.entries);
+    write_counter_fields(w, phase.counters);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("iterations").begin_array();
+  // "iteration", not "iter": consumers (and sssp_tool's self-check)
+  // count '{"iter":' to tally the top-level per-iteration records, and
+  // these profile samples must not collide with that.
+  for (const prof::IterationSample& s : p.iterations) {
+    w.begin_object();
+    w.key("iteration").value(s.iteration);
+    w.key("seconds").value(s.seconds);
+    w.key("joules").value(s.joules);
+    write_counter_fields(w, s.counters);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
 void write_run_report(std::ostream& out, const RunReportMeta& meta,
                       std::span<const frontier::IterationStats> iterations,
-                      const sim::RunReport* sim_report) {
+                      const sim::RunReport* sim_report,
+                      const prof::RunProfile* profile) {
   JsonWriter w(out);
   w.begin_object();
   w.key("schema").value("tunesssp.run_report.v1");
@@ -98,6 +180,8 @@ void write_run_report(std::ostream& out, const RunReportMeta& meta,
     w.end_object();
   }
 
+  if (profile != nullptr) write_profile_blocks(w, meta, *profile);
+
   w.key("iterations").begin_array();
   for (std::size_t i = 0; i < records; ++i) {
     w.begin_object();
@@ -137,19 +221,20 @@ void write_run_report(std::ostream& out, const RunReportMeta& meta,
 std::string run_report_json(
     const RunReportMeta& meta,
     std::span<const frontier::IterationStats> iterations,
-    const sim::RunReport* sim_report) {
+    const sim::RunReport* sim_report, const prof::RunProfile* profile) {
   std::ostringstream out;
-  write_run_report(out, meta, iterations, sim_report);
+  write_run_report(out, meta, iterations, sim_report, profile);
   return out.str();
 }
 
 void save_run_report(const std::string& path, const RunReportMeta& meta,
                      std::span<const frontier::IterationStats> iterations,
-                     const sim::RunReport* sim_report) {
+                     const sim::RunReport* sim_report,
+                     const prof::RunProfile* profile) {
   std::ofstream out(path, std::ios::binary);
   if (!out)
     throw std::runtime_error("save_run_report: cannot open " + path);
-  write_run_report(out, meta, iterations, sim_report);
+  write_run_report(out, meta, iterations, sim_report, profile);
   out << '\n';
   if (!out)
     throw std::runtime_error("save_run_report: write failed: " + path);

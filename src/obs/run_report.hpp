@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "frontier/stats.hpp"
+#include "prof/report.hpp"
 #include "sim/run.hpp"
 
 namespace sssp::obs {
@@ -107,19 +108,41 @@ struct RunReportMeta {
 // `iterations`, the nested "sim" object from `sim_report` (aligned by
 // index). Either side may be absent (replay_tool has no engine stats);
 // the record count is the larger of the two.
+//
+// When `profile` is non-null (the tool ran with --profile) the
+// document additionally carries the host measurements
+// (docs/OBSERVABILITY.md, "Hardware profiling & energy"):
+//   "energy":  { backend, backend_detail, joules, package_joules,
+//                dram_joules, seconds, average_watts,
+//                joules_per_relaxation, energy_delay_product },
+//   "profile": { counter_backend, counter_backend_detail, wall_seconds,
+//                totals: { task_seconds, cycles, instructions,
+//                          llc_misses, branch_misses, context_switches,
+//                          ipc, llc_misses_per_kilo_instruction,
+//                          branch_miss_rate },
+//                phases: { name: { seconds, joules, entries,
+//                                  <counters> } },
+//                iterations: [ { iteration, seconds, joules,
+//                                <counters> } ] }
+// Both blocks are omitted (not null) when profiling was off, keeping
+// schema v1 byte-stable for existing consumers. joules_per_relaxation
+// is derived here from meta.improving_relaxations.
 void write_run_report(std::ostream& out, const RunReportMeta& meta,
                       std::span<const frontier::IterationStats> iterations,
-                      const sim::RunReport* sim_report = nullptr);
+                      const sim::RunReport* sim_report = nullptr,
+                      const prof::RunProfile* profile = nullptr);
 
 std::string run_report_json(
     const RunReportMeta& meta,
     std::span<const frontier::IterationStats> iterations,
-    const sim::RunReport* sim_report = nullptr);
+    const sim::RunReport* sim_report = nullptr,
+    const prof::RunProfile* profile = nullptr);
 
 // Writes the document to `path` (throws std::runtime_error on I/O
 // failure).
 void save_run_report(const std::string& path, const RunReportMeta& meta,
                      std::span<const frontier::IterationStats> iterations,
-                     const sim::RunReport* sim_report = nullptr);
+                     const sim::RunReport* sim_report = nullptr,
+                     const prof::RunProfile* profile = nullptr);
 
 }  // namespace sssp::obs

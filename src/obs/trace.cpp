@@ -37,7 +37,18 @@ double Tracer::now_us() const noexcept {
 
 void Tracer::push(const Event& event) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (stream_.is_open()) {
+    events_.push_back(event);
+    ++recorded_;
+    if (events_.size() >= batch_size_) flush_locked();
+    return;
+  }
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
   events_.push_back(event);
+  ++recorded_;
 }
 
 void Tracer::complete(const char* name, double ts_us, double dur_us) {
@@ -54,49 +65,113 @@ void Tracer::instant(const char* name, double ts_us) {
 
 std::size_t Tracer::num_events() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return events_.size();
+  return static_cast<std::size_t>(recorded_);
+}
+
+std::uint64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Tracer::set_max_events(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_events_ = cap;
 }
 
 void Tracer::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+// One complete event object; `out` must already be positioned inside
+// the traceEvents array (the caller manages commas so the same body
+// serves the in-memory writer and the batch streamer).
+void Tracer::write_event(std::ostream& out, const Event& e) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("name").value(e.name);
+  w.key("cat").value("sssp");
+  w.key("pid").value(std::uint64_t{1});
+  w.key("ts").value(e.ts_us);
+  switch (e.phase) {
+    case Phase::kComplete:
+      w.key("ph").value("X");
+      w.key("tid").value(e.tid);
+      w.key("dur").value(e.dur_us);
+      break;
+    case Phase::kCounter:
+      // Counter tracks are process-scoped; pin them to tid 0 so each
+      // name renders as a single track regardless of emitting thread.
+      w.key("ph").value("C");
+      w.key("tid").value(std::uint64_t{0});
+      w.key("args").begin_object().key("value").value(e.value).end_object();
+      break;
+    case Phase::kInstant:
+      w.key("ph").value("i");
+      w.key("tid").value(e.tid);
+      w.key("s").value("t");  // thread-scoped instant
+      break;
+  }
+  w.end_object();
+}
+
+void Tracer::flush_locked() {
+  for (const Event& e : events_) {
+    if (!stream_first_event_) stream_ << ',';
+    stream_first_event_ = false;
+    write_event(stream_, e);
+  }
+  events_.clear();
+}
+
+void Tracer::open_stream(const std::string& path, std::size_t batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stream_.is_open())
+    throw std::logic_error("Tracer::open_stream: stream already open");
+  stream_.open(path, std::ios::binary);
+  if (!stream_)
+    throw std::runtime_error("Tracer::open_stream: cannot open " + path);
+  stream_path_ = path;
+  batch_size_ = batch_size > 0 ? batch_size : kDefaultBatchSize;
+  stream_first_event_ = true;
+  stream_ << "{\"traceEvents\":[";
+  // Any events buffered before the stream opened ride along.
+  flush_locked();
+}
+
+void Tracer::finish_stream() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!stream_.is_open()) return;
+  flush_locked();
+  stream_ << "],\"displayTimeUnit\":\"ms\",\"droppedEvents\":" << dropped_
+          << "}\n";
+  stream_.close();
+  if (stream_.fail())
+    throw std::runtime_error("Tracer::finish_stream: write failed: " +
+                             stream_path_);
+  stream_path_.clear();
+}
+
+bool Tracer::streaming() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stream_.is_open();
 }
 
 void Tracer::write_json(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mu_);
-  JsonWriter w(out);
-  w.begin_object();
-  w.key("traceEvents").begin_array();
+  if (stream_.is_open())
+    throw std::logic_error(
+        "Tracer::write_json: events are streaming to disk");
+  out << "{\"traceEvents\":[";
+  bool first = true;
   for (const Event& e : events_) {
-    w.begin_object();
-    w.key("name").value(e.name);
-    w.key("cat").value("sssp");
-    w.key("pid").value(std::uint64_t{1});
-    w.key("ts").value(e.ts_us);
-    switch (e.phase) {
-      case Phase::kComplete:
-        w.key("ph").value("X");
-        w.key("tid").value(e.tid);
-        w.key("dur").value(e.dur_us);
-        break;
-      case Phase::kCounter:
-        // Counter tracks are process-scoped; pin them to tid 0 so each
-        // name renders as a single track regardless of emitting thread.
-        w.key("ph").value("C");
-        w.key("tid").value(std::uint64_t{0});
-        w.key("args").begin_object().key("value").value(e.value).end_object();
-        break;
-      case Phase::kInstant:
-        w.key("ph").value("i");
-        w.key("tid").value(e.tid);
-        w.key("s").value("t");  // thread-scoped instant
-        break;
-    }
-    w.end_object();
+    if (!first) out << ',';
+    first = false;
+    write_event(out, e);
   }
-  w.end_array();
-  w.key("displayTimeUnit").value("ms");
-  w.end_object();
+  out << "],\"displayTimeUnit\":\"ms\",\"droppedEvents\":" << dropped_ << "}";
 }
 
 void Tracer::save(const std::string& path) const {

@@ -17,10 +17,20 @@
 // Recording appends to an in-memory buffer under a short mutex hold;
 // phase-level spans fire a few times per iteration, so contention is
 // negligible even with the parallel engine enabled.
+//
+// Two sinks (docs/OBSERVABILITY.md, "Tracing"):
+//  - streaming (open_stream/finish_stream): events flush to disk in
+//    batches, so memory stays bounded at the batch size no matter how
+//    long the run — the mode the CLI tools use for --trace-out;
+//  - in-memory (the default, used by tests and the bench atexit sink):
+//    the buffer is capped (set_max_events); past the cap new events are
+//    counted as dropped rather than recorded, and the count appears as
+//    "droppedEvents" in the written document.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -37,6 +47,13 @@ std::uint32_t thread_ordinal() noexcept;
 
 class Tracer {
  public:
+  // In-memory buffer cap: ~56 MB of events before dropping. Soak runs
+  // should stream instead (open_stream).
+  static constexpr std::size_t kDefaultMaxEvents = 1u << 20;
+  // Streaming flush batch: small enough to bound memory, large enough
+  // to amortize the file write.
+  static constexpr std::size_t kDefaultBatchSize = 8192;
+
   Tracer() = default;
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -49,10 +66,31 @@ class Tracer {
   void counter(const char* name, double ts_us, double value);
   void instant(const char* name, double ts_us);
 
+  // Events recorded (retained in memory or already streamed to disk);
+  // excludes dropped ones.
   std::size_t num_events() const;
+  // Events discarded because the in-memory buffer hit its cap.
+  std::uint64_t dropped_events() const;
+  // Caps the in-memory buffer (streaming mode is unaffected). Applies
+  // to future events only.
+  void set_max_events(std::size_t cap);
+  // Drops buffered events and zeroes the recorded/dropped counts.
   void clear();
 
-  // {"traceEvents":[...],"displayTimeUnit":"ms"}
+  // Switches to streaming: the JSON document head is written to `path`
+  // immediately and events flush there in `batch_size` batches.
+  // Throws std::runtime_error on open failure, std::logic_error if a
+  // stream is already open.
+  void open_stream(const std::string& path,
+                   std::size_t batch_size = kDefaultBatchSize);
+  // Flushes the tail, completes the document, closes the file, and
+  // returns to in-memory mode. No-op when not streaming.
+  void finish_stream();
+  bool streaming() const;
+
+  // {"traceEvents":[...],"displayTimeUnit":"ms","droppedEvents":N} from
+  // the in-memory buffer. Throws std::logic_error while streaming (the
+  // events are on disk, not here).
   void write_json(std::ostream& out) const;
   void save(const std::string& path) const;  // throws on I/O failure
 
@@ -70,9 +108,18 @@ class Tracer {
   };
 
   void push(const Event& event);
+  void flush_locked();
+  static void write_event(std::ostream& out, const Event& event);
 
   mutable std::mutex mu_;
   std::vector<Event> events_;
+  std::size_t max_events_ = kDefaultMaxEvents;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::ofstream stream_;
+  std::string stream_path_;
+  std::size_t batch_size_ = kDefaultBatchSize;
+  bool stream_first_event_ = true;
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
 };

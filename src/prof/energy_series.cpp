@@ -1,0 +1,48 @@
+#include "prof/energy_series.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace sssp::prof {
+
+void EnergySeries::add(double seconds, double watts) {
+  if (!std::isfinite(seconds) || !std::isfinite(watts))
+    throw std::invalid_argument("EnergySeries: non-finite sample");
+  if (watts < 0.0)
+    throw std::invalid_argument("EnergySeries: negative power");
+  if (!samples_.empty()) {
+    const EnergySample& prev = samples_.back();
+    if (seconds < prev.seconds)
+      throw std::invalid_argument("EnergySeries: time went backwards");
+    energy_j_ += (seconds - prev.seconds) * 0.5 * (watts + prev.watts);
+  }
+  if (watts > peak_w_) peak_w_ = watts;
+  samples_.push_back({seconds, watts});
+}
+
+double EnergySeries::duration_seconds() const noexcept {
+  if (samples_.size() < 2) return 0.0;
+  return samples_.back().seconds - samples_.front().seconds;
+}
+
+double EnergySeries::average_power_w() const noexcept {
+  const double dt = duration_seconds();
+  return dt > 0.0 ? energy_j_ / dt : 0.0;
+}
+
+void EnergySeries::clear() noexcept {
+  samples_.clear();
+  energy_j_ = 0.0;
+  peak_w_ = 0.0;
+}
+
+double monotonic_seconds() noexcept {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+}  // namespace sssp::prof

@@ -1,0 +1,65 @@
+// Shared energy-sample timeline: one (monotonic seconds, watts) sample
+// stream with trapezoidal integration, used by every energy source in
+// the stack — the RAPL hardware reader (src/prof/rapl.hpp), the model
+// fallback estimate, and the simulator's PowerMon trace
+// (sim/powermon.hpp exposes a bridge) — so joules/average-watts math
+// lives in exactly one place (sim/energy_metrics consumes either
+// source).
+//
+// Step functions are exactly representable: add the same timestamp
+// twice with different watts (the zero-width trapezoid contributes no
+// energy), or bracket an interval with equal-watts samples at both
+// ends (the trapezoid degenerates to watts × dt). The RAPL reader uses
+// the bracket form so the integral reproduces the hardware counter
+// delta exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sssp::prof {
+
+struct EnergySample {
+  double seconds;  // monotonic time of the sample
+  double watts;    // instantaneous power at that time
+};
+
+class EnergySeries {
+ public:
+  // Appends a sample. Time must be non-decreasing; non-finite values
+  // and negative watts throw std::invalid_argument (a poisoned sample
+  // would silently corrupt every integral downstream).
+  void add(double seconds, double watts);
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  // Time span covered ([first, last] sample); 0 with < 2 samples.
+  double duration_seconds() const noexcept;
+
+  // Trapezoidal integral of power over time.
+  double energy_joules() const noexcept { return energy_j_; }
+
+  // energy / duration; 0 for a span of zero length.
+  double average_power_w() const noexcept;
+
+  double peak_power_w() const noexcept { return peak_w_; }
+
+  const std::vector<EnergySample>& samples() const noexcept {
+    return samples_;
+  }
+
+  void clear() noexcept;
+
+ private:
+  std::vector<EnergySample> samples_;
+  double energy_j_ = 0.0;
+  double peak_w_ = 0.0;
+};
+
+// Seconds on the process-wide monotonic (steady) clock, relative to an
+// arbitrary fixed epoch. Every profiling timestamp uses this one clock
+// so series from different sources are directly comparable.
+double monotonic_seconds() noexcept;
+
+}  // namespace sssp::prof

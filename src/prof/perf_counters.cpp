@@ -1,0 +1,114 @@
+#include "prof/perf_counters.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace sssp::prof {
+
+#ifdef __linux__
+namespace {
+
+// Index order matches PerfCounterGroup::fds_. The first three are the
+// required core trio; the tail is best-effort.
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+  const char* name;
+};
+constexpr EventSpec kEvents[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, "cycles"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, "instructions"},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK, "task-clock"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, "llc-misses"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES, "branch-misses"},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES, "context-switches"},
+};
+
+int open_event(const EventSpec& spec) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = spec.type;
+  attr.size = sizeof(attr);
+  attr.config = spec.config;
+  attr.disabled = 0;
+  attr.inherit = 1;        // count threads spawned after open()
+  attr.exclude_kernel = 1; // allowed at perf_event_paranoid <= 2
+  attr.exclude_hv = 1;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0UL));
+}
+
+std::uint64_t read_counter(int fd) {
+  if (fd < 0) return 0;
+  std::uint64_t value = 0;
+  if (::read(fd, &value, sizeof(value)) != sizeof(value)) return 0;
+  return value;
+}
+
+}  // namespace
+
+bool PerfCounterGroup::open() {
+  close();
+  int first_errno = 0;
+  for (int i = 0; i < kNumEvents; ++i) {
+    fds_[i] = open_event(kEvents[i]);
+    if (fds_[i] < 0 && first_errno == 0) first_errno = errno;
+  }
+  // Core trio required; the rest may legitimately be missing (VMs
+  // often lack cache/branch PMU events).
+  if (fds_[0] < 0 || fds_[1] < 0 || fds_[2] < 0) {
+    status_ = std::string("perf_event_open: ") + std::strerror(first_errno) +
+              (first_errno == EACCES || first_errno == EPERM
+                   ? " (kernel.perf_event_paranoid?)"
+                   : "");
+    close();
+    return false;
+  }
+  open_ = true;
+  status_ = "ok";
+  for (int i = 3; i < kNumEvents; ++i)
+    if (fds_[i] < 0)
+      status_ += std::string(" (no ") + kEvents[i].name + ")";
+  return true;
+}
+
+CounterValues PerfCounterGroup::read() const {
+  CounterValues v;
+  if (!open_) return v;
+  v.cycles = read_counter(fds_[0]);
+  v.instructions = read_counter(fds_[1]);
+  v.task_seconds = static_cast<double>(read_counter(fds_[2])) * 1e-9;
+  v.llc_misses = read_counter(fds_[3]);
+  v.branch_misses = read_counter(fds_[4]);
+  v.context_switches = read_counter(fds_[5]);
+  return v;
+}
+
+void PerfCounterGroup::close() {
+  for (int& fd : fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  open_ = false;
+}
+
+#else  // !__linux__
+
+bool PerfCounterGroup::open() {
+  status_ = "unsupported platform (perf_event_open is Linux-only)";
+  return false;
+}
+CounterValues PerfCounterGroup::read() const { return {}; }
+void PerfCounterGroup::close() { open_ = false; }
+
+#endif
+
+PerfCounterGroup::~PerfCounterGroup() { close(); }
+
+}  // namespace sssp::prof

@@ -1,0 +1,84 @@
+// Hardware counter access via perf_event_open(2). Six independent
+// per-thread events (cycles, instructions, task-clock, LLC misses,
+// branch misses, context switches) with inherit=1 so threads spawned
+// *after* open() are counted too. Events are opened individually, not
+// as a group: grouped reads with inherit are unsupported on older
+// kernels, and a partially-available PMU (e.g. no LLC-miss event in a
+// VM) should degrade that one counter to zero rather than kill the
+// whole group.
+//
+// open() is a capability probe: it returns false — never throws — when
+// the syscall is unavailable (non-Linux), forbidden
+// (perf_event_paranoid, seccomp → EACCES/EPERM), or the PMU is absent
+// (ENOENT). Callers fall back to wall-clock-only profiling; status()
+// carries a one-line reason for the run report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sssp::prof {
+
+// Cumulative counter values since open(). A counter whose event could
+// not be opened reads as zero; `valid` mirrors which ones are live.
+struct CounterValues {
+  double task_seconds = 0.0;  // TASK_CLOCK, ns → seconds
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t context_switches = 0;
+
+  CounterValues operator-(const CounterValues& rhs) const noexcept {
+    CounterValues d;
+    d.task_seconds = task_seconds - rhs.task_seconds;
+    d.cycles = cycles - rhs.cycles;
+    d.instructions = instructions - rhs.instructions;
+    d.llc_misses = llc_misses - rhs.llc_misses;
+    d.branch_misses = branch_misses - rhs.branch_misses;
+    d.context_switches = context_switches - rhs.context_switches;
+    return d;
+  }
+  CounterValues& operator+=(const CounterValues& rhs) noexcept {
+    task_seconds += rhs.task_seconds;
+    cycles += rhs.cycles;
+    instructions += rhs.instructions;
+    llc_misses += rhs.llc_misses;
+    branch_misses += rhs.branch_misses;
+    context_switches += rhs.context_switches;
+    return *this;
+  }
+};
+
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup() = default;
+  ~PerfCounterGroup();
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  // Probes and opens the events on the calling thread (inherited by
+  // its future children). Returns true when the core trio — cycles,
+  // instructions, task-clock — all opened; otherwise closes everything
+  // and returns false with the reason in status().
+  bool open();
+
+  bool is_open() const noexcept { return open_; }
+
+  // Reads the cumulative values. Missing events contribute zero.
+  CounterValues read() const;
+
+  void close();
+
+  // Human-readable probe outcome ("ok", "perf_event_open: EACCES
+  // (perf_event_paranoid?)", "unsupported platform", ...).
+  const std::string& status() const noexcept { return status_; }
+
+ private:
+  static constexpr int kNumEvents = 6;
+  int fds_[kNumEvents] = {-1, -1, -1, -1, -1, -1};
+  bool open_ = false;
+  std::string status_ = "not probed";
+};
+
+}  // namespace sssp::prof

@@ -1,0 +1,129 @@
+#include "prof/rapl.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#ifdef __linux__
+#include <dirent.h>
+#endif
+
+namespace sssp::prof {
+
+namespace {
+
+// First line of a sysfs attribute, stripped of trailing whitespace.
+bool read_line(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in || !std::getline(in, out)) return false;
+  while (!out.empty() &&
+         std::isspace(static_cast<unsigned char>(out.back())))
+    out.pop_back();
+  return true;
+}
+
+bool read_u64(const std::string& path, std::uint64_t& out) {
+  std::string line;
+  if (!read_line(path, line) || line.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(line.c_str(), &end, 10);
+  return end != line.c_str();
+}
+
+// intel-rapl:N (package) or intel-rapl:N:M (subdomain), not -mmio.
+bool parse_rapl_entry(const std::string& entry, bool& is_subdomain) {
+  const std::string prefix = "intel-rapl:";
+  if (entry.compare(0, prefix.size(), prefix) != 0) return false;
+  is_subdomain =
+      std::count(entry.begin(), entry.end(), ':') >= 2;
+  return true;
+}
+
+}  // namespace
+
+bool RaplReader::open() {
+  domains_.clear();
+  open_ = false;
+#ifndef __linux__
+  status_ = "unsupported platform (powercap is Linux-only)";
+  return false;
+#else
+  DIR* dir = ::opendir(root_.c_str());
+  if (!dir) {
+    status_ = "no powercap tree at " + root_;
+    return false;
+  }
+  bool any_unreadable = false;
+  while (const dirent* ent = ::readdir(dir)) {
+    const std::string entry = ent->d_name;
+    bool is_subdomain = false;
+    if (!parse_rapl_entry(entry, is_subdomain)) continue;
+    const std::string dir_path = root_ + "/" + entry;
+    Domain d;
+    if (!read_line(dir_path + "/name", d.name)) continue;
+    const bool is_package = d.name.compare(0, 8, "package-") == 0;
+    d.is_dram = d.name == "dram";
+    // Subdomains other than dram (core, uncore, psys) are already
+    // included in their package counter.
+    if (!is_package && !d.is_dram) continue;
+    if (is_package && is_subdomain) continue;  // psys quirk guard
+    d.energy_path = dir_path + "/energy_uj";
+    if (!read_u64(d.energy_path, d.last_uj)) {
+      any_unreadable = true;  // present but root-only readable
+      continue;
+    }
+    read_u64(dir_path + "/max_energy_range_uj", d.max_range_uj);
+    domains_.push_back(std::move(d));
+  }
+  ::closedir(dir);
+  // Sort for deterministic domain ordering regardless of readdir order.
+  std::sort(domains_.begin(), domains_.end(),
+            [](const Domain& a, const Domain& b) { return a.name < b.name; });
+  const bool has_package = std::any_of(
+      domains_.begin(), domains_.end(),
+      [](const Domain& d) { return !d.is_dram; });
+  if (!has_package) {
+    domains_.clear();
+    status_ = any_unreadable ? "energy_uj unreadable (permissions?)"
+                             : "no RAPL domains under " + root_;
+    return false;
+  }
+  open_ = true;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "ok (%zu domains)", domains_.size());
+  status_ = buf;
+  return true;
+#endif
+}
+
+RaplEnergy RaplReader::read() {
+  RaplEnergy e;
+  if (!open_) return e;
+  for (Domain& d : domains_) {
+    std::uint64_t now_uj = 0;
+    if (read_u64(d.energy_path, now_uj)) {
+      std::uint64_t delta_uj = 0;
+      if (now_uj >= d.last_uj) {
+        delta_uj = now_uj - d.last_uj;
+      } else if (d.max_range_uj > 0) {
+        // Counter wrapped: distance to the wrap point plus the restart.
+        delta_uj = (d.max_range_uj - d.last_uj) + now_uj;
+      }  // unknown range: drop this one interval rather than guess
+      d.last_uj = now_uj;
+      d.accumulated_j += static_cast<double>(delta_uj) * 1e-6;
+    }
+    (d.is_dram ? e.dram_joules : e.package_joules) += d.accumulated_j;
+  }
+  return e;
+}
+
+std::vector<std::string> RaplReader::domain_names() const {
+  std::vector<std::string> names;
+  names.reserve(domains_.size());
+  for (const Domain& d : domains_) names.push_back(d.name);
+  return names;
+}
+
+}  // namespace sssp::prof

@@ -1,0 +1,74 @@
+// Intel RAPL energy counters via the powercap sysfs interface.
+// Scans `<root>/intel-rapl:N` for package domains and
+// `<root>/intel-rapl:N:M` for their DRAM subdomains (the powercap
+// directory is flat — subdomains appear as top-level symlinks too, so
+// one readdir pass sees everything). `intel-rapl-mmio:*` duplicates
+// the MSR-backed package counters and is skipped to avoid counting
+// energy twice.
+//
+// energy_uj is a wrapping cumulative microjoule counter;
+// max_energy_range_uj gives the wrap modulus. read() accumulates
+// wraparound-safe deltas per domain, so callers see monotone joules
+// even across counter wraps (sampling faster than one wrap period —
+// hours at desktop power — is the caller's job; the profiler samples
+// every phase transition and iteration).
+//
+// The sysfs root is injectable so tests drive the full wraparound path
+// against a fake directory tree without hardware access. open()
+// returns false (never throws) when the tree is missing or unreadable
+// (typical in containers); callers fall back to the model estimate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sssp::prof {
+
+// Cumulative joules since open(), per domain class.
+struct RaplEnergy {
+  double package_joules = 0.0;
+  double dram_joules = 0.0;
+  double total_joules() const noexcept {
+    return package_joules + dram_joules;
+  }
+};
+
+class RaplReader {
+ public:
+  explicit RaplReader(std::string root = "/sys/class/powercap")
+      : root_(std::move(root)) {}
+
+  // Scans the powercap tree and primes per-domain last-read values.
+  // Returns true when at least one package domain is readable.
+  bool open();
+
+  bool is_open() const noexcept { return open_; }
+
+  // Reads every domain and returns cumulative wrap-corrected joules.
+  RaplEnergy read();
+
+  // Probe outcome for the run report ("ok (2 domains)", "no powercap
+  // tree", "energy_uj unreadable", ...).
+  const std::string& status() const noexcept { return status_; }
+
+  // Domain names found, e.g. {"package-0", "dram"} (for tests/report).
+  std::vector<std::string> domain_names() const;
+
+ private:
+  struct Domain {
+    std::string energy_path;
+    bool is_dram = false;
+    std::uint64_t max_range_uj = 0;  // 0 = unknown; wrap deltas dropped
+    std::uint64_t last_uj = 0;
+    double accumulated_j = 0.0;
+    std::string name;
+  };
+
+  std::string root_;
+  std::vector<Domain> domains_;
+  bool open_ = false;
+  std::string status_ = "not probed";
+};
+
+}  // namespace sssp::prof

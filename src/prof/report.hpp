@@ -1,0 +1,91 @@
+// Plain structs describing one profiled run — the bridge between the
+// profiler (src/prof/profiler.hpp fills them) and the run report
+// writer (src/obs/run_report.cpp serializes them). Header-only with
+// std-only includes so obs can consume a `const RunProfile*` without a
+// link dependency on tunesssp_prof, mirroring how it reads
+// frontier::IterationStats and sim::RunReport.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "prof/perf_counters.hpp"
+
+namespace sssp::prof {
+
+// Which mechanism actually produced the numbers — the fallback ladder
+// position is part of the data, so reports from different machines are
+// comparable only when their backends match.
+enum class EnergyBackend : std::uint8_t {
+  kRapl,   // hardware /sys/class/powercap counters
+  kModel,  // calibrated sim/power_model estimate (watts × wall time)
+  kNone,   // energy disabled entirely
+};
+enum class CounterBackend : std::uint8_t {
+  kPerfEvent,  // hardware perf_event_open counters
+  kWallClock,  // timers only; counter fields are zero
+};
+
+inline const char* to_string(EnergyBackend b) {
+  switch (b) {
+    case EnergyBackend::kRapl: return "rapl";
+    case EnergyBackend::kModel: return "model";
+    case EnergyBackend::kNone: return "none";
+  }
+  return "none";
+}
+inline const char* to_string(CounterBackend b) {
+  switch (b) {
+    case CounterBackend::kPerfEvent: return "perf_event";
+    case CounterBackend::kWallClock: return "wall_clock";
+  }
+  return "wall_clock";
+}
+
+// Run-report `energy` block.
+struct EnergyReport {
+  EnergyBackend backend = EnergyBackend::kNone;
+  std::string backend_detail;  // probe status line (e.g. RAPL reason)
+  double joules = 0.0;         // package + dram (or model estimate)
+  double package_joules = 0.0;
+  double dram_joules = 0.0;
+  double seconds = 0.0;  // profiled wall-clock span
+  double average_watts = 0.0;
+  // joules / improving relaxations; 0 when the relaxation count is
+  // unknown (filled by the report writer from run metadata).
+  double joules_per_relaxation = 0.0;
+  double energy_delay_product = 0.0;  // joules × seconds (J·s)
+};
+
+// One phase's exclusive totals: time (and counters) accrued while the
+// phase was the innermost active scope, so values across phases sum to
+// the profiled span without double counting nested scopes.
+struct PhaseProfile {
+  double seconds = 0.0;
+  double joules = 0.0;
+  std::uint64_t entries = 0;
+  CounterValues counters;
+};
+
+// One controller iteration, sampled at the end of each step.
+struct IterationSample {
+  std::uint64_t iteration = 0;
+  double seconds = 0.0;  // step duration
+  double joules = 0.0;   // energy over the step (backend-dependent)
+  CounterValues counters;
+};
+
+struct RunProfile {
+  CounterBackend counter_backend = CounterBackend::kWallClock;
+  std::string counter_backend_detail;
+  EnergyReport energy;
+  double wall_seconds = 0.0;  // start() → stop()
+  CounterValues totals;       // whole-run counter deltas
+  // Keyed by phase name; "(untracked)" absorbs time outside any scope.
+  std::map<std::string, PhaseProfile> phases;
+  std::vector<IterationSample> iterations;
+};
+
+}  // namespace sssp::prof

@@ -4,14 +4,23 @@
 
 namespace sssp::sim {
 
-EnergyMetrics compute_energy_metrics(const RunReport& report) {
+EnergyMetrics compute_energy_metrics(double energy_joules, double seconds) {
   EnergyMetrics metrics;
-  metrics.energy_joules = report.energy_joules;
-  metrics.seconds = report.total_seconds;
-  metrics.average_power_w = report.average_power_w;
-  metrics.edp = report.energy_joules * report.total_seconds;
-  metrics.ed2p = metrics.edp * report.total_seconds;
+  metrics.energy_joules = energy_joules;
+  metrics.seconds = seconds;
+  metrics.average_power_w = seconds > 0.0 ? energy_joules / seconds : 0.0;
+  metrics.edp = energy_joules * seconds;
+  metrics.ed2p = metrics.edp * seconds;
   return metrics;
+}
+
+EnergyMetrics compute_energy_metrics(const RunReport& report) {
+  return compute_energy_metrics(report.energy_joules, report.total_seconds);
+}
+
+EnergyMetrics compute_energy_metrics(const prof::EnergySeries& series) {
+  return compute_energy_metrics(series.energy_joules(),
+                                series.duration_seconds());
 }
 
 RaceToHalt race_to_halt(const RunReport& report, double idle_power_w,

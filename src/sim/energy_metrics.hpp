@@ -3,6 +3,7 @@
 // time and energy does my algorithm cost?").
 #pragma once
 
+#include "prof/energy_series.hpp"
 #include "sim/device.hpp"
 #include "sim/run.hpp"
 
@@ -16,7 +17,15 @@ struct EnergyMetrics {
   double average_power_w = 0.0;
 };
 
+// All overloads share one derivation (joules + seconds → EDP/ED²P/avg
+// watts); only the energy source differs.
+EnergyMetrics compute_energy_metrics(double energy_joules, double seconds);
+// From a simulated device replay.
 EnergyMetrics compute_energy_metrics(const RunReport& report);
+// From a sampled power timeline — the shared prof::EnergySeries type,
+// whether it came from the RAPL hardware reader (prof::Profiler), the
+// model fallback, or PowerTrace::to_energy_series().
+EnergyMetrics compute_energy_metrics(const prof::EnergySeries& series);
 
 // Race-to-halt analysis: energy of the measured run versus an idealized
 // alternative that does the same busy work at the same power but then

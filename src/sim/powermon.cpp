@@ -42,6 +42,17 @@ double PowerTrace::power_at(double t) const {
   return 0.0;
 }
 
+prof::EnergySeries PowerTrace::to_energy_series(double start_seconds) const {
+  prof::EnergySeries series;
+  double t = start_seconds;
+  for (const PowerSegment& seg : segments_) {
+    series.add(t, seg.watts);
+    t += seg.seconds;
+    series.add(t, seg.watts);
+  }
+  return series;
+}
+
 std::vector<double> PowerTrace::sample(double rate_hz) const {
   if (rate_hz <= 0.0)
     throw std::invalid_argument("PowerTrace: sample rate must be positive");

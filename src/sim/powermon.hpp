@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "prof/energy_series.hpp"
+
 namespace sssp::sim {
 
 struct PowerSegment {
@@ -43,6 +45,12 @@ class PowerTrace {
   const std::vector<PowerSegment>& segments() const noexcept {
     return segments_;
   }
+
+  // Bridge to the shared energy-integration path (prof::EnergySeries,
+  // the same type the RAPL hardware reader fills): each constant
+  // segment becomes a bracket of equal-watts samples, so the series'
+  // trapezoidal integral equals this trace's exact energy_joules().
+  prof::EnergySeries to_energy_series(double start_seconds = 0.0) const;
 
  private:
   std::vector<PowerSegment> segments_;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "prof/profiler.hpp"
 #include "sssp/dijkstra.hpp"
 #include "util/thread_pool.hpp"
 #include "util/weight_math.hpp"
@@ -90,6 +91,7 @@ std::string Certificate::summary() const {
 Certificate certify(const graph::CsrGraph& graph,
                     const algo::SsspResult& result,
                     const CertifyOptions& options) {
+  SSSP_PROF_PHASE("verify");
   const auto start = std::chrono::steady_clock::now();
   const std::size_t n = graph.num_vertices();
   if (result.source >= n && n > 0)

@@ -62,27 +62,68 @@ TEST(MetricsPrometheus, GoldenForCountersAndGauges) {
   MetricsRegistry registry;
   registry.counter("engine.advances").add(3);
   registry.gauge("far.partitions").set(2.0);
+  // Counters carry the conventional _total suffix; gauges do not.
   EXPECT_EQ(registry.to_prometheus(),
-            "# TYPE sssp_engine_advances counter\n"
-            "sssp_engine_advances 3\n"
+            "# TYPE sssp_engine_advances_total counter\n"
+            "sssp_engine_advances_total 3\n"
             "# TYPE sssp_far_partitions gauge\n"
             "sssp_far_partitions 2\n");
 }
 
-TEST(MetricsPrometheus, HistogramExportsSummary) {
+TEST(MetricsPrometheus, CounterTotalSuffixIsNotDoubled) {
+  MetricsRegistry registry;
+  registry.counter("relaxations.total").add(7);
+  const std::string text = registry.to_prometheus();
+  EXPECT_TRUE(contains(text, "sssp_relaxations_total 7"));
+  EXPECT_FALSE(contains(text, "_total_total"));
+}
+
+TEST(MetricsPrometheus, HistogramExportsNativeBuckets) {
   MetricsRegistry registry;
   Histogram& h = registry.histogram("controller.seconds_per_iteration");
   h.record(0.001);
   h.record(0.002);
   const std::string text = registry.to_prometheus();
   EXPECT_TRUE(
-      contains(text, "# TYPE sssp_controller_seconds_per_iteration summary"));
+      contains(text, "# TYPE sssp_controller_seconds_per_iteration histogram"));
   EXPECT_TRUE(
-      contains(text, "sssp_controller_seconds_per_iteration{quantile=\"0.5\"}"));
+      contains(text, "sssp_controller_seconds_per_iteration_bucket{le=\""));
+  EXPECT_TRUE(contains(
+      text, "sssp_controller_seconds_per_iteration_bucket{le=\"+Inf\"} 2"));
   EXPECT_TRUE(contains(text, "sssp_controller_seconds_per_iteration_sum "));
   EXPECT_TRUE(contains(text, "sssp_controller_seconds_per_iteration_count 2"));
   // Dots sanitized, sssp_ prefix applied, no raw name leaks through.
   EXPECT_FALSE(contains(text, "controller.seconds"));
+}
+
+TEST(MetricsPrometheus, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat");
+  h.record(1.0);
+  h.record(2.0);
+  h.record(1000.0);
+  const std::string text = registry.to_prometheus();
+  // The last finite bucket's cumulative count must equal the total and
+  // every le= bound parses as a number.
+  std::size_t pos = 0;
+  double last_le = 0.0;
+  std::uint64_t last_count = 0;
+  int buckets = 0;
+  while ((pos = text.find("sssp_lat_bucket{le=\"", pos)) !=
+         std::string::npos) {
+    pos += std::string("sssp_lat_bucket{le=\"").size();
+    if (text.compare(pos, 4, "+Inf") == 0) {
+      last_count = std::stoull(text.substr(text.find("} ", pos) + 2));
+      ++buckets;
+      continue;
+    }
+    const double le = std::stod(text.substr(pos));
+    EXPECT_GT(le, last_le) << "bucket bounds must ascend";
+    last_le = le;
+    ++buckets;
+  }
+  EXPECT_GE(buckets, 3);
+  EXPECT_EQ(last_count, 3u);
 }
 
 }  // namespace

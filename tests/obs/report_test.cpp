@@ -99,6 +99,110 @@ TEST_F(RunReportRoundTrip, SimReportMergesIterationAligned) {
             result_.iterations.size());
 }
 
+TEST_F(RunReportRoundTrip, ProfileBlocksRoundTripThroughParser) {
+  prof::RunProfile profile;
+  profile.counter_backend = prof::CounterBackend::kWallClock;
+  profile.counter_backend_detail = "perf_event_open: EACCES";
+  profile.wall_seconds = 1.25;
+  profile.totals.task_seconds = 1.2;
+  profile.totals.cycles = 4'000'000'000ull;
+  profile.totals.instructions = 6'000'000'000ull;
+  profile.totals.llc_misses = 12'000'000;
+  profile.energy.backend = prof::EnergyBackend::kModel;
+  profile.energy.backend_detail = "model 9.31 W (no powercap tree)";
+  profile.energy.joules = 11.5;
+  profile.energy.package_joules = 11.5;
+  profile.energy.seconds = 1.25;
+  profile.energy.average_watts = 9.2;
+  profile.energy.energy_delay_product = 11.5 * 1.25;
+  prof::PhaseProfile advance;
+  advance.seconds = 0.8;
+  advance.joules = 7.4;
+  advance.entries = 42;
+  advance.counters.instructions = 5'000'000'000ull;
+  profile.phases["advance"] = advance;
+  prof::IterationSample sample;
+  sample.iteration = 3;
+  sample.seconds = 0.01;
+  sample.joules = 0.09;
+  profile.iterations.push_back(sample);
+
+  const std::string doc =
+      run_report_json(meta_, result_.iterations, nullptr, &profile);
+  EXPECT_TRUE(json_valid(doc));
+  // The profile iteration records must not collide with the top-level
+  // per-iteration records (counted by the '{"iter":' key).
+  EXPECT_EQ(count_occurrences(doc, R"({"iter":)"),
+            result_.iterations.size());
+
+  JsonValue root;
+  ASSERT_TRUE(parse_json(doc, root));
+  const JsonValue* energy = root.find("energy");
+  ASSERT_NE(energy, nullptr);
+  EXPECT_EQ(energy->string_or("backend", ""), "model");
+  EXPECT_DOUBLE_EQ(energy->number_or("joules", 0.0), 11.5);
+  EXPECT_DOUBLE_EQ(energy->number_or("energy_delay_product", 0.0),
+                   11.5 * 1.25);
+  // joules_per_relaxation is derived from the run's meta at write time.
+  EXPECT_NEAR(energy->number_or("joules_per_relaxation", 0.0),
+              11.5 / static_cast<double>(meta_.improving_relaxations),
+              1e-12);
+
+  const JsonValue* prof_block = root.find("profile");
+  ASSERT_NE(prof_block, nullptr);
+  EXPECT_EQ(prof_block->string_or("counter_backend", ""), "wall_clock");
+  const JsonValue* totals = prof_block->find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_DOUBLE_EQ(totals->number_or("cycles", 0.0), 4e9);
+  EXPECT_DOUBLE_EQ(totals->number_or("ipc", 0.0), 1.5);
+  const JsonValue* phases = prof_block->find("phases");
+  ASSERT_NE(phases, nullptr);
+  const JsonValue* advance_phase = phases->find("advance");
+  ASSERT_NE(advance_phase, nullptr);
+  EXPECT_DOUBLE_EQ(advance_phase->number_or("seconds", 0.0), 0.8);
+  EXPECT_DOUBLE_EQ(advance_phase->number_or("entries", 0.0), 42.0);
+  const JsonValue* samples = prof_block->find("iterations");
+  ASSERT_NE(samples, nullptr);
+  ASSERT_TRUE(samples->is_array());
+  ASSERT_EQ(samples->array.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples->array[0].number_or("iteration", -1.0), 3.0);
+}
+
+TEST_F(RunReportRoundTrip, ProfileBlocksOmittedWhenProfilingOff) {
+  const std::string doc = run_report_json(meta_, result_.iterations);
+  EXPECT_FALSE(contains(doc, R"("energy":)"));
+  EXPECT_FALSE(contains(doc, R"("profile":)"));
+}
+
+TEST(JsonParse, RoundTripsTypesAndNesting) {
+  JsonValue v;
+  ASSERT_TRUE(parse_json(
+      R"({"a":1.5,"b":"x","c":[1,2,{"d":true}],"e":null,"f":-3e2})", v));
+  EXPECT_DOUBLE_EQ(v.number_or("a", 0.0), 1.5);
+  EXPECT_EQ(v.string_or("b", ""), "x");
+  const JsonValue* c = v.find("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_TRUE(c->is_array());
+  ASSERT_EQ(c->array.size(), 3u);
+  EXPECT_TRUE(c->array[2].find("d")->boolean);
+  EXPECT_TRUE(v.find("e")->is_null());
+  EXPECT_DOUBLE_EQ(v.number_or("f", 0.0), -300.0);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  JsonValue v;
+  EXPECT_FALSE(parse_json("", v));
+  EXPECT_FALSE(parse_json("{", v));
+  EXPECT_FALSE(parse_json(R"({"a":1} extra)", v));
+  EXPECT_FALSE(parse_json("[1,]", v));
+}
+
+TEST(JsonParse, DecodesEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(parse_json(R"({"s":"a\"b\\c\ndA"})", v));
+  EXPECT_EQ(v.string_or("s", ""), "a\"b\\c\ndA");
+}
+
 TEST(RunReport, EmptyIterationsStillValid) {
   RunReportMeta meta;
   meta.tool = "report_test";

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "obs/json.hpp"
@@ -34,7 +36,8 @@ class TraceGateGuard {
 TEST(Tracer, EmptyTraceIsValidJson) {
   Tracer tracer;
   const std::string doc = to_json(tracer);
-  EXPECT_EQ(doc, R"({"traceEvents":[],"displayTimeUnit":"ms"})");
+  EXPECT_EQ(doc,
+            R"({"traceEvents":[],"displayTimeUnit":"ms","droppedEvents":0})");
   EXPECT_TRUE(json_valid(doc));
 }
 
@@ -108,6 +111,54 @@ TEST(ScopedSpan, EnabledEmitsOneCompleteEvent) {
   const std::string doc = to_json(Tracer::global());
   EXPECT_TRUE(json_valid(doc)) << doc;
   EXPECT_TRUE(contains(doc, R"("name":"trace_test_span")"));
+}
+
+TEST(Tracer, InMemoryCapDropsAndCounts) {
+  Tracer tracer;
+  tracer.set_max_events(3);
+  for (int i = 0; i < 5; ++i)
+    tracer.complete("e", static_cast<double>(i), 1.0);
+  EXPECT_EQ(tracer.num_events(), 3u);
+  EXPECT_EQ(tracer.dropped_events(), 2u);
+  const std::string doc = to_json(tracer);
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_TRUE(contains(doc, R"("droppedEvents":2)"));
+  tracer.clear();
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+}
+
+TEST(Tracer, StreamingWritesBatchesAndValidDocument) {
+  const std::string path = ::testing::TempDir() + "trace_stream.json";
+  Tracer tracer;
+  tracer.complete("pre_stream", 1.0, 1.0);  // buffered before opening
+  tracer.open_stream(path, /*batch_size=*/2);
+  EXPECT_TRUE(tracer.streaming());
+  for (int i = 0; i < 5; ++i)
+    tracer.complete("ev", static_cast<double>(i), 0.5);
+  tracer.finish_stream();
+  EXPECT_FALSE(tracer.streaming());
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+  EXPECT_TRUE(json_valid(doc)) << doc;
+  EXPECT_TRUE(contains(doc, R"("name":"pre_stream")"));
+  EXPECT_TRUE(contains(doc, R"("name":"ev")"));
+  EXPECT_TRUE(contains(doc, R"("droppedEvents":0)"));
+  // All six events survived the batched flushes.
+  EXPECT_EQ(tracer.num_events(), 6u);
+}
+
+TEST(Tracer, WriteJsonWhileStreamingThrows) {
+  const std::string path = ::testing::TempDir() + "trace_stream2.json";
+  Tracer tracer;
+  tracer.open_stream(path);
+  std::ostringstream out;
+  EXPECT_THROW(tracer.write_json(out), std::logic_error);
+  EXPECT_THROW(tracer.open_stream(path), std::logic_error);
+  tracer.finish_stream();
 }
 
 TEST(ThreadOrdinal, StableAndPositive) {

@@ -1,0 +1,87 @@
+#include "prof/energy_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sssp::prof {
+namespace {
+
+TEST(EnergySeries, EmptySeriesIsZero) {
+  EnergySeries series;
+  EXPECT_EQ(series.samples().size(), 0u);
+  EXPECT_DOUBLE_EQ(series.energy_joules(), 0.0);
+  EXPECT_DOUBLE_EQ(series.duration_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(series.average_power_w(), 0.0);
+}
+
+TEST(EnergySeries, TrapezoidIntegratesExactly) {
+  // Linear ramp 0 W -> 10 W over 2 s: area = 10 J.
+  EnergySeries series;
+  series.add(0.0, 0.0);
+  series.add(2.0, 10.0);
+  EXPECT_DOUBLE_EQ(series.energy_joules(), 10.0);
+  EXPECT_DOUBLE_EQ(series.duration_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(series.average_power_w(), 5.0);
+  EXPECT_DOUBLE_EQ(series.peak_power_w(), 10.0);
+}
+
+TEST(EnergySeries, StepFunctionViaBracketSamples) {
+  // 5 W for 1 s, then 20 W for 0.5 s — each segment entered as a
+  // bracket pair so the trapezoid rule reproduces the step exactly.
+  EnergySeries series;
+  series.add(0.0, 5.0);
+  series.add(1.0, 5.0);
+  series.add(1.0, 20.0);
+  series.add(1.5, 20.0);
+  EXPECT_DOUBLE_EQ(series.energy_joules(), 5.0 + 10.0);
+  EXPECT_DOUBLE_EQ(series.peak_power_w(), 20.0);
+}
+
+TEST(EnergySeries, IncrementalMatchesBatch) {
+  EnergySeries series;
+  double expected = 0.0;
+  double prev_t = 0.0, prev_w = 3.0;
+  series.add(prev_t, prev_w);
+  for (int i = 1; i <= 100; ++i) {
+    const double t = i * 0.01;
+    const double w = 3.0 + (i % 7);
+    expected += (t - prev_t) * 0.5 * (w + prev_w);
+    series.add(t, w);
+    prev_t = t;
+    prev_w = w;
+  }
+  EXPECT_NEAR(series.energy_joules(), expected, 1e-12);
+}
+
+TEST(EnergySeries, RejectsInvalidSamples) {
+  EnergySeries series;
+  series.add(1.0, 5.0);
+  EXPECT_THROW(series.add(0.5, 5.0), std::invalid_argument);  // time back
+  EXPECT_THROW(series.add(2.0, -1.0), std::invalid_argument);  // negative W
+  const double nan = std::nan("");
+  EXPECT_THROW(series.add(2.0, nan), std::invalid_argument);
+  // The series is still usable after a rejected sample.
+  series.add(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(series.energy_joules(), 5.0);
+}
+
+TEST(EnergySeries, ClearResets) {
+  EnergySeries series;
+  series.add(0.0, 1.0);
+  series.add(1.0, 1.0);
+  series.clear();
+  EXPECT_DOUBLE_EQ(series.energy_joules(), 0.0);
+  EXPECT_EQ(series.samples().size(), 0u);
+}
+
+TEST(MonotonicSeconds, AdvancesAndNeverRegresses) {
+  const double a = monotonic_seconds();
+  const double b = monotonic_seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+}  // namespace
+}  // namespace sssp::prof

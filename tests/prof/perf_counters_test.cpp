@@ -1,0 +1,75 @@
+// perf_event availability varies by host (perf_event_paranoid,
+// containers, non-Linux); the suite exercises the real counters when
+// the probe succeeds and the graceful-failure contract when it does
+// not — both paths are the product behavior.
+#include "prof/perf_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace sssp::prof {
+namespace {
+
+TEST(CounterValues, DeltaAndAccumulate) {
+  CounterValues a;
+  a.task_seconds = 1.0;
+  a.cycles = 100;
+  a.instructions = 300;
+  CounterValues b;
+  b.task_seconds = 2.5;
+  b.cycles = 180;
+  b.instructions = 500;
+  const CounterValues d = b - a;
+  EXPECT_DOUBLE_EQ(d.task_seconds, 1.5);
+  EXPECT_EQ(d.cycles, 80u);
+  EXPECT_EQ(d.instructions, 200u);
+
+  CounterValues sum;
+  sum += d;
+  sum += d;
+  EXPECT_EQ(sum.cycles, 160u);
+  EXPECT_DOUBLE_EQ(sum.task_seconds, 3.0);
+}
+
+TEST(PerfCounterGroup, OpenFailureLeavesStatusAndZeroReads) {
+  PerfCounterGroup group;
+  if (group.open()) {
+    group.close();
+    GTEST_SKIP() << "perf_event available on this host";
+  }
+  EXPECT_FALSE(group.is_open());
+  EXPECT_FALSE(group.status().empty());
+  const CounterValues v = group.read();
+  EXPECT_EQ(v.cycles, 0u);
+  EXPECT_EQ(v.instructions, 0u);
+}
+
+TEST(PerfCounterGroup, CountsRealWorkWhenAvailable) {
+  PerfCounterGroup group;
+  if (!group.open())
+    GTEST_SKIP() << "perf_event unavailable: " << group.status();
+
+  const CounterValues before = group.read();
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 5'000'000; ++i) sink = sink + i;
+  const CounterValues after = group.read();
+  group.close();
+
+  const CounterValues delta = after - before;
+  // 5M loop iterations execute well over 5M instructions.
+  EXPECT_GT(delta.instructions, 5'000'000u);
+  EXPECT_GT(delta.cycles, 0u);
+  EXPECT_GT(delta.task_seconds, 0.0);
+}
+
+TEST(PerfCounterGroup, CloseIsIdempotent) {
+  PerfCounterGroup group;
+  (void)group.open();
+  group.close();
+  group.close();
+  EXPECT_FALSE(group.is_open());
+}
+
+}  // namespace
+}  // namespace sssp::prof

@@ -1,0 +1,148 @@
+// Drives the RAPL reader against a fake powercap sysfs tree (the root
+// is injectable) — covering domain discovery, the mmio-duplicate skip,
+// delta accumulation, and counter wraparound — without any hardware or
+// permission requirements.
+#include "prof/rapl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace sssp::prof {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FakePowercap {
+ public:
+  FakePowercap() {
+    root_ = fs::path(::testing::TempDir()) /
+            ("powercap_" +
+             std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::create_directories(root_);
+  }
+  ~FakePowercap() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  // dir e.g. "intel-rapl:0"; name e.g. "package-0".
+  void add_domain(const std::string& dir, const std::string& name,
+                  std::uint64_t energy_uj, std::uint64_t max_range_uj) {
+    const fs::path d = root_ / dir;
+    fs::create_directories(d);
+    write(d / "name", name);
+    write(d / "energy_uj", std::to_string(energy_uj));
+    write(d / "max_energy_range_uj", std::to_string(max_range_uj));
+  }
+
+  void set_energy(const std::string& dir, std::uint64_t energy_uj) {
+    write(root_ / dir / "energy_uj", std::to_string(energy_uj));
+  }
+
+  std::string root() const { return root_.string(); }
+
+ private:
+  static void write(const fs::path& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text << "\n";
+  }
+
+  fs::path root_;
+};
+
+constexpr std::uint64_t kRange = 65532610987;  // typical package range
+
+TEST(RaplReader, MissingTreeFailsGracefully) {
+  RaplReader reader(::testing::TempDir() + "does_not_exist");
+  EXPECT_FALSE(reader.open());
+  EXPECT_FALSE(reader.is_open());
+  EXPECT_NE(reader.status().find("no powercap"), std::string::npos)
+      << reader.status();
+}
+
+TEST(RaplReader, DiscoversPackageAndDramSkipsMmio) {
+  FakePowercap tree;
+  tree.add_domain("intel-rapl:0", "package-0", 1000000, kRange);
+  tree.add_domain("intel-rapl:0:0", "dram", 500000, kRange);
+  tree.add_domain("intel-rapl:0:1", "core", 200000, kRange);  // not tracked
+  tree.add_domain("intel-rapl-mmio:0", "package-0", 999999, kRange);
+
+  RaplReader reader(tree.root());
+  ASSERT_TRUE(reader.open()) << reader.status();
+  const auto names = reader.domain_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "dram");
+  EXPECT_EQ(names[1], "package-0");
+}
+
+TEST(RaplReader, AccumulatesDeltasPerDomain) {
+  FakePowercap tree;
+  tree.add_domain("intel-rapl:0", "package-0", 1'000'000, kRange);
+  tree.add_domain("intel-rapl:0:0", "dram", 2'000'000, kRange);
+
+  RaplReader reader(tree.root());
+  ASSERT_TRUE(reader.open()) << reader.status();
+  // open() primes last-read; the first read() of unchanged counters
+  // must report zero consumed energy.
+  RaplEnergy energy = reader.read();
+  EXPECT_DOUBLE_EQ(energy.total_joules(), 0.0);
+
+  tree.set_energy("intel-rapl:0", 1'000'000 + 3'000'000);  // +3 J
+  tree.set_energy("intel-rapl:0:0", 2'000'000 + 500'000);  // +0.5 J
+  energy = reader.read();
+  EXPECT_NEAR(energy.package_joules, 3.0, 1e-9);
+  EXPECT_NEAR(energy.dram_joules, 0.5, 1e-9);
+  EXPECT_NEAR(energy.total_joules(), 3.5, 1e-9);
+
+  // Cumulative across further reads.
+  tree.set_energy("intel-rapl:0", 1'000'000 + 4'000'000);
+  energy = reader.read();
+  EXPECT_NEAR(energy.package_joules, 4.0, 1e-9);
+}
+
+TEST(RaplReader, WraparoundProducesCorrectDelta) {
+  FakePowercap tree;
+  // Counter 1 J below its wrap modulus.
+  tree.add_domain("intel-rapl:0", "package-0", kRange - 1'000'000, kRange);
+
+  RaplReader reader(tree.root());
+  ASSERT_TRUE(reader.open()) << reader.status();
+  (void)reader.read();
+
+  // Wraps past the modulus: consumed = (range - last) + now.
+  tree.set_energy("intel-rapl:0", 2'000'000);
+  const RaplEnergy energy = reader.read();
+  EXPECT_NEAR(energy.package_joules, 3.0, 1e-6);
+}
+
+TEST(RaplReader, WrapWithoutKnownRangeDropsInterval) {
+  FakePowercap tree;
+  tree.add_domain("intel-rapl:0", "package-0", 5'000'000, 0);  // no range
+
+  RaplReader reader(tree.root());
+  ASSERT_TRUE(reader.open()) << reader.status();
+  (void)reader.read();
+
+  tree.set_energy("intel-rapl:0", 1'000'000);  // apparent wrap
+  RaplEnergy energy = reader.read();
+  EXPECT_DOUBLE_EQ(energy.package_joules, 0.0);  // interval dropped
+
+  // Forward motion resumes from the new baseline.
+  tree.set_energy("intel-rapl:0", 3'000'000);
+  energy = reader.read();
+  EXPECT_NEAR(energy.package_joules, 2.0, 1e-9);
+}
+
+TEST(RaplReader, TreeWithoutPackageDomainsFails) {
+  FakePowercap tree;
+  tree.add_domain("intel-rapl:0:1", "core", 100, kRange);  // subdomain only
+  RaplReader reader(tree.root());
+  EXPECT_FALSE(reader.open()) << reader.status();
+}
+
+}  // namespace
+}  // namespace sssp::prof

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/powermon.hpp"
+
 namespace sssp::sim {
 namespace {
 
@@ -67,6 +69,34 @@ TEST(RaceToHalt, IdleAbovePowerClampsDynamicToZero) {
   EXPECT_DOUBLE_EQ(r.stretched_energy_j, 16.0);
   EXPECT_DOUBLE_EQ(r.run_energy_j, 5.0 + 8.0);
   EXPECT_TRUE(r.race_wins);
+}
+
+TEST(EnergyMetrics, FromRawJoulesAndSeconds) {
+  const EnergyMetrics m = compute_energy_metrics(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(m.energy_joules, 10.0);
+  EXPECT_DOUBLE_EQ(m.seconds, 2.0);
+  EXPECT_DOUBLE_EQ(m.average_power_w, 5.0);
+  EXPECT_DOUBLE_EQ(m.edp, 20.0);
+  EXPECT_DOUBLE_EQ(m.ed2p, 40.0);
+}
+
+TEST(EnergyMetrics, SimTraceAndHostSeriesAgree) {
+  // The same physical run described two ways — a simulator PowerTrace
+  // and the host profiler's EnergySeries — must produce identical
+  // metrics through the shared integration path.
+  PowerTrace trace;
+  trace.add_segment(2.0, 5.0);
+  trace.add_segment(1.0, 8.0);
+  const EnergyMetrics from_series =
+      compute_energy_metrics(trace.to_energy_series());
+  const EnergyMetrics from_raw =
+      compute_energy_metrics(trace.energy_joules(), trace.duration_seconds());
+  EXPECT_DOUBLE_EQ(from_series.energy_joules, from_raw.energy_joules);
+  EXPECT_DOUBLE_EQ(from_series.seconds, from_raw.seconds);
+  EXPECT_DOUBLE_EQ(from_series.edp, from_raw.edp);
+  EXPECT_DOUBLE_EQ(from_series.ed2p, from_raw.ed2p);
+  EXPECT_DOUBLE_EQ(from_series.energy_joules, 18.0);
+  EXPECT_DOUBLE_EQ(from_series.edp, 54.0);
 }
 
 }  // namespace

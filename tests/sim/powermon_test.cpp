@@ -101,5 +101,26 @@ TEST(PowerTrace, RejectsNonFiniteSegments) {
   EXPECT_DOUBLE_EQ(trace.energy_joules(), 5.0);
 }
 
+TEST(PowerTrace, EnergySeriesBridgeIsExact) {
+  // The shared prof::EnergySeries bridge must reproduce the trace's
+  // own integral exactly: each step segment becomes a bracket pair, so
+  // the trapezoid rule degenerates to watts x dt per segment.
+  PowerTrace trace;
+  trace.add_segment(1.0, 5.0);
+  trace.add_segment(0.5, 20.0);
+  trace.add_segment(2.0, 3.0);
+
+  const prof::EnergySeries series = trace.to_energy_series();
+  EXPECT_DOUBLE_EQ(series.energy_joules(), trace.energy_joules());
+  EXPECT_DOUBLE_EQ(series.duration_seconds(), trace.duration_seconds());
+  EXPECT_DOUBLE_EQ(series.peak_power_w(), trace.peak_power_w());
+  EXPECT_DOUBLE_EQ(series.average_power_w(), trace.average_power_w());
+
+  // A non-zero start offset shifts timestamps without changing energy.
+  const prof::EnergySeries offset = trace.to_energy_series(100.0);
+  EXPECT_DOUBLE_EQ(offset.energy_joules(), trace.energy_joules());
+  EXPECT_DOUBLE_EQ(offset.samples().front().seconds, 100.0);
+}
+
 }  // namespace
 }  // namespace sssp::sim

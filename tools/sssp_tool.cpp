@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
   flags.define("controller-csv", "",
                "write per-iteration controller state (delta, d, alpha, X1-X4)");
   tools::define_observability_flags(flags);
+  tools::define_profile_flags(flags);
   tools::define_fault_flags(flags);
   tools::define_threads_flag(flags);
   tools::define_run_control_flags(flags);
@@ -114,6 +115,9 @@ int main(int argc, char** argv) {
 
     const std::string algorithm =
         resume_state.has_value() ? "self-tuning" : flags.get_string("algorithm");
+    // Armed after graph load so the profiled span covers the algorithm
+    // (and its verify/checkpoint phases), not the file I/O.
+    const bool profiling = tools::enable_profiling(flags);
     util::WallTimer timer;
     algo::SsspResult result;
     util::StopReason stop = util::StopReason::kNone;
@@ -255,6 +259,11 @@ int main(int argc, char** argv) {
                        verify::to_string(v.kind), v.vertex, v.detail.c_str());
     }
 
+    // Stop after certification so the "verify" phase is attributed; the
+    // profile then feeds the report's energy/profile blocks below.
+    std::optional<prof::RunProfile> profile;
+    if (profiling) profile = tools::finish_profiling();
+
     if (const auto dpath = flags.get_string("distances-out");
         !dpath.empty() && stop == util::StopReason::kNone) {
       // Raw arrays for byte-exact comparisons between an uninterrupted
@@ -379,7 +388,8 @@ int main(int argc, char** argv) {
       meta.verification.audit_violations = result.audit_violations;
       meta.verification.flight_recorder_path = flight_path;
       obs::save_run_report(rpath, meta, result.iterations,
-                          sim_report ? &*sim_report : nullptr);
+                          sim_report ? &*sim_report : nullptr,
+                          profile ? &*profile : nullptr);
 
       // Round-trip sanity: the file must parse and carry one record per
       // iteration (scripted consumers depend on this).

@@ -5,6 +5,7 @@
 // exit-code mapping (docs/ROBUSTNESS.md).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -19,6 +20,9 @@
 #include "graph/matrix_market.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "prof/profiler.hpp"
+#include "sim/device.hpp"
+#include "sim/power_model.hpp"
 #include "util/flags.hpp"
 #include "util/run_control.hpp"
 #include "util/thread_pool.hpp"
@@ -65,11 +69,16 @@ inline void define_observability_flags(util::Flags& flags) {
 }
 
 // Turns the runtime gates on when the matching --*-out flag was given.
-// Must run before the instrumented work starts.
+// Must run before the instrumented work starts. Traces stream to the
+// output file in batches from the start (docs/OBSERVABILITY.md), so
+// soak-length runs never hold the event log in memory.
 inline void enable_observability(const util::Flags& flags) {
   if (!flags.get_string("metrics-out").empty())
     obs::set_metrics_enabled(true);
-  if (!flags.get_string("trace-out").empty()) obs::set_trace_enabled(true);
+  if (const auto path = flags.get_string("trace-out"); !path.empty()) {
+    obs::Tracer::global().open_stream(path);
+    obs::set_trace_enabled(true);
+  }
 }
 
 // Writes whatever sinks were requested; call once after the run.
@@ -87,10 +96,69 @@ inline void write_observability_outputs(const util::Flags& flags) {
     std::printf("wrote metrics to %s\n", path.c_str());
   }
   if (const auto path = flags.get_string("trace-out"); !path.empty()) {
-    obs::Tracer::global().save(path);
+    obs::Tracer::global().finish_stream();
     std::printf("wrote trace (%zu events) to %s\n",
                 obs::Tracer::global().num_events(), path.c_str());
   }
+}
+
+// Registers the host-profiling flags (docs/OBSERVABILITY.md, "Hardware
+// profiling & energy"). Call before handle_help().
+inline void define_profile_flags(util::Flags& flags) {
+  flags.define("profile", "false",
+               "measure the run with perf_event counters and RAPL energy, "
+               "degrading gracefully (model watts / wall clock) when the "
+               "host forbids them; adds 'energy' and 'profile' blocks to "
+               "--report-out");
+  flags.define("profile-no-perf", "false",
+               "skip the perf_event probe (forces the wall-clock counter "
+               "backend; CI uses this for shared-runner stability)");
+  flags.define("profile-no-rapl", "false",
+               "skip the RAPL probe (forces the model energy backend)");
+}
+
+// Watts for the profiler's model fallback, calibrated from the analytic
+// board model at a mid-load operating point — the same power model the
+// simulator trusts, so model-backend joules are comparable across runs.
+inline double profile_model_watts() {
+  const sim::DeviceSpec spec = sim::DeviceSpec::jetson_tk1();
+  return sim::board_power(spec, spec.max_frequencies(), 0.5, 0.5);
+}
+
+// Arms the global profiler when --profile was given; returns true if
+// armed. Must run before the instrumented work starts (the calling
+// thread becomes the phase-attribution owner).
+inline bool enable_profiling(const util::Flags& flags) {
+  if (!flags.get_bool("profile")) return false;
+  prof::Profiler::Options options;
+  options.use_perf = !flags.get_bool("profile-no-perf");
+  options.use_rapl = !flags.get_bool("profile-no-rapl");
+  options.model_watts = profile_model_watts();
+  prof::Profiler::global().start(options);
+  return true;
+}
+
+// Stops the profiler and prints the one-line summary; returns the
+// finished profile. Call after the measured work, before report writing.
+inline prof::RunProfile finish_profiling() {
+  prof::Profiler& profiler = prof::Profiler::global();
+  profiler.stop();
+  prof::RunProfile profile = profiler.report();
+  std::printf(
+      "profile: %.3f s, %.2f J (%.2f W avg, backend %s), counters %s\n",
+      profile.wall_seconds, profile.energy.joules,
+      profile.energy.average_watts, prof::to_string(profile.energy.backend),
+      prof::to_string(profile.counter_backend));
+  if (profile.counter_backend == prof::CounterBackend::kPerfEvent &&
+      profile.totals.cycles > 0)
+    std::printf("profile: IPC %.2f, %.1f LLC misses/k-instr\n",
+                static_cast<double>(profile.totals.instructions) /
+                    static_cast<double>(profile.totals.cycles),
+                1000.0 * static_cast<double>(profile.totals.llc_misses) /
+                    static_cast<double>(
+                        std::max<std::uint64_t>(1,
+                                                profile.totals.instructions)));
+  return profile;
 }
 
 // Registers the --threads flag. Call before handle_help().
@@ -171,6 +239,9 @@ inline constexpr int kExitInjectedCrash = 12;
 // aborted the run): reports and the flight-recorder dump are flushed
 // first so the failure is post-mortemable.
 inline constexpr int kExitCertificationFailed = 13;
+// bench_tool: at least one matrix cell slowed past its noise-adjusted
+// threshold against the committed baseline (docs/PERFORMANCE.md).
+inline constexpr int kExitBenchRegression = 14;
 
 inline int exit_code_for_stop(util::StopReason reason) {
   switch (reason) {
