@@ -1,0 +1,103 @@
+#include "serve/result_cache.hpp"
+
+#include <sstream>
+
+#include "fault/failpoint.hpp"
+#include "graph/binary_io.hpp"
+
+namespace sssp::serve {
+
+std::size_t CacheKeyHash::operator()(const CacheKey& key) const noexcept {
+  // FNV-1a over the three components; the options key is short.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(&key.fingerprint, sizeof key.fingerprint);
+  mix(&key.source, sizeof key.source);
+  mix(key.options_key.data(), key.options_key.size());
+  return static_cast<std::size_t>(h);
+}
+
+std::string cache_options_key(const std::string& algorithm,
+                              std::uint64_t delta, double set_point) {
+  std::ostringstream key;
+  key << algorithm << ":" << delta << ":" << set_point;
+  return key.str();
+}
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const CacheEntry> ResultCache::lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->entry;
+}
+
+void ResultCache::insert(const CacheKey& key,
+                         std::shared_ptr<const CacheEntry> entry) {
+  if (capacity_ == 0 || entry == nullptr) return;
+
+  // Cache-poisoning drill: store a copy with one finite distance
+  // bit-flipped. The entry's dist_checksum (computed by the producer
+  // before insert) is left untouched, so the corruption is latent until
+  // a read-side certification or checksum comparison exposes it.
+  if (SSSP_FAILPOINT("serve.cache.flip")) {
+    auto poisoned = std::make_shared<CacheEntry>(*entry);
+    auto& dist = poisoned->result.distances;
+    for (std::size_t i = dist.size() / 2; i < dist.size(); ++i) {
+      if (dist[i] != graph::kInfiniteDistance) {
+        dist[i] ^= 1;
+        break;
+      }
+    }
+    entry = std::move(poisoned);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = map_.find(key); it != map_.end()) {
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  lru_.push_front(Slot{key, std::move(entry)});
+  map_[key] = lru_.begin();
+  ++inserts_;
+  while (lru_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void ResultCache::invalidate(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+  ++invalidations_;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.inserts = inserts_;
+  stats.invalidations = invalidations_;
+  stats.entries = lru_.size();
+  return stats;
+}
+
+}  // namespace sssp::serve

@@ -1,0 +1,102 @@
+// LRU result cache for the query service (docs/SERVING.md, "Result
+// cache").
+//
+// Keyed by (graph fingerprint, source, canonical options string) so a
+// hit is only possible for the *same* graph bytes and the same
+// algorithm knobs — a server restarted onto a different graph, or a
+// query with a different delta/set-point, can never be served a stale
+// answer. Entries hold the full SsspResult (distances + parents +
+// counters), so a hit skips the solve entirely; per-query verification
+// still runs on the cached arrays, which is what catches the
+// `serve.cache.flip` poisoning drill at read time.
+//
+// Thread-safety: lookup/insert/stats are mutex-guarded; entries are
+// handed out as shared_ptr<const ...> so readers never race an
+// eviction. Capacity is a hard entry bound — with V-sized arrays per
+// entry this is the server's dominant memory budget, and the eviction
+// counter is how the chaos harness observes the bound holding.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "graph/types.hpp"
+#include "sssp/result.hpp"
+
+namespace sssp::serve {
+
+struct CacheKey {
+  std::uint64_t fingerprint = 0;
+  graph::VertexId source = 0;
+  std::string options_key;  // canonical "algorithm:delta:set_point"
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const noexcept;
+};
+
+// Canonical options string (the cache-key third component).
+std::string cache_options_key(const std::string& algorithm,
+                              std::uint64_t delta, double set_point);
+
+struct CacheEntry {
+  algo::SsspResult result;
+  // FNV-1a 64 over the distance array at insert time (pre-poisoning:
+  // computed by the *producer*, so a flipped bit in the stored copy is
+  // detectable against it).
+  std::uint64_t dist_checksum = 0;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity);
+
+  // Hit moves the entry to the front of the LRU order.
+  std::shared_ptr<const CacheEntry> lookup(const CacheKey& key);
+
+  // Inserts (or replaces) and evicts from the LRU tail past capacity.
+  // Hosts the `serve.cache.flip` failpoint: when armed, one finite
+  // distance in a private copy of the entry is bit-flipped before it is
+  // stored — subsequent hits serve poisoned data that read-side
+  // certification must catch.
+  void insert(const CacheKey& key, std::shared_ptr<const CacheEntry> entry);
+
+  // Drops the entry if present (read-side poisoning quarantine).
+  void invalidate(const CacheKey& key);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t invalidations = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Slot {
+    CacheKey key;
+    std::shared_ptr<const CacheEntry> entry;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Slot> lru_;  // front = most recent
+  std::unordered_map<CacheKey, std::list<Slot>::iterator, CacheKeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace sssp::serve

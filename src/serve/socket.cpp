@@ -1,0 +1,144 @@
+#include "serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "serve/protocol.hpp"
+
+namespace sssp::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw ServeError(what + ": " + std::strerror(errno));
+}
+
+// Full read of `size` bytes. Returns bytes read (short only at EOF).
+std::size_t read_all(int fd, void* buffer, std::size_t size) {
+  auto* out = static_cast<char*>(buffer);
+  std::size_t total = 0;
+  while (total < size) {
+    const ssize_t n = ::read(fd, out + total, size - total);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("read");
+    }
+    if (n == 0) break;  // EOF
+    total += static_cast<std::size_t>(n);
+  }
+  return total;
+}
+
+void write_all(int fd, const void* buffer, std::size_t size) {
+  const auto* in = static_cast<const char*>(buffer);
+  std::size_t total = 0;
+  while (total < size) {
+    const ssize_t n = ::write(fd, in + total, size - total);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write");
+    }
+    total += static_cast<std::size_t>(n);
+  }
+}
+
+void write_prefixed(int fd, std::string_view payload, std::size_t claim) {
+  unsigned char prefix[4];
+  prefix[0] = static_cast<unsigned char>(claim & 0xff);
+  prefix[1] = static_cast<unsigned char>((claim >> 8) & 0xff);
+  prefix[2] = static_cast<unsigned char>((claim >> 16) & 0xff);
+  prefix[3] = static_cast<unsigned char>((claim >> 24) & 0xff);
+  write_all(fd, prefix, sizeof prefix);
+  write_all(fd, payload.data(), payload.size());
+}
+
+}  // namespace
+
+int listen_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) < 0) {
+    ::close(fd);
+    fail("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    fail("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    fail("listen");
+  }
+  return fd;
+}
+
+std::uint16_t bound_port(int listen_fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    fail("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+int accept_conn(int listen_fd) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return -1;
+    fail("accept");
+  }
+  return fd;
+}
+
+int connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    fail("connect 127.0.0.1:" + std::to_string(port));
+  }
+  return fd;
+}
+
+bool read_frame(int fd, std::string& payload) {
+  unsigned char prefix[4];
+  const std::size_t got = read_all(fd, prefix, sizeof prefix);
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < sizeof prefix) throw ServeError("torn frame: short length prefix");
+  const std::uint32_t length = static_cast<std::uint32_t>(prefix[0]) |
+                               (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                               (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                               (static_cast<std::uint32_t>(prefix[3]) << 24);
+  if (length > kMaxFrameBytes)
+    throw ServeError("frame length " + std::to_string(length) +
+                     " exceeds limit " + std::to_string(kMaxFrameBytes));
+  payload.resize(length);
+  if (read_all(fd, payload.data(), length) < length)
+    throw ServeError("torn frame: EOF inside payload");
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload) {
+  write_prefixed(fd, payload, payload.size());
+}
+
+void write_torn_frame(int fd, std::string_view payload) {
+  const std::size_t half = payload.size() / 2;
+  write_prefixed(fd, payload.substr(0, half), half);
+}
+
+}  // namespace sssp::serve

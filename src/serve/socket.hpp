@@ -1,0 +1,57 @@
+// Minimal POSIX TCP transport for the query service (docs/SERVING.md,
+// "Transports").
+//
+// Socket mode frames every request/response as a 4-byte little-endian
+// length prefix followed by the JSON payload. The length is validated
+// against kMaxFrameBytes before any allocation, so a hostile or corrupt
+// prefix cannot drive an allocation bomb; a short read mid-frame is a
+// torn frame (ServeError), distinct from the clean EOF between frames
+// that ends a connection.
+//
+// All helpers throw ServeError (with errno detail) on failure — the
+// server maps startup failures (bind/listen) to exit code 15
+// (kExitServeStartup, docs/ROBUSTNESS.md).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sssp::serve {
+
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Creates a listening IPv4 socket on 127.0.0.1:port (SO_REUSEADDR,
+// backlog 64). port 0 asks the kernel for a free port — read it back
+// with bound_port(). Returns the listening fd.
+int listen_tcp(std::uint16_t port);
+
+// The locally bound port of a listening socket (for port 0).
+std::uint16_t bound_port(int listen_fd);
+
+// Blocking accept. Returns the connection fd, or -1 on EINTR so the
+// caller can poll its shutdown flag and come back.
+int accept_conn(int listen_fd);
+
+// Blocking connect to 127.0.0.1:port. Returns the connected fd.
+int connect_tcp(std::uint16_t port);
+
+// Reads one length-prefixed frame. Returns false on clean EOF at a
+// frame boundary; throws ServeError on torn frames, read errors, or a
+// length prefix exceeding kMaxFrameBytes.
+bool read_frame(int fd, std::string& payload);
+
+// Writes one length-prefixed frame (retries on short writes/EINTR).
+void write_frame(int fd, std::string_view payload);
+
+// Fault drill (`serve.response.torn_write`, socket flavor): writes a
+// frame whose length prefix matches only the first half of the payload
+// — framing survives, so the client sees a parse failure on this one
+// response and the connection stays usable.
+void write_torn_frame(int fd, std::string_view payload);
+
+}  // namespace sssp::serve

@@ -1,5 +1,6 @@
 #include "util/run_control.hpp"
 
+#include <algorithm>
 #include <csignal>
 #include <cstdlib>
 #include <string>
@@ -30,9 +31,15 @@ void RunControl::request_stop(StopReason reason) noexcept {
 void RunControl::set_deadline(double seconds_from_now) {
   if (!(seconds_from_now > 0.0))
     throw std::invalid_argument("RunControl: deadline must be > 0 seconds");
+  // Clamp before the duration_cast: steady_clock::duration is int64
+  // nanoseconds on our platforms, which overflows past ~292 years and
+  // would wrap a huge --deadline-ms into an already-expired deadline.
+  // ~31 years is "no deadline" for any real run and casts safely.
+  constexpr double kMaxDeadlineSeconds = 1e9;
   deadline_ = std::chrono::steady_clock::now() +
               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                  std::chrono::duration<double>(seconds_from_now));
+                  std::chrono::duration<double>(
+                      std::min(seconds_from_now, kMaxDeadlineSeconds)));
   has_deadline_ = true;
 }
 

@@ -1,0 +1,188 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/types.hpp"
+
+namespace sssp::serve {
+namespace {
+
+constexpr std::uint64_t kVertices = 100;
+
+TEST(ProtocolTest, MinimalQueryParses) {
+  const ParsedRequest p =
+      parse_request(R"({"id":"q1","source":7})", kVertices);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.request.id, "q1");
+  EXPECT_EQ(p.request.cmd, "query");
+  EXPECT_EQ(p.request.source, 7u);
+  EXPECT_EQ(p.request.deadline_ms, 0.0);
+  EXPECT_EQ(p.request.verify, -1);  // server default
+}
+
+TEST(ProtocolTest, IntegerIdCanonicalizesToString) {
+  const ParsedRequest p = parse_request(R"({"id":42,"source":0})", kVertices);
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.request.id, "42");
+}
+
+TEST(ProtocolTest, FullQueryParses) {
+  const ParsedRequest p = parse_request(
+      R"({"id":"x","source":3,"algorithm":"dijkstra","deadline_ms":250.5,)"
+      R"("verify":false,"targets":[1,2,99],"set_point":512,"delta":9})",
+      kVertices);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.request.algorithm, "dijkstra");
+  EXPECT_DOUBLE_EQ(p.request.deadline_ms, 250.5);
+  EXPECT_EQ(p.request.verify, 0);
+  EXPECT_EQ(p.request.targets.size(), 3u);
+  EXPECT_EQ(p.request.targets[2], 99u);
+  EXPECT_DOUBLE_EQ(p.request.set_point, 512.0);
+  EXPECT_EQ(p.request.delta, 9u);
+}
+
+TEST(ProtocolTest, InfoCommandNeedsNoSource) {
+  const ParsedRequest p =
+      parse_request(R"({"id":"i","cmd":"info"})", kVertices);
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.request.cmd, "info");
+}
+
+TEST(ProtocolTest, FirewallRejections) {
+  // Each entry must be rejected without throwing; these are the
+  // poisoned inputs the firewall exists to stop.
+  const char* bad[] = {
+      "not json at all",
+      "[1,2,3]",
+      R"({"source":0})",                            // missing id
+      R"({"id":"","source":0})",                    // empty id
+      R"({"id":true,"source":0})",                  // bool id
+      R"({"id":"q","cmd":"drop_tables"})",          // unknown cmd
+      R"({"id":"q"})",                              // missing source
+      R"({"id":"q","source":100})",                 // source == V
+      R"({"id":"q","source":-1})",                  // negative source
+      R"({"id":"q","source":1.5})",                 // fractional source
+      R"({"id":"q","source":0,"algorithm":"bogus"})",
+      R"({"id":"q","source":0,"deadline_ms":-5})",
+      R"({"id":"q","source":0,"deadline_ms":1e999})",  // non-finite
+      R"({"id":"q","source":0,"verify":"yes"})",
+      R"({"id":"q","source":0,"targets":7})",
+      R"({"id":"q","source":0,"targets":[100]})",   // target == V
+      R"({"id":"q","source":0,"set_point":-1})",
+      R"({"id":"q","source":0,"delta":3.7})",
+  };
+  for (const char* line : bad) {
+    const ParsedRequest p = parse_request(line, kVertices);
+    EXPECT_FALSE(p.ok) << "accepted: " << line;
+    EXPECT_FALSE(p.error.empty());
+  }
+}
+
+TEST(ProtocolTest, TargetListIsBounded) {
+  std::string doc = R"({"id":"q","source":0,"targets":[)";
+  for (std::size_t i = 0; i <= kMaxTargets; ++i)
+    doc += (i ? ",0" : "0");
+  doc += "]}";
+  EXPECT_FALSE(parse_request(doc, kVertices).ok);
+}
+
+TEST(ProtocolTest, OversizedFrameRejected) {
+  std::string doc = R"({"id":"q","source":0,"pad":")";
+  doc.append(kMaxFrameBytes, 'x');
+  doc += "\"}";
+  const ParsedRequest p = parse_request(doc, kVertices);
+  EXPECT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("frame"), std::string::npos);
+}
+
+TEST(ProtocolTest, OkResponseRoundTrips) {
+  Response r;
+  r.id = "q7";
+  r.status = Status::kOk;
+  r.algorithm = "near-far";
+  r.reached = 1234;
+  r.iterations = 17;
+  r.improving_relaxations = 4321;
+  r.dist_checksum = 0xabcdef12u;  // stays exact in a double
+  r.targets.push_back({5, 42});
+  r.targets.push_back({9, graph::kInfiniteDistance});
+  r.cache_hit = true;
+  r.verified = true;
+  r.certified = true;
+  r.queue_ms = 1.5;
+  r.run_ms = 2.25;
+
+  Response out;
+  ASSERT_TRUE(parse_response(format_response(r), out));
+  EXPECT_EQ(out.id, "q7");
+  EXPECT_EQ(out.status, Status::kOk);
+  EXPECT_EQ(out.reached, 1234u);
+  EXPECT_EQ(out.dist_checksum, 0xabcdef12u);
+  ASSERT_EQ(out.targets.size(), 2u);
+  EXPECT_EQ(out.targets[0].distance, 42u);
+  // INF serialized as null and parsed back as unreachable.
+  EXPECT_EQ(out.targets[1].distance, graph::kInfiniteDistance);
+  EXPECT_TRUE(out.cache_hit);
+  EXPECT_TRUE(out.verified);
+  EXPECT_TRUE(out.certified);
+}
+
+TEST(ProtocolTest, ShedResponseCarriesRetryHint) {
+  Response r;
+  r.id = "q1";
+  r.status = Status::kOverloaded;
+  r.error = "queue full";
+  r.retry_after_ms = 75.0;
+  Response out;
+  ASSERT_TRUE(parse_response(format_response(r), out));
+  EXPECT_EQ(out.status, Status::kOverloaded);
+  EXPECT_EQ(out.error, "queue full");
+  EXPECT_DOUBLE_EQ(out.retry_after_ms, 75.0);
+}
+
+TEST(ProtocolTest, InfoResponseRoundTrips) {
+  Response r;
+  r.id = "i";
+  r.status = Status::kOk;
+  r.has_info = true;
+  r.num_vertices = 4096;
+  r.num_edges = 39339;
+  r.graph_fingerprint = 0x1234567u;
+  r.queue_capacity = 64;
+  r.workers = 2;
+  r.cache_entries = 128;
+  r.draining = true;
+  Response out;
+  ASSERT_TRUE(parse_response(format_response(r), out));
+  ASSERT_TRUE(out.has_info);
+  EXPECT_EQ(out.num_vertices, 4096u);
+  EXPECT_EQ(out.queue_capacity, 64u);
+  EXPECT_TRUE(out.draining);
+}
+
+TEST(ProtocolTest, TornResponseFailsCleanly) {
+  Response r;
+  r.id = "q1";
+  r.status = Status::kOk;
+  const std::string doc = format_response(r);
+  Response out;
+  // Every proper prefix is a parse failure, never a crash or a false
+  // accept — this is what the client's torn-write recovery leans on.
+  for (std::size_t cut = 0; cut < doc.size(); ++cut)
+    EXPECT_FALSE(parse_response(doc.substr(0, cut), out)) << cut;
+  EXPECT_TRUE(parse_response(doc, out));
+}
+
+TEST(ProtocolTest, StatusStringsAreStable) {
+  EXPECT_STREQ(to_string(Status::kOk), "ok");
+  EXPECT_STREQ(to_string(Status::kOverloaded), "overloaded");
+  EXPECT_STREQ(to_string(Status::kExpired), "expired");
+  EXPECT_STREQ(to_string(Status::kInvalid), "invalid");
+  EXPECT_STREQ(to_string(Status::kError), "error");
+  EXPECT_STREQ(to_string(Status::kShuttingDown), "shutting_down");
+}
+
+}  // namespace
+}  // namespace sssp::serve

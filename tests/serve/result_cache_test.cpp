@@ -1,0 +1,175 @@
+#include "serve/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fault/failpoint.hpp"
+#include "graph/binary_io.hpp"
+#include "sssp/dijkstra.hpp"
+#include "tests/sssp/test_graphs.hpp"
+#include "verify/certifier.hpp"
+
+namespace sssp::serve {
+namespace {
+
+using algo::testing::ring;
+
+CacheKey key(std::uint64_t fingerprint, graph::VertexId source) {
+  CacheKey k;
+  k.fingerprint = fingerprint;
+  k.source = source;
+  k.options_key = cache_options_key("near-far", 0, 0.0);
+  return k;
+}
+
+std::shared_ptr<CacheEntry> entry_for(const graph::CsrGraph& g,
+                                      graph::VertexId source) {
+  auto entry = std::make_shared<CacheEntry>();
+  entry->result = algo::dijkstra(g, source);
+  entry->dist_checksum = graph::fnv1a64(
+      entry->result.distances.data(),
+      entry->result.distances.size() * sizeof(graph::Distance));
+  return entry;
+}
+
+TEST(ResultCacheTest, HitAfterInsert) {
+  const auto g = ring(32);
+  ResultCache cache(4);
+  EXPECT_EQ(cache.lookup(key(1, 0)), nullptr);
+  cache.insert(key(1, 0), entry_for(g, 0));
+  const auto hit = cache.lookup(key(1, 0));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->result.distances[5], 5u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  const auto g = ring(32);
+  ResultCache cache(2);
+  cache.insert(key(1, 0), entry_for(g, 0));
+  cache.insert(key(1, 1), entry_for(g, 1));
+  // Touch 0 so 1 becomes the LRU victim.
+  ASSERT_NE(cache.lookup(key(1, 0)), nullptr);
+  cache.insert(key(1, 2), entry_for(g, 2));
+  EXPECT_NE(cache.lookup(key(1, 0)), nullptr);
+  EXPECT_EQ(cache.lookup(key(1, 1)), nullptr);  // evicted
+  EXPECT_NE(cache.lookup(key(1, 2)), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ResultCacheTest, CapacityIsAHardBound) {
+  const auto g = ring(32);
+  ResultCache cache(3);
+  for (graph::VertexId s = 0; s < 20; ++s)
+    cache.insert(key(1, s), entry_for(g, s));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.evictions, 17u);
+}
+
+TEST(ResultCacheTest, FingerprintMismatchNeverHits) {
+  const auto g = ring(32);
+  ResultCache cache(4);
+  cache.insert(key(0xAAAA, 0), entry_for(g, 0));
+  // Same source and options on a *different graph's* fingerprint — a
+  // restarted server must never serve the old graph's answer.
+  EXPECT_EQ(cache.lookup(key(0xBBBB, 0)), nullptr);
+  EXPECT_NE(cache.lookup(key(0xAAAA, 0)), nullptr);
+}
+
+TEST(ResultCacheTest, OptionsAreSeparateEntries) {
+  const auto g = ring(32);
+  ResultCache cache(4);
+  CacheKey nf = key(1, 0);
+  CacheKey ds = key(1, 0);
+  ds.options_key = cache_options_key("delta-stepping", 16, 0.0);
+  cache.insert(nf, entry_for(g, 0));
+  EXPECT_EQ(cache.lookup(ds), nullptr);
+  EXPECT_NE(cache.lookup(nf), nullptr);
+}
+
+TEST(ResultCacheTest, InvalidateRemoves) {
+  const auto g = ring(32);
+  ResultCache cache(4);
+  cache.insert(key(1, 0), entry_for(g, 0));
+  cache.invalidate(key(1, 0));
+  EXPECT_EQ(cache.lookup(key(1, 0)), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  cache.invalidate(key(1, 0));  // absent: a no-op, not a count
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  const auto g = ring(32);
+  ResultCache cache(0);
+  cache.insert(key(1, 0), entry_for(g, 0));
+  EXPECT_EQ(cache.lookup(key(1, 0)), nullptr);
+}
+
+// The cache-poisoning drill: with serve.cache.flip armed, the stored
+// copy has one finite distance bit-flipped while the producer-computed
+// checksum is untouched — so the read side (certification or checksum
+// comparison) must catch it. This is the in-vitro version of what the
+// server's cache-hit path does in production.
+TEST(ResultCacheTest, PoisonedInsertIsCaughtOnRead) {
+  const auto g = ring(64);
+  ResultCache cache(4);
+  const auto clean = entry_for(g, 0);
+  fault::FailpointRegistry::global().arm("serve.cache.flip");
+  cache.insert(key(1, 0), clean);
+  fault::FailpointRegistry::global().disarm_all();
+
+  const auto poisoned = cache.lookup(key(1, 0));
+  ASSERT_NE(poisoned, nullptr);
+  // The caller's copy was not mutated — only the stored one.
+  const verify::Certificate clean_cert = verify::certify(g, clean->result);
+  EXPECT_TRUE(clean_cert.certified);
+  // Certification catches the flip...
+  const verify::Certificate cert = verify::certify(g, poisoned->result);
+  EXPECT_FALSE(cert.certified) << cert.summary();
+  // ...and so does the checksum comparison.
+  const std::uint64_t read_checksum = graph::fnv1a64(
+      poisoned->result.distances.data(),
+      poisoned->result.distances.size() * sizeof(graph::Distance));
+  EXPECT_NE(read_checksum, poisoned->dist_checksum);
+}
+
+// Concurrent hits, inserts, and evictions on a small cache: entries are
+// handed out as shared_ptr<const>, so readers must never race an
+// eviction. Run under TSan in CI.
+TEST(ResultCacheTest, ConcurrentHitInsertEvict) {
+  const auto g = ring(32);
+  ResultCache cache(4);
+  std::vector<std::shared_ptr<CacheEntry>> entries;
+  for (graph::VertexId s = 0; s < 8; ++s) entries.push_back(entry_for(g, s));
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, &entries, t] {
+      for (int i = 0; i < 400; ++i) {
+        const auto s = static_cast<graph::VertexId>((i + t) % 8);
+        if ((i + t) % 3 == 0) {
+          cache.insert(key(1, s), entries[s]);
+        } else if (const auto hit = cache.lookup(key(1, s)); hit != nullptr) {
+          // Touch the payload: a use-after-evict would trip TSan/ASan.
+          EXPECT_EQ(hit->result.distances[s], 0u);  // source's own distance
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto stats = cache.stats();
+  EXPECT_LE(stats.entries, 4u);
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace sssp::serve

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <csignal>
+#include <limits>
 #include <thread>
 
 namespace sssp::util {
@@ -121,6 +122,34 @@ TEST(RunControl, SignalAfterDeadlineDoesNotReclassify) {
   install_signal_stop(control);
   std::raise(SIGINT);
   uninstall_signal_stop();
+  EXPECT_EQ(control.reason(), StopReason::kDeadline);
+}
+
+// Regression: steady_clock::duration is int64 nanoseconds, so an
+// unclamped duration_cast of a huge seconds value wrapped negative and
+// produced an already-expired deadline — a run with --deadline-ms set
+// to "effectively forever" died instantly with exit 9.
+TEST(RunControl, HugeDeadlineDoesNotOverflowIntoThePast) {
+  RunControl control;
+  control.set_deadline(1e18);  // ~31 billion years
+  EXPECT_TRUE(control.has_deadline());
+  EXPECT_FALSE(control.should_abort());
+  EXPECT_EQ(control.poll_iteration(1), StopReason::kNone);
+  EXPECT_EQ(control.reason(), StopReason::kNone);
+}
+
+TEST(RunControl, InfiniteDeadlineClampsSafely) {
+  RunControl control;
+  control.set_deadline(std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(control.should_abort());
+  EXPECT_EQ(control.reason(), StopReason::kNone);
+}
+
+TEST(RunControl, NearOverflowDeadlineStillExpiresWhenShort) {
+  RunControl control;
+  control.set_deadline(1e-9);  // immediately expired, but via the
+                               // normal path, not via wraparound
+  EXPECT_TRUE(control.should_abort());
   EXPECT_EQ(control.reason(), StopReason::kDeadline);
 }
 

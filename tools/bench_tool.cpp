@@ -25,10 +25,13 @@
 // ≤ 1% of the advance sweep's wall clock.
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <mutex>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -41,6 +44,7 @@
 #include "graph/road.hpp"
 #include "obs/json.hpp"
 #include "prof/profiler.hpp"
+#include "serve/server.hpp"
 #include "sssp/near_far.hpp"
 #include "tools/tool_common.hpp"
 #include "util/flags.hpp"
@@ -199,9 +203,93 @@ CellResult measure_cell(const Cell& cell, const graph::CsrGraph& g,
   return result;
 }
 
+// Serving throughput over the pinned road graph (--serve): a seeded
+// hot/cold query mix driven closed-loop through an in-process
+// serve::Server with certification on, reported as the `serve` section
+// of the bench document. Informational only — the baseline comparison
+// walks `cells` and never gates on it (QPS on shared CI runners is too
+// noisy to diff), but the trend lands in every BENCH_sssp.json.
+struct ServeBench {
+  bool ran = false;
+  std::uint64_t queries = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t shed = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double latency_ms_p50 = 0.0, latency_ms_p95 = 0.0, latency_ms_p99 = 0.0;
+};
+
+ServeBench measure_serve(const graph::CsrGraph& g, bool full) {
+  ServeBench bench;
+  serve::ServerOptions options;
+  options.workers = 2;
+  options.queue_capacity = 64;
+  options.cache_entries = 128;
+  options.verify_default = true;  // measure *certified* serving
+  serve::Server server(g, options);
+  server.start();
+
+  // Seeded mix: 60% of queries hit a 4-source hot set (cache-served
+  // after first touch), the rest draw cold sources.
+  std::mt19937_64 rng(20260808);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<graph::VertexId> any_source(
+      0, static_cast<graph::VertexId>(g.num_vertices() - 1));
+  const graph::VertexId hot[4] = {any_source(rng), any_source(rng),
+                                  any_source(rng), any_source(rng)};
+
+  const std::uint64_t total = full ? 2000 : 400;
+  // Closed loop with bounded outstanding work: never deeper than half
+  // the queue, so this measures service rate, not shed rate.
+  const std::size_t window = options.queue_capacity / 2;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint64_t responded = 0;
+  const auto sink = [&](const serve::Response&) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++responded;
+    cv.notify_all();
+  };
+
+  util::WallTimer timer;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return i - responded < window; });
+    }
+    const graph::VertexId source =
+        coin(rng) < 0.6 ? hot[i % 4] : any_source(rng);
+    server.submit("{\"id\":" + std::to_string(i) +
+                      ",\"source\":" + std::to_string(source) + "}",
+                  sink);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return responded == total; });
+  }
+  bench.seconds = timer.elapsed_seconds();
+  server.drain();
+
+  const serve::ServerStats stats = server.stats();
+  bench.ran = true;
+  bench.queries = total;
+  bench.completed = stats.completed;
+  bench.cache_hits = stats.cache.hits;
+  bench.shed = stats.shed_queue_full + stats.shed_expired_queue;
+  bench.qps = bench.seconds > 0.0
+                  ? static_cast<double>(stats.completed) / bench.seconds
+                  : 0.0;
+  bench.latency_ms_p50 = stats.latency_ms_p50;
+  bench.latency_ms_p95 = stats.latency_ms_p95;
+  bench.latency_ms_p99 = stats.latency_ms_p99;
+  return bench;
+}
+
 void write_bench_json(std::ostream& out, const std::string& matrix, int runs,
                       int warmup, double slowdown,
-                      const std::vector<CellResult>& results) {
+                      const std::vector<CellResult>& results,
+                      const ServeBench& serve_bench) {
   obs::JsonWriter w(out);
   w.begin_object();
   w.key("schema").value("tunesssp.bench.v1");
@@ -232,6 +320,19 @@ void write_bench_json(std::ostream& out, const std::string& matrix, int runs,
     w.end_object();
   }
   w.end_array();
+  if (serve_bench.ran) {
+    w.key("serve").begin_object();
+    w.key("queries").value(serve_bench.queries);
+    w.key("completed").value(serve_bench.completed);
+    w.key("cache_hits").value(serve_bench.cache_hits);
+    w.key("shed").value(serve_bench.shed);
+    w.key("seconds").value(serve_bench.seconds);
+    w.key("qps").value(serve_bench.qps);
+    w.key("latency_ms_p50").value(serve_bench.latency_ms_p50);
+    w.key("latency_ms_p95").value(serve_bench.latency_ms_p95);
+    w.key("latency_ms_p99").value(serve_bench.latency_ms_p99);
+    w.end_object();
+  }
   w.end_object();
 }
 
@@ -385,6 +486,10 @@ int main(int argc, char** argv) {
   flags.define("slowdown", "1",
                "spin until every run takes this factor of its real time "
                "(test hook: injects a synthetic regression)");
+  flags.define("serve", "false",
+               "also bench the query service: a seeded hot/cold mix through "
+               "an in-process server (certification on), reported as the "
+               "`serve` section (informational, never gated)");
   flags.define("overhead-check", "false",
                "assert disarmed SSSP_PROF_PHASE costs <= 1% of the advance "
                "sweep wall clock, then exit");
@@ -440,10 +545,25 @@ int main(int argc, char** argv) {
       results.push_back(r);
     }
 
+    ServeBench serve_bench;
+    if (flags.get_bool("serve")) {
+      util::ThreadPool::set_global_threads(1);  // workers provide parallelism
+      serve_bench = measure_serve(graphs.at("road"), full);
+      std::printf(
+          "bench: serve                    %.0f qps (p50 %.2fms, p95 %.2fms, "
+          "p99 %.2fms), %llu/%llu ok, %llu cache hits\n",
+          serve_bench.qps, serve_bench.latency_ms_p50,
+          serve_bench.latency_ms_p95, serve_bench.latency_ms_p99,
+          static_cast<unsigned long long>(serve_bench.completed),
+          static_cast<unsigned long long>(serve_bench.queries),
+          static_cast<unsigned long long>(serve_bench.cache_hits));
+    }
+
     if (const std::string out = flags.get_string("out"); !out.empty()) {
       std::ofstream stream(out, std::ios::binary);
       if (!stream) throw std::runtime_error("cannot open " + out);
-      write_bench_json(stream, matrix, runs, warmup, slowdown, results);
+      write_bench_json(stream, matrix, runs, warmup, slowdown, results,
+                       serve_bench);
       stream << '\n';
       if (!stream) throw std::runtime_error("write failed: " + out);
       std::printf("bench: wrote %s (%zu cells)\n", out.c_str(),

@@ -1,0 +1,329 @@
+// sssp_server — overload-safe SSSP query service over a resident graph
+// (docs/SERVING.md).
+//
+// Loads the graph once, then serves JSON queries through the admission/
+// deadline/cache/certification pipeline in src/serve. Two transports:
+//
+//   --mode pipe   newline-delimited JSON on stdin/stdout (the default;
+//                 stderr carries the banner and summary, stdout carries
+//                 *only* responses)
+//   --mode tcp    4-byte little-endian length-prefixed frames on a
+//                 loopback socket (--port 0 picks a free port, printed
+//                 on stderr and as "listening port=N" on stdout)
+//
+// SIGINT/SIGTERM (or stdin EOF in pipe mode) triggers a graceful drain:
+// admissions stop, queued + in-flight work finishes or is shed within
+// --drain-ms, the final run report is flushed, and the process exits 0.
+// Startup failures (bad port, unusable socket) exit 15
+// (kExitServeStartup); graph-load failures keep their structured 3-8
+// codes (docs/ROBUSTNESS.md).
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/failpoint.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+#include "tools/tool_common.hpp"
+#include "util/flags.hpp"
+#include "util/run_control.hpp"
+
+using namespace sssp;
+
+namespace {
+
+// Pipe mode: stdin lines in, stdout lines out. The response sink runs
+// on worker threads too, so stdout writes are serialized here. Hosts
+// the pipe flavor of the `serve.response.torn_write` drill: half the
+// document plus the newline, so the stream stays line-parseable and the
+// client sees exactly one unparseable response.
+void run_pipe(serve::Server& server, util::RunControl& control) {
+  std::mutex out_mu;
+  const auto sink = [&out_mu](const serve::Response& response) {
+    std::string doc = serve::format_response(response);
+    if (SSSP_FAILPOINT("serve.response.torn_write"))
+      doc.resize(doc.size() / 2);
+    std::lock_guard<std::mutex> lock(out_mu);
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  };
+
+  std::string buffer;
+  char chunk[4096];
+  while (!control.stop_requested()) {
+    pollfd pfd{};
+    pfd.fd = STDIN_FILENO;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF: the client is done; drain
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      if (pos > 0) server.submit({buffer.data(), pos}, sink);
+      buffer.erase(0, pos + 1);
+    }
+    // A newline-free flood past the frame limit is fed to the firewall
+    // (which rejects it) instead of growing the buffer without bound.
+    if (buffer.size() > serve::kMaxFrameBytes) {
+      server.submit(buffer, sink);
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) server.submit(buffer, sink);
+}
+
+// One TCP connection's shared write-side state. Response sinks hold a
+// shared_ptr so a worker finishing after the reader closed the
+// connection writes nowhere instead of into a recycled fd.
+struct ConnState {
+  int fd = -1;
+  std::mutex mu;
+  bool open = true;
+};
+
+void serve_connection(const std::shared_ptr<ConnState>& state,
+                      serve::Server& server) {
+  const auto sink = [state](const serve::Response& response) {
+    const std::string doc = serve::format_response(response);
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (!state->open) return;  // client already gone
+    try {
+      if (SSSP_FAILPOINT("serve.response.torn_write"))
+        serve::write_torn_frame(state->fd, doc);
+      else
+        serve::write_frame(state->fd, doc);
+    } catch (const serve::ServeError&) {
+      // Write failure (client reset): the reader loop will see it too.
+    }
+  };
+
+  try {
+    std::string payload;
+    while (serve::read_frame(state->fd, payload))
+      server.submit(payload, sink);
+  } catch (const serve::ServeError&) {
+    // Torn frame or read error: drop the connection, keep serving.
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->open = false;
+  ::close(state->fd);
+}
+
+void run_tcp(serve::Server& server, util::RunControl& control, int port) {
+  if (port < 0 || port > 65535)
+    throw serve::ServeError("--port must be in [0, 65535]");
+  const int listen_fd = serve::listen_tcp(static_cast<std::uint16_t>(port));
+  const std::uint16_t actual = serve::bound_port(listen_fd);
+  std::fprintf(stderr, "sssp_server: listening on 127.0.0.1:%u\n", actual);
+  // Machine-readable line for harnesses that spawned us with port 0.
+  std::printf("listening port=%u\n", actual);
+  std::fflush(stdout);
+
+  std::vector<std::thread> readers;
+  std::vector<std::shared_ptr<ConnState>> conns;
+  while (!control.stop_requested()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int fd = serve::accept_conn(listen_fd);
+    if (fd < 0) continue;
+    // Injected accept-side drop: the client sees a connection that
+    // closes immediately and must reconnect.
+    if (SSSP_FAILPOINT("serve.accept.drop")) {
+      ::close(fd);
+      continue;
+    }
+    auto state = std::make_shared<ConnState>();
+    state->fd = fd;
+    conns.push_back(state);
+    readers.emplace_back(
+        [state, &server] { serve_connection(state, server); });
+  }
+  ::close(listen_fd);
+
+  // Drain first so in-flight responses still reach their connections,
+  // then unblock any reader still parked in read_frame.
+  server.drain();
+  for (const auto& state : conns) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->open) ::shutdown(state->fd, SHUT_RD);
+  }
+  for (std::thread& reader : readers) reader.join();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  flags.define("in", "", "input graph (.bin/.gr/.mtx/.txt/.el); required");
+  flags.define("mode", "pipe", "transport: pipe (stdin/stdout) | tcp");
+  flags.define("port", "0", "tcp only: listen port (0 = kernel-assigned)");
+  flags.define("queue-capacity", "64",
+               "admission queue capacity; beyond it the shed policy "
+               "applies");
+  flags.define("shed-policy", "reject-new",
+               "overflow policy: reject-new | drop-oldest");
+  flags.define("workers", "2",
+               "queries executing concurrently (each may still use the "
+               "global thread pool internally)");
+  flags.define("cache-entries", "128",
+               "LRU result-cache capacity in entries (0 = no cache)");
+  flags.define("default-deadline-ms", "0",
+               "deadline for requests that carry none (0 = unlimited)");
+  flags.define("drain-ms", "5000",
+               "graceful-drain budget: queued/in-flight work not done "
+               "this many ms after SIGINT/SIGTERM is shed");
+  flags.define("verify", "true",
+               "certify every result before responding (requests may "
+               "override per-query)");
+  flags.define("default-algorithm", "near-far",
+               "algorithm for requests that do not name one: near-far | "
+               "dijkstra | delta-stepping | self-tuning");
+  flags.define("set-point", "20000",
+               "default self-tuning parallelism target");
+  flags.define("report-out", "",
+               "write the final serve run report JSON here on drain");
+  tools::define_observability_flags(flags);
+  tools::define_fault_flags(flags);
+  tools::define_threads_flag(flags);
+  if (flags.handle_help(
+          "serve SSSP queries over a resident graph (docs/SERVING.md)"))
+    return 0;
+  flags.check_unknown();
+
+  util::RunControl control;
+  try {
+    tools::enable_observability(flags);
+    tools::enable_faults(flags);
+    tools::apply_threads_flag(flags);
+    // First signal: graceful drain. Second: hard exit 128+signo.
+    util::install_signal_stop(control);
+    // A client that disappears mid-response must cost an EPIPE errno,
+    // not the process.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    const std::string in = flags.get_string("in");
+    if (in.empty()) {
+      std::fprintf(stderr, "--in is required; see --help\n");
+      return 2;
+    }
+    const std::string mode = flags.get_string("mode");
+    if (mode != "pipe" && mode != "tcp") {
+      std::fprintf(stderr, "--mode expects pipe or tcp\n");
+      return 2;
+    }
+
+    serve::ServerOptions options;
+    options.queue_capacity =
+        static_cast<std::size_t>(flags.get_int("queue-capacity"));
+    options.shed_policy =
+        serve::parse_shed_policy(flags.get_string("shed-policy"));
+    options.workers = static_cast<std::size_t>(flags.get_int("workers"));
+    options.cache_entries =
+        static_cast<std::size_t>(flags.get_int("cache-entries"));
+    options.default_deadline_ms =
+        static_cast<double>(flags.get_int("default-deadline-ms"));
+    options.drain_ms = static_cast<double>(flags.get_int("drain-ms"));
+    options.verify_default = flags.get_bool("verify");
+    options.default_algorithm = flags.get_string("default-algorithm");
+    options.set_point = flags.get_double("set-point");
+    if (options.default_algorithm != "near-far" &&
+        options.default_algorithm != "dijkstra" &&
+        options.default_algorithm != "delta-stepping" &&
+        options.default_algorithm != "self-tuning") {
+      std::fprintf(stderr, "unknown --default-algorithm '%s'\n",
+                   options.default_algorithm.c_str());
+      return 2;
+    }
+
+    const graph::CsrGraph g = tools::load_any_graph(in);
+    serve::Server server(g, options);
+    server.start();
+    std::fprintf(stderr,
+                 "sssp_server: serving %llu vertices / %llu edges "
+                 "(queue %zu %s, %zu workers, cache %zu, verify %s)\n",
+                 static_cast<unsigned long long>(g.num_vertices()),
+                 static_cast<unsigned long long>(g.num_edges()),
+                 options.queue_capacity, to_string(options.shed_policy),
+                 options.workers, options.cache_entries,
+                 options.verify_default ? "on" : "off");
+
+    if (mode == "tcp")
+      run_tcp(server, control, static_cast<int>(flags.get_int("port")));
+    else
+      run_pipe(server, control);
+
+    server.drain();
+    const serve::ServerStats stats = server.stats();
+    std::fprintf(stderr,
+                 "sssp_server: drained %s in %.3f s — %llu received, "
+                 "%llu ok, %llu shed (%llu full / %llu expired / %llu "
+                 "draining), %llu errors\n",
+                 stats.drain_clean ? "clean" : "forced",
+                 stats.drain_seconds,
+                 static_cast<unsigned long long>(stats.received),
+                 static_cast<unsigned long long>(stats.completed),
+                 static_cast<unsigned long long>(stats.shed_queue_full +
+                                                 stats.shed_expired_queue +
+                                                 stats.shed_draining),
+                 static_cast<unsigned long long>(stats.shed_queue_full),
+                 static_cast<unsigned long long>(stats.shed_expired_queue),
+                 static_cast<unsigned long long>(stats.shed_draining),
+                 static_cast<unsigned long long>(stats.handler_errors));
+    if (const auto path = flags.get_string("report-out"); !path.empty()) {
+      std::ofstream out(path, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot open " + path);
+      server.write_report(out);
+      out << "\n";
+      if (!out) throw std::runtime_error("write failed: " + path);
+      std::fprintf(stderr, "sssp_server: wrote report to %s\n",
+                   path.c_str());
+    }
+    tools::print_fault_summary();
+    tools::write_observability_outputs(flags);
+    return 0;
+  } catch (const graph::GraphIoError& e) {
+    // Startup is the only graph I/O the server performs, so any loader
+    // failure means the service never became ready. The structured
+    // diagnosis (format + error class) stays in the message; the exit
+    // code is the single startup-failure code so orchestrators can
+    // tell "failed to start" from "started, then failed".
+    std::fprintf(stderr, "sssp_server: startup failed: %s (loader code %d)\n",
+                 e.what(), tools::exit_code_for(e));
+    return tools::kExitServeStartup;
+  } catch (const serve::ServeError& e) {
+    std::fprintf(stderr, "sssp_server: startup failed: %s\n", e.what());
+    return tools::kExitServeStartup;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "sssp_server: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sssp_server: %s\n", e.what());
+    return 1;
+  }
+}

@@ -242,6 +242,13 @@ inline constexpr int kExitCertificationFailed = 13;
 // bench_tool: at least one matrix cell slowed past its noise-adjusted
 // threshold against the committed baseline (docs/PERFORMANCE.md).
 inline constexpr int kExitBenchRegression = 14;
+// sssp_server: the service never became ready — socket/bind/listen
+// failure, bad port, or a graph that failed to load (the loader's
+// structured diagnosis and 3-8 class code stay in the stderr message).
+// One code for every startup failure lets a supervisor distinguish
+// "failed to start" from "started, then failed"
+// (docs/ROBUSTNESS.md, docs/SERVING.md).
+inline constexpr int kExitServeStartup = 15;
 
 inline int exit_code_for_stop(util::StopReason reason) {
   switch (reason) {
