@@ -136,80 +136,23 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_serial() {
 
 std::uint64_t NearFarEngine::plan_chunks() {
   const std::size_t x1 = frontier_.size();
-  util::ThreadPool& pool = util::ThreadPool::global();
-  edge_prefix_.resize(x1 + 1);
   frontier_dist_.resize(x1);
 
-  // Two-pass parallel prefix sum over the frontier's out-degrees; the
-  // same pass snapshots every frontier vertex's iteration-start
-  // distance (synchronous-relaxation semantics: phase A reads only this
-  // snapshot, so mid-iteration improvements of a frontier vertex never
-  // leak into the same iteration — that is what makes the results
-  // schedule-independent).
-  const std::size_t ranges =
-      std::max<std::size_t>(1, std::min(x1, pool.size() * kRangesPerThread));
-  const std::size_t per = (x1 + ranges - 1) / ranges;
-  range_base_.assign(ranges, 0);
-  edge_prefix_[0] = 0;
-  pool.for_each_chunk(ranges, [&](std::size_t r, std::size_t) {
-    const std::size_t begin = r * per;
-    const std::size_t end = std::min(x1, begin + per);
-    std::uint64_t running = 0;
-    for (std::size_t i = begin; i < end; ++i) {
-      const graph::VertexId u = frontier_[i];
-      frontier_dist_[i] = dist_[u];
-      running += graph_->out_degree(u);
-      edge_prefix_[i + 1] = running;  // range-relative; globalized below
-    }
-    range_base_[r] = running;
-  });
-  std::uint64_t total = 0;
-  for (std::size_t r = 0; r < ranges; ++r) {
-    const std::uint64_t t = range_base_[r];
-    range_base_[r] = total;
-    total += t;
-  }
-  pool.for_each_chunk(ranges, [&](std::size_t r, std::size_t) {
-    if (range_base_[r] == 0) return;
-    const std::size_t begin = r * per;
-    const std::size_t end = std::min(x1, begin + per);
-    for (std::size_t i = begin; i < end; ++i)
-      edge_prefix_[i + 1] += range_base_[r];
-  });
-  const std::uint64_t x2 = edge_prefix_[x1];
-
-  // Cut chunk boundaries. Edge-balanced: binary-search the degree
-  // prefix for multiples of the per-chunk edge budget, so every chunk
-  // owns ~equal edges (a hub bigger than the budget becomes its own
-  // chunk). Vertex-balanced: equal index ranges (the baseline the
-  // micro benchmark compares against). Either way the chunking only
-  // affects scheduling — results are chunk-independent.
-  chunk_begin_.clear();
-  chunk_begin_.push_back(0);
-  if (options_.partition == Options::Partition::kVertexBalanced) {
-    const std::size_t chunks =
-        std::max<std::size_t>(1,
-                              std::min(x1, pool.size() * kChunksPerThread));
-    const std::size_t cper = (x1 + chunks - 1) / chunks;
-    for (std::size_t b = cper; b < x1; b += cper) chunk_begin_.push_back(b);
-  } else {
-    const std::uint64_t budget = std::max<std::uint64_t>(
-        options_.min_chunk_edges,
-        x2 / std::max<std::size_t>(1, pool.size() * kChunksPerThread) + 1);
-    while (chunk_begin_.back() < x1) {
-      const std::uint64_t target = edge_prefix_[chunk_begin_.back()] + budget;
-      if (target >= x2) break;
-      const auto it =
-          std::lower_bound(edge_prefix_.begin() +
-                               static_cast<std::ptrdiff_t>(chunk_begin_.back() + 1),
-                           edge_prefix_.begin() + static_cast<std::ptrdiff_t>(x1),
-                           target);
-      const auto idx = static_cast<std::size_t>(it - edge_prefix_.begin());
-      if (idx >= x1) break;
-      chunk_begin_.push_back(idx);
-    }
-  }
-  chunk_begin_.push_back(x1);
+  // The shared planner (frontier/plan.hpp) runs the parallel two-pass
+  // prefix sum over the frontier's out-degrees; its snapshot hook
+  // captures every frontier vertex's iteration-start distance in the
+  // same sweep (synchronous-relaxation semantics: phase A reads only
+  // this snapshot, so mid-iteration improvements of a frontier vertex
+  // never leak into the same iteration — that is what makes the
+  // results schedule-independent).
+  PlanParams params;
+  params.partition = options_.partition;
+  params.min_chunk_edges = options_.min_chunk_edges;
+  params.chunks_per_thread = kChunksPerThread;
+  params.ranges_per_thread = kRangesPerThread;
+  const std::uint64_t x2 = build_frontier_plan(
+      *graph_, frontier_, params, edge_prefix_, chunk_begin_, range_base_,
+      [&](std::size_t i, graph::VertexId u) { frontier_dist_[i] = dist_[u]; });
   if (obs::metrics_enabled()) {
     EngineMetrics& m = EngineMetrics::get();
     for (std::size_t c = 0; c + 1 < chunk_begin_.size(); ++c)

@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "frontier/plan.hpp"
 #include "graph/csr.hpp"
 #include "graph/types.hpp"
 #include "util/run_control.hpp"
@@ -50,13 +51,15 @@ class NearFarEngine {
     bool parallel = false;
     std::size_t parallel_threshold = 4096;
 
-    // Work partitioning for parallel phases. Edge-balanced chunks are
-    // cut by binary-searching the frontier's degree prefix sums so each
-    // chunk owns ~equal *edges* — on skewed-degree (scale-free) graphs
-    // vertex-balanced chunks leave whole hubs in one chunk and
-    // serialize the iteration on it. Results are identical either way;
-    // only wall-clock differs (bench/micro_primitives.cpp measures).
-    enum class Partition { kEdgeBalanced, kVertexBalanced };
+    // Work partitioning for parallel phases (frontier/plan.hpp — the
+    // planner is shared with the batched multi-source engine).
+    // Edge-balanced chunks are cut by binary-searching the frontier's
+    // degree prefix sums so each chunk owns ~equal *edges* — on
+    // skewed-degree (scale-free) graphs vertex-balanced chunks leave
+    // whole hubs in one chunk and serialize the iteration on it.
+    // Results are identical either way; only wall-clock differs
+    // (bench/micro_primitives.cpp measures).
+    using Partition = frontier::Partition;
     Partition partition = Partition::kEdgeBalanced;
 
     // Minimum edges per chunk (grain): below this, chunk-claiming
@@ -182,8 +185,8 @@ class NearFarEngine {
   AdvanceResult advance_parallel();
 
   // Computes edge_prefix_ / frontier_dist_ over the current frontier
-  // (parallel two-pass prefix sum) and cuts chunk_begin_ according to
-  // options_.partition. Returns X2 (total edges).
+  // and cuts chunk_begin_ according to options_.partition, via the
+  // shared planner (frontier/plan.hpp). Returns X2 (total edges).
   std::uint64_t plan_chunks();
 
   // Stable-partitions `input` by distance < threshold: vertices below

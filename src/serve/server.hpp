@@ -37,11 +37,13 @@
 #include <thread>
 #include <vector>
 
+#include "frontier/stats.hpp"
 #include "graph/csr.hpp"
 #include "obs/metrics.hpp"
 #include "serve/admission.hpp"
 #include "serve/protocol.hpp"
 #include "serve/result_cache.hpp"
+#include "sssp/batch_engine.hpp"
 #include "util/run_control.hpp"
 
 namespace sssp::serve {
@@ -68,6 +70,22 @@ struct ServerOptions {
   std::string default_algorithm = "near-far";
   // Default self-tuning set-point for requests that do not set one.
   double set_point = 20000.0;
+  // Query coalescing (docs/SERVING.md, "Query coalescing"): a worker
+  // that pops a batchable near-far query additionally drains up to
+  // batch_max - 1 compatible queued queries (same effective algorithm,
+  // delta, and verify flag; deadline-free) and solves them all in one
+  // batched run (sssp/batch_engine.hpp), fanning the per-lane results
+  // out to each ticket's response sink. 1 disables coalescing.
+  std::size_t batch_max = 8;
+  // Independent is the measured default (docs/PERFORMANCE.md, "Batched
+  // multi-source"): fused only wins when the union frontiers of the
+  // batch overlap heavily, which road-like queries rarely do.
+  algo::BatchStrategy batch_strategy = algo::BatchStrategy::kIndependent;
+  // Capture the full per-iteration trace of the first N freshly solved
+  // queries and publish them in the final report's "sampled_reports"
+  // array (0 disables; bounded so a long-running server cannot grow
+  // the report without limit).
+  std::size_t sample_reports = 0;
 };
 
 struct ServerStats {
@@ -84,6 +102,8 @@ struct ServerStats {
   std::uint64_t handler_errors = 0;
   std::uint64_t certification_failures = 0;
   std::uint64_t cache_poisoned = 0;
+  std::uint64_t batches = 0;          // coalesced runs (>= 2 queries)
+  std::uint64_t batched_queries = 0;  // queries served by those runs
   ResultCache::Stats cache;
   std::size_t queue_depth = 0;
   std::size_t in_flight = 0;
@@ -138,6 +158,19 @@ class Server {
  private:
   void worker_loop(std::size_t worker_id);
   void execute(Ticket& ticket, std::size_t worker_id);
+  // Coalesced execution: one batched near-far run serving every ticket
+  // in `batch` (all mutually compatible). Exactly one response per
+  // ticket on every path — success, per-lane certification failure,
+  // drain interruption, or handler crash.
+  void execute_batch(std::vector<Ticket>& batch, std::size_t worker_id);
+  // True when the ticket may join a coalesced near-far run at all.
+  bool batchable(const Ticket& ticket) const;
+  // First N fresh solves capture their full iteration trace for the
+  // report's "sampled_reports" section.
+  void maybe_sample(const std::string& id, graph::VertexId source,
+                    const std::string& algorithm,
+                    const std::vector<frontier::IterationStats>& iterations,
+                    bool batched);
   void respond(const Ticket& ticket, Response&& response);
   void respond_sink(const ResponseSink& sink, const Response& response);
   double retry_after_ms_hint() const;
@@ -170,7 +203,16 @@ class Server {
       completed_{0}, responses_{0}, shed_queue_full_{0},
       shed_expired_queue_{0}, shed_draining_{0}, expired_running_{0},
       drain_aborted_{0}, handler_errors_{0}, certification_failures_{0},
-      cache_poisoned_{0};
+      cache_poisoned_{0}, batches_{0}, batched_queries_{0};
+  struct SampledReport {
+    std::string id;
+    graph::VertexId source = 0;
+    std::string algorithm;
+    bool batched = false;
+    std::vector<frontier::IterationStats> iterations;
+  };
+  mutable std::mutex samples_mu_;
+  std::vector<SampledReport> samples_;
   std::atomic<double> ewma_run_ms_{50.0};
   bool drain_requested_ = false;
   bool drain_clean_ = false;

@@ -1,5 +1,7 @@
 #include "sssp/multi_source.hpp"
 
+#include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "graph/degree_stats.hpp"
@@ -7,9 +9,13 @@
 
 namespace sssp::algo {
 
-MultiSourceSummary run_multi_source(const graph::CsrGraph& graph,
-                                    const SsspRunner& runner,
-                                    const MultiSourceOptions& options) {
+namespace {
+
+// Deterministic source sample shared by both run_multi_source
+// overloads: identical draws for a given seed regardless of how the
+// runs are executed afterwards.
+std::vector<graph::VertexId> sample_sources(const graph::CsrGraph& graph,
+                                            const MultiSourceOptions& options) {
   if (graph.num_vertices() == 0)
     throw std::invalid_argument("run_multi_source: empty graph");
   if (options.num_sources == 0)
@@ -22,10 +28,10 @@ MultiSourceSummary run_multi_source(const graph::CsrGraph& graph,
       options.min_reach_fraction * static_cast<double>(graph.num_vertices()));
 
   util::Xoshiro256 rng(options.seed);
-  MultiSourceSummary summary;
+  std::vector<graph::VertexId> sources;
   const std::size_t max_attempts = 16 * options.num_sources;
   std::size_t attempts = 0;
-  while (summary.sources.size() < options.num_sources) {
+  while (sources.size() < options.num_sources) {
     if (++attempts > max_attempts)
       throw std::invalid_argument(
           "run_multi_source: no sources reach the required fraction");
@@ -34,26 +40,63 @@ MultiSourceSummary run_multi_source(const graph::CsrGraph& graph,
     if (min_reach > 0 &&
         graph::count_reachable(graph, candidate) < min_reach)
       continue;
-    summary.sources.push_back(candidate);
+    sources.push_back(candidate);
   }
+  return sources;
+}
 
+void accumulate(MultiSourceSummary& summary, const SsspResult& result) {
+  summary.average_parallelism.push_back(result.average_parallelism());
+  summary.iteration_counts.push_back(result.num_iterations());
+  summary.improving_relaxations.push_back(result.improving_relaxations);
+  summary.all_iterations.insert(summary.all_iterations.end(),
+                                result.iterations.begin(),
+                                result.iterations.end());
+}
+
+void finalize(MultiSourceSummary& summary) {
   double par_sum = 0.0, iter_sum = 0.0, relax_sum = 0.0;
-  for (const graph::VertexId source : summary.sources) {
-    const SsspResult result = runner(graph, source);
-    summary.average_parallelism.push_back(result.average_parallelism());
-    summary.iteration_counts.push_back(result.num_iterations());
-    summary.improving_relaxations.push_back(result.improving_relaxations);
-    summary.all_iterations.insert(summary.all_iterations.end(),
-                                  result.iterations.begin(),
-                                  result.iterations.end());
-    par_sum += result.average_parallelism();
-    iter_sum += static_cast<double>(result.num_iterations());
-    relax_sum += static_cast<double>(result.improving_relaxations);
+  for (std::size_t i = 0; i < summary.sources.size(); ++i) {
+    par_sum += summary.average_parallelism[i];
+    iter_sum += static_cast<double>(summary.iteration_counts[i]);
+    relax_sum += static_cast<double>(summary.improving_relaxations[i]);
   }
   const double k = static_cast<double>(summary.sources.size());
   summary.mean_average_parallelism = par_sum / k;
   summary.mean_iterations = iter_sum / k;
   summary.mean_improving_relaxations = relax_sum / k;
+}
+
+}  // namespace
+
+MultiSourceSummary run_multi_source(const graph::CsrGraph& graph,
+                                    const SsspRunner& runner,
+                                    const MultiSourceOptions& options) {
+  MultiSourceSummary summary;
+  summary.sources = sample_sources(graph, options);
+  for (const graph::VertexId source : summary.sources)
+    accumulate(summary, runner(graph, source));
+  finalize(summary);
+  return summary;
+}
+
+MultiSourceSummary run_multi_source(const graph::CsrGraph& graph,
+                                    const BatchOptions& batch,
+                                    const MultiSourceOptions& options) {
+  MultiSourceSummary summary;
+  summary.sources = sample_sources(graph, options);
+  for (std::size_t begin = 0; begin < summary.sources.size();
+       begin += kMaxBatchLanes) {
+    const std::size_t count =
+        std::min(kMaxBatchLanes, summary.sources.size() - begin);
+    const auto result = run_batch(
+        graph,
+        std::span<const graph::VertexId>(summary.sources).subspan(begin,
+                                                                  count),
+        batch);
+    for (const SsspResult& lane : result.lanes) accumulate(summary, lane);
+  }
+  finalize(summary);
   return summary;
 }
 

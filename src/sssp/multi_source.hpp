@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "sssp/batch_engine.hpp"
 #include "sssp/result.hpp"
 
 namespace sssp::algo {
@@ -46,6 +47,17 @@ using SsspRunner =
 // or when no acceptable source can be found.
 MultiSourceSummary run_multi_source(const graph::CsrGraph& graph,
                                     const SsspRunner& runner,
+                                    const MultiSourceOptions& options = {});
+
+// Batched variant: same deterministic source sample (identical draws
+// for a given seed), but the runs go through the batched multi-source
+// engine (batch_engine.hpp) in groups of up to kMaxBatchLanes instead
+// of one solve per source. Per-source aggregates are taken from each
+// lane's SsspResult; under BatchStrategy::kFused the lanes of one group
+// share the union-frontier trace, so iteration counts describe the
+// shared sweep rather than an isolated run (docs/PERFORMANCE.md).
+MultiSourceSummary run_multi_source(const graph::CsrGraph& graph,
+                                    const BatchOptions& batch,
                                     const MultiSourceOptions& options = {});
 
 }  // namespace sssp::algo

@@ -22,6 +22,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <fstream>
@@ -206,6 +207,14 @@ int main(int argc, char** argv) {
                "dijkstra | delta-stepping | self-tuning");
   flags.define("set-point", "20000",
                "default self-tuning parallelism target");
+  flags.define("batch-max", "8",
+               "coalesce up to this many compatible queued near-far "
+               "queries into one batched run (1 disables)");
+  flags.define("batch-strategy", "independent",
+               "batched run strategy: fused | independent");
+  flags.define("sample-reports", "0",
+               "publish the full per-iteration trace of the first N "
+               "freshly solved queries in the run report");
   flags.define("report-out", "",
                "write the final serve run report JSON here on drain");
   tools::define_observability_flags(flags);
@@ -252,6 +261,13 @@ int main(int argc, char** argv) {
     options.verify_default = flags.get_bool("verify");
     options.default_algorithm = flags.get_string("default-algorithm");
     options.set_point = flags.get_double("set-point");
+    options.batch_max =
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+                                     flags.get_int("batch-max")));
+    options.batch_strategy =
+        algo::parse_batch_strategy(flags.get_string("batch-strategy"));
+    options.sample_reports =
+        static_cast<std::size_t>(flags.get_int("sample-reports"));
     if (options.default_algorithm != "near-far" &&
         options.default_algorithm != "dijkstra" &&
         options.default_algorithm != "delta-stepping" &&
