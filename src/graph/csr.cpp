@@ -8,9 +8,104 @@ namespace sssp::graph {
 
 CsrGraph::CsrGraph(std::vector<EdgeIndex> offsets, std::vector<VertexId> targets,
                    std::vector<Weight> weights)
-    : offsets_(std::move(offsets)),
-      targets_(std::move(targets)),
-      weights_(std::move(weights)) {
+    : owns_(true),
+      offsets_store_(std::move(offsets)),
+      targets_store_(std::move(targets)),
+      weights_store_(std::move(weights)) {
+  rebind();
+  check_shape();
+}
+
+CsrGraph::CsrGraph(std::span<const EdgeIndex> offsets,
+                   std::span<const VertexId> targets,
+                   std::span<const Weight> weights, bool check)
+    : offsets_(offsets), targets_(targets), weights_(weights), owns_(false) {
+  if (check) check_shape();
+}
+
+CsrGraph CsrGraph::view(std::span<const EdgeIndex> offsets,
+                        std::span<const VertexId> targets,
+                        std::span<const Weight> weights) {
+  return CsrGraph(offsets, targets, weights, /*check=*/true);
+}
+
+CsrGraph::CsrGraph(const CsrGraph& other)
+    : owns_(other.owns_),
+      offsets_store_(other.offsets_store_),
+      targets_store_(other.targets_store_),
+      weights_store_(other.weights_store_) {
+  if (owns_) {
+    rebind();
+  } else {
+    offsets_ = other.offsets_;
+    targets_ = other.targets_;
+    weights_ = other.weights_;
+  }
+}
+
+CsrGraph& CsrGraph::operator=(const CsrGraph& other) {
+  if (this == &other) return *this;
+  owns_ = other.owns_;
+  offsets_store_ = other.offsets_store_;
+  targets_store_ = other.targets_store_;
+  weights_store_ = other.weights_store_;
+  if (owns_) {
+    rebind();
+  } else {
+    offsets_ = other.offsets_;
+    targets_ = other.targets_;
+    weights_ = other.weights_;
+  }
+  return *this;
+}
+
+CsrGraph::CsrGraph(CsrGraph&& other) noexcept
+    : owns_(other.owns_),
+      offsets_store_(std::move(other.offsets_store_)),
+      targets_store_(std::move(other.targets_store_)),
+      weights_store_(std::move(other.weights_store_)) {
+  // Moving a vector transfers its buffer, so rebinding after the move
+  // (owning) or copying the spans (view) both stay valid.
+  if (owns_) {
+    rebind();
+  } else {
+    offsets_ = other.offsets_;
+    targets_ = other.targets_;
+    weights_ = other.weights_;
+  }
+  other.offsets_ = {};
+  other.targets_ = {};
+  other.weights_ = {};
+  other.owns_ = true;
+}
+
+CsrGraph& CsrGraph::operator=(CsrGraph&& other) noexcept {
+  if (this == &other) return *this;
+  owns_ = other.owns_;
+  offsets_store_ = std::move(other.offsets_store_);
+  targets_store_ = std::move(other.targets_store_);
+  weights_store_ = std::move(other.weights_store_);
+  if (owns_) {
+    rebind();
+  } else {
+    offsets_ = other.offsets_;
+    targets_ = other.targets_;
+    weights_ = other.weights_;
+  }
+  other.offsets_ = {};
+  other.targets_ = {};
+  other.weights_ = {};
+  other.owns_ = true;
+  return *this;
+}
+
+void CsrGraph::rebind() noexcept {
+  offsets_ = offsets_store_;
+  targets_ = targets_store_;
+  weights_ = weights_store_;
+}
+
+void CsrGraph::check_shape() const {
   if (offsets_.empty())
     throw std::invalid_argument("CsrGraph: offsets must have >= 1 entry");
   if (offsets_.back() != targets_.size())
@@ -44,9 +139,9 @@ void CsrGraph::validate() const {
 }
 
 std::size_t CsrGraph::memory_bytes() const noexcept {
-  return offsets_.capacity() * sizeof(EdgeIndex) +
-         targets_.capacity() * sizeof(VertexId) +
-         weights_.capacity() * sizeof(Weight);
+  return offsets_store_.capacity() * sizeof(EdgeIndex) +
+         targets_store_.capacity() * sizeof(VertexId) +
+         weights_store_.capacity() * sizeof(Weight);
 }
 
 }  // namespace sssp::graph

@@ -4,6 +4,15 @@
 // Layout mirrors Gunrock's: row offsets indexed by source vertex, and
 // parallel target/weight arrays. Immutable after construction, so it is
 // safe to share across threads without synchronization.
+//
+// Two storage modes behind one interface:
+//   - owning: the graph holds the three arrays on the heap (every
+//     loader and generator builds these);
+//   - view: the graph borrows externally owned, externally immutable
+//     storage — e.g. the mmap'd binary cache (mmap_cache.hpp), where N
+//     server processes share one physical copy of the arrays. The
+//     caller guarantees the storage outlives the view.
+// Copying an owning graph deep-copies; copying a view copies the view.
 #pragma once
 
 #include <cstddef>
@@ -24,6 +33,22 @@ class CsrGraph {
   // otherwise.
   CsrGraph(std::vector<EdgeIndex> offsets, std::vector<VertexId> targets,
            std::vector<Weight> weights);
+
+  // Non-owning view over externally owned storage (same structural
+  // requirements and std::invalid_argument contract as the owning
+  // constructor). The storage must outlive every copy of the view and
+  // never change.
+  static CsrGraph view(std::span<const EdgeIndex> offsets,
+                       std::span<const VertexId> targets,
+                       std::span<const Weight> weights);
+
+  CsrGraph(const CsrGraph& other);
+  CsrGraph& operator=(const CsrGraph& other);
+  CsrGraph(CsrGraph&& other) noexcept;
+  CsrGraph& operator=(CsrGraph&& other) noexcept;
+
+  // True when this graph owns its arrays (false for mmap-backed views).
+  bool owns_storage() const noexcept { return owns_; }
 
   std::size_t num_vertices() const noexcept {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
@@ -60,13 +85,30 @@ class CsrGraph {
   // std::invalid_argument describing the first violation.
   void validate() const;
 
-  // Approximate heap footprint in bytes.
+  // Approximate heap footprint in bytes. 0 for views: the bytes belong
+  // to the external storage (e.g. file-backed pages shared across
+  // processes), not to this object.
   std::size_t memory_bytes() const noexcept;
 
  private:
-  std::vector<EdgeIndex> offsets_;
-  std::vector<VertexId> targets_;
-  std::vector<Weight> weights_;
+  CsrGraph(std::span<const EdgeIndex> offsets, std::span<const VertexId> targets,
+           std::span<const Weight> weights, bool check);
+
+  // Points the access spans at the owned vectors.
+  void rebind() noexcept;
+  // Shared structural checks of the access spans.
+  void check_shape() const;
+
+  // Access path: every accessor reads these spans, which alias either
+  // the owned vectors below or external storage.
+  std::span<const EdgeIndex> offsets_;
+  std::span<const VertexId> targets_;
+  std::span<const Weight> weights_;
+  bool owns_ = true;
+
+  std::vector<EdgeIndex> offsets_store_;
+  std::vector<VertexId> targets_store_;
+  std::vector<Weight> weights_store_;
 };
 
 }  // namespace sssp::graph

@@ -1,0 +1,204 @@
+#include "graph/mmap_cache.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "graph/binary_io.hpp"
+#include "graph/io_error.hpp"
+
+namespace sssp::graph {
+namespace {
+
+constexpr char kMagicV2[8] = {'T', 'S', 'S', 'S', 'P', 'G', 'R', '2'};
+constexpr const char* kFormat = "mmap graph cache";
+
+[[noreturn]] void fail(IoErrorClass error_class, const std::string& what,
+                       std::uint64_t byte_offset) {
+  throw GraphIoError(error_class, kFormat, what, GraphIoError::kNoPosition,
+                     byte_offset);
+}
+
+// Mirrors the save_binary layout (binary_io.cpp).
+struct HeaderBody {
+  std::uint32_t version;
+  std::uint32_t reserved;
+  std::uint64_t num_vertices;
+  std::uint64_t num_edges;
+};
+
+// The u64 checksum trailers land on 4-byte alignment whenever the
+// preceding u32 section has an odd element count, so they must be
+// memcpy'd, never dereferenced as u64*.
+std::uint64_t read_u64_unaligned(const unsigned char* p) noexcept {
+  std::uint64_t value;
+  std::memcpy(&value, p, sizeof(value));
+  return value;
+}
+
+// Walks one "payload + u64 checksum" section, verifying bounds against
+// the file size and the FNV-1a checksum against the mapped bytes.
+struct SectionWalker {
+  const unsigned char* base;
+  std::uint64_t file_size;
+  std::uint64_t offset;
+
+  const unsigned char* take(std::uint64_t payload_bytes, const char* what) {
+    const std::uint64_t section_start = offset;
+    if (payload_bytes + sizeof(std::uint64_t) > file_size - offset)
+      fail(IoErrorClass::kTruncated,
+           std::string("unexpected end of file in ") + what,
+           file_size);
+    const unsigned char* payload = base + offset;
+    offset += payload_bytes;
+    const std::uint64_t expected = read_u64_unaligned(base + offset);
+    offset += sizeof(std::uint64_t);
+    if (fnv1a64(payload, payload_bytes) != expected)
+      fail(IoErrorClass::kChecksum,
+           std::string(what) + " section checksum mismatch", section_start);
+    return payload;
+  }
+};
+
+// RAII close for the interval between open() and mmap().
+struct FdGuard {
+  int fd;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+bool is_mappable_cache(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  FdGuard guard{fd};
+  char magic[sizeof(kMagicV2)];
+  std::size_t got = 0;
+  while (got < sizeof(magic)) {
+    const ssize_t n = ::read(fd, magic + got, sizeof(magic) - got);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    got += static_cast<std::size_t>(n);
+  }
+  return std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+}
+
+MmapGraph::~MmapGraph() { reset(); }
+
+void MmapGraph::reset() noexcept {
+  // The view into the mapping must die before the mapping does.
+  graph_ = CsrGraph();
+  if (base_ != nullptr) ::munmap(base_, size_);
+  base_ = nullptr;
+  size_ = 0;
+}
+
+MmapGraph::MmapGraph(MmapGraph&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      graph_(std::move(other.graph_)) {}
+
+MmapGraph& MmapGraph::operator=(MmapGraph&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  base_ = std::exchange(other.base_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  graph_ = std::move(other.graph_);
+  return *this;
+}
+
+MmapGraph MmapGraph::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0)
+    throw GraphIoError(IoErrorClass::kOpen, kFormat,
+                       "cannot open: " + path + " (" + std::strerror(errno) +
+                           ")");
+  FdGuard guard{fd};
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0)
+    throw GraphIoError(IoErrorClass::kOpen, kFormat,
+                       "fstat failed: " + path + " (" + std::strerror(errno) +
+                           ")");
+  const auto file_size = static_cast<std::uint64_t>(st.st_size);
+
+  // magic + header body + header checksum.
+  constexpr std::uint64_t kHeaderBytes =
+      sizeof(kMagicV2) + sizeof(HeaderBody) + sizeof(std::uint64_t);
+  static_assert(kHeaderBytes == 40, "v2 header layout drifted");
+  if (file_size < kHeaderBytes)
+    fail(IoErrorClass::kTruncated, "unexpected end of file in header",
+         file_size);
+
+  // MAP_SHARED of a read-only file: every process mapping this path
+  // shares the same page-cache pages — the whole point of the cache.
+  void* base = ::mmap(nullptr, file_size, PROT_READ, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED)
+    throw GraphIoError(IoErrorClass::kOpen, kFormat,
+                       "mmap failed: " + path + " (" + std::strerror(errno) +
+                           ")");
+  MmapGraph result;
+  result.base_ = base;
+  result.size_ = static_cast<std::size_t>(file_size);
+
+  const auto* bytes = static_cast<const unsigned char*>(base);
+  if (std::memcmp(bytes, kMagicV2, sizeof(kMagicV2)) != 0)
+    // v1 and foreign files both land here: only v2 carries the
+    // checksums that make a long-lived shared mapping safe, so callers
+    // fall back to the heap loader.
+    fail(IoErrorClass::kVersion, "not a v2 graph cache (bad magic)", 0);
+
+  HeaderBody body;
+  std::memcpy(&body, bytes + sizeof(kMagicV2), sizeof(body));
+  const std::uint64_t header_start = sizeof(kMagicV2);
+  const std::uint64_t header_sum =
+      read_u64_unaligned(bytes + sizeof(kMagicV2) + sizeof(body));
+  if (fnv1a64(&body, sizeof(body)) != header_sum)
+    fail(IoErrorClass::kChecksum, "header checksum mismatch", header_start);
+  if (body.version != kBinaryFormatVersion)
+    fail(IoErrorClass::kVersion,
+         "unsupported format version " + std::to_string(body.version),
+         header_start);
+  // Same plausibility bounds as the heap loader; also guarantees the
+  // byte counts below cannot overflow u64.
+  if (body.num_vertices > (std::uint64_t{1} << 33) ||
+      body.num_edges > (std::uint64_t{1} << 36))
+    fail(IoErrorClass::kLimit, "implausible header sizes", header_start);
+
+  // Section layout keeps every array naturally aligned: offsets start
+  // at byte 40 (u64-aligned), and the u32 sections only need 4-byte
+  // alignment, which every preceding section size preserves.
+  SectionWalker walker{bytes, file_size, kHeaderBytes};
+  const std::uint64_t num_offsets = body.num_vertices + 1;
+  const auto* offsets_bytes =
+      walker.take(num_offsets * sizeof(EdgeIndex), "offsets");
+  const auto* targets_bytes =
+      walker.take(body.num_edges * sizeof(VertexId), "targets");
+  const auto* weights_bytes =
+      walker.take(body.num_edges * sizeof(Weight), "weights");
+
+  try {
+    result.graph_ = CsrGraph::view(
+        {reinterpret_cast<const EdgeIndex*>(offsets_bytes),
+         static_cast<std::size_t>(num_offsets)},
+        {reinterpret_cast<const VertexId*>(targets_bytes),
+         static_cast<std::size_t>(body.num_edges)},
+        {reinterpret_cast<const Weight*>(weights_bytes),
+         static_cast<std::size_t>(body.num_edges)});
+    result.graph_.validate();
+  } catch (const std::invalid_argument& e) {
+    fail(IoErrorClass::kParse,
+         std::string("inconsistent CSR structure: ") + e.what(), kHeaderBytes);
+  }
+  return result;
+}
+
+}  // namespace sssp::graph

@@ -1,0 +1,68 @@
+// Shared read-only mmap backend for the v2 binary graph cache
+// (binary_io.hpp, "TSSSPGR2").
+//
+// load_binary_file copies the three CSR arrays onto the heap — a
+// per-process cost. MmapGraph instead maps the cache file with
+// mmap(PROT_READ, MAP_SHARED), verifies every section checksum once
+// against the mapped bytes, and exposes a zero-copy CsrGraph *view*
+// straight into the mapping. Because the pages are file-backed and
+// read-only, N processes (the crash-isolated serve worker fleet,
+// docs/SERVING.md "Process model & crash isolation") share one physical
+// copy of the graph through the page cache: worker RSS grows by the
+// file pages once machine-wide, not once per worker.
+//
+// The section layout puts every array on its natural alignment (the
+// header is 40 bytes, offsets are u64 at a multiple of 8, targets and
+// weights are u32 at multiples of 4), so the view spans alias the
+// mapping directly; the u64 checksum trailers are read via memcpy
+// because an odd edge count leaves them 4-aligned only.
+//
+// Corruption surfaces exactly like the heap loader: a structured
+// GraphIoError (kChecksum / kTruncated / kVersion / kLimit / kParse)
+// with a byte offset, never a crash. Only v2 files are mappable — v1
+// has no checksums to pin the bytes down, so callers fall back to the
+// heap loader (is_mappable_cache distinguishes the two).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace sssp::graph {
+
+// True when `path` exists and starts with the v2 magic — i.e. open()
+// can map it (full checksum verification still happens at open()).
+bool is_mappable_cache(const std::string& path);
+
+class MmapGraph {
+ public:
+  MmapGraph() = default;
+  ~MmapGraph();
+
+  MmapGraph(const MmapGraph&) = delete;
+  MmapGraph& operator=(const MmapGraph&) = delete;
+  MmapGraph(MmapGraph&& other) noexcept;
+  MmapGraph& operator=(MmapGraph&& other) noexcept;
+
+  // Maps `path` (a TSSSPGR2 file) read-only and shared, verifies the
+  // header and every section checksum once, and validates the CSR
+  // structure. Throws GraphIoError on any failure.
+  static MmapGraph open(const std::string& path);
+
+  bool valid() const noexcept { return base_ != nullptr; }
+  // The zero-copy view; valid for the lifetime of this MmapGraph.
+  const CsrGraph& graph() const noexcept { return graph_; }
+  // Bytes of the file mapping backing the view.
+  std::size_t mapped_bytes() const noexcept { return size_; }
+
+ private:
+  void reset() noexcept;
+
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+  CsrGraph graph_;
+};
+
+}  // namespace sssp::graph

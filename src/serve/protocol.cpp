@@ -77,10 +77,11 @@ ParsedRequest parse_request(std::string_view line,
   parsed.request.id = id;
 
   const std::string cmd = doc.string_or("cmd", "query");
-  if (cmd != "query" && cmd != "info")
-    return reject(id, "unknown cmd '" + cmd + "' (expected query or info)");
+  if (cmd != "query" && cmd != "info" && cmd != "health" && cmd != "ready")
+    return reject(id, "unknown cmd '" + cmd +
+                          "' (expected query, info, health, or ready)");
   parsed.request.cmd = cmd;
-  if (cmd == "info") {
+  if (cmd != "query") {
     parsed.ok = true;
     return parsed;
   }
@@ -149,6 +150,30 @@ ParsedRequest parse_request(std::string_view line,
   return parsed;
 }
 
+std::string format_request(const Request& r) {
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("id").value(r.id);
+  w.key("cmd").value(r.cmd);
+  if (r.cmd == "query") {
+    w.key("source").value(static_cast<std::uint64_t>(r.source));
+    if (!r.algorithm.empty()) w.key("algorithm").value(r.algorithm);
+    if (r.deadline_ms > 0.0) w.key("deadline_ms").value(r.deadline_ms);
+    if (r.verify >= 0) w.key("verify").value(r.verify != 0);
+    if (!r.targets.empty()) {
+      w.key("targets").begin_array();
+      for (graph::VertexId t : r.targets)
+        w.value(static_cast<std::uint64_t>(t));
+      w.end_array();
+    }
+    if (r.set_point > 0.0) w.key("set_point").value(r.set_point);
+    if (r.delta > 0) w.key("delta").value(r.delta);
+  }
+  w.end_object();
+  return out.str();
+}
+
 std::string format_response(const Response& r) {
   std::ostringstream out;
   obs::JsonWriter w(out);
@@ -157,7 +182,7 @@ std::string format_response(const Response& r) {
   w.key("status").value(to_string(r.status));
   if (!r.error.empty()) w.key("error").value(r.error);
   if (r.retry_after_ms > 0.0) w.key("retry_after_ms").value(r.retry_after_ms);
-  if (r.status == Status::kOk && !r.has_info) {
+  if (r.status == Status::kOk && !r.has_info && !r.has_health) {
     w.key("algorithm").value(r.algorithm);
     w.key("reached").value(r.reached);
     w.key("iterations").value(r.iterations);
@@ -184,6 +209,15 @@ std::string format_response(const Response& r) {
     if (r.verified) w.key("certified").value(r.certified);
     w.key("queue_ms").value(r.queue_ms);
     w.key("run_ms").value(r.run_ms);
+  }
+  if (r.has_health) {
+    w.key("health").begin_object();
+    w.key("role").value(r.role);
+    w.key("ready").value(r.ready);
+    w.key("workers_alive").value(r.workers_alive);
+    w.key("workers_total").value(r.workers_total);
+    w.key("restarts").value(r.restarts);
+    w.end_object();
   }
   if (r.has_info) {
     w.key("info").begin_object();
@@ -243,6 +277,20 @@ bool parse_response(std::string_view text, Response& out) {
                         : static_cast<graph::Distance>(dist->number);
       out.targets.push_back(td);
     }
+  }
+  if (const obs::JsonValue* health = doc.find("health");
+      health != nullptr && health->is_object()) {
+    out.has_health = true;
+    out.role = health->string_or("role", "");
+    if (const obs::JsonValue* r = health->find("ready");
+        r != nullptr && r->type == obs::JsonValue::Type::kBool)
+      out.ready = r->boolean;
+    out.workers_alive =
+        static_cast<std::uint64_t>(health->number_or("workers_alive", 0.0));
+    out.workers_total =
+        static_cast<std::uint64_t>(health->number_or("workers_total", 0.0));
+    out.restarts =
+        static_cast<std::uint64_t>(health->number_or("restarts", 0.0));
   }
   if (const obs::JsonValue* info = doc.find("info");
       info != nullptr && info->is_object()) {

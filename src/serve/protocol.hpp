@@ -39,11 +39,15 @@ enum class Status : std::uint8_t {
 const char* to_string(Status status) noexcept;
 
 // Validated query request. `cmd` distinguishes real queries from the
-// "info" handshake (graph shape + server limits, served inline without
-// touching the admission queue).
+// control verbs, all served inline without touching the admission
+// queue: "info" (graph shape + server limits), "health" (liveness:
+// answers as long as the process can parse and respond), and "ready"
+// (readiness: ok only when the process is accepting new queries — the
+// supervisor reports false until at least one worker is live, a
+// draining server reports false).
 struct Request {
   std::string id;
-  std::string cmd = "query";  // "query" | "info"
+  std::string cmd = "query";  // "query" | "info" | "health" | "ready"
   graph::VertexId source = 0;
   // near-far | dijkstra | delta-stepping | self-tuning; empty selects
   // the server default.
@@ -113,7 +117,20 @@ struct Response {
   std::uint64_t workers = 0;
   std::uint64_t cache_entries = 0;
   bool draining = false;
+  // health/ready payload (cmd == "health" | "ready"):
+  bool has_health = false;
+  std::string role;  // "server" | "supervisor"
+  bool ready = false;
+  std::uint64_t workers_alive = 0;
+  std::uint64_t workers_total = 0;
+  std::uint64_t restarts = 0;
 };
+
+// One JSON object, no trailing newline (the transport adds framing).
+// The supervisor uses this to re-serialize a validated request under
+// its own routing id before forwarding to a worker (client ids are not
+// unique across connections, so they cannot key the in-flight table).
+std::string format_request(const Request& request);
 
 // One JSON object, no trailing newline (the transport adds framing).
 std::string format_response(const Response& response);

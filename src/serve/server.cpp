@@ -128,6 +128,31 @@ void Server::submit(std::string_view line, ResponseSink sink) {
     return;
   }
 
+  if (parsed.request.cmd == "health" || parsed.request.cmd == "ready") {
+    // Liveness/readiness, served inline. A single-process server is
+    // ready exactly while it is started and not draining; health
+    // answers as long as submit() runs at all.
+    const bool ready = started_.load(std::memory_order_acquire) &&
+                       !draining();
+    Response response;
+    response.id = parsed.request.id;
+    response.status = parsed.request.cmd == "ready" && !ready
+                          ? Status::kShuttingDown
+                          : Status::kOk;
+    if (response.status != Status::kOk) {
+      response.error = "server draining";
+      response.retry_after_ms = retry_after_ms_hint();
+    }
+    response.has_health = true;
+    response.role = "server";
+    response.ready = ready;
+    response.workers_alive = ready ? std::max<std::size_t>(1, options_.workers)
+                                   : 0;
+    response.workers_total = std::max<std::size_t>(1, options_.workers);
+    respond_sink(sink, response);
+    return;
+  }
+
   if (draining()) {
     shed_draining_.fetch_add(1, std::memory_order_relaxed);
     bump("serve.shed.draining");

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -18,7 +19,22 @@ namespace {
   throw ServeError(what + ": " + std::strerror(errno));
 }
 
+// Parks until fd is ready for `events` (POLLIN/POLLOUT). EAGAIN can
+// surface mid-transfer on an O_NONBLOCK descriptor or after a socket
+// timeout; spinning on read() would burn a core, so block in poll()
+// instead (poll's own EINTR just re-checks).
+void wait_ready(int fd, short events, const char* what) {
+  pollfd pfd{fd, events, 0};
+  while (::poll(&pfd, 1, -1) < 0) {
+    if (errno == EINTR) continue;
+    fail(what);
+  }
+}
+
 // Full read of `size` bytes. Returns bytes read (short only at EOF).
+// Retries EINTR (the supervisor's SIGCHLD handler is installed without
+// SA_RESTART, so child-death interrupts land mid-syscall here) and
+// EAGAIN/EWOULDBLOCK.
 std::size_t read_all(int fd, void* buffer, std::size_t size) {
   auto* out = static_cast<char*>(buffer);
   std::size_t total = 0;
@@ -26,6 +42,10 @@ std::size_t read_all(int fd, void* buffer, std::size_t size) {
     const ssize_t n = ::read(fd, out + total, size - total);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        wait_ready(fd, POLLIN, "poll(read)");
+        continue;
+      }
       fail("read");
     }
     if (n == 0) break;  // EOF
@@ -41,6 +61,10 @@ void write_all(int fd, const void* buffer, std::size_t size) {
     const ssize_t n = ::write(fd, in + total, size - total);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        wait_ready(fd, POLLOUT, "poll(write)");
+        continue;
+      }
       fail("write");
     }
     total += static_cast<std::size_t>(n);

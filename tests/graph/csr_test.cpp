@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 namespace sssp::graph {
@@ -66,6 +67,56 @@ TEST(CsrGraph, ValidateCatchesOutOfRangeTarget) {
 
 TEST(CsrGraph, MemoryBytesNonzero) {
   EXPECT_GT(make_triangle().memory_bytes(), 0u);
+}
+
+// View mode: the accessor path over external storage (how the mmap
+// cache exposes a file-backed graph without copying it).
+TEST(CsrGraphView, AliasesExternalStorageWithoutOwningIt) {
+  const std::vector<EdgeIndex> offsets = {0, 2, 3, 3};
+  const std::vector<VertexId> targets = {1, 2, 2};
+  const std::vector<Weight> weights = {5, 3, 1};
+  const CsrGraph v = CsrGraph::view(offsets, targets, weights);
+  EXPECT_FALSE(v.owns_storage());
+  EXPECT_EQ(v.memory_bytes(), 0u);  // the bytes belong to the vectors
+  EXPECT_EQ(v.num_vertices(), 3u);
+  EXPECT_EQ(v.num_edges(), 3u);
+  EXPECT_EQ(v.targets().data(), targets.data());  // zero-copy
+  EXPECT_EQ(v.neighbors(0).size(), 2u);
+  EXPECT_EQ(v.edge_weight(2), 1u);
+}
+
+TEST(CsrGraphView, RejectsMalformedShape) {
+  const std::vector<EdgeIndex> offsets = {0, 2};  // declares 2 edges
+  const std::vector<VertexId> targets = {1};
+  const std::vector<Weight> weights = {5};
+  EXPECT_THROW(CsrGraph::view(offsets, targets, weights),
+               std::invalid_argument);
+}
+
+TEST(CsrGraphView, CopyOfAViewAliasesTheSameStorage) {
+  // Documented contract: copies of a view stay views — the external
+  // storage must outlive all of them (true by construction for the
+  // mmap cache, whose MmapGraph owns both mapping and view).
+  const std::vector<EdgeIndex> offsets = {0, 1, 1};
+  const std::vector<VertexId> targets = {1};
+  const std::vector<Weight> weights = {7};
+  const CsrGraph v = CsrGraph::view(offsets, targets, weights);
+  const CsrGraph copy = v;
+  EXPECT_FALSE(copy.owns_storage());
+  EXPECT_EQ(copy.targets().data(), targets.data());
+  EXPECT_EQ(copy.memory_bytes(), 0u);
+}
+
+TEST(CsrGraphView, MovedFromOwnerRebindsSpansToTheNewHome) {
+  CsrGraph owner = make_triangle();
+  const VertexId first_target = owner.edge_target(0);
+  const CsrGraph moved = std::move(owner);
+  // The access spans must alias the vectors at their *new* address —
+  // a stale span into the moved-from object would be a use-after-move.
+  EXPECT_TRUE(moved.owns_storage());
+  EXPECT_EQ(moved.num_edges(), 3u);
+  EXPECT_EQ(moved.edge_target(0), first_target);
+  EXPECT_NO_THROW(moved.validate());
 }
 
 }  // namespace

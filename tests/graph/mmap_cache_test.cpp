@@ -1,0 +1,171 @@
+// MmapGraph (graph/mmap_cache.hpp): the zero-copy mmap backend for the
+// v2 binary cache must agree byte-for-byte with the heap loader, and
+// must surface every corruption class the heap loader does — on the
+// *mapped* bytes, before any query ever touches them.
+#include "graph/mmap_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/binary_io.hpp"
+#include "graph/io_error.hpp"
+#include "graph/rmat.hpp"
+
+namespace sssp::graph {
+namespace {
+
+std::string temp_cache_path(const std::string& tag) {
+  return ::testing::TempDir() + "mmap_cache_" + tag + ".bin";
+}
+
+CsrGraph make_generated_graph() {
+  RmatOptions options;
+  options.scale = 10;
+  options.num_edges = 1 << 12;
+  return generate_rmat(options);
+}
+
+// Reads the whole file, applies `mutate`, writes it back.
+void rewrite_file(const std::string& path,
+                  const std::function<void(std::string&)>& mutate) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  mutate(bytes);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+IoErrorClass open_error_class(const std::string& path) {
+  try {
+    (void)MmapGraph::open(path);
+  } catch (const GraphIoError& e) {
+    return e.error_class();
+  }
+  ADD_FAILURE() << "open unexpectedly succeeded for " << path;
+  return IoErrorClass::kOpen;
+}
+
+TEST(MmapCache, ViewMatchesHeapLoaderExactly) {
+  const std::string path = temp_cache_path("roundtrip");
+  const CsrGraph g = make_generated_graph();
+  save_binary_file(g, path);
+
+  const CsrGraph heap = load_binary_file(path);
+  const MmapGraph mapped = MmapGraph::open(path);
+  ASSERT_TRUE(mapped.valid());
+  const CsrGraph& view = mapped.graph();
+
+  ASSERT_EQ(view.num_vertices(), heap.num_vertices());
+  ASSERT_EQ(view.num_edges(), heap.num_edges());
+  for (std::size_t v = 0; v <= heap.num_vertices(); ++v)
+    ASSERT_EQ(view.offsets()[v], heap.offsets()[v]) << "offset " << v;
+  for (std::size_t e = 0; e < heap.num_edges(); ++e) {
+    ASSERT_EQ(view.targets()[e], heap.targets()[e]) << "target " << e;
+    ASSERT_EQ(view.weights()[e], heap.weights()[e]) << "weight " << e;
+  }
+  // The view aliases the mapping: it owns no heap storage of its own.
+  EXPECT_EQ(view.memory_bytes(), 0u);
+  EXPECT_GT(mapped.mapped_bytes(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(MmapCache, OddEdgeCountLeavesTrailersUnaligned) {
+  // 3 edges: the u64 checksum trailer after the u32 targets array is
+  // only 4-aligned — open() must still verify it (via memcpy, not a
+  // misaligned load, which UBSan would flag).
+  const std::string path = temp_cache_path("odd");
+  const CsrGraph g({0, 2, 3, 3}, {1, 2, 2}, {5, 3, 1});
+  save_binary_file(g, path);
+  const MmapGraph mapped = MmapGraph::open(path);
+  EXPECT_EQ(mapped.graph().num_edges(), 3u);
+  EXPECT_EQ(mapped.graph().weights()[2], 1u);
+  std::remove(path.c_str());
+}
+
+TEST(MmapCache, EmptyGraphMaps) {
+  const std::string path = temp_cache_path("empty");
+  save_binary_file(CsrGraph(std::vector<EdgeIndex>{0}, {}, {}), path);
+  const MmapGraph mapped = MmapGraph::open(path);
+  EXPECT_EQ(mapped.graph().num_vertices(), 0u);
+  EXPECT_EQ(mapped.graph().num_edges(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(MmapCache, FlippedPayloadByteReportsChecksum) {
+  const std::string path = temp_cache_path("corrupt");
+  save_binary_file(make_generated_graph(), path);
+  // Flip one byte well inside the offsets array (past the 48-byte
+  // header + its checksum).
+  rewrite_file(path, [](std::string& bytes) { bytes[100] ^= 0x40; });
+  EXPECT_EQ(open_error_class(path), IoErrorClass::kChecksum);
+  std::remove(path.c_str());
+}
+
+TEST(MmapCache, FlippedHeaderByteReportsChecksum) {
+  const std::string path = temp_cache_path("hdr");
+  save_binary_file(make_generated_graph(), path);
+  rewrite_file(path, [](std::string& bytes) { bytes[12] ^= 0x01; });
+  EXPECT_EQ(open_error_class(path), IoErrorClass::kChecksum);
+  std::remove(path.c_str());
+}
+
+TEST(MmapCache, TruncatedFileReportsTruncated) {
+  const std::string path = temp_cache_path("trunc");
+  save_binary_file(make_generated_graph(), path);
+  rewrite_file(path, [](std::string& bytes) {
+    bytes.resize(bytes.size() / 2);
+  });
+  EXPECT_EQ(open_error_class(path), IoErrorClass::kTruncated);
+  std::remove(path.c_str());
+}
+
+TEST(MmapCache, BadMagicReportsVersionForHeapFallback) {
+  // kVersion is the contract the loader ladder keys on: "not a v2
+  // cache, fall back to the heap loader" (tools/tool_common.hpp).
+  const std::string path = temp_cache_path("magic");
+  save_binary_file(make_generated_graph(), path);
+  rewrite_file(path, [](std::string& bytes) {
+    bytes.replace(0, 8, "TSSSPGR1");  // v1 magic: valid format, no mmap
+  });
+  EXPECT_FALSE(is_mappable_cache(path));
+  EXPECT_EQ(open_error_class(path), IoErrorClass::kVersion);
+  std::remove(path.c_str());
+}
+
+TEST(MmapCache, MissingFileReportsOpen) {
+  EXPECT_FALSE(is_mappable_cache("/nonexistent/cache.bin"));
+  EXPECT_EQ(open_error_class("/nonexistent/cache.bin"), IoErrorClass::kOpen);
+}
+
+TEST(MmapCache, IsMappableRecognizesV2) {
+  const std::string path = temp_cache_path("mappable");
+  save_binary_file(CsrGraph({0, 1, 1}, {1}, {7}), path);
+  EXPECT_TRUE(is_mappable_cache(path));
+  std::remove(path.c_str());
+}
+
+TEST(MmapCache, MoveTransfersTheMapping) {
+  const std::string path = temp_cache_path("move");
+  const CsrGraph g({0, 2, 3, 3}, {1, 2, 2}, {5, 3, 1});
+  save_binary_file(g, path);
+  MmapGraph a = MmapGraph::open(path);
+  const MmapGraph b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  ASSERT_TRUE(b.valid());
+  EXPECT_EQ(b.graph().num_edges(), 3u);
+  EXPECT_EQ(b.graph().targets()[0], 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sssp::graph

@@ -175,6 +175,90 @@ TEST(ProtocolTest, TornResponseFailsCleanly) {
   EXPECT_TRUE(parse_response(doc, out));
 }
 
+TEST(ProtocolTest, HealthAndReadyCommandsParse) {
+  const ParsedRequest health =
+      parse_request(R"({"id":"h","cmd":"health"})", kVertices);
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_EQ(health.request.cmd, "health");
+  const ParsedRequest ready =
+      parse_request(R"({"id":"r","cmd":"ready"})", kVertices);
+  ASSERT_TRUE(ready.ok) << ready.error;
+  EXPECT_EQ(ready.request.cmd, "ready");
+}
+
+TEST(ProtocolTest, HealthResponseRoundTrips) {
+  Response r;
+  r.id = "h1";
+  r.status = Status::kOk;
+  r.has_health = true;
+  r.role = "supervisor";
+  r.ready = true;
+  r.workers_alive = 3;
+  r.workers_total = 4;
+  r.restarts = 7;
+  Response out;
+  ASSERT_TRUE(parse_response(format_response(r), out));
+  ASSERT_TRUE(out.has_health);
+  EXPECT_EQ(out.role, "supervisor");
+  EXPECT_TRUE(out.ready);
+  EXPECT_EQ(out.workers_alive, 3u);
+  EXPECT_EQ(out.workers_total, 4u);
+  EXPECT_EQ(out.restarts, 7u);
+}
+
+TEST(ProtocolTest, HealthResponseCarriesNoQueryPayload) {
+  Response r;
+  r.id = "h2";
+  r.status = Status::kOk;
+  r.has_health = true;
+  r.role = "server";
+  r.ready = true;
+  const std::string doc = format_response(r);
+  // An ok health document must not leak query-result keys: the client
+  // keys its certification invariant on their presence.
+  EXPECT_EQ(doc.find("\"verified\""), std::string::npos) << doc;
+  EXPECT_EQ(doc.find("\"dist_checksum\""), std::string::npos) << doc;
+}
+
+// format_request is what the supervisor uses to re-key and forward
+// validated queries to workers: everything the firewall accepted must
+// survive the round trip, or redispatch would mutate queries.
+TEST(ProtocolTest, FormatRequestRoundTripsThroughTheFirewall) {
+  Request q;
+  q.id = "s42";
+  q.cmd = "query";
+  q.source = 17;
+  q.algorithm = "near-far";
+  q.deadline_ms = 125.5;
+  q.verify = 1;
+  q.targets = {1, 5, 99};
+  q.set_point = 256.0;
+  q.delta = 12;
+  const ParsedRequest p = parse_request(format_request(q), kVertices);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.request.id, "s42");
+  EXPECT_EQ(p.request.source, 17u);
+  EXPECT_EQ(p.request.algorithm, "near-far");
+  EXPECT_DOUBLE_EQ(p.request.deadline_ms, 125.5);
+  EXPECT_EQ(p.request.verify, 1);
+  ASSERT_EQ(p.request.targets.size(), 3u);
+  EXPECT_EQ(p.request.targets[2], 99u);
+  EXPECT_DOUBLE_EQ(p.request.set_point, 256.0);
+  EXPECT_EQ(p.request.delta, 12u);
+}
+
+TEST(ProtocolTest, FormatRequestMinimalQuery) {
+  Request q;
+  q.id = "s0";
+  q.source = 3;
+  const ParsedRequest p = parse_request(format_request(q), kVertices);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.request.source, 3u);
+  EXPECT_EQ(p.request.verify, -1);
+  EXPECT_EQ(p.request.deadline_ms, 0.0);
+  EXPECT_TRUE(p.request.targets.empty());
+}
+
 TEST(ProtocolTest, StatusStringsAreStable) {
   EXPECT_STREQ(to_string(Status::kOk), "ok");
   EXPECT_STREQ(to_string(Status::kOverloaded), "overloaded");

@@ -1,0 +1,225 @@
+// Framed-transport robustness (serve/socket.hpp): signal interruption,
+// torn and dribbled frames, and the pre-allocation length check. These
+// are the failure modes the crash-isolated supervisor leans on — its
+// SIGCHLD handler is installed *without* SA_RESTART, so every blocking
+// read/write in the routing path can take EINTR mid-frame and must
+// resume instead of tearing the stream.
+#include "serve/socket.hpp"
+
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace sssp::serve {
+namespace {
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      ADD_FAILURE() << "socketpair: " << std::strerror(errno);
+      return;
+    }
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+void drip_write(int fd, const std::string& bytes) {
+  for (char c : bytes) ASSERT_EQ(::write(fd, &c, 1), 1);
+}
+
+std::string frame_bytes(const std::string& payload) {
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string bytes;
+  bytes.push_back(static_cast<char>(length & 0xff));
+  bytes.push_back(static_cast<char>((length >> 8) & 0xff));
+  bytes.push_back(static_cast<char>((length >> 16) & 0xff));
+  bytes.push_back(static_cast<char>((length >> 24) & 0xff));
+  bytes += payload;
+  return bytes;
+}
+
+TEST(SocketFraming, RoundTripOverSocketpair) {
+  SocketPair sp;
+  write_frame(sp.a, R"({"id":"x","source":1})");
+  std::string payload;
+  ASSERT_TRUE(read_frame(sp.b, payload));
+  EXPECT_EQ(payload, R"({"id":"x","source":1})");
+}
+
+TEST(SocketFraming, CleanEofAtFrameBoundaryReturnsFalse) {
+  SocketPair sp;
+  write_frame(sp.a, "hello");
+  ::close(sp.a);
+  sp.a = -1;
+  std::string payload;
+  ASSERT_TRUE(read_frame(sp.b, payload));
+  EXPECT_EQ(payload, "hello");
+  EXPECT_FALSE(read_frame(sp.b, payload));
+}
+
+TEST(SocketFraming, EofMidFrameIsATornFrame) {
+  SocketPair sp;
+  const std::string full = frame_bytes("abcdefgh");
+  drip_write(sp.a, full.substr(0, full.size() - 3));
+  ::close(sp.a);
+  sp.a = -1;
+  std::string payload;
+  EXPECT_THROW(read_frame(sp.b, payload), ServeError);
+}
+
+TEST(SocketFraming, OversizeLengthPrefixRejectedBeforeAllocation) {
+  SocketPair sp;
+  // A 4 GB length prefix must be rejected from the 4 prefix bytes
+  // alone — no allocation, no waiting for a payload that never comes.
+  const char prefix[4] = {'\xff', '\xff', '\xff', '\xff'};
+  ASSERT_EQ(::write(sp.a, prefix, 4), 4);
+  std::string payload;
+  EXPECT_THROW(read_frame(sp.b, payload), ServeError);
+}
+
+// Satellite drill: a writer that flushes one byte at a time with
+// seeded pauses. Every frame must arrive intact and in order — short
+// reads are a normal stream state, never a parse error.
+TEST(SocketFraming, OneByteDribbleTortureKeepsFraming) {
+  SocketPair sp;
+  constexpr int kFrames = 64;
+  std::thread writer([&] {
+    util::Xoshiro256 rng(2026);
+    for (int i = 0; i < kFrames; ++i) {
+      std::string payload = "frame-" + std::to_string(i) + "-";
+      payload.append(rng.next() % 300, 'x');
+      const std::string bytes = frame_bytes(payload);
+      for (std::size_t off = 0; off < bytes.size();) {
+        // Random run lengths, frequently exactly 1 byte.
+        const std::size_t n =
+            std::min<std::size_t>(1 + rng.next() % 3, bytes.size() - off);
+        ASSERT_EQ(::write(sp.a, bytes.data() + off,
+                          static_cast<std::size_t>(n)),
+                  static_cast<ssize_t>(n));
+        off += n;
+        if (rng.next() % 8 == 0)
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    ::shutdown(sp.a, SHUT_WR);
+  });
+  std::string payload;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(read_frame(sp.b, payload)) << "frame " << i;
+    const std::string want_prefix = "frame-" + std::to_string(i) + "-";
+    ASSERT_EQ(payload.compare(0, want_prefix.size(), want_prefix), 0)
+        << "misframed at " << i << ": " << payload.substr(0, 32);
+  }
+  EXPECT_FALSE(read_frame(sp.b, payload));  // clean EOF, not a tear
+  writer.join();
+}
+
+// Satellite drill: signals without SA_RESTART land mid-read. The
+// supervisor installs SIGCHLD exactly this way, so read_frame must
+// absorb EINTR at *every* byte position — both inside the length
+// prefix and inside the payload.
+TEST(SocketFraming, SignalStormDuringFramedReadIsInvisible) {
+  struct sigaction sa {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction old {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  SocketPair sp;
+  std::atomic<bool> done{false};
+  const pthread_t reader_thread = ::pthread_self();
+
+  // One thread pounds the reader with signals; another dribbles the
+  // frame so the reader is parked in read() when they land.
+  std::thread storm([&] {
+    while (!done.load()) {
+      ::pthread_kill(reader_thread, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  const std::string payload(4096, 'q');
+  std::thread writer([&] {
+    const std::string bytes = frame_bytes(payload);
+    for (std::size_t off = 0; off < bytes.size(); ++off) {
+      while (::write(sp.a, bytes.data() + off, 1) != 1) {
+        ASSERT_TRUE(errno == EINTR || errno == EAGAIN);
+      }
+      if (off % 512 == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::string got;
+  EXPECT_TRUE(read_frame(sp.b, got));
+  EXPECT_EQ(got, payload);
+
+  done.store(true);
+  storm.join();
+  writer.join();
+  ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
+}
+
+TEST(SocketFraming, WriteFrameSurvivesSignalStorm) {
+  struct sigaction sa {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  struct sigaction old {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  SocketPair sp;
+  std::atomic<bool> done{false};
+  pthread_t writer_thread{};
+  std::atomic<bool> writer_started{false};
+
+  // Payload bigger than the socketpair buffer, so write_frame blocks
+  // and the signals land inside the blocking write().
+  const std::string payload(1 << 20, 'w');
+  std::thread writer([&] {
+    writer_thread = ::pthread_self();
+    writer_started.store(true);
+    write_frame(sp.a, payload);
+  });
+  while (!writer_started.load()) std::this_thread::yield();
+  std::thread storm([&] {
+    while (!done.load()) {
+      ::pthread_kill(writer_thread, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::string got;
+  EXPECT_TRUE(read_frame(sp.b, got));
+  EXPECT_EQ(got.size(), payload.size());
+  EXPECT_EQ(got, payload);
+
+  done.store(true);
+  storm.join();
+  writer.join();
+  ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
+}
+
+}  // namespace
+}  // namespace sssp::serve

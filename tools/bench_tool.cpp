@@ -23,11 +23,15 @@
 // SSSP_PROF_PHASE scope that is not armed costs one relaxed atomic
 // load and a branch, and (entries-per-sweep × per-scope-cost) must be
 // ≤ 1% of the advance sweep's wall clock.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -38,6 +42,7 @@
 
 #include "core/self_tuning.hpp"
 #include "frontier/engine.hpp"
+#include "graph/binary_io.hpp"
 #include "graph/csr.hpp"
 #include "graph/degree_stats.hpp"
 #include "graph/rmat.hpp"
@@ -211,6 +216,34 @@ CellResult measure_cell(const Cell& cell, const graph::CsrGraph& g,
 // of the bench document. Informational only — the baseline comparison
 // walks `cells` and never gates on it (QPS on shared CI runners is too
 // noisy to diff), but the trend lands in every BENCH_sssp.json.
+// Resident-set snapshot from /proc/self/status (kB fields, reported in
+// MB). The anon/file split is what makes the multi-process memory
+// story legible: private (anon) pages are paid once per worker
+// process, while file-backed pages — the mmap'd graph cache
+// (graph/mmap_cache.hpp) — are shared page-cache entries, so N workers
+// cost ~1x graph RSS, not Nx.
+struct RssSnapshot {
+  double vm_rss_mb = 0.0;  // total resident
+  double anon_mb = 0.0;    // private: heap, stacks — per-process
+  double file_mb = 0.0;    // file-backed: shared across processes
+};
+
+RssSnapshot read_rss() {
+  RssSnapshot snap;
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  const auto kb_field = [&](const char* key) -> double {
+    if (line.rfind(key, 0) != 0) return -1.0;
+    return std::strtod(line.c_str() + std::strlen(key), nullptr) / 1024.0;
+  };
+  while (std::getline(status, line)) {
+    if (const double v = kb_field("VmRSS:"); v >= 0.0) snap.vm_rss_mb = v;
+    if (const double v = kb_field("RssAnon:"); v >= 0.0) snap.anon_mb = v;
+    if (const double v = kb_field("RssFile:"); v >= 0.0) snap.file_mb = v;
+  }
+  return snap;
+}
+
 struct ServeBench {
   bool ran = false;
   std::uint64_t queries = 0;
@@ -220,6 +253,9 @@ struct ServeBench {
   double seconds = 0.0;
   double qps = 0.0;
   double latency_ms_p50 = 0.0, latency_ms_p95 = 0.0, latency_ms_p99 = 0.0;
+  RssSnapshot rss;            // taken right after the drive loop
+  double graph_heap_mb = 0.0; // 0 when the graph is an mmap view
+  double mapped_mb = 0.0;     // > 0 for the mmap leg
 };
 
 ServeBench measure_serve(const graph::CsrGraph& g, bool full) {
@@ -271,6 +307,9 @@ ServeBench measure_serve(const graph::CsrGraph& g, bool full) {
     cv.wait(lock, [&] { return responded == total; });
   }
   bench.seconds = timer.elapsed_seconds();
+  bench.rss = read_rss();
+  bench.graph_heap_mb =
+      static_cast<double>(g.memory_bytes()) / (1024.0 * 1024.0);
   server.drain();
 
   const serve::ServerStats stats = server.stats();
@@ -285,6 +324,28 @@ ServeBench measure_serve(const graph::CsrGraph& g, bool full) {
   bench.latency_ms_p50 = stats.latency_ms_p50;
   bench.latency_ms_p95 = stats.latency_ms_p95;
   bench.latency_ms_p99 = stats.latency_ms_p99;
+  return bench;
+}
+
+// The same serve workload over an mmap'd v2 cache of the road graph
+// instead of the heap copy — the configuration the crash-isolated
+// supervisor runs its worker fleet in. The interesting number is the
+// RSS split: the graph's bytes move from anon (private, per-process)
+// to file-backed (shared page cache), which is why N worker processes
+// cost ~1x graph RSS instead of Nx (docs/SERVING.md, "Process model &
+// crash isolation").
+ServeBench measure_serve_mmap(const graph::CsrGraph& road, bool full) {
+  const std::string path = "/tmp/tunesssp_bench_road_" +
+                           std::to_string(::getpid()) + ".bin";
+  graph::save_binary_file(road, path);
+  ServeBench bench;
+  {
+    graph::MmapGraph mapped = graph::MmapGraph::open(path);
+    bench = measure_serve(mapped.graph(), full);
+    bench.mapped_mb =
+        static_cast<double>(mapped.mapped_bytes()) / (1024.0 * 1024.0);
+  }
+  std::remove(path.c_str());
   return bench;
 }
 
@@ -346,10 +407,30 @@ MultiSourceBench measure_multi_source(
   return bench;
 }
 
+void write_serve_section(obs::JsonWriter& w, const ServeBench& bench) {
+  w.key("queries").value(bench.queries);
+  w.key("completed").value(bench.completed);
+  w.key("cache_hits").value(bench.cache_hits);
+  w.key("shed").value(bench.shed);
+  w.key("seconds").value(bench.seconds);
+  w.key("qps").value(bench.qps);
+  w.key("latency_ms_p50").value(bench.latency_ms_p50);
+  w.key("latency_ms_p95").value(bench.latency_ms_p95);
+  w.key("latency_ms_p99").value(bench.latency_ms_p99);
+  w.key("graph_heap_mb").value(bench.graph_heap_mb);
+  if (bench.mapped_mb > 0.0) w.key("graph_mapped_mb").value(bench.mapped_mb);
+  w.key("rss").begin_object();
+  w.key("vm_rss_mb").value(bench.rss.vm_rss_mb);
+  w.key("anon_mb").value(bench.rss.anon_mb);
+  w.key("file_mb").value(bench.rss.file_mb);
+  w.end_object();
+}
+
 void write_bench_json(std::ostream& out, const std::string& matrix, int runs,
                       int warmup, double slowdown,
                       const std::vector<CellResult>& results,
                       const ServeBench& serve_bench,
+                      const ServeBench& serve_mmap_bench,
                       const MultiSourceBench& multi_bench) {
   obs::JsonWriter w(out);
   w.begin_object();
@@ -383,15 +464,18 @@ void write_bench_json(std::ostream& out, const std::string& matrix, int runs,
   w.end_array();
   if (serve_bench.ran) {
     w.key("serve").begin_object();
-    w.key("queries").value(serve_bench.queries);
-    w.key("completed").value(serve_bench.completed);
-    w.key("cache_hits").value(serve_bench.cache_hits);
-    w.key("shed").value(serve_bench.shed);
-    w.key("seconds").value(serve_bench.seconds);
-    w.key("qps").value(serve_bench.qps);
-    w.key("latency_ms_p50").value(serve_bench.latency_ms_p50);
-    w.key("latency_ms_p95").value(serve_bench.latency_ms_p95);
-    w.key("latency_ms_p99").value(serve_bench.latency_ms_p99);
+    write_serve_section(w, serve_bench);
+    w.end_object();
+  }
+  // Informational like `serve`: the per-process RSS split documents the
+  // shared-mmap memory win (a supervisor's N workers cost ~1x graph RSS
+  // because file-backed pages are shared; anon pages are per-process).
+  if (serve_mmap_bench.ran) {
+    w.key("serve_mmap").begin_object();
+    write_serve_section(w, serve_mmap_bench);
+    w.key("note").value(
+        "graph pages are file-backed (shared page cache): N worker "
+        "processes over the same cache cost ~1x graph RSS, not Nx");
     w.end_object();
   }
   if (multi_bench.ran) {
@@ -631,6 +715,7 @@ int main(int argc, char** argv) {
     }
 
     ServeBench serve_bench;
+    ServeBench serve_mmap_bench;
     if (flags.get_bool("serve")) {
       util::ThreadPool::set_global_threads(1);  // workers provide parallelism
       serve_bench = measure_serve(graphs.at("road"), full);
@@ -642,6 +727,18 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(serve_bench.completed),
           static_cast<unsigned long long>(serve_bench.queries),
           static_cast<unsigned long long>(serve_bench.cache_hits));
+      std::printf(
+          "bench: serve rss                %.1f MB resident "
+          "(%.1f MB anon, %.1f MB file; graph heap %.1f MB)\n",
+          serve_bench.rss.vm_rss_mb, serve_bench.rss.anon_mb,
+          serve_bench.rss.file_mb, serve_bench.graph_heap_mb);
+      serve_mmap_bench = measure_serve_mmap(graphs.at("road"), full);
+      std::printf(
+          "bench: serve (mmap graph)       %.0f qps, %.1f MB mapped "
+          "shared — rss %.1f MB anon / %.1f MB file (N workers ~ 1x "
+          "graph RSS)\n",
+          serve_mmap_bench.qps, serve_mmap_bench.mapped_mb,
+          serve_mmap_bench.rss.anon_mb, serve_mmap_bench.rss.file_mb);
     }
 
     MultiSourceBench multi_bench;
@@ -665,7 +762,7 @@ int main(int argc, char** argv) {
       std::ofstream stream(out, std::ios::binary);
       if (!stream) throw std::runtime_error("cannot open " + out);
       write_bench_json(stream, matrix, runs, warmup, slowdown, results,
-                       serve_bench, multi_bench);
+                       serve_bench, serve_mmap_bench, multi_bench);
       stream << '\n';
       if (!stream) throw std::runtime_error("write failed: " + out);
       std::printf("bench: wrote %s (%zu cells)\n", out.c_str(),

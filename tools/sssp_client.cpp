@@ -26,6 +26,16 @@
 // On completion the spawned server gets SIGTERM; the client reads the
 // response stream to EOF and requires exit status 0 — a graceful drain
 // is part of PASS. Prints "client: PASS" or "client: FAIL <why>".
+//
+// --supervise N spawns the server in crash-isolated multi-process mode
+// (one supervisor + N worker processes over a shared mmap'd graph),
+// and --kill-workers-ms M turns the run into a kill-tolerance drill:
+// every M ms a uniformly random *worker* (direct child of the server
+// process) is SIGKILLed mid-load. The supervisor must redispatch or
+// shed every orphaned query — the client keeps all of its invariants
+// (exactly one response per id, every ok certified, checksums stable)
+// and additionally asserts that no worker process outlives the server.
+#include <dirent.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
@@ -37,6 +47,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -162,6 +174,64 @@ struct Totals {
                 uncertified = 0;
 };
 
+// Direct children of `parent`, via /proc/<pid>/stat field 4. The comm
+// field (2) may itself contain spaces or parens, so ppid is parsed
+// after the *last* ')'.
+std::vector<pid_t> children_of(pid_t parent) {
+  std::vector<pid_t> kids;
+  DIR* proc = ::opendir("/proc");
+  if (proc == nullptr) return kids;
+  while (const dirent* entry = ::readdir(proc)) {
+    char* end = nullptr;
+    const long pid = std::strtol(entry->d_name, &end, 10);
+    if (end == entry->d_name || *end != '\0' || pid <= 0) continue;
+    std::ifstream stat("/proc/" + std::string(entry->d_name) + "/stat");
+    std::string line;
+    if (!std::getline(stat, line)) continue;
+    const std::size_t close = line.rfind(')');
+    if (close == std::string::npos) continue;
+    // After ')': " <state> <ppid> ..."
+    long ppid = -1;
+    char state = '\0';
+    if (std::sscanf(line.c_str() + close + 1, " %c %ld", &state, &ppid) != 2)
+      continue;
+    if (ppid == static_cast<long>(parent) && state != 'Z')
+      kids.push_back(static_cast<pid_t>(pid));
+  }
+  ::closedir(proc);
+  return kids;
+}
+
+// Worker processes are spawned as `<server_path> --in <graph> ...
+// --worker-fd N`; a leak scan looks for live processes whose cmdline
+// carries every marker (args are NUL-separated, so search the raw
+// buffer). Matching the graph path too keeps concurrent test runs of
+// the same binary from tripping each other's scans.
+std::vector<pid_t> find_worker_processes(
+    const std::vector<std::string>& markers) {
+  std::vector<pid_t> found;
+  DIR* proc = ::opendir("/proc");
+  if (proc == nullptr) return found;
+  while (const dirent* entry = ::readdir(proc)) {
+    char* end = nullptr;
+    const long pid = std::strtol(entry->d_name, &end, 10);
+    if (end == entry->d_name || *end != '\0' || pid <= 0) continue;
+    std::ifstream f("/proc/" + std::string(entry->d_name) + "/cmdline",
+                    std::ios::binary);
+    std::string cmdline((std::istreambuf_iterator<char>(f)),
+                        std::istreambuf_iterator<char>());
+    const bool all_match =
+        std::all_of(markers.begin(), markers.end(),
+                    [&](const std::string& m) {
+                      return cmdline.find(m) != std::string::npos;
+                    });
+    if (!cmdline.empty() && all_match)
+      found.push_back(static_cast<pid_t>(pid));
+  }
+  ::closedir(proc);
+  return found;
+}
+
 std::string make_query_doc(const std::string& id, const Query& q) {
   std::string doc = "{\"id\":\"" + id +
                     "\",\"cmd\":\"query\",\"source\":" +
@@ -216,6 +286,20 @@ int main(int argc, char** argv) {
   flags.define("drain-ms", "5000", "spawned server: drain budget");
   flags.define("server-report-out", "",
                "spawned server: --report-out passthrough");
+  flags.define("supervise", "0",
+               "spawned server: run crash-isolated with this many worker "
+               "processes (0 = classic single-process server)");
+  flags.define("redispatch-budget", "6",
+               "spawned supervisor: crash re-dispatches per query");
+  flags.define("restart-backoff-ms", "100",
+               "spawned supervisor: base worker restart backoff");
+  flags.define("crash-loop-k", "0",
+               "spawned supervisor: crash-loop breaker threshold "
+               "(0 = server default; raise it for kill drills, where "
+               "induced crashes are the point)");
+  flags.define("kill-workers-ms", "0",
+               "chaos: SIGKILL a random worker process this often "
+               "(requires --supervise and a spawned server)");
   if (flags.handle_help(
           "drive a seeded mixed workload against sssp_server and check "
           "every robustness invariant (docs/SERVING.md)"))
@@ -239,6 +323,14 @@ int main(int argc, char** argv) {
   const double resend_ms = flags.get_double("resend-ms");
   const double timeout_s = flags.get_double("timeout-s");
   const bool chaos = flags.get_bool("chaos");
+  const std::int64_t supervise = flags.get_int("supervise");
+  const double kill_workers_ms = flags.get_double("kill-workers-ms");
+  if (kill_workers_ms > 0 && (supervise <= 0 || connect_port > 0)) {
+    std::fprintf(stderr,
+                 "--kill-workers-ms needs --supervise N and a spawned "
+                 "server (not --connect)\n");
+    return 2;
+  }
 
   ::signal(SIGPIPE, SIG_IGN);
 
@@ -263,6 +355,18 @@ int main(int argc, char** argv) {
           "--workers", std::to_string(flags.get_int("workers")),
           "--cache-entries", std::to_string(flags.get_int("cache-entries")),
           "--drain-ms", std::to_string(flags.get_int("drain-ms"))};
+      if (supervise > 0) {
+        args.push_back("--supervise");
+        args.push_back(std::to_string(supervise));
+        args.push_back("--redispatch-budget");
+        args.push_back(std::to_string(flags.get_int("redispatch-budget")));
+        args.push_back("--restart-backoff-ms");
+        args.push_back(std::to_string(flags.get_int("restart-backoff-ms")));
+        if (flags.get_int("crash-loop-k") > 0) {
+          args.push_back("--crash-loop-k");
+          args.push_back(std::to_string(flags.get_int("crash-loop-k")));
+        }
+      }
       if (const auto rpt = flags.get_string("server-report-out");
           !rpt.empty()) {
         args.push_back("--report-out");
@@ -429,10 +533,28 @@ int main(int argc, char** argv) {
   // --- main drive loop ------------------------------------------------
   std::size_t next_to_send = 0;
   std::size_t in_flight = 0;
+  std::uint64_t worker_kills = 0;
+  Clock::time_point next_kill =
+      kill_workers_ms > 0
+          ? Clock::now() + std::chrono::microseconds(static_cast<std::int64_t>(
+                               kill_workers_ms * 1000.0))
+          : Clock::time_point::max();
   try {
     while (completed < num_queries && !watchdog_expired() &&
            !transport.closed) {
       const Clock::time_point now = Clock::now();
+      // Kill-tolerance drill: SIGKILL a random live worker. The workers
+      // are the direct children of the supervisor process; the
+      // supervisor itself is never a candidate.
+      if (now >= next_kill) {
+        if (const std::vector<pid_t> fleet = children_of(server_pid);
+            !fleet.empty()) {
+          ::kill(fleet[rng.next() % fleet.size()], SIGKILL);
+          ++worker_kills;
+        }
+        next_kill = now + std::chrono::microseconds(static_cast<std::int64_t>(
+                              kill_workers_ms * 1000.0));
+      }
       // Issue fresh sends and backoff-expired retries up to the window.
       in_flight = id_to_query.size();
       while (next_to_send < num_queries && in_flight < window) {
@@ -586,6 +708,24 @@ int main(int argc, char** argv) {
       fail(std::string("server killed by signal ") +
            std::to_string(WTERMSIG(status)));
     }
+    if (supervise > 0) {
+      // The supervisor's drain owes us a fully reaped fleet: any worker
+      // still alive after the server exited is a process leak. Allow a
+      // short settle window, then report (and clean up) stragglers.
+      const std::vector<std::string> markers = {server_path, graph_path,
+                                                "--worker-fd"};
+      std::vector<pid_t> leaked = find_worker_processes(markers);
+      for (int i = 0; i < 20 && !leaked.empty(); ++i) {
+        ::usleep(50 * 1000);
+        leaked = find_worker_processes(markers);
+      }
+      if (!leaked.empty()) {
+        std::string pids;
+        for (const pid_t p : leaked) pids += " " + std::to_string(p);
+        fail("worker process leaked after server exit:" + pids);
+        for (const pid_t p : leaked) ::kill(p, SIGKILL);
+      }
+    }
   } else {
     ::close(transport.read_fd);
   }
@@ -597,6 +737,10 @@ int main(int argc, char** argv) {
       "workload: %zu queries (window %zu, seed %llu%s) in %.3f s\n",
       num_queries, window, static_cast<unsigned long long>(seed),
       chaos ? ", chaos" : "", wall_s);
+  if (kill_workers_ms > 0)
+    std::printf("chaos: %llu workers SIGKILLed (every %.0f ms)\n",
+                static_cast<unsigned long long>(worker_kills),
+                kill_workers_ms);
   std::printf(
       "outcomes: %llu ok (%llu cache hits), %llu expired, %llu shed-final, "
       "%llu errors, %llu invalid\n",
@@ -623,6 +767,8 @@ int main(int argc, char** argv) {
         wall_s > 0 ? static_cast<double>(totals.ok) / wall_s : 0.0);
 
   if (totals.ok == 0) fail("no query ever completed ok");
+  if (kill_workers_ms > 0 && worker_kills == 0)
+    fail("kill drill never found a worker to kill");
   if (!fail_reason.empty()) {
     std::printf("client: FAIL %s\n", fail_reason.c_str());
     return 1;

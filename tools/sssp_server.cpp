@@ -17,6 +17,16 @@
 // Startup failures (bad port, unusable socket) exit 15
 // (kExitServeStartup); graph-load failures keep their structured 3-8
 // codes (docs/ROBUSTNESS.md).
+//
+// Crash isolation (docs/SERVING.md, "Process model & crash isolation"):
+//   --supervise N   run N worker *processes* behind a serve::Supervisor
+//                   that owns the transport, re-dispatches queries from
+//                   crashed workers, restarts with backoff, and exits
+//                   16 (kExitCrashLoop) when the breaker trips
+//   --worker-fd N   internal: run as a supervised worker speaking
+//                   framed protocol over descriptor N
+//   --mmap MODE     auto|on|off — map the v2 binary cache read-only and
+//                   share one physical graph copy across workers
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -24,8 +34,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -36,6 +48,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/socket.hpp"
+#include "serve/supervisor.hpp"
 #include "tools/tool_common.hpp"
 #include "util/flags.hpp"
 #include "util/run_control.hpp"
@@ -49,7 +62,13 @@ namespace {
 // the pipe flavor of the `serve.response.torn_write` drill: half the
 // document plus the newline, so the stream stays line-parseable and the
 // client sees exactly one unparseable response.
-void run_pipe(serve::Server& server, util::RunControl& control) {
+//
+// Service is serve::Server or serve::Supervisor (same submit/drain
+// surface); `extra_stop` lets the supervised path stop serving the
+// moment the crash-loop breaker trips.
+template <typename Service>
+void run_pipe(Service& server, util::RunControl& control,
+              const std::function<bool()>& extra_stop = {}) {
   std::mutex out_mu;
   const auto sink = [&out_mu](const serve::Response& response) {
     std::string doc = serve::format_response(response);
@@ -64,6 +83,7 @@ void run_pipe(serve::Server& server, util::RunControl& control) {
   std::string buffer;
   char chunk[4096];
   while (!control.stop_requested()) {
+    if (extra_stop && extra_stop()) break;
     pollfd pfd{};
     pfd.fd = STDIN_FILENO;
     pfd.events = POLLIN;
@@ -104,8 +124,9 @@ struct ConnState {
   bool open = true;
 };
 
+template <typename Service>
 void serve_connection(const std::shared_ptr<ConnState>& state,
-                      serve::Server& server) {
+                      Service& server) {
   const auto sink = [state](const serve::Response& response) {
     const std::string doc = serve::format_response(response);
     std::lock_guard<std::mutex> lock(state->mu);
@@ -132,7 +153,9 @@ void serve_connection(const std::shared_ptr<ConnState>& state,
   ::close(state->fd);
 }
 
-void run_tcp(serve::Server& server, util::RunControl& control, int port) {
+template <typename Service>
+void run_tcp(Service& server, util::RunControl& control, int port,
+             const std::function<bool()>& extra_stop = {}) {
   if (port < 0 || port > 65535)
     throw serve::ServeError("--port must be in [0, 65535]");
   const int listen_fd = serve::listen_tcp(static_cast<std::uint16_t>(port));
@@ -145,6 +168,7 @@ void run_tcp(serve::Server& server, util::RunControl& control, int port) {
   std::vector<std::thread> readers;
   std::vector<std::shared_ptr<ConnState>> conns;
   while (!control.stop_requested()) {
+    if (extra_stop && extra_stop()) break;
     pollfd pfd{};
     pfd.fd = listen_fd;
     pfd.events = POLLIN;
@@ -175,6 +199,73 @@ void run_tcp(serve::Server& server, util::RunControl& control, int port) {
     if (state->open) ::shutdown(state->fd, SHUT_RD);
   }
   for (std::thread& reader : readers) reader.join();
+}
+
+// Supervised worker: speaks the framed protocol over --worker-fd. The
+// supervisor forwards only validated "query" requests; EOF on the
+// descriptor is the drain signal (the supervisor shut its write side).
+// Announces readiness — and the graph shape the supervisor's parse
+// firewall needs — with a proactive `__sup_ready__` info frame, so no
+// handshake request can race the worker-fault drills below.
+int run_worker(const graph::CsrGraph& g, serve::Server& server,
+               util::RunControl& control, int worker_fd) {
+  std::mutex out_mu;
+  const auto sink = [&out_mu, worker_fd](const serve::Response& response) {
+    const std::string doc = serve::format_response(response);
+    std::lock_guard<std::mutex> lock(out_mu);
+    try {
+      serve::write_frame(worker_fd, doc);
+    } catch (const serve::ServeError&) {
+      // Supervisor gone mid-response: it re-dispatches or sheds; the
+      // worker keeps draining.
+    }
+  };
+
+  {
+    serve::Response ready;
+    ready.id = "__sup_ready__";
+    ready.status = serve::Status::kOk;
+    ready.has_info = true;
+    ready.num_vertices = g.num_vertices();
+    ready.num_edges = g.num_edges();
+    ready.graph_fingerprint = server.graph_fingerprint();
+    ready.queue_capacity = server.options().queue_capacity;
+    ready.workers = std::max<std::size_t>(1, server.options().workers);
+    ready.cache_entries = server.options().cache_entries;
+    sink(ready);
+  }
+
+  std::string payload;
+  while (!control.stop_requested()) {
+    pollfd pfd{};
+    pfd.fd = worker_fd;
+    pfd.events = POLLIN;
+    const int n = ::poll(&pfd, 1, 50);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) continue;
+    bool got = false;
+    try {
+      got = serve::read_frame(worker_fd, payload);
+    } catch (const serve::ServeError&) {
+      break;  // torn frame from the supervisor: treat as shutdown
+    }
+    if (!got) break;  // EOF: supervisor asked us to drain
+
+    // Worker-fault drills: a hard crash (tests the supervisor's
+    // re-dispatch + restart path) and a hang (tests the routing
+    // deadline + SIGKILL escalation). Sited here so only forwarded
+    // queries — never the ready frame — can trigger them.
+    if (SSSP_FAILPOINT("serve.worker.abort")) std::abort();
+    if (SSSP_FAILPOINT("serve.worker.hang"))
+      std::this_thread::sleep_for(std::chrono::hours(1));
+
+    server.submit(payload, sink);
+  }
+  server.drain();
+  return 0;
 }
 
 }  // namespace
@@ -217,6 +308,29 @@ int main(int argc, char** argv) {
                "freshly solved queries in the run report");
   flags.define("report-out", "",
                "write the final serve run report JSON here on drain");
+  flags.define("supervise", "0",
+               "run this many crash-isolated worker processes behind a "
+               "supervisor (0 = single-process serving)");
+  flags.define("worker-fd", "-1",
+               "internal: run as a supervised worker over this fd");
+  flags.define("mmap", "auto",
+               "graph residency: auto (map v2 .bin caches, heap "
+               "otherwise) | on (require the mmap cache) | off");
+  flags.define("redispatch-budget", "3",
+               "supervise only: crash/hang re-dispatches per query "
+               "before the standard overloaded shed");
+  flags.define("query-timeout-ms", "30000",
+               "supervise only: routing deadline for queries without "
+               "one; a worker holding a query past it is presumed hung "
+               "and SIGKILLed (0 = off)");
+  flags.define("restart-backoff-ms", "100",
+               "supervise only: base worker restart backoff (doubles "
+               "per consecutive crash, capped at 5000)");
+  flags.define("crash-loop-k", "5",
+               "supervise only: breaker trips after this many worker "
+               "crashes inside --crash-loop-window-s, exiting 16");
+  flags.define("crash-loop-window-s", "30",
+               "supervise only: crash-loop breaker window in seconds");
   tools::define_observability_flags(flags);
   tools::define_fault_flags(flags);
   tools::define_threads_flag(flags);
@@ -277,17 +391,120 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    const graph::CsrGraph g = tools::load_any_graph(in);
+    const int worker_fd = static_cast<int>(flags.get_int("worker-fd"));
+    const int supervise = static_cast<int>(flags.get_int("supervise"));
+    const std::string mmap_mode = flags.get_string("mmap");
+    if (supervise < 0) {
+      std::fprintf(stderr, "--supervise must be >= 0\n");
+      return 2;
+    }
+
+    if (supervise > 0 && worker_fd < 0) {
+      // Supervised serving: this process owns the transport and routes
+      // to a fleet of worker processes (each re-execing this binary
+      // with --worker-fd). The graph stays un-loaded here — workers
+      // map the shared cache themselves.
+      serve::SupervisorOptions sup;
+      sup.workers = static_cast<std::size_t>(supervise);
+      sup.queue_capacity = options.queue_capacity;
+      sup.redispatch_budget =
+          static_cast<int>(flags.get_int("redispatch-budget"));
+      sup.query_timeout_ms =
+          static_cast<double>(flags.get_int("query-timeout-ms"));
+      sup.restart_backoff_ms =
+          static_cast<double>(flags.get_int("restart-backoff-ms"));
+      sup.crash_loop_k = static_cast<int>(flags.get_int("crash-loop-k"));
+      sup.crash_loop_window_s =
+          static_cast<double>(flags.get_int("crash-loop-window-s"));
+      sup.drain_ms = options.drain_ms;
+      sup.worker_command = {
+          std::string(argv[0]),
+          "--in", in,
+          "--mmap", mmap_mode,
+          "--queue-capacity", flags.get_string("queue-capacity"),
+          "--shed-policy", flags.get_string("shed-policy"),
+          "--workers", flags.get_string("workers"),
+          "--cache-entries", flags.get_string("cache-entries"),
+          "--default-deadline-ms", flags.get_string("default-deadline-ms"),
+          "--drain-ms", flags.get_string("drain-ms"),
+          "--verify", options.verify_default ? "true" : "false",
+          "--default-algorithm", options.default_algorithm,
+          "--set-point", flags.get_string("set-point"),
+          "--batch-max", flags.get_string("batch-max"),
+          "--batch-strategy", flags.get_string("batch-strategy"),
+          "--threads", flags.get_string("threads"),
+      };
+      if (const auto spec = flags.get_string("failpoint"); !spec.empty()) {
+        sup.worker_command.push_back("--failpoint");
+        sup.worker_command.push_back(spec);
+      }
+
+      serve::Supervisor supervisor(sup);
+      supervisor.start();
+      std::fprintf(stderr,
+                   "sssp_server: supervising %d workers over %s "
+                   "(breaker %d crashes / %s s, redispatch budget %d)\n",
+                   supervise, in.c_str(), sup.crash_loop_k,
+                   flags.get_string("crash-loop-window-s").c_str(),
+                   sup.redispatch_budget);
+
+      const auto tripped = [&supervisor] { return supervisor.tripped(); };
+      if (mode == "tcp")
+        run_tcp(supervisor, control,
+                static_cast<int>(flags.get_int("port")), tripped);
+      else
+        run_pipe(supervisor, control, tripped);
+
+      // Reap every child and release the fleet's descriptors before
+      // exit: no zombie or inherited fd may survive drain.
+      supervisor.drain();
+      const serve::SupervisorStats sstats = supervisor.stats();
+      std::fprintf(stderr,
+                   "sssp_server: supervisor drained — %llu received, "
+                   "%llu ok, %llu redispatched, %llu restarts, %llu "
+                   "crashes, breaker %s\n",
+                   static_cast<unsigned long long>(sstats.received),
+                   static_cast<unsigned long long>(sstats.completed),
+                   static_cast<unsigned long long>(sstats.redispatched),
+                   static_cast<unsigned long long>(sstats.worker_restarts),
+                   static_cast<unsigned long long>(sstats.worker_crashes),
+                   sstats.tripped ? "TRIPPED" : "ok");
+      if (const auto path = flags.get_string("report-out"); !path.empty()) {
+        std::ofstream out(path, std::ios::binary);
+        if (!out) throw std::runtime_error("cannot open " + path);
+        supervisor.write_report(out);
+        out << "\n";
+        if (!out) throw std::runtime_error("write failed: " + path);
+        std::fprintf(stderr, "sssp_server: wrote report to %s\n",
+                     path.c_str());
+      }
+      tools::print_fault_summary();
+      tools::write_observability_outputs(flags);
+      return supervisor.tripped() ? tools::kExitCrashLoop : 0;
+    }
+
+    const tools::ResidentGraph resident =
+        tools::load_resident_graph(in, mmap_mode);
+    const graph::CsrGraph& g = resident.graph();
     serve::Server server(g, options);
     server.start();
     std::fprintf(stderr,
                  "sssp_server: serving %llu vertices / %llu edges "
-                 "(queue %zu %s, %zu workers, cache %zu, verify %s)\n",
+                 "(queue %zu %s, %zu workers, cache %zu, verify %s, "
+                 "graph %s)\n",
                  static_cast<unsigned long long>(g.num_vertices()),
                  static_cast<unsigned long long>(g.num_edges()),
                  options.queue_capacity, to_string(options.shed_policy),
                  options.workers, options.cache_entries,
-                 options.verify_default ? "on" : "off");
+                 options.verify_default ? "on" : "off",
+                 resident.is_mapped ? "mmap-shared" : "heap");
+
+    if (worker_fd >= 0) {
+      // Supervised worker: framed protocol over the inherited fd.
+      const int rc = run_worker(g, server, control, worker_fd);
+      tools::print_fault_summary();
+      return rc;
+    }
 
     if (mode == "tcp")
       run_tcp(server, control, static_cast<int>(flags.get_int("port")));

@@ -18,6 +18,7 @@
 #include "graph/edge_list.hpp"
 #include "graph/io_error.hpp"
 #include "graph/matrix_market.hpp"
+#include "graph/mmap_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "prof/profiler.hpp"
@@ -44,6 +45,45 @@ inline graph::CsrGraph load_any_graph(const std::string& path) {
     return graph::load_edge_list_file(path);
   throw std::runtime_error("unknown input format: " + path +
                            " (expected .bin/.gr/.mtx/.txt/.el)");
+}
+
+// A resident graph plus the storage that backs it: either an owning
+// heap CsrGraph or a zero-copy view into a shared read-only mapping of
+// the v2 binary cache (graph/mmap_cache.hpp). `graph()` is valid for
+// the lifetime of this object either way.
+struct ResidentGraph {
+  graph::CsrGraph heap;       // owning mode
+  graph::MmapGraph mapped;    // mmap mode
+  bool is_mapped = false;
+
+  const graph::CsrGraph& graph() const noexcept {
+    return is_mapped ? mapped.graph() : heap;
+  }
+};
+
+// Loads a graph for long-lived serving. mode: "auto" maps v2 .bin
+// caches and heap-loads everything else; "on" requires a mappable v2
+// cache (throws otherwise); "off" always heap-loads. With the mmap
+// path, N server processes opening the same cache share one physical
+// copy of the arrays through the page cache.
+inline ResidentGraph load_resident_graph(const std::string& path,
+                                         const std::string& mode = "auto") {
+  if (mode != "auto" && mode != "on" && mode != "off")
+    throw std::runtime_error("--mmap expects auto, on, or off (got '" +
+                             mode + "')");
+  ResidentGraph resident;
+  const bool mappable =
+      ends_with(path, ".bin") && graph::is_mappable_cache(path);
+  if (mode == "on" && !mappable)
+    throw std::runtime_error(
+        "--mmap on requires a v2 binary graph cache (.bin): " + path);
+  if (mode != "off" && mappable) {
+    resident.mapped = graph::MmapGraph::open(path);
+    resident.is_mapped = true;
+    return resident;
+  }
+  resident.heap = load_any_graph(path);
+  return resident;
 }
 
 // .bin or .gr (the formats with writers).
@@ -249,6 +289,13 @@ inline constexpr int kExitBenchRegression = 14;
 // "failed to start" from "started, then failed"
 // (docs/ROBUSTNESS.md, docs/SERVING.md).
 inline constexpr int kExitServeStartup = 15;
+// sssp_server --supervise: the crash-loop circuit breaker tripped — K
+// worker crashes inside the W-second window — so the supervisor stopped
+// restarting workers, shed the remaining queries, drained, and exited.
+// Distinct from 15 ("never became ready") and from 0 ("asked to drain"):
+// the orchestrator should treat the deployment, not the process, as bad
+// (docs/SERVING.md, "Process model & crash isolation").
+inline constexpr int kExitCrashLoop = 16;
 
 inline int exit_code_for_stop(util::StopReason reason) {
   switch (reason) {
