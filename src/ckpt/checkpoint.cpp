@@ -12,6 +12,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "prof/profiler.hpp"
+#include "res/budget.hpp"
+#include "util/atomic_file.hpp"
 #include "util/log.hpp"
 #include "util/run_control.hpp"
 #include "util/timer.hpp"
@@ -623,35 +625,59 @@ std::uint64_t save_checkpoint_file(const std::string& path,
   const bool torn = SSSP_FAILPOINT("ckpt.torn_write");
   if (torn) bytes.resize(bytes.size() / 2);
 
-  // tmp+rename is atomic against *crashes*, but the signal handler's
-  // second-^C hard exit could land between the ofstream write below and
-  // the rename — tearing the protocol from inside the process. The
-  // critical section defers that hard exit to the closing brace: a
-  // signal barrage during the window still yields either the intact old
-  // checkpoint (exit before this function) or a complete new one.
+  // Scratch-disk budget gate: refuse a checkpoint that would not fit
+  // the configured scratch allowance before writing a byte (structured
+  // ResourceError → kExitResourceBudget, previous checkpoint intact).
+  // The charge is released after the write: the budget bounds the
+  // write in flight, not the long-term footprint of one file that
+  // keeps being replaced in place.
+  auto& budget = res::ResourceBudget::global();
+  if (!budget.try_charge_scratch(bytes.size(), "res.ckpt.scratch"))
+    throw res::ResourceError(res::ResourceKind::kScratch, "res.ckpt.scratch",
+                             bytes.size(),
+                             budget.scratch_limit() >= budget.scratch_used()
+                                 ? budget.scratch_limit() -
+                                       budget.scratch_used()
+                                 : 0);
+  struct ScratchRelease {
+    res::ResourceBudget& budget;
+    std::size_t bytes;
+    ~ScratchRelease() { budget.release_scratch(bytes); }
+  } scratch_release{budget, bytes.size()};
+
+  // tmp+fsync+rename via util/atomic_file, which also handles short
+  // writes, retries transient errors, and maps ENOSPC/EDQUOT to
+  // DiskFullError (tools exit kExitDiskFull) with the tmp removed. The
+  // signal-critical section is still needed: the handler's second-^C
+  // hard exit could land between write and rename — tearing the
+  // protocol from inside the process — so it is deferred to the
+  // closing brace. A signal barrage during the window still yields
+  // either the intact old checkpoint or a complete new one.
   util::ScopedSignalCritical in_write_window;
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out)
-      throw GraphIoError(IoErrorClass::kOpen, kFormat,
-                         "cannot open '" + tmp + "' for writing");
-    // Injected fault: SIGINT/SIGTERM delivered mid-write. The first
-    // signal only sets the cooperative stop flag; the write must finish
-    // and produce a loadable checkpoint (tests raise the second signal
-    // too and assert the deferred-exit path).
-    if (SSSP_FAILPOINT("ckpt.signal_in_write")) std::raise(SIGINT);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out)
-      throw GraphIoError(IoErrorClass::kOpen, kFormat,
-                         "short write to '" + tmp + "'");
+  // Injected fault: SIGINT/SIGTERM delivered mid-write. The first
+  // signal only sets the cooperative stop flag; the write must finish
+  // and produce a loadable checkpoint (tests raise the second signal
+  // too and assert the deferred-exit path).
+  if (SSSP_FAILPOINT("ckpt.signal_in_write")) std::raise(SIGINT);
+  util::AtomicWriteOptions write_options;
+  write_options.before_rename = [] {
+    // Simulated death after the tmp is durable, before the rename: the
+    // tmp is left behind (atomic_file contract for a throwing hook),
+    // exactly like a real crash at this instant.
+    if (SSSP_FAILPOINT("ckpt.crash_after_tmp"))
+      throw InjectedCrash("ckpt.crash_after_tmp");
+  };
+  try {
+    util::atomic_write_file(path, bytes, write_options);
+  } catch (const util::DiskFullError&) {
+    throw;  // dedicated exit code; tmp already removed
+  } catch (const InjectedCrash&) {
+    throw;
+  } catch (const std::exception& e) {
+    // Preserve the loader/saver error contract: environmental write
+    // failures surface as structured GraphIoError (kOpen → exit 3).
+    throw GraphIoError(IoErrorClass::kOpen, kFormat, e.what());
   }
-  if (SSSP_FAILPOINT("ckpt.crash_after_tmp"))
-    throw InjectedCrash("ckpt.crash_after_tmp");
-  if (std::rename(tmp.c_str(), path.c_str()) != 0)
-    throw GraphIoError(IoErrorClass::kOpen, kFormat,
-                       "cannot rename '" + tmp + "' to '" + path + "'");
   // The torn write has reached the final path — now the "process dies".
   if (torn) throw InjectedCrash("ckpt.torn_write");
 

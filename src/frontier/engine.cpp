@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "prof/profiler.hpp"
+#include "res/budget.hpp"
 #include "util/thread_pool.hpp"
 #include "util/weight_math.hpp"
 
@@ -45,6 +46,23 @@ struct EngineMetrics {
 constexpr std::size_t kChunksPerThread = 8;   // oversubscription for claiming
 constexpr std::size_t kRangesPerThread = 4;   // uniform-cost scan phases
 
+// Headroom-checked high-water reserve (docs/ROBUSTNESS.md, "Resource
+// budgets & exhaustion"): when the budget refuses, the reserve is
+// skipped and the vector grows on demand — amortized-correct, just
+// slower — instead of dying in std::bad_alloc at the reserve.
+template <typename T>
+void reserve_within_budget(std::vector<T>& vec, std::size_t count) {
+  if (count <= vec.capacity()) return;
+  if (!res::ResourceBudget::global().check_memory(
+          static_cast<std::uint64_t>(count) * sizeof(T),
+          "res.engine.alloc")) {
+    if (obs::metrics_enabled())
+      obs::MetricsRegistry::global().counter("engine.reserve.skipped").add(1);
+    return;
+  }
+  vec.reserve(count);
+}
+
 }  // namespace
 
 NearFarEngine::NearFarEngine(const graph::CsrGraph& graph,
@@ -75,7 +93,7 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_and_filter() {
     SSSP_TRACE_SPAN("filter");
     SSSP_PROF_PHASE("filter");
     updated_frontier_.clear();
-    updated_frontier_.reserve(updated_high_water_);
+    reserve_within_budget(updated_frontier_, updated_high_water_);
     ++epoch_;
     if (epoch_ == 0) {  // wrapped: reset marks once every 2^32 iterations
       std::fill(mark_.begin(), mark_.end(), 0);
@@ -86,9 +104,23 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_and_filter() {
   {
     SSSP_TRACE_SPAN("advance");
     SSSP_PROF_PHASE("advance");
-    result = options_.parallel && frontier_.size() >= options_.parallel_threshold
-                 ? advance_parallel()
-                 : advance_serial();
+    bool parallel =
+        options_.parallel && frontier_.size() >= options_.parallel_threshold;
+    // Budget preflight BEFORE any mutation: once a parallel advance has
+    // partially relaxed (atomic-min already lowered distances), re-
+    // running the iteration serially would lose frontier vertices, so
+    // the degrade decision can only be taken here, while the iteration
+    // state is still untouched. Serial and parallel advances produce
+    // identical final distances/parents — only iteration dynamics and
+    // scratch footprint differ — which is what makes this safe.
+    if (parallel && !parallel_scratch_fits()) {
+      parallel = false;
+      if (obs::metrics_enabled())
+        obs::MetricsRegistry::global()
+            .counter("engine.advance.degraded_serial")
+            .add(1);
+    }
+    result = parallel ? advance_parallel() : advance_serial();
   }
   total_improving_ += result.improving_relaxations;
   updated_high_water_ = std::max<std::size_t>(updated_high_water_, result.x3);
@@ -101,6 +133,29 @@ NearFarEngine::AdvanceResult NearFarEngine::advance_and_filter() {
     m.frontier_size.record(static_cast<double>(result.x1));
   }
   return result;
+}
+
+bool NearFarEngine::parallel_scratch_fits() noexcept {
+  const std::size_t x1 = frontier_.size();
+  std::uint64_t bytes = 0;
+  if (winner_.size() != graph_->num_vertices())
+    bytes += static_cast<std::uint64_t>(graph_->num_vertices()) *
+             sizeof(std::uint64_t);
+  if (edge_prefix_.capacity() < x1 + 1)
+    bytes += static_cast<std::uint64_t>(x1 + 1) * sizeof(std::uint64_t);
+  if (frontier_dist_.capacity() < x1)
+    bytes += static_cast<std::uint64_t>(x1) * sizeof(graph::Distance);
+  // Candidate buffers scale with the frontier's out-edges; the exact
+  // degree sum is only known after planning, so estimate with the
+  // graph-wide average degree.
+  const double avg_degree =
+      graph_->num_vertices() == 0
+          ? 0.0
+          : static_cast<double>(graph_->num_edges()) /
+                static_cast<double>(graph_->num_vertices());
+  bytes += static_cast<std::uint64_t>(static_cast<double>(x1) * avg_degree) *
+           sizeof(Candidate);
+  return res::ResourceBudget::global().check_memory(bytes, "res.engine.alloc");
 }
 
 NearFarEngine::AdvanceResult NearFarEngine::advance_serial() {
@@ -330,7 +385,7 @@ void NearFarEngine::partition_by_distance(
   below.clear();
   frontier_max_distance_ = 0;
   const std::size_t n = input.size();
-  spill_.reserve(spill_high_water_);
+  reserve_within_budget(spill_, spill_high_water_);
   if (!options_.parallel || n < options_.parallel_threshold) {
     for (const graph::VertexId v : input) {
       const graph::Distance d = dist_[v];
@@ -434,7 +489,7 @@ std::uint64_t NearFarEngine::demote_excess(std::size_t keep) {
 }
 
 void NearFarEngine::inject(std::span<const graph::VertexId> vertices) {
-  frontier_.reserve(frontier_.size() + vertices.size());
+  reserve_within_budget(frontier_, frontier_.size() + vertices.size());
   for (const graph::VertexId v : vertices) {
     frontier_.push_back(v);
     frontier_max_distance_ = std::max(frontier_max_distance_, dist_[v]);

@@ -184,6 +184,14 @@ class NearFarEngine {
   AdvanceResult advance_serial();
   AdvanceResult advance_parallel();
 
+  // Estimates the incremental scratch a parallel advance of the current
+  // frontier would allocate (winner array on first use, plan arrays,
+  // candidate buffers at average degree) and checks it against the
+  // process memory budget ("res.engine.alloc"). False → the caller
+  // degrades this iteration to the serial advance, which needs no
+  // parallel scratch, instead of risking std::bad_alloc mid-relax.
+  bool parallel_scratch_fits() noexcept;
+
   // Computes edge_prefix_ / frontier_dist_ over the current frontier
   // and cuts chunk_begin_ according to options_.partition, via the
   // shared planner (frontier/plan.hpp). Returns X2 (total edges).

@@ -6,6 +6,7 @@
 
 #include "fault/failpoint.hpp"
 #include "graph/io_error.hpp"
+#include "res/budget.hpp"
 
 namespace sssp::graph {
 namespace {
@@ -83,11 +84,19 @@ struct Header {
   std::uint64_t num_edges = 0;
 };
 
-// Refuse absurd sizes before allocating.
+// Refuse absurd sizes before allocating, and preflight the three CSR
+// arrays against the process memory budget so an oversize graph is a
+// structured ResourceError (tool exit kExitResourceBudget) instead of
+// an OOM kill mid-load. Check-only: the graph is a process-lifetime
+// object, so nothing is held that would need releasing.
 void check_header_bounds(const Header& header, std::uint64_t offset) {
   if (header.num_vertices > (std::uint64_t{1} << 33) ||
       header.num_edges > (std::uint64_t{1} << 36))
     fail(IoErrorClass::kLimit, "implausible header sizes", offset);
+  const std::uint64_t bytes =
+      (header.num_vertices + 1) * sizeof(EdgeIndex) +
+      header.num_edges * (sizeof(VertexId) + sizeof(Weight));
+  res::ResourceBudget::global().require_memory(bytes, "res.graph.alloc");
 }
 
 CsrGraph load_sections_v1(Reader& reader, const Header& header) {

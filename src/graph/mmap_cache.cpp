@@ -1,17 +1,22 @@
 #include "graph/mmap_cache.hpp"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <utility>
 
+#include "fault/failpoint.hpp"
 #include "graph/binary_io.hpp"
 #include "graph/io_error.hpp"
+#include "graph/sigbus_guard.hpp"
+#include "obs/metrics.hpp"
 
 namespace sssp::graph {
 namespace {
@@ -74,6 +79,14 @@ struct FdGuard {
   }
 };
 
+void bump(const char* name) {
+  if (obs::metrics_enabled())
+    obs::MetricsRegistry::global().counter(name).add(1);
+}
+
+constexpr const char* kSigbusWhat =
+    "SIGBUS reading mapped cache (file truncated or storage failing)";
+
 }  // namespace
 
 bool is_mappable_cache(const std::string& path) {
@@ -99,11 +112,13 @@ void MmapGraph::reset() noexcept {
   if (base_ != nullptr) ::munmap(base_, size_);
   base_ = nullptr;
   size_ = 0;
+  path_.clear();
 }
 
 MmapGraph::MmapGraph(MmapGraph&& other) noexcept
     : base_(std::exchange(other.base_, nullptr)),
       size_(std::exchange(other.size_, 0)),
+      path_(std::move(other.path_)),
       graph_(std::move(other.graph_)) {}
 
 MmapGraph& MmapGraph::operator=(MmapGraph&& other) noexcept {
@@ -111,6 +126,7 @@ MmapGraph& MmapGraph::operator=(MmapGraph&& other) noexcept {
   reset();
   base_ = std::exchange(other.base_, nullptr);
   size_ = std::exchange(other.size_, 0);
+  path_ = std::move(other.path_);
   graph_ = std::move(other.graph_);
   return *this;
 }
@@ -148,6 +164,16 @@ MmapGraph MmapGraph::open(const std::string& path) {
   MmapGraph result;
   result.base_ = base;
   result.size_ = static_cast<std::size_t>(file_size);
+  result.path_ = path;
+
+  // Every touch of the mapped bytes below runs under the SIGBUS
+  // trampoline: a file truncated between fstat and here (or storage
+  // already failing) becomes a structured kTruncated error the caller
+  // handles with the heap-loader fallback, not process death.
+  SigbusGuard sigbus;
+  if (!SSSP_SIGBUS_TRY(sigbus))
+    fail(IoErrorClass::kTruncated, kSigbusWhat, 0);
+  if (SSSP_FAILPOINT("io.mmap.sigbus")) ::raise(SIGBUS);
 
   const auto* bytes = static_cast<const unsigned char*>(base);
   if (std::memcmp(bytes, kMagicV2, sizeof(kMagicV2)) != 0)
@@ -199,6 +225,104 @@ MmapGraph MmapGraph::open(const std::string& path) {
          std::string("inconsistent CSR structure: ") + e.what(), kHeaderBytes);
   }
   return result;
+}
+
+MmapGraph::ScrubResult MmapGraph::scrub() const noexcept {
+  ScrubResult out;
+  if (!valid()) {
+    out.ok = false;
+    out.reason = "no mapping";
+    return out;
+  }
+  SigbusGuard sigbus;
+  if (!SSSP_SIGBUS_TRY(sigbus)) {
+    out.ok = false;
+    out.reason = kSigbusWhat;
+    bump("graph.mmap.scrub.sigbus");
+    return out;
+  }
+  if (SSSP_FAILPOINT("io.mmap.sigbus")) ::raise(SIGBUS);
+
+  const auto* bytes = static_cast<const unsigned char*>(base_);
+  constexpr std::uint64_t kHeaderBytes =
+      sizeof(kMagicV2) + sizeof(HeaderBody) + sizeof(std::uint64_t);
+  HeaderBody body;
+  std::memcpy(&body, bytes + sizeof(kMagicV2), sizeof(body));
+  const auto check = [&](std::uint64_t offset, std::uint64_t payload_bytes,
+                         const char* what) {
+    const std::uint64_t expected =
+        read_u64_unaligned(bytes + offset + payload_bytes);
+    if (fnv1a64(bytes + offset, payload_bytes) == expected) return true;
+    out.ok = false;
+    out.reason = std::string(what) + " section checksum mismatch";
+    return false;
+  };
+  // Layout mirrors open(); sizes were bounds-checked there and the
+  // mapping length has not changed, so offsets stay in range.
+  const std::uint64_t offsets_bytes =
+      (body.num_vertices + 1) * sizeof(EdgeIndex);
+  const std::uint64_t targets_bytes = body.num_edges * sizeof(VertexId);
+  const std::uint64_t weights_bytes = body.num_edges * sizeof(Weight);
+  std::uint64_t offset = sizeof(kMagicV2);
+  if (fnv1a64(&body, sizeof(body)) !=
+      read_u64_unaligned(bytes + offset + sizeof(body))) {
+    out.ok = false;
+    out.reason = "header checksum mismatch";
+  }
+  offset = kHeaderBytes;
+  if (out.ok && check(offset, offsets_bytes, "offsets"))
+    offset += offsets_bytes + sizeof(std::uint64_t);
+  if (out.ok && check(offset, targets_bytes, "targets"))
+    offset += targets_bytes + sizeof(std::uint64_t);
+  if (out.ok) check(offset, weights_bytes, "weights");
+  bump(out.ok ? "graph.mmap.scrub.pass" : "graph.mmap.scrub.fail");
+  return out;
+}
+
+bool quarantine_cache(const std::string& path) noexcept {
+  const std::string quarantined = path + ".quarantined";
+  if (::rename(path.c_str(), quarantined.c_str()) != 0) return false;
+  bump("graph.mmap.quarantined");
+  return true;
+}
+
+CacheScrubber::CacheScrubber(const MmapGraph& mapped,
+                             std::uint64_t interval_ms,
+                             std::function<void(const std::string&)> on_failure)
+    : mapped_(mapped), on_failure_(std::move(on_failure)) {
+  thread_ = std::thread([this, interval_ms] { run(interval_ms); });
+}
+
+CacheScrubber::~CacheScrubber() { stop(); }
+
+void CacheScrubber::stop() noexcept {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void CacheScrubber::run(std::uint64_t interval_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                 [this] { return stopping_; });
+    if (stopping_) return;
+    lock.unlock();
+    const MmapGraph::ScrubResult result = mapped_.scrub();
+    passes_.fetch_add(1, std::memory_order_relaxed);
+    if (!result.ok) {
+      failed_.store(true, std::memory_order_relaxed);
+      // Move the rotted file aside first so a racing open() in another
+      // worker regenerates instead of re-mapping the same rot.
+      quarantine_cache(mapped_.path());
+      if (on_failure_) on_failure_(result.reason);
+      return;
+    }
+    lock.lock();
+  }
 }
 
 }  // namespace sssp::graph

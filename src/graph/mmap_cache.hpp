@@ -22,11 +22,25 @@
 // with a byte offset, never a crash. Only v2 files are mappable — v1
 // has no checksums to pin the bytes down, so callers fall back to the
 // heap loader (is_mappable_cache distinguishes the two).
+// Exhaustion hardening (docs/ROBUSTNESS.md): every read of mapped
+// bytes — the open()-time verification and the background scrubber's
+// re-checksum passes — runs under a scoped SIGBUS trampoline
+// (sigbus_guard.hpp). A mapping yanked out from under us (file
+// truncated, storage dying) therefore surfaces as GraphIoError
+// (kTruncated) and the caller falls back to the heap loader instead of
+// the process dying. The CacheScrubber periodically re-checksums the
+// mapped sections and quarantines the cache file on mismatch so no
+// later query ever reads rotted bytes.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "graph/csr.hpp"
 
@@ -56,13 +70,67 @@ class MmapGraph {
   const CsrGraph& graph() const noexcept { return graph_; }
   // Bytes of the file mapping backing the view.
   std::size_t mapped_bytes() const noexcept { return size_; }
+  // The file backing the mapping (what quarantine renames).
+  const std::string& path() const noexcept { return path_; }
+
+  // Re-verifies every section checksum against the mapped bytes, under
+  // the SIGBUS guard. Returns true when the mapping is still sound;
+  // false (with `reason` filled) on checksum mismatch or a SIGBUS from
+  // the mapping. Hosts the `io.mmap.sigbus` failpoint, which raises a
+  // real SIGBUS inside the guarded read to drill the trampoline.
+  struct ScrubResult {
+    bool ok = true;
+    std::string reason;
+  };
+  ScrubResult scrub() const noexcept;
 
  private:
   void reset() noexcept;
 
   void* base_ = nullptr;
   std::size_t size_ = 0;
+  std::string path_;
   CsrGraph graph_;
+};
+
+// Moves a failed cache aside (path -> path + ".quarantined",
+// clobbering any previous quarantine) so the next open() regenerates
+// it instead of re-mapping rot. Returns false if the rename failed.
+bool quarantine_cache(const std::string& path) noexcept;
+
+// Background scrubber: every `interval_ms`, re-checksums `mapped`'s
+// sections and, on the first failure, quarantines the backing file and
+// invokes `on_failure(reason)` once, then stops scrubbing. The caller
+// owns `mapped` and must keep it alive until stop() returns; the
+// mapping itself stays valid after a failed scrub (pages already
+// resident are unaffected) — on_failure decides whether to drain.
+class CacheScrubber {
+ public:
+  CacheScrubber(const MmapGraph& mapped, std::uint64_t interval_ms,
+                std::function<void(const std::string&)> on_failure);
+  ~CacheScrubber();
+  CacheScrubber(const CacheScrubber&) = delete;
+  CacheScrubber& operator=(const CacheScrubber&) = delete;
+
+  void stop() noexcept;
+  std::uint64_t passes() const noexcept {
+    return passes_.load(std::memory_order_relaxed);
+  }
+  bool failed() const noexcept {
+    return failed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run(std::uint64_t interval_ms);
+
+  const MmapGraph& mapped_;
+  std::function<void(const std::string&)> on_failure_;
+  std::atomic<std::uint64_t> passes_{0};
+  std::atomic<bool> failed_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
 };
 
 }  // namespace sssp::graph

@@ -1,0 +1,59 @@
+#include "graph/sigbus_guard.hpp"
+
+#include <signal.h>
+
+#include <atomic>
+#include <mutex>
+
+namespace sssp::graph {
+namespace {
+
+thread_local SigbusGuard* t_active_guard = nullptr;
+std::atomic<bool> g_handler_installed{false};
+
+// Async-signal-safe by construction: one thread_local load, a flag
+// store on the guard, and siglongjmp. When no guard is active on the
+// faulting thread, restore SIG_DFL and re-raise so the crash keeps its
+// true signal (the serve supervisor keys restart policy off it).
+void sigbus_handler(int signo) {
+  SigbusGuard* guard = t_active_guard;
+  if (guard != nullptr) {
+    guard->mark_tripped();
+    siglongjmp(guard->env(), 1);
+  }
+  struct sigaction dfl{};
+  dfl.sa_handler = SIG_DFL;
+  ::sigaction(signo, &dfl, nullptr);
+  ::raise(signo);
+}
+
+void install_handler_once() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction action{};
+    action.sa_handler = &sigbus_handler;
+    ::sigemptyset(&action.sa_mask);
+    // No SA_RESTART: a read stuck in a faulting page cannot restart
+    // anyway; no SA_NODEFER needed because siglongjmp(…, 1) restores
+    // the pre-sigsetjmp mask, unblocking SIGBUS for the next guard.
+    action.sa_flags = 0;
+    ::sigaction(SIGBUS, &action, nullptr);
+    g_handler_installed.store(true, std::memory_order_release);
+  });
+}
+
+}  // namespace
+
+SigbusGuard::SigbusGuard() noexcept {
+  install_handler_once();
+  previous_ = t_active_guard;
+  t_active_guard = this;
+}
+
+SigbusGuard::~SigbusGuard() noexcept { t_active_guard = previous_; }
+
+bool sigbus_handler_installed() noexcept {
+  return g_handler_installed.load(std::memory_order_acquire);
+}
+
+}  // namespace sssp::graph

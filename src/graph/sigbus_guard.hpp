@@ -1,0 +1,59 @@
+// Scoped SIGBUS trampoline for mmap'd graph reads (docs/ROBUSTNESS.md,
+// "Resource budgets & exhaustion").
+//
+// A MAP_SHARED read-only mapping of the TSSSPGR2 cache can SIGBUS long
+// after open(): the file gets truncated under us, or the backing
+// storage starts returning I/O errors and the kernel cannot fault the
+// page in. Without a handler that is instant process death — no
+// destructor, no drain, no structured error. The guard converts it to
+// control flow:
+//
+//   SigbusGuard guard;
+//   if (SSSP_SIGBUS_TRY(guard)) {
+//     ... touch mapped bytes ...
+//   } else {
+//     // a SIGBUS landed inside the block; the mapping is bad
+//   }
+//
+// One process-wide SIGBUS handler is installed lazily on first guard
+// construction; it siglongjmps to the innermost guard on the *current
+// thread* and re-raises with the default disposition when no guard is
+// active (a SIGBUS outside a guarded read is still a real crash, and
+// must look like one to the supervisor). Guards nest per-thread.
+#pragma once
+
+#include <csetjmp>
+
+namespace sssp::graph {
+
+class SigbusGuard {
+ public:
+  SigbusGuard() noexcept;
+  ~SigbusGuard() noexcept;
+  SigbusGuard(const SigbusGuard&) = delete;
+  SigbusGuard& operator=(const SigbusGuard&) = delete;
+
+  // The jump target; use via SSSP_SIGBUS_TRY, never directly.
+  sigjmp_buf& env() noexcept { return env_; }
+
+  // True once a SIGBUS has bounced off this guard.
+  bool tripped() const noexcept { return tripped_; }
+  void mark_tripped() noexcept { tripped_ = true; }
+
+ private:
+  sigjmp_buf env_;
+  SigbusGuard* previous_ = nullptr;  // per-thread nesting
+  bool tripped_ = false;
+};
+
+// True when SIGBUS handling is active for this process (a guard has
+// been constructed at least once). Test hook.
+bool sigbus_handler_installed() noexcept;
+
+}  // namespace sssp::graph
+
+// sigsetjmp must run in the frame that wants to resume, so the entry
+// point is a macro: true on the first pass, false when a SIGBUS inside
+// the block jumped back out (savemask=1 restores the signal mask the
+// handler ran with).
+#define SSSP_SIGBUS_TRY(guard) (sigsetjmp((guard).env(), 1) == 0)

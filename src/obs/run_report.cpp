@@ -1,11 +1,11 @@
 #include "obs/run_report.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 #include "obs/json.hpp"
+#include "util/atomic_file.hpp"
 
 namespace sssp::obs {
 
@@ -231,13 +231,13 @@ void save_run_report(const std::string& path, const RunReportMeta& meta,
                      std::span<const frontier::IterationStats> iterations,
                      const sim::RunReport* sim_report,
                      const prof::RunProfile* profile) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out)
-    throw std::runtime_error("save_run_report: cannot open " + path);
+  std::ostringstream out;
   write_run_report(out, meta, iterations, sim_report, profile);
   out << '\n';
-  if (!out)
-    throw std::runtime_error("save_run_report: write failed: " + path);
+  // Crash/ENOSPC-safe: the report either appears whole or not at all
+  // (util/atomic_file.hpp) — a half-written JSON document would poison
+  // every downstream consumer (bench baselines, CI parsers).
+  util::atomic_write_file(path, out.str());
 }
 
 }  // namespace sssp::obs

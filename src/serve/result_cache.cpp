@@ -30,7 +30,31 @@ std::string cache_options_key(const std::string& algorithm,
   return key.str();
 }
 
-ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {}
+namespace {
+
+// Dominant payload: the V-sized result arrays (plus path vertices for
+// p2p-style entries and the struct overhead itself).
+std::size_t entry_bytes(const CacheEntry& entry) noexcept {
+  return sizeof(CacheEntry) +
+         entry.result.distances.size() * sizeof(graph::Distance) +
+         entry.result.parents.size() * sizeof(graph::VertexId);
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t max_bytes)
+    : capacity_(capacity), max_bytes_(max_bytes) {}
+
+void ResultCache::evict_tail_locked() {
+  while (!lru_.empty() &&
+         (lru_.size() > capacity_ ||
+          (max_bytes_ != 0 && bytes_ > max_bytes_))) {
+    bytes_ -= lru_.back().bytes;
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
 
 std::shared_ptr<const CacheEntry> ResultCache::lookup(const CacheKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -66,23 +90,23 @@ void ResultCache::insert(const CacheKey& key,
 
   std::lock_guard<std::mutex> lock(mu_);
   if (const auto it = map_.find(key); it != map_.end()) {
+    bytes_ -= it->second->bytes;
     lru_.erase(it->second);
     map_.erase(it);
   }
-  lru_.push_front(Slot{key, std::move(entry)});
+  const std::size_t size = entry_bytes(*entry);
+  lru_.push_front(Slot{key, std::move(entry), size});
+  bytes_ += size;
   map_[key] = lru_.begin();
   ++inserts_;
-  while (lru_.size() > capacity_) {
-    map_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++evictions_;
-  }
+  evict_tail_locked();
 }
 
 void ResultCache::invalidate(const CacheKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) return;
+  bytes_ -= it->second->bytes;
   lru_.erase(it->second);
   map_.erase(it);
   ++invalidations_;
@@ -97,6 +121,7 @@ ResultCache::Stats ResultCache::stats() const {
   stats.inserts = inserts_;
   stats.invalidations = invalidations_;
   stats.entries = lru_.size();
+  stats.bytes = bytes_;
   return stats;
 }
 

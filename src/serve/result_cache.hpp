@@ -55,7 +55,12 @@ struct CacheEntry {
 
 class ResultCache {
  public:
-  explicit ResultCache(std::size_t capacity);
+  // `capacity` bounds entries; `max_bytes` (0 = unbounded) additionally
+  // bounds the summed size of the cached arrays — the knob the resource
+  // budget layer uses, since entry counts say nothing about V-sized
+  // payloads. Either bound evicts from the LRU tail; an entry larger
+  // than max_bytes on its own is effectively not cached.
+  explicit ResultCache(std::size_t capacity, std::size_t max_bytes = 0);
 
   // Hit moves the entry to the front of the LRU order.
   std::shared_ptr<const CacheEntry> lookup(const CacheKey& key);
@@ -77,18 +82,25 @@ class ResultCache {
     std::uint64_t inserts = 0;
     std::uint64_t invalidations = 0;
     std::size_t entries = 0;
+    std::size_t bytes = 0;  // summed payload size of resident entries
   };
   Stats stats() const;
 
   std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t max_bytes() const noexcept { return max_bytes_; }
 
  private:
   struct Slot {
     CacheKey key;
     std::shared_ptr<const CacheEntry> entry;
+    std::size_t bytes = 0;
   };
 
+  void evict_tail_locked();
+
   const std::size_t capacity_;
+  const std::size_t max_bytes_;
+  std::size_t bytes_ = 0;
   mutable std::mutex mu_;
   std::list<Slot> lru_;  // front = most recent
   std::unordered_map<CacheKey, std::list<Slot>::iterator, CacheKeyHash> map_;

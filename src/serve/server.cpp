@@ -10,6 +10,7 @@
 #include "fault/failpoint.hpp"
 #include "graph/binary_io.hpp"
 #include "obs/json.hpp"
+#include "res/budget.hpp"
 #include "sssp/delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/near_far.hpp"
@@ -49,7 +50,7 @@ Server::Server(const graph::CsrGraph& graph, ServerOptions options)
       options_(std::move(options)),
       fingerprint_(ckpt::graph_fingerprint(graph)),
       queue_(options_.queue_capacity, options_.shed_policy),
-      cache_(options_.cache_entries),
+      cache_(options_.cache_entries, options_.cache_max_bytes),
       active_controls_(std::max<std::size_t>(1, options_.workers)) {
   for (auto& slot : active_controls_) slot.store(nullptr);
 }
@@ -159,6 +160,32 @@ void Server::submit(std::string_view line, ResponseSink sink) {
     respond_sink(sink, make_shed(parsed.request, Status::kShuttingDown,
                                  "server draining", true));
     return;
+  }
+
+  // Memory-aware admission: project the footprint of every query that
+  // could be solving or waiting if this one is admitted, and shed with
+  // a retry hint when it exceeds the process memory budget's headroom.
+  // Shedding here — before the queue — means overload never turns into
+  // an OOM kill mid-solve; the client retries exactly as it does for a
+  // full queue. Inert unless a budget limit is configured or the
+  // res.serve.admit failpoint is armed.
+  {
+    const std::uint64_t footprint =
+        options_.query_footprint_bytes != 0
+            ? options_.query_footprint_bytes
+            : 2 * static_cast<std::uint64_t>(graph_.num_vertices()) *
+                  (sizeof(graph::Distance) + sizeof(graph::VertexId));
+    const std::uint64_t projected =
+        footprint * (in_flight_.load(std::memory_order_relaxed) +
+                     queue_.depth() + 1);
+    if (!res::ResourceBudget::global().check_memory(projected,
+                                                    "res.serve.admit")) {
+      shed_memory_.fetch_add(1, std::memory_order_relaxed);
+      bump("serve.shed.memory");
+      respond_sink(sink, make_shed(parsed.request, Status::kOverloaded,
+                                   "memory budget exceeded", true));
+      return;
+    }
   }
 
   Ticket ticket;
@@ -765,6 +792,7 @@ ServerStats Server::stats() const {
   s.shed_expired_queue =
       shed_expired_queue_.load(std::memory_order_relaxed);
   s.shed_draining = shed_draining_.load(std::memory_order_relaxed);
+  s.shed_memory = shed_memory_.load(std::memory_order_relaxed);
   s.expired_running = expired_running_.load(std::memory_order_relaxed);
   s.drain_aborted = drain_aborted_.load(std::memory_order_relaxed);
   s.handler_errors = handler_errors_.load(std::memory_order_relaxed);
@@ -832,6 +860,7 @@ void Server::write_report(std::ostream& out) const {
   w.key("shed_queue_full").value(s.shed_queue_full);
   w.key("shed_expired_queue").value(s.shed_expired_queue);
   w.key("shed_draining").value(s.shed_draining);
+  w.key("shed_memory").value(s.shed_memory);
   w.key("expired_running").value(s.expired_running);
   w.key("drain_aborted").value(s.drain_aborted);
   w.key("handler_errors").value(s.handler_errors);
@@ -849,6 +878,7 @@ void Server::write_report(std::ostream& out) const {
   w.key("inserts").value(s.cache.inserts);
   w.key("invalidations").value(s.cache.invalidations);
   w.key("entries").value(static_cast<std::uint64_t>(s.cache.entries));
+  w.key("bytes").value(static_cast<std::uint64_t>(s.cache.bytes));
   w.end_object();
   w.key("latency_ms").begin_object();
   w.key("count").value(latency_ms_.count());

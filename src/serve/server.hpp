@@ -86,6 +86,19 @@ struct ServerOptions {
   // array (0 disables; bounded so a long-running server cannot grow
   // the report without limit).
   std::size_t sample_reports = 0;
+  // Memory-aware admission (docs/ROBUSTNESS.md, "Resource budgets &
+  // exhaustion"): before queueing a query, the projected footprint of
+  // every query that could be solving or waiting — per-query bytes ×
+  // (in_flight + queue depth + 1) — is checked against the process
+  // memory budget; over budget sheds kOverloaded with retry_after_ms,
+  // mirroring the queue-depth shed. Per-query bytes default (0) to the
+  // solve + response arrays: 2 × V × (sizeof dist + sizeof parent).
+  // The check only bites when a budget limit is set or the
+  // res.serve.admit failpoint is armed.
+  std::uint64_t query_footprint_bytes = 0;
+  // Byte bound for the result cache on top of cache_entries
+  // (0 = unbounded). Evicts from the LRU tail.
+  std::size_t cache_max_bytes = 0;
 };
 
 struct ServerStats {
@@ -97,6 +110,7 @@ struct ServerStats {
   std::uint64_t shed_queue_full = 0;
   std::uint64_t shed_expired_queue = 0;
   std::uint64_t shed_draining = 0;
+  std::uint64_t shed_memory = 0;  // memory-budget admission sheds
   std::uint64_t expired_running = 0;
   std::uint64_t drain_aborted = 0;  // in-flight, interrupted by drain
   std::uint64_t handler_errors = 0;
@@ -201,7 +215,8 @@ class Server {
   obs::Histogram queue_wait_ms_;
   std::atomic<std::uint64_t> received_{0}, invalid_{0}, admitted_{0},
       completed_{0}, responses_{0}, shed_queue_full_{0},
-      shed_expired_queue_{0}, shed_draining_{0}, expired_running_{0},
+      shed_expired_queue_{0}, shed_draining_{0}, shed_memory_{0},
+      expired_running_{0},
       drain_aborted_{0}, handler_errors_{0}, certification_failures_{0},
       cache_poisoned_{0}, batches_{0}, batched_queries_{0};
   struct SampledReport {

@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "fault/failpoint.hpp"
+#include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 
 namespace sssp::serve {
@@ -54,11 +56,28 @@ std::size_t read_all(int fd, void* buffer, std::size_t size) {
   return total;
 }
 
+// MSG_NOSIGNAL: a peer that closed mid-response must surface as EPIPE
+// (→ ServeError the per-connection loop handles), never as a SIGPIPE
+// that kills the whole server. The tools additionally SIG_IGN SIGPIPE
+// at startup, but this path must be safe even in embedders that
+// don't. send() only works on sockets; worker pipes get ENOTSOCK and
+// fall back to write() (safe there: pipes raise SIGPIPE only when the
+// supervisor is gone, and the supervisor ignores SIGPIPE).
 void write_all(int fd, const void* buffer, std::size_t size) {
   const auto* in = static_cast<const char*>(buffer);
   std::size_t total = 0;
+  bool use_send = true;
   while (total < size) {
-    const ssize_t n = ::write(fd, in + total, size - total);
+    ssize_t n;
+    if (use_send) {
+      n = ::send(fd, in + total, size - total, MSG_NOSIGNAL);
+      if (n < 0 && errno == ENOTSOCK) {
+        use_send = false;
+        continue;
+      }
+    } else {
+      n = ::write(fd, in + total, size - total);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -115,9 +134,26 @@ std::uint16_t bound_port(int listen_fd) {
 }
 
 int accept_conn(int listen_fd) {
+  // Injected fd exhaustion: behaves exactly like the real EMFILE
+  // branch below so CI can drill the accept loop without an ulimit.
+  if (SSSP_FAILPOINT("serve.accept.emfile")) {
+    if (obs::metrics_enabled())
+      obs::MetricsRegistry::global().counter("serve.accept.emfile").add(1);
+    return -1;
+  }
   const int fd = ::accept(listen_fd, nullptr, nullptr);
   if (fd < 0) {
     if (errno == EINTR || errno == ECONNABORTED) return -1;
+    // Descriptor exhaustion is transient — connections in flight will
+    // close and free fds — so it must NOT escalate to ServeError (which
+    // tears the whole accept loop down, exit 15). Drop this connection
+    // attempt (the kernel keeps it in the backlog; the client blocks or
+    // retries) and count it.
+    if (errno == EMFILE || errno == ENFILE) {
+      if (obs::metrics_enabled())
+        obs::MetricsRegistry::global().counter("serve.accept.emfile").add(1);
+      return -1;
+    }
     fail("accept");
   }
   return fd;

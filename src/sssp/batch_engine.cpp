@@ -12,6 +12,7 @@
 #include "frontier/plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "res/budget.hpp"
 #include "sssp/near_far.hpp"
 #include "util/thread_pool.hpp"
 #include "util/weight_math.hpp"
@@ -465,6 +466,42 @@ BatchResult run_batch(const graph::CsrGraph& graph,
   if (delta == 0) {
     delta = static_cast<graph::Distance>(
         std::max(1.0, std::round(graph.mean_edge_weight())));
+  }
+
+  // Memory-budget degrade: shrink K (docs/ROBUSTNESS.md, "Resource
+  // budgets & exhaustion"). The dominant batch footprint is the
+  // per-lane state — SoA distances (u64) + parents (u32) per vertex
+  // per lane, plus the fused engine's per-vertex lane masks — and it
+  // scales linearly with K, so when the whole batch does not fit the
+  // budget we split the sources in half and run two sub-batches
+  // sequentially. Lanes are computed independently of each other's
+  // presence (header contract), so the per-lane results are identical
+  // to the unsplit batch; only amortization is lost. A single lane is
+  // never refused: K=1 is the service's baseline footprint.
+  if (sources.size() > 1) {
+    const std::uint64_t lane_bytes =
+        static_cast<std::uint64_t>(graph.num_vertices()) *
+        (sizeof(graph::Distance) + sizeof(graph::VertexId));
+    const std::uint64_t batch_bytes =
+        lane_bytes * sources.size() +
+        static_cast<std::uint64_t>(graph.num_vertices()) *
+            sizeof(std::uint64_t);
+    if (!res::ResourceBudget::global().check_memory(batch_bytes,
+                                                    "res.batch.alloc")) {
+      if (obs::metrics_enabled())
+        obs::MetricsRegistry::global().counter("batch.split.memory").add(1);
+      const std::size_t mid = sources.size() / 2;
+      BatchResult left = run_batch(graph, sources.subspan(0, mid), options);
+      BatchResult right = run_batch(graph, sources.subspan(mid), options);
+      left.lanes.insert(left.lanes.end(),
+                        std::make_move_iterator(right.lanes.begin()),
+                        std::make_move_iterator(right.lanes.end()));
+      left.batch_iterations.insert(left.batch_iterations.end(),
+                                   right.batch_iterations.begin(),
+                                   right.batch_iterations.end());
+      left.edges_fetched += right.edges_fetched;
+      return left;
+    }
   }
 
   BatchResult out = options.strategy == BatchStrategy::kFused

@@ -1,0 +1,161 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace sssp::util {
+namespace {
+
+std::atomic<WriteFaultHook> g_write_fault_hook{nullptr};
+
+std::string errno_string(int err) { return std::strerror(err); }
+
+bool is_disk_full(int err) noexcept {
+#ifdef EDQUOT
+  if (err == EDQUOT) return true;
+#endif
+  return err == ENOSPC;
+}
+
+// EIO/EAGAIN-class errors are worth a bounded retry: NFS and
+// overloaded block layers surface them transiently. ENOSPC is not
+// transient within one write burst — freeing space mid-write is the
+// caller's business — and fails fast to the DiskFullError path.
+bool is_transient(int err) noexcept {
+  return err == EAGAIN || err == EIO || err == ENOMEM;
+}
+
+struct FdCloser {
+  int fd = -1;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+// Directory containing `path` ("." when the path has no slash), for
+// the post-rename directory fsync that makes the rename itself
+// durable.
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+[[noreturn]] void fail_disk_full(const std::string& path,
+                                 const std::string& tmp_path, int err) {
+  ::unlink(tmp_path.c_str());
+  throw DiskFullError(path, errno_string(err));
+}
+
+[[noreturn]] void fail_io(const std::string& path, const std::string& tmp_path,
+                          const char* op, int err) {
+  ::unlink(tmp_path.c_str());
+  throw std::runtime_error(std::string("atomic write of ") + path +
+                           " failed in " + op + ": " + errno_string(err));
+}
+
+}  // namespace
+
+void set_write_fault_hook(WriteFaultHook hook) noexcept {
+  g_write_fault_hook.store(hook, std::memory_order_relaxed);
+}
+
+void atomic_write_file(const std::string& path, std::string_view bytes,
+                       const AtomicWriteOptions& options) {
+  atomic_write_file(path, bytes.data(), bytes.size(), options);
+}
+
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size, const AtomicWriteOptions& options) {
+  const std::string tmp_path = path + ".tmp";
+
+  FdCloser file;
+  file.fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                   0644);
+  if (file.fd < 0) {
+    const int err = errno;
+    if (is_disk_full(err)) fail_disk_full(path, tmp_path, err);
+    throw std::runtime_error("atomic write of " + path +
+                             " failed in open: " + errno_string(err));
+  }
+
+  // Bounded chunks keep a single huge payload from becoming one giant
+  // write() — the kernel may truncate arbitrarily anyway, and a full
+  // disk should surface after the first few chunks, not after staging
+  // the whole buffer.
+  constexpr std::size_t kMaxWriteChunk = std::size_t{1} << 18;
+  const auto* cursor = static_cast<const char*>(data);
+  std::size_t remaining = size;
+  int transient_left = options.max_transient_retries;
+  while (remaining > 0) {
+    std::size_t chunk = remaining < kMaxWriteChunk ? remaining : kMaxWriteChunk;
+    if (const WriteFaultHook hook =
+            g_write_fault_hook.load(std::memory_order_relaxed)) {
+      const WriteFault fault = hook();
+      if (fault.error != 0) {
+        if (is_disk_full(fault.error))
+          fail_disk_full(path, tmp_path, fault.error);
+        if (!is_transient(fault.error) || transient_left-- <= 0)
+          fail_io(path, tmp_path, "write", fault.error);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.retry_backoff_ms));
+        continue;
+      }
+      if (fault.short_write && chunk > 1) chunk /= 2;
+    }
+    const ssize_t written = ::write(file.fd, cursor, chunk);
+    if (written < 0) {
+      const int err = errno;
+      if (err == EINTR) continue;
+      if (is_disk_full(err)) fail_disk_full(path, tmp_path, err);
+      if (!is_transient(err) || transient_left-- <= 0)
+        fail_io(path, tmp_path, "write", err);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.retry_backoff_ms));
+      continue;
+    }
+    cursor += written;
+    remaining -= static_cast<std::size_t>(written);
+  }
+
+  if (options.fsync_file && ::fsync(file.fd) != 0) {
+    const int err = errno;
+    if (is_disk_full(err)) fail_disk_full(path, tmp_path, err);
+    fail_io(path, tmp_path, "fsync", err);
+  }
+  if (::close(file.fd) != 0) {
+    const int err = errno;
+    file.fd = -1;
+    if (is_disk_full(err)) fail_disk_full(path, tmp_path, err);
+    fail_io(path, tmp_path, "close", err);
+  }
+  file.fd = -1;
+
+  if (options.before_rename) options.before_rename();
+
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    if (is_disk_full(err)) fail_disk_full(path, tmp_path, err);
+    fail_io(path, tmp_path, "rename", err);
+  }
+
+  if (options.fsync_directory) {
+    // Best-effort: a directory that cannot be opened or fsynced (e.g.
+    // some overlayfs setups) does not undo an otherwise-complete
+    // rename, so failures here are swallowed.
+    FdCloser dir;
+    dir.fd = ::open(parent_dir(path).c_str(),
+                    O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dir.fd >= 0) (void)::fsync(dir.fd);
+  }
+}
+
+}  // namespace sssp::util

@@ -1,0 +1,81 @@
+// Crash- and ENOSPC-safe file writes: every durable artifact the tools
+// emit (checkpoints, run reports, metrics, flight records, bench JSON)
+// funnels through atomic_write_file so a reader can never observe a
+// partial file. Protocol: write `path + ".tmp"`, handle short writes
+// and EINTR, fsync the file, rename over `path`, fsync the directory.
+// Disk-full (ENOSPC/EDQUOT) deletes the tmp and throws DiskFullError —
+// tools map it to a dedicated exit code (docs/ROBUSTNESS.md, "Resource
+// budgets & exhaustion") instead of leaving truncated JSON behind.
+//
+// util sits below fault in the layering (fault links util), so this
+// file cannot reference SSSP_FAILPOINT directly. Fault injection
+// arrives through set_write_fault_hook: src/res installs a hook that
+// maps the `io.write.enospc` / `io.write.short` failpoints onto the
+// write loop (res::install_io_failpoints, called by tools'
+// enable_faults).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sssp::util {
+
+// Disk exhausted (ENOSPC or EDQUOT) while persisting `path`. The tmp
+// file has already been unlinked when this is thrown; the previous
+// version of `path`, if any, is intact.
+class DiskFullError : public std::runtime_error {
+ public:
+  DiskFullError(std::string path, const std::string& detail)
+      : std::runtime_error("disk full writing " + path + ": " + detail),
+        path_(std::move(path)) {}
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+struct AtomicWriteOptions {
+  // Transient write errors (EINTR aside, which always retries) are
+  // retried this many times with linear backoff before giving up.
+  int max_transient_retries = 3;
+  int retry_backoff_ms = 10;
+  // Durability knobs; tests on tmpfs may disable to save syscalls.
+  bool fsync_file = true;
+  bool fsync_directory = true;
+  // Crash-drill hook: runs after the tmp file is durable, before the
+  // rename. If it throws, the exception propagates and the tmp file is
+  // deliberately LEFT BEHIND — the drill simulates the process dying
+  // at that instant, and a dead process cleans nothing up (the ckpt
+  // crash_after_tmp failpoint rides on this).
+  std::function<void()> before_rename;
+};
+
+// Injected fault for one write(2) call in the loop. `error` is an
+// errno to fail with (0 = none); `short_write` truncates the chunk to
+// at most half so the short-write resume path executes.
+struct WriteFault {
+  int error = 0;
+  bool short_write = false;
+};
+using WriteFaultHook = WriteFault (*)() noexcept;
+
+// Installs (or clears, with nullptr) the process-wide write-fault
+// hook. Consulted once per write(2) attempt inside atomic_write_file.
+void set_write_fault_hook(WriteFaultHook hook) noexcept;
+
+// Atomically replaces `path` with `bytes`. Throws DiskFullError on
+// ENOSPC/EDQUOT and std::runtime_error for any other unrecoverable
+// I/O failure; in both cases the tmp file is removed and the previous
+// `path` contents are untouched.
+void atomic_write_file(const std::string& path, std::string_view bytes,
+                       const AtomicWriteOptions& options = {});
+
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size,
+                       const AtomicWriteOptions& options = {});
+
+}  // namespace sssp::util

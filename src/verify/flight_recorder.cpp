@@ -7,6 +7,7 @@
 
 #include "fault/failpoint.hpp"
 #include "obs/json.hpp"
+#include "util/atomic_file.hpp"
 
 namespace sssp::verify {
 
@@ -143,10 +144,13 @@ std::string FlightRecorder::dump_json_string(const std::string& reason) const {
 bool FlightRecorder::save(const std::string& path,
                           const std::string& reason) const noexcept {
   try {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
+    std::ostringstream out;
     dump_json(out, reason);
-    return static_cast<bool>(out);
+    // The flight dump is often written from a failure path — an
+    // atomic tmp+rename means a second failure (ENOSPC, crash) can
+    // never leave a truncated dump masquerading as evidence.
+    util::atomic_write_file(path, out.str());
+    return true;
   } catch (...) {
     return false;
   }

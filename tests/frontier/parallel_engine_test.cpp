@@ -11,6 +11,7 @@
 #include <array>
 #include <vector>
 
+#include "fault/failpoint.hpp"
 #include "frontier/engine.hpp"
 #include "graph/types.hpp"
 #include "tests/sssp/test_graphs.hpp"
@@ -221,6 +222,28 @@ TEST(ParallelEngine, UpdatedFrontierOrderIsWinningEdgeRankOrder) {
   const std::vector<graph::VertexId> actual(engine.frontier().begin(),
                                             engine.frontier().end());
   EXPECT_EQ(actual, expected);
+  util::ThreadPool::set_global_threads(0);
+}
+
+// Memory-budget degrade (docs/ROBUSTNESS.md, "Resource budgets &
+// exhaustion"): when the parallel scratch preflight is refused, the
+// engine falls back to the serial advance *before* mutating anything —
+// the sweep completes with exact distances and a valid parent tree
+// (the serial advance breaks parent ties differently, so parents are
+// exact but not byte-identical to the parallel run's).
+TEST(ParallelEngine, BudgetRefusalDegradesToSerialWithIdenticalResults) {
+  const auto g = algo::testing::random_graph(3000, 6.0, 99, 5);
+  util::ThreadPool::set_global_threads(4);
+  const NearFarEngine::Options options{.parallel = true,
+                                       .parallel_threshold = 1};
+  const SweepTrace reference = run_sweep(g, 0, options);
+
+  fault::FailpointRegistry::global().arm("res.engine.alloc");
+  const SweepTrace degraded = run_sweep(g, 0, options);
+  fault::FailpointRegistry::global().disarm_all();
+
+  EXPECT_EQ(degraded.distances, reference.distances);
+  expect_parents_exact(g, 0, degraded);
   util::ThreadPool::set_global_threads(0);
 }
 

@@ -5,16 +5,22 @@
 #include "graph/mmap_cache.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <functional>
 #include <iterator>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "fault/failpoint.hpp"
 #include "graph/binary_io.hpp"
 #include "graph/io_error.hpp"
 #include "graph/rmat.hpp"
@@ -152,6 +158,113 @@ TEST(MmapCache, IsMappableRecognizesV2) {
   save_binary_file(CsrGraph({0, 1, 1}, {1}, {7}), path);
   EXPECT_TRUE(is_mappable_cache(path));
   std::remove(path.c_str());
+}
+
+// Flips one byte of the file in place (no truncation), so the change
+// is visible through the MAP_SHARED mapping of an already-open
+// MmapGraph — the "media rotted under a long-lived server" scenario.
+void flip_in_place(const std::string& path, long offset) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  std::fputc(c ^ 0x40, f);
+  std::fclose(f);
+}
+
+TEST(MmapCache, ScrubPassesOnIntactMapping) {
+  const std::string path = temp_cache_path("scrub_ok");
+  save_binary_file(make_generated_graph(), path);
+  const MmapGraph mapped = MmapGraph::open(path);
+  const MmapGraph::ScrubResult result = mapped.scrub();
+  EXPECT_TRUE(result.ok) << result.reason;
+  std::remove(path.c_str());
+}
+
+TEST(MmapCache, ScrubDetectsRotUnderTheMapping) {
+  const std::string path = temp_cache_path("scrub_rot");
+  save_binary_file(make_generated_graph(), path);
+  const MmapGraph mapped = MmapGraph::open(path);
+  ASSERT_TRUE(mapped.scrub().ok);
+  // Corrupt a payload byte *after* open verified the file: only a
+  // periodic re-scrub can catch this.
+  flip_in_place(path, 100);
+  const MmapGraph::ScrubResult result = mapped.scrub();
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.reason.empty());
+  std::remove(path.c_str());
+}
+
+TEST(MmapCache, ScrubSurvivesTruncationWithSigbus) {
+  const std::string path = temp_cache_path("scrub_trunc");
+  save_binary_file(make_generated_graph(), path);
+  const MmapGraph mapped = MmapGraph::open(path);
+  // Shrinking the file under a live mapping makes reads past the new
+  // EOF fault with SIGBUS; the scoped guard must turn that into a
+  // failed scrub, not a dead process.
+  ASSERT_EQ(::truncate(path.c_str(), 4096), 0);
+  const MmapGraph::ScrubResult result = mapped.scrub();
+  EXPECT_FALSE(result.ok);
+  std::remove(path.c_str());
+}
+
+TEST(MmapCache, InjectedSigbusAtOpenBecomesStructuredError) {
+  const std::string path = temp_cache_path("sigbus_open");
+  save_binary_file(make_generated_graph(), path);
+  fault::FailpointRegistry::global().arm("io.mmap.sigbus");
+  try {
+    (void)MmapGraph::open(path);
+    ADD_FAILURE() << "injected SIGBUS did not surface as an error";
+  } catch (const GraphIoError& e) {
+    EXPECT_EQ(e.error_class(), IoErrorClass::kTruncated);
+  }
+  fault::FailpointRegistry::global().disarm_all();
+  // With the drill disarmed the same file opens fine — the handler
+  // must have fully unwound.
+  EXPECT_TRUE(MmapGraph::open(path).valid());
+  std::remove(path.c_str());
+}
+
+TEST(MmapCache, ScrubberQuarantinesACorruptedCache) {
+  const std::string path = temp_cache_path("scrubber");
+  save_binary_file(make_generated_graph(), path);
+  MmapGraph mapped = MmapGraph::open(path);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string reason;
+  bool fired = false;
+  CacheScrubber scrubber(mapped, 5, [&](const std::string& why) {
+    std::lock_guard<std::mutex> lock(mu);
+    reason = why;
+    fired = true;
+    cv.notify_all();
+  });
+
+  // Let at least one clean pass land, then rot the file.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (scrubber.passes() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_GT(scrubber.passes(), 0u);
+  EXPECT_FALSE(scrubber.failed());
+
+  flip_in_place(path, 100);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return fired; }));
+  }
+  scrubber.stop();
+  EXPECT_TRUE(scrubber.failed());
+  EXPECT_FALSE(reason.empty());
+  // The damaged file was moved aside so no restart can remap it.
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_TRUE(std::ifstream(path + ".quarantined").good());
+  std::remove((path + ".quarantined").c_str());
 }
 
 TEST(MmapCache, MoveTransfersTheMapping) {

@@ -142,6 +142,45 @@ TEST(ResultCacheTest, PoisonedInsertIsCaughtOnRead) {
   EXPECT_NE(read_checksum, poisoned->dist_checksum);
 }
 
+// Byte bound (docs/ROBUSTNESS.md, "Resource budgets & exhaustion"):
+// entry counts say nothing about V-sized payloads, so the cache also
+// enforces a summed-bytes cap, evicting from the LRU tail.
+TEST(ResultCacheTest, ByteBudgetEvictsFromTheTail) {
+  const auto g = ring(64);
+  // One ring-64 entry is ~64*12 payload bytes plus the struct; three
+  // entries fit comfortably, five do not.
+  const std::size_t one_entry =
+      sizeof(CacheEntry) + 64 * (sizeof(graph::Distance) +
+                                 sizeof(graph::VertexId));
+  ResultCache cache(100, 3 * one_entry + one_entry / 2);
+  for (graph::VertexId s = 0; s < 5; ++s)
+    cache.insert(key(1, s), entry_for(g, s));
+  const auto stats = cache.stats();
+  EXPECT_LE(stats.bytes, 3 * one_entry + one_entry / 2);
+  EXPECT_LT(stats.entries, 5u) << "byte bound never evicted";
+  EXPECT_GT(stats.evictions, 0u);
+  // Newest entries survive; the oldest were evicted.
+  EXPECT_NE(cache.lookup(key(1, 4)), nullptr);
+  EXPECT_EQ(cache.lookup(key(1, 0)), nullptr);
+}
+
+TEST(ResultCacheTest, BytesAccountingFollowsInsertAndInvalidate) {
+  const auto g = ring(32);
+  ResultCache cache(8, 1 << 20);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  cache.insert(key(1, 0), entry_for(g, 0));
+  const std::size_t after_one = cache.stats().bytes;
+  EXPECT_GT(after_one, 0u);
+  cache.insert(key(1, 1), entry_for(g, 1));
+  EXPECT_EQ(cache.stats().bytes, 2 * after_one);
+  // Replacing an entry must not double-count it.
+  cache.insert(key(1, 0), entry_for(g, 0));
+  EXPECT_EQ(cache.stats().bytes, 2 * after_one);
+  cache.invalidate(key(1, 0));
+  cache.invalidate(key(1, 1));
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
 // Concurrent hits, inserts, and evictions on a small cache: entries are
 // handed out as shared_ptr<const>, so readers must never race an
 // eviction. Run under TSan in CI.

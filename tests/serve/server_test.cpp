@@ -15,6 +15,7 @@
 
 #include "fault/failpoint.hpp"
 #include "obs/json.hpp"
+#include "res/budget.hpp"
 #include "serve/socket.hpp"
 #include "tests/sssp/test_graphs.hpp"
 
@@ -364,6 +365,48 @@ TEST(SocketTest, TornFrameTruncatesPayloadButKeepsFraming) {
   ::close(fd);
   sender.join();
   ::close(listen_fd);
+}
+
+// Memory-aware admission (docs/ROBUSTNESS.md, "Resource budgets &
+// exhaustion"): with a process memory budget too small for even one
+// projected query footprint, every submit sheds kOverloaded with a
+// retry hint — same client contract as a full queue, but it fires
+// *before* a solve could OOM.
+TEST(ServerTest, MemoryBudgetShedsWithRetryHint) {
+  const auto g = random_graph(512, 4.0, 100, 1);
+  res::ResourceBudget::global().reset();
+  res::ResourceBudget::global().set_memory_limit(1024);  // << one query
+  Server server(g, {});
+  server.start();
+  Collector c;
+  server.submit(query("m1", 0), c.sink());
+  ASSERT_TRUE(c.wait_for(1));
+  const Response shed = c.responses[0];
+  EXPECT_EQ(shed.status, Status::kOverloaded);
+  EXPECT_GT(shed.retry_after_ms, 0.0);
+  EXPECT_NE(shed.error.find("memory"), std::string::npos) << shed.error;
+  server.drain();
+  EXPECT_EQ(server.stats().shed_memory, 1u);
+  res::ResourceBudget::global().reset();
+}
+
+TEST(ServerTest, AdmitFailpointForcesMemoryShed) {
+  const auto g = random_graph(256, 4.0, 100, 1);
+  Server server(g, {});
+  server.start();
+  Collector c;
+  // No budget limit configured: only the armed drill can shed here.
+  fault::FailpointRegistry::global().arm("res.serve.admit");
+  server.submit(query("f1", 0), c.sink());
+  ASSERT_TRUE(c.wait_for(1));
+  EXPECT_EQ(c.responses[0].status, Status::kOverloaded);
+  fault::FailpointRegistry::global().disarm_all();
+  // Disarmed, the very next query goes through and certifies.
+  server.submit(query("f2", 1), c.sink());
+  ASSERT_TRUE(c.wait_for(2));
+  EXPECT_EQ(c.responses[1].status, Status::kOk);
+  server.drain();
+  EXPECT_EQ(server.stats().shed_memory, 1u);
 }
 
 TEST(SocketTest, OversizedPrefixRejectedBeforeAllocation) {

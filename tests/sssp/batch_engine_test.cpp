@@ -180,6 +180,28 @@ TEST(BatchEngine, FlipDistFailpointFailsExactlyLaneZero) {
   }
 }
 
+// Memory-budget degrade (docs/ROBUSTNESS.md, "Resource budgets &
+// exhaustion"): when the projected SoA lane bytes are refused, the
+// batch recursively splits in half down to K=1 instead of failing —
+// and every lane still matches the unconstrained run exactly.
+TEST(BatchEngine, MemoryRefusalSplitsBatchWithIdenticalResults) {
+  const auto g = road_fixture();
+  const auto sources = pick_sources(g, 6);
+  const auto baseline = run_batch(g, sources, {});
+
+  fault::FailpointRegistry::global().arm("res.batch.alloc");
+  const auto split = run_batch(g, sources, {});
+  fault::FailpointRegistry::global().disarm_all();
+
+  ASSERT_EQ(split.lanes.size(), baseline.lanes.size());
+  for (std::size_t l = 0; l < split.lanes.size(); ++l) {
+    EXPECT_EQ(split.lanes[l].distances, baseline.lanes[l].distances)
+        << "lane " << l;
+    EXPECT_EQ(split.lanes[l].parents, baseline.lanes[l].parents)
+        << "lane " << l;
+  }
+}
+
 TEST(BatchEngine, DuplicateSourcesProduceIdenticalLanes) {
   const auto g = testing::random_graph(2000, 5.0, 30, 11);
   const std::vector<graph::VertexId> sources = {17, 17, 17};

@@ -1,0 +1,176 @@
+// atomic_write_file (util/atomic_file.hpp): the single write path for
+// every durable artifact. Contracts: readers only ever see the whole
+// new file or the whole old file; ENOSPC deletes the tmp and throws
+// DiskFullError with the previous contents intact; short writes and
+// transient errors are absorbed; a throwing before_rename hook leaves
+// the tmp behind (the crash drill's contract).
+#include "util/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+namespace sssp::util {
+namespace {
+
+std::string temp_path(const std::string& tag) {
+  return ::testing::TempDir() + "atomic_file_" + tag + ".out";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+bool exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+// Fault hooks are function pointers (util cannot depend on fault), so
+// the test drives them through file-local state.
+int g_enospc_after = -1;  // fail the Nth write call with ENOSPC
+int g_short_writes = 0;   // truncate this many write calls
+int g_transient = 0;      // fail this many write calls with EIO
+
+WriteFault scripted_fault() noexcept {
+  WriteFault fault;
+  if (g_enospc_after == 0) {
+    fault.error = ENOSPC;
+    return fault;
+  }
+  if (g_enospc_after > 0) --g_enospc_after;
+  if (g_short_writes > 0) {
+    --g_short_writes;
+    fault.short_write = true;
+    return fault;
+  }
+  if (g_transient > 0) {
+    --g_transient;
+    fault.error = EIO;
+  }
+  return fault;
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_enospc_after = -1;
+    g_short_writes = 0;
+    g_transient = 0;
+    set_write_fault_hook(nullptr);
+  }
+  void TearDown() override { set_write_fault_hook(nullptr); }
+};
+
+TEST_F(AtomicFileTest, WritesAndReplacesWhole) {
+  const std::string path = temp_path("replace");
+  atomic_write_file(path, "first contents\n");
+  EXPECT_EQ(slurp(path), "first contents\n");
+  atomic_write_file(path, "second, longer contents entirely\n");
+  EXPECT_EQ(slurp(path), "second, longer contents entirely\n");
+  EXPECT_FALSE(exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, LargePayloadRoundTrips) {
+  const std::string path = temp_path("large");
+  std::string bytes(1 << 20, '\0');
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    bytes[i] = static_cast<char>(i * 31 % 251);
+  atomic_write_file(path, bytes);
+  EXPECT_EQ(slurp(path), bytes);
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, EnospcThrowsDiskFullAndRemovesTmp) {
+  const std::string path = temp_path("enospc");
+  atomic_write_file(path, "previous version\n");
+  g_enospc_after = 0;
+  set_write_fault_hook(&scripted_fault);
+  try {
+    atomic_write_file(path, "new version that will not fit\n");
+    FAIL() << "injected ENOSPC did not throw";
+  } catch (const DiskFullError& e) {
+    EXPECT_EQ(e.path(), path);
+  }
+  set_write_fault_hook(nullptr);
+  EXPECT_EQ(slurp(path), "previous version\n")
+      << "old contents must survive a failed replace";
+  EXPECT_FALSE(exists(path + ".tmp")) << "tmp must be unlinked on ENOSPC";
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, EnospcMidStreamStillCleansUp) {
+  const std::string path = temp_path("enospc_mid");
+  std::remove(path.c_str());  // residue from an earlier run must not mask
+  g_enospc_after = 2;  // a few chunks land, then the disk fills
+  set_write_fault_hook(&scripted_fault);
+  std::string bytes(1 << 20, 'x');
+  EXPECT_THROW(atomic_write_file(path, bytes), DiskFullError);
+  set_write_fault_hook(nullptr);
+  EXPECT_FALSE(exists(path));
+  EXPECT_FALSE(exists(path + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, ShortWritesAreResumed) {
+  const std::string path = temp_path("short");
+  g_short_writes = 5;
+  set_write_fault_hook(&scripted_fault);
+  std::string bytes(1 << 18, 'y');
+  atomic_write_file(path, bytes);
+  set_write_fault_hook(nullptr);
+  EXPECT_EQ(slurp(path), bytes);
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, TransientErrorsAreRetried) {
+  const std::string path = temp_path("transient");
+  g_transient = 2;  // below max_transient_retries
+  set_write_fault_hook(&scripted_fault);
+  AtomicWriteOptions options;
+  options.retry_backoff_ms = 0;
+  atomic_write_file(path, "eventually lands\n", options);
+  set_write_fault_hook(nullptr);
+  EXPECT_EQ(slurp(path), "eventually lands\n");
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, PersistentTransientErrorGivesUpCleanly) {
+  const std::string path = temp_path("persistent");
+  g_transient = 100;  // beyond any retry budget
+  set_write_fault_hook(&scripted_fault);
+  AtomicWriteOptions options;
+  options.retry_backoff_ms = 0;
+  EXPECT_THROW(atomic_write_file(path, "never lands\n", options),
+               std::runtime_error);
+  set_write_fault_hook(nullptr);
+  EXPECT_FALSE(exists(path));
+  EXPECT_FALSE(exists(path + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, ThrowingBeforeRenameLeavesTmpBehind) {
+  const std::string path = temp_path("crash_drill");
+  AtomicWriteOptions options;
+  options.before_rename = [] { throw std::runtime_error("simulated death"); };
+  EXPECT_THROW(atomic_write_file(path, "almost durable\n", options),
+               std::runtime_error);
+  EXPECT_FALSE(exists(path));
+  // The drill simulates dying between tmp-fsync and rename: a dead
+  // process cleans nothing up, so the tmp must still be there.
+  EXPECT_TRUE(exists(path + ".tmp"));
+  EXPECT_EQ(slurp(path + ".tmp"), "almost durable\n");
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST_F(AtomicFileTest, UnwritableDirectoryFailsWithoutArtifacts) {
+  EXPECT_THROW(
+      atomic_write_file("/proc/definitely/not/writable/file", "x"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sssp::util

@@ -759,12 +759,13 @@ int main(int argc, char** argv) {
     }
 
     if (const std::string out = flags.get_string("out"); !out.empty()) {
-      std::ofstream stream(out, std::ios::binary);
-      if (!stream) throw std::runtime_error("cannot open " + out);
+      std::ostringstream stream;
       write_bench_json(stream, matrix, runs, warmup, slowdown, results,
                        serve_bench, serve_mmap_bench, multi_bench);
       stream << '\n';
-      if (!stream) throw std::runtime_error("write failed: " + out);
+      // Atomic so a crash or full disk mid-write can never leave a
+      // truncated baseline that later runs would "regress" against.
+      sssp::util::atomic_write_file(out, stream.str());
       std::printf("bench: wrote %s (%zu cells)\n", out.c_str(),
                   results.size());
     }
@@ -781,6 +782,15 @@ int main(int argc, char** argv) {
       std::printf("bench: no regressions against %s\n", baseline.c_str());
     }
     return 0;
+  } catch (const sssp::util::DiskFullError& error) {
+    std::fprintf(stderr, "bench_tool: %s\n", error.what());
+    return sssp::tools::kExitDiskFull;
+  } catch (const sssp::res::ResourceError& error) {
+    std::fprintf(stderr, "bench_tool: %s\n", error.what());
+    return sssp::tools::kExitResourceBudget;
+  } catch (const std::bad_alloc&) {
+    std::fprintf(stderr, "bench_tool: out of memory\n");
+    return sssp::tools::kExitResourceBudget;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "bench_tool: %s\n", error.what());
     return 1;

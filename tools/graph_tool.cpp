@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   tools::define_fault_flags(flags);
   tools::define_observability_flags(flags);
   tools::define_threads_flag(flags);
+  tools::define_resource_flags(flags);
   flags.define("report-out", "",
                "write a run-report JSON (dataset shape + totals) here");
   if (flags.handle_help(
@@ -73,6 +74,7 @@ int main(int argc, char** argv) {
   try {
     tools::enable_observability(flags);
     tools::enable_faults(flags);
+    tools::apply_resource_flags(flags);
     const std::size_t threads = tools::apply_threads_flag(flags);
     // Graph commands are monolithic (no iteration boundary to poll), but
     // a SIGINT/SIGTERM received mid-command still marks whatever gets
@@ -145,6 +147,15 @@ int main(int argc, char** argv) {
   } catch (const graph::GraphIoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return tools::exit_code_for(e);
+  } catch (const util::DiskFullError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitDiskFull;
+  } catch (const res::ResourceError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitResourceBudget;
+  } catch (const std::bad_alloc&) {
+    std::fprintf(stderr, "error: out of memory\n");
+    return tools::kExitResourceBudget;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   tools::define_fault_flags(flags);
   tools::define_threads_flag(flags);
   tools::define_run_control_flags(flags);
+  tools::define_resource_flags(flags);
   tools::define_verify_flags(flags);
   flags.define("report-out", "",
                "write a run-report JSON for the first device's default-"
@@ -61,6 +62,7 @@ int main(int argc, char** argv) {
       verify::set_flight_enabled(true);
     const std::size_t threads = tools::apply_threads_flag(flags);
     tools::apply_run_control_flags(flags, control);
+    tools::apply_resource_flags(flags);
     // SIGINT/SIGTERM stop the sweep between replays; whatever was
     // simulated so far is flushed with "interrupted": true and exit 11.
     util::install_signal_stop(control);
@@ -232,6 +234,15 @@ int main(int argc, char** argv) {
   } catch (const graph::GraphIoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return tools::exit_code_for(e);
+  } catch (const util::DiskFullError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitDiskFull;
+  } catch (const res::ResourceError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitResourceBudget;
+  } catch (const std::bad_alloc&) {
+    std::fprintf(stderr, "error: out of memory\n");
+    return tools::kExitResourceBudget;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -94,6 +94,9 @@ struct SoakStats {
   std::uint64_t batch_lanes = 0;
   std::uint64_t batch_drills = 0;
   std::uint64_t batch_drill_catches = 0;
+  std::uint64_t exhaustion_rounds = 0;
+  std::uint64_t exhaustion_clean_failures = 0;  // structured errors
+  std::uint64_t exhaustion_disk_full = 0;
 };
 
 }  // namespace
@@ -116,6 +119,12 @@ int main(int argc, char** argv) {
                "and strategy per round, every lane certified; ~1/4 of "
                "rounds arm batch.lane.flip_dist and the corrupted lane "
                "must FAIL certification");
+  flags.define("exhaustion-rounds", "0",
+               "additional resource-exhaustion rounds: random res.*/io.* "
+               "failpoints armed over checkpointed runs; a run must "
+               "either complete and certify (possibly degraded) or fail "
+               "with a structured resource/disk error — never an "
+               "uncaught bad_alloc, never a partial checkpoint file");
   flags.define("verify-strict", "false",
                "also cross-check each survivor against Dijkstra inside "
                "the certifier");
@@ -346,6 +355,120 @@ int main(int argc, char** argv) {
           ok ? "PASS" : "FAILED");
     }
 
+    // Exhaustion leg (docs/ROBUSTNESS.md, "Resource budgets &
+    // exhaustion"): every round arms a random subset of the resource
+    // and disk failpoints over a checkpointed run. The contract under
+    // test: the run either completes (degraded paths included) and its
+    // result certifies, or it fails with a *structured* error
+    // (res::ResourceError / util::DiskFullError) — an uncaught
+    // std::bad_alloc or a leftover partial checkpoint file fails the
+    // round.
+    const auto exhaustion_rounds =
+        static_cast<std::uint64_t>(flags.get_int("exhaustion-rounds"));
+    if (exhaustion_rounds > 0) res::install_io_failpoints();
+    for (std::uint64_t round = 0; round < exhaustion_rounds; ++round) {
+      std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ULL + 0xE0A57ULL +
+                          round + 1);
+      auto source = static_cast<graph::VertexId>(rng() % n);
+      for (int tries = 0; tries < 64 && g.out_degree(source) == 0; ++tries)
+        source = static_cast<graph::VertexId>(rng() % n);
+      const std::size_t threads = threads_list[rng() % threads_list.size()];
+      util::ThreadPool::set_global_threads(threads);
+
+      // Degrade drills fire probabilistically (the run should survive
+      // them serial/split); the disk drills fire every Nth write (the
+      // run should fail *cleanly*, or complete if no write fires).
+      std::string armed;
+      const auto add = [&armed](const std::string& spec) {
+        if (!armed.empty()) armed += ';';
+        armed += spec;
+      };
+      if (rng() % 2 == 0)
+        add("res.engine.alloc=0.2," + std::to_string(rng() % 1000));
+      const bool disk_drill = rng() % 2 == 0;
+      if (disk_drill)
+        add(std::string(rng() % 2 == 0 ? "io.write.enospc" : "io.write.short") +
+            "=" + std::to_string(2 + rng() % 3));
+      if (armed.empty())
+        add("res.engine.alloc=0.2," + std::to_string(rng() % 1000));
+
+      core::SelfTuningOptions options;
+      options.set_point = set_point;
+      ckpt::CheckpointPolicy policy;
+      policy.path = ckpt_path;
+      policy.every_iterations = 1 + rng() % 3;
+      std::remove(ckpt_path.c_str());
+      std::remove((ckpt_path + ".tmp").c_str());
+
+      registry.disarm_all();
+      registry.arm_list(armed);
+      std::optional<ckpt::CheckpointedResult> finished;
+      bool clean_failure = false;
+      bool bad = false;
+      std::string outcome;
+      try {
+        finished = ckpt::run_self_tuning_checkpointed(g, source, options,
+                                                      policy, nullptr,
+                                                      nullptr);
+        outcome = "completed";
+      } catch (const util::DiskFullError& e) {
+        clean_failure = true;
+        ++stats.exhaustion_disk_full;
+        outcome = std::string("disk-full (") + e.what() + ")";
+      } catch (const res::ResourceError& e) {
+        clean_failure = true;
+        outcome = std::string("resource (") + e.what() + ")";
+      } catch (const std::bad_alloc&) {
+        bad = true;
+        outcome = "UNCAUGHT bad_alloc";
+      }
+      registry.disarm_all();
+
+      // Partial-file rule: whatever happened, the checkpoint path holds
+      // either a complete previous checkpoint or nothing — the tmp file
+      // must never survive an ENOSPC/short-write failure.
+      if (std::FILE* tmp = std::fopen((ckpt_path + ".tmp").c_str(), "rb")) {
+        std::fclose(tmp);
+        bad = true;
+        outcome += " + LEFTOVER TMP FILE";
+      }
+
+      bool ok = !bad;
+      if (ok && finished) {
+        verify::CertifyOptions copts;
+        copts.strict = flags.get_bool("verify-strict");
+        const verify::Certificate cert =
+            verify::certify(g, finished->result, copts);
+        ok = cert.certified &&
+             algo::count_distance_mismatches(
+                 finished->result.distances,
+                 algo::dijkstra_distances(g, source)) == 0;
+        if (!ok) outcome += " but FAILED certification";
+      }
+      ++stats.rounds;
+      ++stats.exhaustion_rounds;
+      if (clean_failure) ++stats.exhaustion_clean_failures;
+      ok ? ++stats.certified : ++stats.failed;
+      std::printf(
+          "exhaustion round %llu: src=%llu threads=%zu armed=[%s] -> %s "
+          "(%s)\n",
+          static_cast<unsigned long long>(round),
+          static_cast<unsigned long long>(source), threads, armed.c_str(),
+          outcome.c_str(), ok ? "PASS" : "FAILED");
+    }
+    if (exhaustion_rounds > 0) {
+      std::remove(ckpt_path.c_str());
+      std::remove((ckpt_path + ".tmp").c_str());
+      std::printf(
+          "exhaustion summary: %llu rounds, %llu clean structured "
+          "failures (%llu disk-full), %llu resource rejections total\n",
+          static_cast<unsigned long long>(stats.exhaustion_rounds),
+          static_cast<unsigned long long>(stats.exhaustion_clean_failures),
+          static_cast<unsigned long long>(stats.exhaustion_disk_full),
+          static_cast<unsigned long long>(
+              res::ResourceBudget::global().snapshot().rejections));
+    }
+
     if (const auto fpath = flags.get_string("flight-out"); !fpath.empty()) {
       if (verify::FlightRecorder::global().save(
               fpath, stats.failed == 0 ? "soak-complete" : "soak-failed"))
@@ -376,6 +499,15 @@ int main(int argc, char** argv) {
   } catch (const graph::GraphIoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return tools::exit_code_for(e);
+  } catch (const util::DiskFullError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitDiskFull;
+  } catch (const res::ResourceError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitResourceBudget;
+  } catch (const std::bad_alloc&) {
+    std::fprintf(stderr, "error: out of memory\n");
+    return tools::kExitResourceBudget;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -36,15 +36,16 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "fault/failpoint.hpp"
+#include "graph/mmap_cache.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/socket.hpp"
@@ -176,7 +177,15 @@ void run_tcp(Service& server, util::RunControl& control, int port,
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0) continue;
     const int fd = serve::accept_conn(listen_fd);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      // Transient accept failure (EMFILE/ENFILE or the injected
+      // serve.accept.emfile drill): the pending connection stays in
+      // the backlog, so the listen fd remains readable — back off
+      // briefly instead of spinning through poll at 100% CPU while
+      // waiting for in-flight connections to free descriptors.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
     // Injected accept-side drop: the client sees a connection that
     // closes immediately and must reconnect.
     if (SSSP_FAILPOINT("serve.accept.drop")) {
@@ -331,9 +340,17 @@ int main(int argc, char** argv) {
                "crashes inside --crash-loop-window-s, exiting 16");
   flags.define("crash-loop-window-s", "30",
                "supervise only: crash-loop breaker window in seconds");
+  flags.define("cache-max-mb", "0",
+               "byte bound for the result cache on top of "
+               "--cache-entries (0 = unbounded)");
+  flags.define("scrub-interval-ms", "0",
+               "mmap mode: background re-checksum of the mapped cache "
+               "every this many ms; a mismatch quarantines the file and "
+               "drains the server (0 = off)");
   tools::define_observability_flags(flags);
   tools::define_fault_flags(flags);
   tools::define_threads_flag(flags);
+  tools::define_resource_flags(flags);
   if (flags.handle_help(
           "serve SSSP queries over a resident graph (docs/SERVING.md)"))
     return 0;
@@ -344,6 +361,7 @@ int main(int argc, char** argv) {
     tools::enable_observability(flags);
     tools::enable_faults(flags);
     tools::apply_threads_flag(flags);
+    tools::apply_resource_flags(flags);
     // First signal: graceful drain. Second: hard exit 128+signo.
     util::install_signal_stop(control);
     // A client that disappears mid-response must cost an EPIPE errno,
@@ -382,6 +400,9 @@ int main(int argc, char** argv) {
         algo::parse_batch_strategy(flags.get_string("batch-strategy"));
     options.sample_reports =
         static_cast<std::size_t>(flags.get_int("sample-reports"));
+    options.cache_max_bytes =
+        static_cast<std::size_t>(flags.get_int("cache-max-mb")) * 1024 *
+        1024;
     if (options.default_algorithm != "near-far" &&
         options.default_algorithm != "dijkstra" &&
         options.default_algorithm != "delta-stepping" &&
@@ -433,6 +454,11 @@ int main(int argc, char** argv) {
           "--batch-max", flags.get_string("batch-max"),
           "--batch-strategy", flags.get_string("batch-strategy"),
           "--threads", flags.get_string("threads"),
+          "--cache-max-mb", flags.get_string("cache-max-mb"),
+          "--scrub-interval-ms", flags.get_string("scrub-interval-ms"),
+          "--mem-budget-mb", flags.get_string("mem-budget-mb"),
+          "--scratch-budget-mb", flags.get_string("scratch-budget-mb"),
+          "--fd-headroom", flags.get_string("fd-headroom"),
       };
       if (const auto spec = flags.get_string("failpoint"); !spec.empty()) {
         sup.worker_command.push_back("--failpoint");
@@ -470,11 +496,10 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(sstats.worker_crashes),
                    sstats.tripped ? "TRIPPED" : "ok");
       if (const auto path = flags.get_string("report-out"); !path.empty()) {
-        std::ofstream out(path, std::ios::binary);
-        if (!out) throw std::runtime_error("cannot open " + path);
+        std::ostringstream out;
         supervisor.write_report(out);
         out << "\n";
-        if (!out) throw std::runtime_error("write failed: " + path);
+        util::atomic_write_file(path, out.str());
         std::fprintf(stderr, "sssp_server: wrote report to %s\n",
                      path.c_str());
       }
@@ -488,6 +513,28 @@ int main(int argc, char** argv) {
     const graph::CsrGraph& g = resident.graph();
     serve::Server server(g, options);
     server.start();
+
+    // Background media scrubber (docs/ROBUSTNESS.md, "Resource budgets
+    // & exhaustion"): periodically re-checksums the mapped cache; on a
+    // mismatch (bit rot, truncation, SIGBUS) the file is quarantined
+    // and the server drains instead of serving from corrupt pages.
+    std::unique_ptr<graph::CacheScrubber> scrubber;
+    const auto scrub_ms =
+        static_cast<std::uint64_t>(flags.get_int("scrub-interval-ms"));
+    if (scrub_ms > 0 && resident.is_mapped) {
+      scrubber = std::make_unique<graph::CacheScrubber>(
+          resident.mapped, scrub_ms,
+          [&control](const std::string& reason) {
+            std::fprintf(stderr,
+                         "sssp_server: mapped cache FAILED scrub (%s); "
+                         "quarantined, draining\n",
+                         reason.c_str());
+            control.request_stop(util::StopReason::kInterrupt);
+          });
+      std::fprintf(stderr, "sssp_server: scrubbing mapped cache every "
+                   "%llu ms\n",
+                   static_cast<unsigned long long>(scrub_ms));
+    }
     std::fprintf(stderr,
                  "sssp_server: serving %llu vertices / %llu edges "
                  "(queue %zu %s, %zu workers, cache %zu, verify %s, "
@@ -528,12 +575,12 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.shed_expired_queue),
                  static_cast<unsigned long long>(stats.shed_draining),
                  static_cast<unsigned long long>(stats.handler_errors));
+    if (scrubber) scrubber->stop();
     if (const auto path = flags.get_string("report-out"); !path.empty()) {
-      std::ofstream out(path, std::ios::binary);
-      if (!out) throw std::runtime_error("cannot open " + path);
+      std::ostringstream out;
       server.write_report(out);
       out << "\n";
-      if (!out) throw std::runtime_error("write failed: " + path);
+      util::atomic_write_file(path, out.str());
       std::fprintf(stderr, "sssp_server: wrote report to %s\n",
                    path.c_str());
     }
@@ -552,6 +599,15 @@ int main(int argc, char** argv) {
   } catch (const serve::ServeError& e) {
     std::fprintf(stderr, "sssp_server: startup failed: %s\n", e.what());
     return tools::kExitServeStartup;
+  } catch (const util::DiskFullError& e) {
+    std::fprintf(stderr, "sssp_server: %s\n", e.what());
+    return tools::kExitDiskFull;
+  } catch (const res::ResourceError& e) {
+    std::fprintf(stderr, "sssp_server: %s\n", e.what());
+    return tools::kExitResourceBudget;
+  } catch (const std::bad_alloc&) {
+    std::fprintf(stderr, "sssp_server: out of memory\n");
+    return tools::kExitResourceBudget;
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "sssp_server: %s\n", e.what());
     return 2;

@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   tools::define_fault_flags(flags);
   tools::define_threads_flag(flags);
   tools::define_run_control_flags(flags);
+  tools::define_resource_flags(flags);
   tools::define_checkpoint_flags(flags);
   tools::define_verify_flags(flags);
   flags.define("report-out", "",
@@ -83,6 +84,7 @@ int main(int argc, char** argv) {
   try {
     tools::enable_observability(flags);
     tools::enable_faults(flags);
+    tools::apply_resource_flags(flags);
     if (!flags.get_string("flight-out").empty() ||
         flags.get_int("audit-every") > 0)
       verify::set_flight_enabled(true);
@@ -269,16 +271,16 @@ int main(int argc, char** argv) {
       // Raw arrays for byte-exact comparisons between an uninterrupted
       // run and a kill-and-resume run (the CI crash-recovery matrix
       // cmp(1)s these files).
-      std::ofstream out(dpath, std::ios::binary | std::ios::trunc);
-      if (!out) throw std::runtime_error("cannot open " + dpath);
       const std::uint64_t n = result.distances.size();
-      out.write(reinterpret_cast<const char*>(&n), sizeof n);
-      out.write(reinterpret_cast<const char*>(result.distances.data()),
-                static_cast<std::streamsize>(n * sizeof(graph::Distance)));
-      out.write(reinterpret_cast<const char*>(result.parents.data()),
-                static_cast<std::streamsize>(result.parents.size() *
-                                             sizeof(graph::VertexId)));
-      if (!out) throw std::runtime_error("write failed: " + dpath);
+      std::string bytes;
+      bytes.reserve(sizeof n + n * sizeof(graph::Distance) +
+                    result.parents.size() * sizeof(graph::VertexId));
+      bytes.append(reinterpret_cast<const char*>(&n), sizeof n);
+      bytes.append(reinterpret_cast<const char*>(result.distances.data()),
+                   n * sizeof(graph::Distance));
+      bytes.append(reinterpret_cast<const char*>(result.parents.data()),
+                   result.parents.size() * sizeof(graph::VertexId));
+      util::atomic_write_file(dpath, bytes);
       std::printf("wrote distances/parents to %s\n", dpath.c_str());
     }
 
@@ -432,6 +434,15 @@ int main(int argc, char** argv) {
   } catch (const graph::GraphIoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return tools::exit_code_for(e);
+  } catch (const util::DiskFullError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitDiskFull;
+  } catch (const res::ResourceError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kExitResourceBudget;
+  } catch (const std::bad_alloc&) {
+    std::fprintf(stderr, "error: out of memory\n");
+    return tools::kExitResourceBudget;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
